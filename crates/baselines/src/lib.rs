@@ -1,0 +1,28 @@
+//! # dce-baselines — comparison systems for the evaluation
+//!
+//! Every system the paper compares against (or motivates itself with),
+//! reimplemented so the benchmarks compare like with like:
+//!
+//! * [`naive`] — replication *without* operational transformation: remote
+//!   operations are applied verbatim in arrival order. Reproduces the
+//!   incorrect integration of the paper's Fig. 1(a).
+//! * [`central`] — the classical access-control deployment the paper's
+//!   introduction argues against: a single server owns the authorization
+//!   state behind a lock, and every edit pays a round trip before it can
+//!   be applied locally.
+//! * [`quadratic`] — integration baselines of the SDT/ABT complexity class
+//!   (Li & Li, the paper's ref \[6\]): correct convergence, but each
+//!   reception reorders the whole history with no early exit, giving the
+//!   `O(|H|²)` behaviour whose 100 ms wall the paper's Fig. 7 comparison
+//!   quotes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod central;
+pub mod naive;
+pub mod quadratic;
+
+pub use central::{CentralClient, CentralServer};
+pub use naive::NaiveSite;
+pub use quadratic::{QuadraticFlavor, QuadraticSite};

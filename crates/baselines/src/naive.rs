@@ -1,0 +1,95 @@
+//! Naive replication: no transformation, apply-in-arrival-order.
+//!
+//! This is the strawman of the paper's Fig. 1(a): concurrent operations are
+//! executed verbatim at every site, so positions drift and replicas
+//! diverge. It exists to *demonstrate* the failure, and as the zero-cost
+//! lower bound in the benchmarks.
+
+use dce_document::{ApplyError, Document, Element, Op};
+
+/// A site that replicates by blindly applying remote operations.
+#[derive(Debug, Clone)]
+pub struct NaiveSite<E> {
+    doc: Document<E>,
+    applied: usize,
+    /// Remote operations that did not fit the current state (out of
+    /// bounds) and were dropped — one of the observable failure modes.
+    dropped: usize,
+}
+
+impl<E: Element> NaiveSite<E> {
+    /// Creates a site over the initial document.
+    pub fn new(d0: Document<E>) -> Self {
+        NaiveSite { doc: d0, applied: 0, dropped: 0 }
+    }
+
+    /// The current replica.
+    pub fn document(&self) -> &Document<E> {
+        &self.doc
+    }
+
+    /// Operations applied so far.
+    pub fn applied(&self) -> usize {
+        self.applied
+    }
+
+    /// Remote operations dropped because they no longer fit.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// A local edit: applied directly; the caller broadcasts the operation.
+    pub fn generate(&mut self, op: Op<E>) -> Result<Op<E>, ApplyError> {
+        op.apply(&mut self.doc)?;
+        self.applied += 1;
+        Ok(op)
+    }
+
+    /// A remote operation: applied verbatim, element checks skipped — the
+    /// whole point is that this is wrong under concurrency.
+    pub fn integrate(&mut self, op: &Op<E>) {
+        match op.apply_unchecked(&mut self.doc) {
+            Ok(()) => self.applied += 1,
+            Err(_) => self.dropped += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_document::{Char, CharDocument};
+
+    #[test]
+    fn fig1a_divergence_reproduced() {
+        // Paper Fig. 1(a): "efecte", Ins(2,'f') at site 1 ∥ Del(6,'e') at
+        // site 2, applied without transformation.
+        let mut s1 = NaiveSite::new(CharDocument::from_str("efecte"));
+        let mut s2 = NaiveSite::new(CharDocument::from_str("efecte"));
+        let o1 = s1.generate(Op::<Char>::ins(2, 'f')).unwrap();
+        let o2 = s2.generate(Op::<Char>::del(6, 'e')).unwrap();
+        s1.integrate(&o2);
+        s2.integrate(&o1);
+        assert_eq!(s1.document().to_string(), "effece"); // wrong!
+        assert_eq!(s2.document().to_string(), "effect");
+        assert_ne!(s1.document(), s2.document(), "naive replication diverges");
+    }
+
+    #[test]
+    fn sequential_use_is_fine() {
+        let mut s1 = NaiveSite::new(CharDocument::from_str("abc"));
+        let o = s1.generate(Op::<Char>::ins(4, 'd')).unwrap();
+        let mut s2 = NaiveSite::new(CharDocument::from_str("abc"));
+        s2.integrate(&o);
+        assert_eq!(s1.document(), s2.document());
+        assert_eq!(s2.applied(), 1);
+    }
+
+    #[test]
+    fn unfitting_remote_ops_are_dropped() {
+        let mut s = NaiveSite::new(CharDocument::from_str("ab"));
+        s.integrate(&Op::<Char>::del(9, 'z'));
+        assert_eq!(s.dropped(), 1);
+        assert_eq!(s.document().to_string(), "ab");
+    }
+}

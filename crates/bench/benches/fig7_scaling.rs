@@ -1,0 +1,57 @@
+//! Criterion counterpart of the Fig. 7 harness: statistically rigorous
+//! samples of t1/t2 at representative |H| sizes and insertion mixes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dce_bench::build_loaded_site;
+use dce_core::Message;
+use dce_document::Op;
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_generate_t1");
+    g.sample_size(20);
+    for ins_pct in [0u32, 100] {
+        for h in [1000usize, 4000] {
+            let (site, _) = build_loaded_site(h, ins_pct, 10, 5);
+            g.bench_with_input(
+                BenchmarkId::new(format!("ins{ins_pct}"), h),
+                &h,
+                |b, _| {
+                    b.iter_batched(
+                        || site.clone(),
+                        |mut s| {
+                            let len = s.document().len();
+                            s.generate(Op::ins(len / 2 + 1, 'T')).unwrap()
+                        },
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_receive(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_receive_t2");
+    g.sample_size(20);
+    for ins_pct in [0u32, 100] {
+        for h in [1000usize, 4000] {
+            let (site, pending) = build_loaded_site(h, ins_pct, 10, 6);
+            g.bench_with_input(
+                BenchmarkId::new(format!("ins{ins_pct}"), h),
+                &h,
+                |b, _| {
+                    b.iter_batched(
+                        || (site.clone(), pending.clone()),
+                        |(mut s, q)| s.receive(Message::Coop(q)).unwrap(),
+                        criterion::BatchSize::LargeInput,
+                    )
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generate, bench_receive);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Microbenchmarks of the OT primitives: inclusion/exclusion
+//! transformation, transposition, and the Canonize pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dce_document::{Char, CharDocument, Op};
+use dce_ot::transform::{exclude, include, TOp};
+use dce_ot::transpose::transpose;
+use dce_ot::Engine;
+
+fn bench_transform(c: &mut Criterion) {
+    let a: TOp<Char> = TOp::new(Op::ins(10, 'x'), 1);
+    let b: TOp<Char> = TOp::new(Op::del(5, 'q'), 2);
+    c.bench_function("it_include", |bch| bch.iter(|| include(&a, &b)));
+    c.bench_function("et_exclude", |bch| {
+        bch.iter(|| exclude(&a, &b).unwrap())
+    });
+    c.bench_function("transpose_pair", |bch| bch.iter(|| transpose(&b, &a).unwrap()));
+}
+
+fn bench_canonize(c: &mut Criterion) {
+    // Canonize cost = bubbling one insertion past |Hdu| deletions.
+    let mut g = c.benchmark_group("canonize_push");
+    g.sample_size(20);
+    for dels in [100usize, 1000, 4000] {
+        let d0: String = ('a'..='z').cycle().take(dels + 8).collect();
+        let mut engine = Engine::new(1, CharDocument::from_str(&d0));
+        for _ in 0..dels {
+            let elem = *engine.document().get(1).unwrap();
+            engine.generate(Op::Del { pos: 1, elem }).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(dels), &dels, |b, _| {
+            b.iter_batched(
+                || engine.clone(),
+                |mut e| e.generate(Op::ins(1, 'z')).unwrap(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    use dce_core::{Message, Site};
+    use dce_net::wire::{decode_message, encode_message};
+    use dce_policy::Policy;
+
+    let policy = Policy::permissive([0, 1]);
+    let mut site: Site<Char> = Site::new_user(1, 0, CharDocument::from_str("abc"), policy);
+    // A request with a non-trivial clock.
+    for i in 0..8 {
+        site.generate(Op::ins(i + 1, 'x')).unwrap();
+    }
+    let q = site.generate(Op::ins(1, 'z')).unwrap();
+    let msg = Message::Coop(q);
+    let bytes = encode_message(&msg);
+
+    c.bench_function("wire_encode_coop", |b| b.iter(|| encode_message(&msg)));
+    c.bench_function("wire_decode_coop", |b| {
+        b.iter(|| decode_message::<Char>(bytes.clone()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_transform, bench_canonize, bench_wire_codec);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Empirical validation of the paper's §5.2 asymptotic-complexity claims:
+//!
+//! * `Generate_Coop_Request`: O(2|H| + |P|)  — linear in the log and policy;
+//! * `Receive_Coop_Request`:  O(|L| + 2|H|)  — linear in the admin log too;
+//! * `Undo`: the paper bounds its transposition-based undo by O(|H|²); our
+//!   never-removed-cells buffer reverts effects in place, so enforcement
+//!   scales linearly — reported as a measured improvement.
+//!
+//! Run with `cargo run --release -p dce-bench --bin complexity`.
+
+use dce_bench::{build_loaded_site, measure_t1, measure_t2};
+use dce_core::{Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+use std::time::Instant;
+
+fn main() {
+    let reps = 5;
+
+    println!("# Generate/Receive scaling in |H| (50% insertions, |P| = 11)");
+    println!("{:>7} {:>12} {:>12}", "|H|", "t1 (µs)", "t2 (µs)");
+    let mut prev: Option<(f64, f64)> = None;
+    for h in [500usize, 1000, 2000, 4000, 8000] {
+        let (site, pending) = build_loaded_site(h, 50, 10, 7);
+        let t1 = measure_t1(&site, reps).as_secs_f64() * 1e6;
+        let t2 = measure_t2(&site, &pending, reps).as_secs_f64() * 1e6;
+        print!("{h:>7} {t1:>12.1} {t2:>12.1}");
+        if let Some((p1, p2)) = prev {
+            print!("   (x{:.2}, x{:.2} for 2x |H|)", t1 / p1, t2 / p2);
+        }
+        println!();
+        prev = Some((t1, t2));
+    }
+
+    println!();
+    println!("# Check_Local scaling in the policy size |P| (|H| = 1000)");
+    println!("{:>7} {:>12}", "|P|", "t1 (µs)");
+    for p in [1usize, 10, 100, 1000] {
+        let (site, _) = build_loaded_site(1000, 50, p, 9);
+        let t1 = measure_t1(&site, reps).as_secs_f64() * 1e6;
+        println!("{:>7} {t1:>12.1}", p + 1);
+    }
+
+    println!();
+    println!("# Check_Remote scaling in the administrative log |L| (|H| = 1000)");
+    println!("{:>7} {:>12}", "|L|", "t2 (µs)");
+    for l in [0usize, 10, 100, 1000] {
+        let (site, pending) = loaded_with_admin_log(1000, l);
+        let t2 = dce_bench::time_on_clones(&site, reps, |s| {
+            s.receive(Message::Coop(pending.clone())).unwrap()
+        })
+        .as_secs_f64()
+            * 1e6;
+        println!("{l:>7} {t2:>12.1}");
+    }
+
+    println!();
+    println!("# Wire message size vs group size N (honesty check for the state-vector");
+    println!("# substitution — the paper's dependency-tree requests are O(1) in N;");
+    println!("# ours carry a clock entry per *active writer*, see DESIGN.md §3)");
+    println!("{:>7} {:>14}", "N", "bytes/coop msg");
+    for n in [2u32, 8, 32, 128] {
+        println!("{n:>7} {:>14}", coop_message_size(n));
+    }
+
+    println!();
+    println!("# Retroactive enforcement (undo) — all |H| requests tentative and revoked");
+    println!("{:>7} {:>12}", "|H|", "undo (µs)");
+    for h in [250usize, 500, 1000, 2000, 4000] {
+        let us = measure_enforcement(h);
+        println!("{h:>7} {us:>12.1}");
+    }
+}
+
+/// Size of a wire-encoded cooperative request after `n` sites have each
+/// contributed one operation (the clock then has `n` entries).
+fn coop_message_size(n: u32) -> usize {
+    let users: Vec<u32> = (0..n).collect();
+    let policy = Policy::permissive(users);
+    let mut sites: Vec<Site<Char>> = (0..n)
+        .map(|u| {
+            if u == 0 {
+                Site::new_admin(0, CharDocument::from_str("x"), policy.clone())
+            } else {
+                Site::new_user(u, 0, CharDocument::from_str("x"), policy.clone())
+            }
+        })
+        .collect();
+    // Every site generates one op; site 0 integrates them all.
+    let mut reqs = Vec::new();
+    for s in sites.iter_mut().skip(1) {
+        reqs.push(s.generate(Op::ins(1, 'a')).unwrap());
+    }
+    for q in &reqs {
+        sites[0].receive(Message::Coop(q.clone())).unwrap();
+    }
+    let _ = sites[0].drain_outbox();
+    let q = sites[0].generate(Op::ins(1, 'z')).unwrap();
+    dce_net::wire::encode_message(&Message::Coop(q)).len()
+}
+
+/// A site with |H| = `h` and an admin log of length `l` (validations).
+fn loaded_with_admin_log(h: usize, l: usize) -> (Site<Char>, dce_core::CoopRequest<Char>) {
+    let (mut site, _) = build_loaded_site(h, 50, 0, 21);
+    let d0: String = ('a'..='z').cycle().take(h + 16).collect();
+    let policy = dce_bench::bench_policy(0);
+    let mut adm: Site<Char> = Site::new_admin(0, CharDocument::from_str(&d0), policy.clone());
+    for i in 0..l {
+        let r = adm
+            .admin_generate(AdminOp::Validate { site: 9, seq: i as u64 + 1 })
+            .unwrap();
+        // Deliver by hand: validations for unknown requests are only
+        // version bumps at the benchmark site... they must wait for their
+        // targets, so use AddUser churn instead for pure |L| growth.
+        let _ = r;
+    }
+    // Pure |L| growth via membership churn (never restrictive).
+    for i in 0..l {
+        let r = adm.admin_generate(AdminOp::AddUser(100 + i as u32)).unwrap();
+        site.receive(Message::Admin(r)).unwrap();
+    }
+    // The pending remote request was checked at version 0: Check_Remote
+    // scans the whole concurrent suffix of L.
+    let mut remote: Site<Char> = Site::new_user(
+        2,
+        0,
+        CharDocument::from_str(&d0),
+        policy,
+    );
+    let pending = remote.generate(Op::ins(1, 'R')).unwrap();
+    (site, pending)
+}
+
+/// Builds a user site with `h` tentative insertions, then times the
+/// enforcement triggered by a revocation of the insert right.
+fn measure_enforcement(h: usize) -> f64 {
+    let policy = Policy::permissive([0, 1]);
+    let mut site: Site<Char> = Site::new_user(1, 0, CharDocument::new(), policy.clone());
+    for i in 0..h {
+        site.generate(Op::ins(1, char::from(b'a' + (i % 26) as u8))).unwrap();
+    }
+    let mut adm: Site<Char> = Site::new_admin(0, CharDocument::new(), policy);
+    let r = adm
+        .admin_generate(AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(1),
+                DocObject::Document,
+                [Right::Insert],
+                Sign::Minus,
+            ),
+        })
+        .unwrap();
+    let start = Instant::now();
+    site.receive(Message::Admin(r)).unwrap();
+    let el = start.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(site.document().len(), 0, "everything undone");
+    el
+}

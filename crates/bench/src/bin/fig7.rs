@@ -1,0 +1,108 @@
+//! Regenerates the paper's Figure 7: processing time of insert requests as
+//! a function of the cooperative log size |H|, for logs containing 0 %,
+//! 50 % and 100 % insertions — t1 (`Generate_Coop_Request`), t2
+//! (`Receive_Coop_Request`) and their sum against the 100 ms interactivity
+//! threshold — plus the SDT/ABT-class comparison the paper quotes
+//! ("which is not achieved in SDT and ABT algorithms").
+//!
+//! Run with `cargo run --release -p dce-bench --bin fig7`.
+//! Accepts an optional max |H| argument (default 9000).
+
+use dce_baselines::{QuadraticFlavor, QuadraticSite};
+use dce_bench::workload::{type_burst, Typist, TypingModel};
+use dce_bench::{bench_policy, build_loaded_site, measure_t1, measure_t2};
+use dce_core::Site;
+use dce_document::{Char, CharDocument, Op};
+use std::time::{Duration, Instant};
+
+fn baseline_receive(h: usize, flavor: QuadraticFlavor) -> Duration {
+    let d0: String = ('a'..='z').cycle().take(h + 16).collect();
+    let d0 = CharDocument::from_str(&d0);
+    let mut site = QuadraticSite::new(1, d0.clone(), flavor);
+    let mut remote = QuadraticSite::new(2, d0, flavor);
+    let pending = remote.generate(Op::ins(1, 'R'));
+    for i in 0..h {
+        site.generate(Op::ins(i + 1, 'x'));
+    }
+    let start = Instant::now();
+    site.integrate(&pending);
+    start.elapsed()
+}
+
+fn main() {
+    let max_h: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9000);
+    let reps = 5;
+
+    println!("# Figure 7 — time processing of insert requests");
+    println!("# t1 = Generate_Coop_Request, t2 = Receive_Coop_Request (median of {reps})");
+    println!("# threshold: t1 + t2 < 100 ms (Li & Li interactivity bound)");
+    println!();
+    println!(
+        "{:>7} {:>6} {:>12} {:>12} {:>12} {:>9}",
+        "ins%", "|H|", "t1 (µs)", "t2 (µs)", "t1+t2 (ms)", "<100ms"
+    );
+
+    for ins_pct in [0u32, 50, 100] {
+        let mut h = 1000;
+        while h <= max_h {
+            let (site, pending) = build_loaded_site(h, ins_pct, 10, 42 + h as u64);
+            let t1 = measure_t1(&site, reps);
+            let t2 = measure_t2(&site, &pending, reps);
+            let total = t1 + t2;
+            println!(
+                "{:>7} {:>6} {:>12.1} {:>12.1} {:>12.3} {:>9}",
+                ins_pct,
+                h,
+                t1.as_secs_f64() * 1e6,
+                t2.as_secs_f64() * 1e6,
+                total.as_secs_f64() * 1e3,
+                if total < Duration::from_millis(100) { "yes" } else { "NO" }
+            );
+            h += 1000;
+        }
+        println!();
+    }
+
+    println!("# Realistic typing workload (burst model, not uniform-random):");
+    println!("{:>7} {:>12} {:>12}", "|H|", "t1 (µs)", "t2 (µs)");
+    for h in [1000usize, 3000, 5000] {
+        let policy = bench_policy(10);
+        let mut site: Site<Char> = Site::new_user(1, 0, CharDocument::new(), policy.clone());
+        let mut remote: Site<Char> = Site::new_user(2, 0, CharDocument::new(), policy);
+        let pending = remote.generate(Op::ins(1, 'R')).expect("granted");
+        let mut typist = Typist::new(77, TypingModel::default());
+        type_burst(&mut site, &mut typist, h);
+        let t1 = dce_bench::measure_t1(&site, reps);
+        let t2 = dce_bench::time_on_clones(&site, reps, |s| {
+            s.receive(dce_core::Message::Coop(pending.clone())).unwrap()
+        });
+        println!(
+            "{:>7} {:>12.1} {:>12.1}",
+            site.engine().log().len(),
+            t1.as_secs_f64() * 1e6,
+            t2.as_secs_f64() * 1e6
+        );
+    }
+    println!();
+
+    println!("# SDT/ABT-class baselines (reception time only)");
+    println!("{:>7} {:>6} {:>12} {:>9}", "algo", "|H|", "t2 (ms)", "<100ms");
+    for flavor in [QuadraticFlavor::Abt, QuadraticFlavor::Sdt] {
+        let mut h = 1000;
+        while h <= max_h {
+            let t2 = baseline_receive(h, flavor);
+            println!(
+                "{:>7} {:>6} {:>12.3} {:>9}",
+                format!("{flavor:?}"),
+                h,
+                t2.as_secs_f64() * 1e3,
+                if t2 < Duration::from_millis(100) { "yes" } else { "NO" }
+            );
+            h += 1000;
+        }
+        println!();
+    }
+}

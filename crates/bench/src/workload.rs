@@ -1,0 +1,166 @@
+//! Realistic editing workloads.
+//!
+//! The Fig. 7 harness uses the paper's synthetic mixes (a log that is X %
+//! insertions at uniformly random positions). Real editing is nothing like
+//! uniform: people type *runs* of characters at a moving cursor,
+//! occasionally backspace, and sometimes jump elsewhere. This module
+//! models that — useful both for benchmarks that should reflect practice
+//! and for stress tests whose operation distributions should not be
+//! accidentally easy.
+
+use dce_core::Site;
+use dce_document::{Char, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of the typing model.
+#[derive(Debug, Clone, Copy)]
+pub struct TypingModel {
+    /// Probability of continuing the current burst at the cursor (vs
+    /// jumping to a new random position).
+    pub burst_continue: f64,
+    /// Probability that a keystroke is a backspace (deletes before the
+    /// cursor) rather than a character.
+    pub backspace: f64,
+    /// Probability that a keystroke overwrites (update) instead of
+    /// inserting.
+    pub overwrite: f64,
+}
+
+impl Default for TypingModel {
+    fn default() -> Self {
+        // Roughly: long typing runs, ~8 % corrections, a little overwrite.
+        TypingModel { burst_continue: 0.92, backspace: 0.08, overwrite: 0.03 }
+    }
+}
+
+/// A deterministic stream of keystroke operations for one site.
+#[derive(Debug)]
+pub struct Typist {
+    rng: StdRng,
+    model: TypingModel,
+    cursor: usize, // 1-based insert position
+    next_char: u32,
+}
+
+impl Typist {
+    /// Creates a typist with its own seed.
+    pub fn new(seed: u64, model: TypingModel) -> Self {
+        Typist { rng: StdRng::seed_from_u64(seed), model, cursor: 1, next_char: 0 }
+    }
+
+    /// Produces the next keystroke for `site`'s current document, or
+    /// `None` when the randomly chosen action is impossible (empty doc
+    /// backspace) — callers just skip those ticks.
+    pub fn keystroke(&mut self, site: &Site<Char>) -> Option<Op<Char>> {
+        let len = site.document().len();
+        // Maybe jump the cursor.
+        if !self.rng.gen_bool(self.model.burst_continue) || self.cursor > len + 1 {
+            self.cursor = self.rng.gen_range(1..=len + 1);
+        }
+        let roll: f64 = self.rng.gen();
+        if roll < self.model.backspace {
+            if self.cursor <= 1 || len == 0 {
+                return None;
+            }
+            let pos = (self.cursor - 1).min(len);
+            let elem = *site.document().get(pos)?;
+            self.cursor = pos;
+            Some(Op::Del { pos, elem })
+        } else if roll < self.model.backspace + self.model.overwrite && self.cursor <= len {
+            let pos = self.cursor;
+            let old = *site.document().get(pos)?;
+            self.cursor = pos + 1;
+            self.next_char += 1;
+            Some(Op::up(pos, old, Self::letter(self.next_char)))
+        } else {
+            let pos = self.cursor.min(len + 1);
+            self.cursor = pos + 1;
+            self.next_char += 1;
+            Some(Op::ins(pos, Self::letter(self.next_char)))
+        }
+    }
+
+    fn letter(n: u32) -> char {
+        char::from_u32('a' as u32 + (n % 26)).expect("ascii letter")
+    }
+}
+
+/// Drives `site` through `n` keystrokes of the typing model, returning the
+/// requests generated (for broadcast).
+pub fn type_burst(
+    site: &mut Site<Char>,
+    typist: &mut Typist,
+    n: usize,
+) -> Vec<dce_core::CoopRequest<Char>> {
+    let mut out = Vec::with_capacity(n);
+    let mut attempts = 0;
+    while out.len() < n && attempts < n * 3 {
+        attempts += 1;
+        if let Some(op) = typist.keystroke(site) {
+            if let Ok(q) = site.generate(op) {
+                out.push(q);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_core::Message;
+    use dce_document::CharDocument;
+    use dce_policy::Policy;
+
+    fn site(user: u32) -> Site<Char> {
+        Site::new_user(user, 0, CharDocument::new(), Policy::permissive([0, 1, 2]))
+    }
+
+    #[test]
+    fn typing_produces_plausible_text_growth() {
+        let mut s = site(1);
+        let mut t = Typist::new(7, TypingModel::default());
+        let reqs = type_burst(&mut s, &mut t, 200);
+        assert_eq!(reqs.len(), 200);
+        // Mostly insertions: the document grows to a substantial fraction.
+        assert!(s.document().len() > 120, "len = {}", s.document().len());
+    }
+
+    #[test]
+    fn heavy_backspace_model_shrinks_output() {
+        let mut s = site(1);
+        let model = TypingModel { backspace: 0.45, overwrite: 0.0, burst_continue: 0.99 };
+        let mut t = Typist::new(9, model);
+        type_burst(&mut s, &mut t, 300);
+        assert!(s.document().len() < 150, "len = {}", s.document().len());
+    }
+
+    #[test]
+    fn concurrent_typists_converge() {
+        let mut a = site(1);
+        let mut b = site(2);
+        let mut ta = Typist::new(1, TypingModel::default());
+        let mut tb = Typist::new(2, TypingModel::default());
+        let qa = type_burst(&mut a, &mut ta, 60);
+        let qb = type_burst(&mut b, &mut tb, 60);
+        for q in qb {
+            a.receive(Message::Coop(q)).unwrap();
+        }
+        for q in qa {
+            b.receive(Message::Coop(q)).unwrap();
+        }
+        assert_eq!(a.document().to_string(), b.document().to_string());
+    }
+
+    #[test]
+    fn typist_is_deterministic() {
+        let run = || {
+            let mut s = site(1);
+            let mut t = Typist::new(42, TypingModel::default());
+            type_burst(&mut s, &mut t, 100);
+            s.document().to_string()
+        };
+        assert_eq!(run(), run());
+    }
+}

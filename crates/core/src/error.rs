@@ -1,0 +1,86 @@
+//! Errors of the access-control layer.
+
+use dce_policy::{Action, Decision, PolicyError, UserId};
+use std::fmt;
+
+/// Failures at the access-control layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A locally generated operation was denied by the local policy copy
+    /// (the paper's `Check_Local` failing in Algorithm 2 — the operation is
+    /// simply not executed).
+    AccessDenied {
+        /// The requesting user.
+        user: UserId,
+        /// The attempted action.
+        action: Action,
+        /// Why the policy said no.
+        decision: Decision,
+    },
+    /// An administrative operation was attempted by a non-administrator
+    /// site (§3.3: "only administrator can specify authorizations").
+    NotAdministrator {
+        /// The offending user.
+        user: UserId,
+    },
+    /// The administrative operation failed against the policy state.
+    Policy(PolicyError),
+    /// The OT layer rejected the operation (out of bounds, mismatched
+    /// element, …).
+    Ot(dce_ot::OtError),
+    /// A received message was malformed with respect to the protocol
+    /// (e.g. a cooperative request claiming a future policy version).
+    Protocol(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::AccessDenied { user, action, decision } => {
+                write!(f, "access denied: user s{user} may not {action} ({decision:?})")
+            }
+            CoreError::NotAdministrator { user } => {
+                write!(f, "user s{user} is not the administrator")
+            }
+            CoreError::Policy(e) => write!(f, "policy error: {e}"),
+            CoreError::Ot(e) => write!(f, "ot error: {e}"),
+            CoreError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<PolicyError> for CoreError {
+    fn from(e: PolicyError) -> Self {
+        CoreError::Policy(e)
+    }
+}
+
+impl From<dce_ot::OtError> for CoreError {
+    fn from(e: dce_ot::OtError) -> Self {
+        CoreError::Ot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_policy::Right;
+
+    #[test]
+    fn displays() {
+        let e = CoreError::AccessDenied {
+            user: 3,
+            action: Action::new(Right::Insert, Some(1)),
+            decision: Decision::DeniedByDefault,
+        };
+        assert!(e.to_string().contains("s3"));
+        assert!(CoreError::NotAdministrator { user: 2 }.to_string().contains("s2"));
+        assert!(CoreError::Protocol("x".into()).to_string().contains("x"));
+        let p: CoreError = PolicyError::DuplicateUser(1).into();
+        assert!(p.to_string().contains("policy error"));
+        let o: CoreError = dce_ot::OtError::UnknownRequest(dce_ot::RequestId::new(1, 1)).into();
+        assert!(o.to_string().contains("ot error"));
+    }
+}

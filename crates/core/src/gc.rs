@@ -1,0 +1,156 @@
+//! Log compaction (garbage collection) — the paper's §7 future-work item.
+//!
+//! "As the length of local (administrative and cooperative) logs increases
+//! rapidly during collaboration sessions, we plan to address the garbage
+//! collection problem." This module implements the natural solution for the
+//! cooperative log `H`: a prefix of the log can be dropped once every entry
+//! in it is **stable** —
+//!
+//! * *acknowledged everywhere*: contained in every participant's causal
+//!   clock, so every future request's generation context includes it and
+//!   its transformed form is never consulted again; and
+//! * *settled*: `Valid` or `Invalid`, never `Tentative` — tentative entries
+//!   can still be retroactively undone, which requires their log forms.
+//!
+//! The group-wide acknowledgement clock (the pointwise minimum of all
+//! sites' clocks) is computed by the session layer (`dce-editor`) from
+//! periodic heartbeat clocks; this module only needs the result.
+
+use crate::request::Flag;
+use crate::site::Site;
+use dce_document::Element;
+use dce_ot::ids::Clock;
+
+/// Pointwise minimum of a set of clocks: the requests every participant
+/// has integrated. Sites absent from `clocks` contribute nothing, so an
+/// empty input yields the empty clock (nothing stable).
+pub fn stability_horizon<'a>(clocks: impl IntoIterator<Item = &'a Clock>) -> Clock {
+    let mut iter = clocks.into_iter();
+    let Some(first) = iter.next() else {
+        return Clock::new();
+    };
+    let mut horizon = first.clone();
+    for c in iter {
+        let mut merged = Clock::new();
+        for (site, n) in horizon.iter() {
+            let other = c.get(site);
+            let min = n.min(other);
+            if min > 0 {
+                merged.set(site, min);
+            }
+        }
+        horizon = merged;
+    }
+    horizon
+}
+
+/// Compacts the cooperative log of `site`: drops the maximal log prefix
+/// whose entries are all below `horizon` and settled. Returns the number
+/// of entries removed.
+pub fn compact<E: Element>(site: &mut Site<E>, horizon: &Clock) -> usize {
+    let mut n = 0;
+    for entry in site.engine().log().iter() {
+        let settled = matches!(
+            site.flag_of(entry.id),
+            Some(Flag::Valid) | Some(Flag::Invalid)
+        );
+        if settled && horizon.contains(entry.id) {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    site.prune_log_prefix(n);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Message;
+    use dce_document::{Char, CharDocument, Op};
+    use dce_policy::Policy;
+
+    fn doc(s: &str) -> CharDocument {
+        CharDocument::from_str(s)
+    }
+
+    #[test]
+    fn horizon_is_pointwise_min() {
+        let mut a = Clock::new();
+        a.set(1, 3);
+        a.set(2, 2);
+        let mut b = Clock::new();
+        b.set(1, 1);
+        b.set(2, 5);
+        b.set(3, 1);
+        let h = stability_horizon([&a, &b]);
+        assert_eq!(h.get(1), 1);
+        assert_eq!(h.get(2), 2);
+        assert_eq!(h.get(3), 0);
+        assert_eq!(stability_horizon([]).total(), 0);
+    }
+
+    #[test]
+    fn compaction_keeps_sessions_working() {
+        let p = Policy::permissive([0, 1, 2]);
+        let mut adm: Site<Char> = Site::new_admin(0, doc("abc"), p.clone());
+        let mut s1: Site<Char> = Site::new_user(1, 0, doc("abc"), p.clone());
+        let mut s2: Site<Char> = Site::new_user(2, 0, doc("abc"), p);
+
+        // s1 edits; everyone applies; admin validates; everyone applies the
+        // validations.
+        let mut validations = Vec::new();
+        let mut reqs = Vec::new();
+        for (pos, c) in [(1, 'x'), (2, 'y')] {
+            let q = s1.generate(Op::ins(pos, c)).unwrap();
+            adm.receive(Message::Coop(q.clone())).unwrap();
+            validations.extend(adm.drain_outbox());
+            reqs.push(q);
+        }
+        for q in &reqs {
+            s2.receive(Message::Coop(q.clone())).unwrap();
+        }
+        for m in validations {
+            s1.receive(m.clone()).unwrap();
+            s2.receive(m).unwrap();
+        }
+
+        // Everyone has everything: the horizon covers both requests.
+        let clocks = [
+            adm.engine().clock().clone(),
+            s1.engine().clock().clone(),
+            s2.engine().clock().clone(),
+        ];
+        let horizon = stability_horizon(clocks.iter());
+        assert_eq!(horizon.get(1), 2);
+
+        assert_eq!(compact(&mut s1, &horizon), 2);
+        assert_eq!(s1.engine().log().len(), 0);
+        assert_eq!(s1.engine().pruned_count(), 2);
+        assert_eq!(compact(&mut s2, &horizon), 2);
+
+        // The session continues to work after compaction: concurrent edits
+        // still converge.
+        let q1 = s1.generate(Op::ins(1, 'a')).unwrap();
+        let q2 = s2.generate(Op::del(1, 'x')).unwrap();
+        s1.receive(Message::Coop(q2.clone())).unwrap();
+        s2.receive(Message::Coop(q1.clone())).unwrap();
+        adm.receive(Message::Coop(q1)).unwrap();
+        adm.receive(Message::Coop(q2)).unwrap();
+        assert_eq!(s1.document(), s2.document());
+        assert_eq!(adm.document(), s1.document());
+    }
+
+    #[test]
+    fn tentative_entries_block_compaction() {
+        let p = Policy::permissive([0, 1]);
+        let mut s1: Site<Char> = Site::new_user(1, 0, doc("abc"), p);
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        // Even a fully acknowledged clock cannot compact a tentative entry.
+        let mut horizon = Clock::new();
+        horizon.set(1, q.ot.id.seq);
+        assert_eq!(compact(&mut s1, &horizon), 0);
+        assert_eq!(s1.engine().log().len(), 1);
+    }
+}

@@ -1,0 +1,963 @@
+//! The per-participant site: Algorithms 1–4 of the paper.
+
+use crate::error::CoreError;
+use crate::request::{AdminProposal, CoopRequest, Flag, Message};
+use dce_document::{Document, Element, Op};
+use dce_ot::engine::{Engine, Integration};
+use dce_ot::ids::Clock;
+use dce_ot::RequestId;
+use dce_policy::{
+    Action, AdminLog, AdminOp, AdminRequest, Policy, PolicyVersion, UserId,
+};
+use std::collections::HashMap;
+
+/// One collaborating site: a user (or the administrator), their document
+/// replica with its OT log `H`, their policy copy with its administrative
+/// log `L`, the reception queues `F` (cooperative) and `Q` (administrative)
+/// of Algorithm 1, and the per-request flags.
+#[derive(Debug, Clone)]
+pub struct Site<E> {
+    user: UserId,
+    admin_id: UserId,
+    engine: Engine<E>,
+    policy: Policy,
+    admin_log: AdminLog,
+    flags: HashMap<RequestId, Flag>,
+    /// Reception queue `F` for cooperative requests.
+    coop_queue: Vec<CoopRequest<E>>,
+    /// Reception queue `Q` for administrative requests.
+    admin_queue: Vec<AdminRequest>,
+    /// Messages this site produced while *receiving* (the administrator's
+    /// validation requests). The driver must broadcast these.
+    outbox: Vec<Message<E>>,
+    /// Requests denied by `Check_Remote`, for inspection and experiments.
+    denials: Vec<RequestId>,
+    /// Requests retroactively undone by policy enforcement.
+    undone: Vec<RequestId>,
+    /// Delegated proposals the administrator refused (proposer lacked a
+    /// delegation, or the operation failed against the policy).
+    rejected_proposals: Vec<AdminProposal>,
+    /// Last heartbeat clock received per peer (GC stability tracking).
+    peer_clocks: std::collections::HashMap<UserId, Clock>,
+}
+
+impl<E: Element> Site<E> {
+    /// Creates the administrator site (site id = user id).
+    pub fn new_admin(user: UserId, d0: Document<E>, policy: Policy) -> Self {
+        Self::build(user, user, d0, policy)
+    }
+
+    /// Creates a regular user site that recognises `admin_id` as the group
+    /// administrator.
+    pub fn new_user(user: UserId, admin_id: UserId, d0: Document<E>, policy: Policy) -> Self {
+        Self::build(user, admin_id, d0, policy)
+    }
+
+    fn build(user: UserId, admin_id: UserId, d0: Document<E>, policy: Policy) -> Self {
+        Site {
+            user,
+            admin_id,
+            engine: Engine::new(user, d0),
+            policy,
+            admin_log: AdminLog::new(),
+            flags: HashMap::new(),
+            coop_queue: Vec::new(),
+            admin_queue: Vec::new(),
+            outbox: Vec::new(),
+            denials: Vec::new(),
+            undone: Vec::new(),
+            rejected_proposals: Vec::new(),
+            peer_clocks: std::collections::HashMap::new(),
+        }
+    }
+
+    /// This site's user identity.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// `true` for the administrator site.
+    pub fn is_admin(&self) -> bool {
+        self.user == self.admin_id
+    }
+
+    /// The current visible document.
+    pub fn document(&self) -> Document<E> {
+        self.engine.document()
+    }
+
+    /// The local policy copy.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Current policy version of this copy.
+    pub fn version(&self) -> PolicyVersion {
+        self.policy.version()
+    }
+
+    /// The administrative log `L`.
+    pub fn admin_log(&self) -> &AdminLog {
+        &self.admin_log
+    }
+
+    /// The OT engine (document log `H`, clocks, buffer).
+    pub fn engine(&self) -> &Engine<E> {
+        &self.engine
+    }
+
+    /// Flag of a cooperative request, if known at this site.
+    pub fn flag_of(&self, id: RequestId) -> Option<Flag> {
+        self.flags.get(&id).copied()
+    }
+
+    /// Requests rejected by `Check_Remote` at this site.
+    pub fn denials(&self) -> &[RequestId] {
+        &self.denials
+    }
+
+    /// Requests retroactively undone at this site.
+    pub fn undone(&self) -> &[RequestId] {
+        &self.undone
+    }
+
+    /// Proposals this administrator refused (diagnostics).
+    pub fn rejected_proposals(&self) -> &[AdminProposal] {
+        &self.rejected_proposals
+    }
+
+    /// Number of queued (not yet causally ready) messages.
+    pub fn queued(&self) -> usize {
+        self.coop_queue.len() + self.admin_queue.len()
+    }
+
+    /// Captures the replicated state for transfer to a joining site:
+    /// `(buffer cells, log, clock, pruned-inert set, pruned count, policy,
+    /// admin log, flags)`. Queues, outbox and local diagnostics are
+    /// deliberately not part of a snapshot.
+    #[allow(clippy::type_complexity)]
+    pub fn snapshot_parts(
+        &self,
+    ) -> (
+        Vec<dce_ot::Cell<E>>,
+        dce_ot::Log<E>,
+        Clock,
+        std::collections::HashSet<RequestId>,
+        usize,
+        Policy,
+        AdminLog,
+        Vec<(RequestId, Flag)>,
+    ) {
+        (
+            self.engine.buffer().cells().to_vec(),
+            self.engine.log().clone(),
+            self.engine.clock().clone(),
+            self.engine.pruned_inert().clone(),
+            self.engine.pruned_count(),
+            self.policy.clone(),
+            self.admin_log.clone(),
+            self.flags.iter().map(|(k, v)| (*k, *v)).collect(),
+        )
+    }
+
+    /// Reconstructs a site for `user` from snapshot parts (the receiving
+    /// half of a state transfer).
+    #[allow(clippy::too_many_arguments, clippy::type_complexity)]
+    pub fn from_snapshot_parts(
+        user: UserId,
+        admin_id: UserId,
+        cells: Vec<dce_ot::Cell<E>>,
+        log: dce_ot::Log<E>,
+        clock: Clock,
+        pruned_inert: std::collections::HashSet<RequestId>,
+        pruned_count: usize,
+        policy: Policy,
+        admin_log: AdminLog,
+        flags: Vec<(RequestId, Flag)>,
+    ) -> Self {
+        Site {
+            user,
+            admin_id,
+            engine: Engine::from_parts(
+                user,
+                dce_ot::Buffer::from_cells(cells),
+                log,
+                clock,
+                pruned_inert,
+                pruned_count,
+            ),
+            policy,
+            admin_log,
+            flags: flags.into_iter().collect(),
+            coop_queue: Vec::new(),
+            admin_queue: Vec::new(),
+            outbox: Vec::new(),
+            denials: Vec::new(),
+            undone: Vec::new(),
+            rejected_proposals: Vec::new(),
+            peer_clocks: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Clones this site's replicated state (document, logs, policy, flags)
+    /// into a fresh site owned by `user` — how a joining participant
+    /// bootstraps from any existing replica (paper §3.3: "users may join
+    /// the group to participate…"). In-flight queues and outbox are *not*
+    /// inherited; the network will deliver the newcomer's own copies.
+    pub fn rejoin_as(&self, user: UserId) -> Self {
+        let mut engine = self.engine.clone();
+        engine.rebind_site(user);
+        Site {
+            user,
+            admin_id: self.admin_id,
+            engine,
+            policy: self.policy.clone(),
+            admin_log: self.admin_log.clone(),
+            flags: self.flags.clone(),
+            coop_queue: Vec::new(),
+            admin_queue: Vec::new(),
+            outbox: Vec::new(),
+            denials: Vec::new(),
+            undone: Vec::new(),
+            rejected_proposals: Vec::new(),
+            peer_clocks: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Drops the first `n` entries of the cooperative log (used by
+    /// [`crate::gc::compact`] once they are stable group-wide).
+    pub fn prune_log_prefix(&mut self, n: usize) {
+        self.engine.prune_prefix(n);
+    }
+
+    /// Takes the messages this site emitted while processing receptions
+    /// (the administrator's `Validate` requests). The caller must
+    /// broadcast them to the group.
+    pub fn drain_outbox(&mut self) -> Vec<Message<E>> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: local generation.
+    // ------------------------------------------------------------------
+
+    /// Generates a local cooperative operation: checks it against the
+    /// *local* policy copy (`Check_Local`), executes it, and returns the
+    /// request to broadcast. The administrator's own edits bypass the check
+    /// (§3.3: the administrator "can also modify directly the shared
+    /// documents") and are born `Valid`; everyone else's are `Tentative`.
+    pub fn generate(&mut self, op: Op<E>) -> Result<CoopRequest<E>, CoreError> {
+        if !self.is_admin() {
+            if let Some(action) = Action::for_op(&op) {
+                let decision = self.policy.check(self.user, &action);
+                if !decision.granted() {
+                    return Err(CoreError::AccessDenied { user: self.user, action, decision });
+                }
+            }
+        }
+        let ot = self.engine.generate(op)?;
+        let flag = if self.is_admin() { Flag::Valid } else { Flag::Tentative };
+        self.flags.insert(ot.id, flag);
+        Ok(CoopRequest { ot, v: self.policy.version() })
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative generation (administrator only).
+    // ------------------------------------------------------------------
+
+    /// Issues an administrative operation: applies it to the local policy
+    /// copy, bumps the version, records it in `L`, enforces it
+    /// retroactively, and returns the request to broadcast.
+    pub fn admin_generate(&mut self, op: AdminOp) -> Result<AdminRequest, CoreError> {
+        if !self.is_admin() {
+            return Err(CoreError::NotAdministrator { user: self.user });
+        }
+        op.apply_to(&mut self.policy)?;
+        let version = self.policy.bump_version();
+        let request = AdminRequest { admin: self.user, version, op };
+        self.admin_log.push(request.clone());
+        if request.is_restrictive() {
+            self.enforce_policy();
+        }
+        Ok(request)
+    }
+
+    /// Builds this site's heartbeat for the group (send periodically).
+    pub fn make_heartbeat(&self) -> Message<E> {
+        Message::Heartbeat { from: self.user, clock: self.engine.clock().clone() }
+    }
+
+    /// The heartbeat clocks received so far, per peer.
+    pub fn peer_clocks(&self) -> &std::collections::HashMap<UserId, Clock> {
+        &self.peer_clocks
+    }
+
+    /// Compacts the settled log prefix using the heartbeat-derived
+    /// stability horizon: an entry may be dropped only once every *other*
+    /// member of the subject set `S` has acknowledged it (and it is no
+    /// longer tentative). Members that have never sent a heartbeat hold
+    /// compaction back — safe by construction. Returns the number of log
+    /// entries reclaimed.
+    pub fn auto_compact(&mut self) -> usize {
+        let mut clocks: Vec<Clock> = vec![self.engine.clock().clone()];
+        for user in self.policy.users() {
+            if *user == self.user {
+                continue;
+            }
+            match self.peer_clocks.get(user) {
+                Some(c) => clocks.push(c.clone()),
+                // A member we have not heard from: nothing is stable.
+                None => return 0,
+            }
+        }
+        let horizon = crate::gc::stability_horizon(clocks.iter());
+        crate::gc::compact(self, &horizon)
+    }
+
+    /// Proposes an administrative operation as a *delegate*: checked
+    /// optimistically against the local policy's delegation set, then sent
+    /// to the administrator, who re-checks and sequences it. The local
+    /// check keeps obviously unauthorized proposals off the network; the
+    /// administrator's check is authoritative.
+    pub fn propose_admin(&self, op: AdminOp) -> Result<AdminProposal, CoreError> {
+        if self.is_admin() {
+            return Err(CoreError::Protocol(
+                "the administrator issues operations directly".into(),
+            ));
+        }
+        if !self.policy.is_delegate(self.user) {
+            return Err(CoreError::NotAdministrator { user: self.user });
+        }
+        if !op.delegable() {
+            return Err(CoreError::Protocol(format!(
+                "operation {op} cannot be delegated"
+            )));
+        }
+        Ok(AdminProposal { from: self.user, op })
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 1: reception.
+    // ------------------------------------------------------------------
+
+    /// Receives a message from the network: enqueues it and processes every
+    /// request that became causally ready (Algorithms 3 and 4).
+    pub fn receive(&mut self, msg: Message<E>) -> Result<(), CoreError> {
+        match msg {
+            Message::Coop(q) => {
+                if !self.engine.has_seen(q.ot.id) {
+                    self.coop_queue.push(q);
+                }
+            }
+            Message::Admin(r) => {
+                if r.version > self.policy.version() {
+                    self.admin_queue.push(r);
+                }
+            }
+            Message::Heartbeat { from, clock } => {
+                // Keep the pointwise maximum per peer (heartbeats may be
+                // reordered in flight).
+                let entry = self.peer_clocks.entry(from).or_default();
+                let mut merged = Clock::new();
+                for (site, n) in entry.iter() {
+                    merged.set(site, n.max(clock.get(site)));
+                }
+                for (site, n) in clock.iter() {
+                    merged.set(site, n.max(merged.get(site)));
+                }
+                *entry = merged;
+            }
+            Message::Proposal(p) => {
+                // Only the administrator acts on proposals.
+                if self.is_admin() {
+                    if self.policy.is_delegate(p.from) && p.op.delegable() {
+                        match self.admin_generate(p.op.clone()) {
+                            Ok(r) => self.outbox.push(Message::Admin(r)),
+                            Err(_) => self.rejected_proposals.push(p),
+                        }
+                    } else {
+                        self.rejected_proposals.push(p);
+                    }
+                }
+            }
+        }
+        self.drain()
+    }
+
+    /// Fixpoint over the two queues: keep processing ready requests until
+    /// nothing changes.
+    fn drain(&mut self) -> Result<(), CoreError> {
+        loop {
+            let mut progressed = false;
+
+            // Queue hygiene: duplicates whose original has been processed
+            // (the network may replay messages) would otherwise sit in the
+            // queues forever.
+            let before = self.coop_queue.len() + self.admin_queue.len();
+            let engine = &self.engine;
+            self.coop_queue.retain(|q| !engine.has_seen(q.ot.id));
+            let version = self.policy.version();
+            self.admin_queue.retain(|r| r.version > version);
+            if self.coop_queue.len() + self.admin_queue.len() != before {
+                progressed = true;
+            }
+
+            // Administrative requests first: version order is total, so at
+            // most one is ready at a time.
+            if let Some(idx) = self.admin_queue.iter().position(|r| self.admin_ready(r)) {
+                let r = self.admin_queue.remove(idx);
+                self.process_admin(r)?;
+                progressed = true;
+            }
+
+            if let Some(idx) = self.coop_queue.iter().position(|q| self.coop_ready(q)) {
+                let q = self.coop_queue.remove(idx);
+                self.process_coop(q)?;
+                progressed = true;
+            }
+
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Causal readiness of a cooperative request (Algorithm 3): its OT
+    /// context is satisfied *and* the policy copy has reached the version
+    /// it was checked under (`q.v ≤ version`).
+    fn coop_ready(&self, q: &CoopRequest<E>) -> bool {
+        q.v <= self.policy.version() && self.engine.is_ready(&q.ot)
+    }
+
+    /// Causal readiness of an administrative request (Algorithm 4): the
+    /// next version in the total order (`r.v = version + 1`), and a
+    /// validation must not overtake the request it validates.
+    fn admin_ready(&self, r: &AdminRequest) -> bool {
+        if r.version != self.policy.version() + 1 {
+            return false;
+        }
+        match &r.op {
+            AdminOp::Validate { site, seq } => {
+                self.engine.has_seen(RequestId::new(*site, *seq))
+            }
+            _ => true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 3: reception of a cooperative request.
+    // ------------------------------------------------------------------
+
+    fn process_coop(&mut self, q: CoopRequest<E>) -> Result<(), CoreError> {
+        let id = q.ot.id;
+        let action = Action::for_op(&q.ot.top.op);
+
+        // Check_Remote: the request was granted at its origin under policy
+        // version q.v; it stays granted unless a concurrent restrictive
+        // administrative request revokes the access it relied on.
+        let denied = match &action {
+            Some(action) => self
+                .admin_log
+                .check_remote(q.user(), action, q.v, &self.policy)
+                .is_some(),
+            None => false,
+        };
+
+        if denied {
+            self.engine
+                .integrate_inert(&q.ot)
+                .map_err(|e| CoreError::Protocol(e.to_string()))?;
+            self.flags.insert(id, Flag::Invalid);
+            self.denials.push(id);
+            return Ok(());
+        }
+
+        let outcome = self
+            .engine
+            .integrate(&q.ot)
+            .map_err(|e| CoreError::Protocol(e.to_string()))?;
+
+        match outcome {
+            Integration::Inert => {
+                // An ancestor of the request is inert here: the element it
+                // operates on does not exist, so the request is stored
+                // invalid.
+                self.flags.insert(id, Flag::Invalid);
+            }
+            Integration::Executed(_) => {
+                if q.user() == self.admin_id {
+                    // The administrator's own edits are valid everywhere.
+                    self.flags.insert(id, Flag::Valid);
+                } else if self.is_admin() {
+                    // Algorithm 3, administrator side: validate the request
+                    // and broadcast the validation.
+                    self.flags.insert(id, Flag::Valid);
+                    let validation = self.admin_generate(AdminOp::Validate {
+                        site: id.site,
+                        seq: id.seq,
+                    })?;
+                    self.outbox.push(Message::Admin(validation));
+                } else {
+                    self.flags.insert(id, Flag::Tentative);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 4: reception of an administrative request.
+    // ------------------------------------------------------------------
+
+    fn process_admin(&mut self, r: AdminRequest) -> Result<(), CoreError> {
+        match &r.op {
+            AdminOp::Validate { site, seq } => {
+                let target = RequestId::new(*site, *seq);
+                // The admissibility rule guarantees the target is here.
+                // Only tentative requests get promoted: a request this site
+                // stored invalid stays invalid (the validation was issued
+                // before the restriction that killed it — impossible by
+                // version ordering — or the target depends on an element
+                // that never existed here).
+                if self.flag_of(target) == Some(Flag::Tentative) {
+                    self.flags.insert(target, Flag::Valid);
+                }
+                self.policy.bump_version();
+                self.admin_log.push(r);
+            }
+            _ => {
+                r.op.apply_to(&mut self.policy)?;
+                self.policy.bump_version();
+                debug_assert_eq!(self.policy.version(), r.version);
+                let restrictive = r.is_restrictive();
+                self.admin_log.push(r);
+                if restrictive {
+                    self.enforce_policy();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Retroactive enforcement (§4.2, first scenario): every *tentative*
+    /// request the new policy no longer grants is undone — together with
+    /// the requests that semantically depend on it, whose target element
+    /// disappears with it.
+    fn enforce_policy(&mut self) {
+        let victims: Vec<RequestId> = self
+            .engine
+            .log()
+            .iter()
+            .filter(|e| !e.inert)
+            .filter(|e| self.flag_of(e.id) == Some(Flag::Tentative))
+            .filter(|e| {
+                match Action::for_op(&e.base) {
+                    Some(action) => !self.policy.check(e.id.site, &action).granted(),
+                    None => false,
+                }
+            })
+            .map(|e| e.id)
+            .collect();
+
+        for victim in victims {
+            // A victim may already have been undone as a dependent of an
+            // earlier one.
+            if self.engine.log().get(victim).map(|e| e.inert).unwrap_or(true) {
+                continue;
+            }
+            let cascade = self
+                .engine
+                .undo(victim)
+                .expect("tentative live request is undoable");
+            for id in cascade {
+                self.flags.insert(id, Flag::Invalid);
+                self.undone.push(id);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_document::{Char, CharDocument};
+    use dce_policy::{Authorization, DocObject, Right, Sign, Subject};
+
+    #[test]
+    fn delegation_lifecycle() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        // Without a delegation, proposing fails locally.
+        assert!(matches!(
+            s1.propose_admin(AdminOp::AddUser(9)),
+            Err(CoreError::NotAdministrator { user: 1 })
+        ));
+        // The admin delegates to s1.
+        let d = adm.admin_generate(AdminOp::Delegate(1)).unwrap();
+        s1.receive(Message::Admin(d.clone())).unwrap();
+        s2.receive(Message::Admin(d)).unwrap();
+        assert!(s1.policy().is_delegate(1));
+
+        // s1 proposes adding a user; the admin sequences it.
+        let p = s1.propose_admin(AdminOp::AddUser(9)).unwrap();
+        adm.receive(Message::Proposal(p)).unwrap();
+        let out = adm.drain_outbox();
+        assert_eq!(out.len(), 1);
+        assert!(adm.policy().has_user(9));
+        for m in out {
+            s1.receive(m.clone()).unwrap();
+            s2.receive(m).unwrap();
+        }
+        assert!(s1.policy().has_user(9));
+        assert!(s2.policy().has_user(9));
+
+        // Delegations themselves cannot be delegated.
+        assert!(matches!(
+            s1.propose_admin(AdminOp::Delegate(2)),
+            Err(CoreError::Protocol(_))
+        ));
+
+        // Revocation of the delegation propagates; stale proposals are
+        // refused at the administrator.
+        let stale = s1.propose_admin(AdminOp::AddUser(10)).unwrap();
+        let r = adm.admin_generate(AdminOp::RevokeDelegation(1)).unwrap();
+        adm.receive(Message::Proposal(stale.clone())).unwrap();
+        assert!(adm.drain_outbox().is_empty());
+        assert_eq!(adm.rejected_proposals(), &[stale]);
+        s1.receive(Message::Admin(r)).unwrap();
+        assert!(matches!(
+            s1.propose_admin(AdminOp::AddUser(11)),
+            Err(CoreError::NotAdministrator { .. })
+        ));
+    }
+
+    #[test]
+    fn proposals_are_ignored_by_non_admin_sites() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let d = adm.admin_generate(AdminOp::Delegate(1)).unwrap();
+        s1.receive(Message::Admin(d)).unwrap();
+        let p = s1.propose_admin(AdminOp::AddUser(9)).unwrap();
+        s2.receive(Message::Proposal(p)).unwrap();
+        assert!(s2.drain_outbox().is_empty());
+        assert!(!s2.policy().has_user(9));
+    }
+
+    #[test]
+    fn duplicate_messages_do_not_linger_in_queues() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        // Two copies delivered back to back: the second must not stay
+        // queued once the first is processed.
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s2.queued(), 0);
+        // Same for a duplicate queued *before* its original is ready:
+        // deliver a dependent request twice, then the dependency.
+        let q2 = s1.generate(Op::up(1, 'x', 'z')).unwrap();
+        let mut s3 = adm.rejoin_as(3);
+        s3.receive(Message::Coop(q2.clone())).unwrap();
+        s3.receive(Message::Coop(q2.clone())).unwrap();
+        assert_eq!(s3.queued(), 2, "both copies wait for the dependency");
+        s3.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s3.queued(), 0, "original processed, duplicate dropped");
+        assert_eq!(s3.document().to_string(), "zabc");
+        // Administrative duplicates too.
+        let r = adm.admin_generate(AdminOp::AddUser(9)).unwrap();
+        s2.receive(Message::Admin(r.clone())).unwrap();
+        s2.receive(Message::Admin(r)).unwrap();
+        assert_eq!(s2.queued(), 0);
+    }
+
+    #[test]
+    fn heartbeats_drive_auto_compaction() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        s2.receive(Message::Coop(q)).unwrap();
+        for m in adm.drain_outbox() {
+            s1.receive(m.clone()).unwrap();
+            s2.receive(m).unwrap();
+        }
+        // Before hearing from everyone, nothing compacts.
+        assert_eq!(s1.auto_compact(), 0);
+        let hb_adm = adm.make_heartbeat();
+        let hb_s2 = s2.make_heartbeat();
+        s1.receive(hb_adm).unwrap();
+        assert_eq!(s1.auto_compact(), 0, "still missing s2's heartbeat");
+        s1.receive(hb_s2).unwrap();
+        assert_eq!(s1.auto_compact(), 1);
+        assert_eq!(s1.engine().log().len(), 0);
+        // Stale duplicate heartbeats are merged, not regressed.
+        let hb_old = Message::Heartbeat { from: 0, clock: Clock::new() };
+        s1.receive(hb_old).unwrap();
+        assert_eq!(s1.peer_clocks()[&0].get(1), 1);
+    }
+
+    #[test]
+    fn set_group_via_admin_request() {
+        let (mut adm, mut s1, _) = group("abc");
+        let r = adm
+            .admin_generate(AdminOp::SetGroup {
+                name: "editors".into(),
+                members: [1, 2].into_iter().collect(),
+            })
+            .unwrap();
+        s1.receive(Message::Admin(r)).unwrap();
+        assert_eq!(s1.policy().groups()["editors"].len(), 2);
+    }
+
+    type S = Site<Char>;
+
+    fn doc(s: &str) -> CharDocument {
+        CharDocument::from_str(s)
+    }
+
+    fn group(initial: &str) -> (S, S, S) {
+        let p = Policy::permissive([0, 1, 2]);
+        (
+            Site::new_admin(0, doc(initial), p.clone()),
+            Site::new_user(1, 0, doc(initial), p.clone()),
+            Site::new_user(2, 0, doc(initial), p),
+        )
+    }
+
+    fn revoke(right: Right, user: UserId) -> AdminOp {
+        AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(user),
+                DocObject::Document,
+                [right],
+                Sign::Minus,
+            ),
+        }
+    }
+
+    #[test]
+    fn local_generation_checks_policy() {
+        let (_, mut s1, _) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Tentative));
+        assert_eq!(q.v, 0);
+        assert_eq!(s1.document().to_string(), "xabc");
+    }
+
+    #[test]
+    fn local_generation_denied_without_right() {
+        let mut p = Policy::new();
+        p.add_user(1);
+        let mut s1: S = Site::new_user(1, 0, doc("abc"), p);
+        let err = s1.generate(Op::ins(1, 'x')).unwrap_err();
+        assert!(matches!(err, CoreError::AccessDenied { user: 1, .. }));
+        assert_eq!(s1.document().to_string(), "abc");
+    }
+
+    #[test]
+    fn admin_edits_bypass_check_and_are_valid() {
+        let mut p = Policy::new();
+        p.add_user(0);
+        let mut adm: S = Site::new_admin(0, doc("abc"), p);
+        let q = adm.generate(Op::ins(1, 'x')).unwrap();
+        assert_eq!(adm.flag_of(q.ot.id), Some(Flag::Valid));
+    }
+
+    #[test]
+    fn admin_validates_received_requests() {
+        let (mut adm, mut s1, _) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(adm.flag_of(q.ot.id), Some(Flag::Valid));
+        let out = adm.drain_outbox();
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            Message::Admin(r) => {
+                assert!(matches!(r.op, AdminOp::Validate { site: 1, seq: 1 }));
+                assert_eq!(r.version, 1);
+            }
+            _ => panic!("expected validation"),
+        }
+        assert_eq!(adm.version(), 1);
+    }
+
+    #[test]
+    fn validation_promotes_tentative_to_valid() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        let validation = adm.drain_outbox();
+
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Tentative));
+        for m in validation.clone() {
+            s2.receive(m).unwrap();
+        }
+        assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Valid));
+
+        // The issuer learns validity too.
+        for m in validation {
+            s1.receive(m).unwrap();
+        }
+        assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Valid));
+    }
+
+    #[test]
+    fn validation_waits_for_its_target() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        let validation = adm.drain_outbox();
+
+        // Validation arrives before the request: it must wait in Q.
+        for m in validation {
+            s2.receive(m).unwrap();
+        }
+        assert_eq!(s2.version(), 0);
+        assert_eq!(s2.queued(), 1);
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s2.version(), 1);
+        assert_eq!(s2.queued(), 0);
+        assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Valid));
+    }
+
+    #[test]
+    fn fig2_concurrent_revocation_undoes_tentative_insert() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+
+        // adm revokes s1's insertion right; concurrently s1 inserts.
+        let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        assert_eq!(s1.document().to_string(), "xabc");
+
+        // At adm, the insert arrives after the revocation: Check_Remote
+        // rejects it (Fig. 2's "Ignored").
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(adm.document().to_string(), "abc");
+        assert_eq!(adm.flag_of(q.ot.id), Some(Flag::Invalid));
+        assert!(adm.drain_outbox().is_empty(), "rejected requests are not validated");
+
+        // s2 receives the insert first (accepted), then the revocation:
+        // retroactive undo restores "abc".
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s2.document().to_string(), "xabc");
+        s2.receive(Message::Admin(r.clone())).unwrap();
+        assert_eq!(s2.document().to_string(), "abc");
+        assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Invalid));
+        assert_eq!(s2.undone(), &[q.ot.id]);
+
+        // s1 receives its own revocation: undoes its tentative insert.
+        s1.receive(Message::Admin(r)).unwrap();
+        assert_eq!(s1.document().to_string(), "abc");
+
+        // All three sites converge.
+        assert_eq!(adm.document(), s1.document());
+        assert_eq!(s1.document(), s2.document());
+    }
+
+    #[test]
+    fn revocation_does_not_undo_validated_requests() {
+        let (mut adm, mut s1, _) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        let validation = adm.drain_outbox();
+        for m in validation {
+            s1.receive(m).unwrap();
+        }
+        // Now revoke: the validated insert must survive.
+        let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+        s1.receive(Message::Admin(r)).unwrap();
+        assert_eq!(s1.document().to_string(), "xabc");
+        assert_eq!(adm.document().to_string(), "xabc");
+        // But new inserts are now denied locally.
+        assert!(s1.generate(Op::ins(1, 'y')).is_err());
+    }
+
+    #[test]
+    fn coop_request_waits_for_policy_version() {
+        let (mut adm, _, mut s2) = group("abc");
+        // adm makes two administrative changes, then edits.
+        let r1 = adm.admin_generate(AdminOp::AddUser(9)).unwrap();
+        let q = adm.generate(Op::ins(1, 'z')).unwrap();
+        assert_eq!(q.v, 1);
+        // s2 receives the edit first: its v (=1) is ahead of s2's policy
+        // version (0), so it must wait.
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s2.document().to_string(), "abc");
+        assert_eq!(s2.queued(), 1);
+        s2.receive(Message::Admin(r1)).unwrap();
+        assert_eq!(s2.document().to_string(), "zabc");
+        assert_eq!(s2.queued(), 0);
+    }
+
+    #[test]
+    fn non_admin_cannot_administrate() {
+        let (_, mut s1, _) = group("abc");
+        assert!(matches!(
+            s1.admin_generate(AdminOp::AddUser(9)),
+            Err(CoreError::NotAdministrator { user: 1 })
+        ));
+    }
+
+    #[test]
+    fn admin_requests_apply_in_version_order() {
+        let (mut adm, mut s1, _) = group("abc");
+        let r1 = adm.admin_generate(AdminOp::AddUser(8)).unwrap();
+        let r2 = adm.admin_generate(AdminOp::AddUser(9)).unwrap();
+        // Deliver out of order: r2 waits for r1.
+        s1.receive(Message::Admin(r2)).unwrap();
+        assert_eq!(s1.version(), 0);
+        s1.receive(Message::Admin(r1)).unwrap();
+        assert_eq!(s1.version(), 2);
+        assert!(s1.policy().has_user(8));
+        assert!(s1.policy().has_user(9));
+    }
+
+    #[test]
+    fn undo_cascades_mark_dependents_invalid() {
+        let (mut adm, mut s1, _) = group("abc");
+        let q_ins = s1.generate(Op::ins(1, 'x')).unwrap();
+        let q_up = s1.generate(Op::up(1, 'x', 'z')).unwrap();
+        assert_eq!(s1.document().to_string(), "zabc");
+        // Revoke insertion: the tentative insert is undone, dragging the
+        // (also tentative) update with it.
+        let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+        s1.receive(Message::Admin(r)).unwrap();
+        assert_eq!(s1.document().to_string(), "abc");
+        assert_eq!(s1.flag_of(q_ins.ot.id), Some(Flag::Invalid));
+        assert_eq!(s1.flag_of(q_up.ot.id), Some(Flag::Invalid));
+    }
+
+    #[test]
+    fn duplicate_coop_message_is_ignored() {
+        let (mut adm, mut s1, _) = group("abc");
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        adm.drain_outbox();
+        adm.receive(Message::Coop(q)).unwrap();
+        assert_eq!(adm.document().to_string(), "xabc");
+        assert!(adm.drain_outbox().is_empty());
+    }
+
+    #[test]
+    fn stale_admin_message_is_ignored() {
+        let (mut adm, mut s1, _) = group("abc");
+        let r = adm.admin_generate(AdminOp::AddUser(9)).unwrap();
+        s1.receive(Message::Admin(r.clone())).unwrap();
+        assert_eq!(s1.version(), 1);
+        s1.receive(Message::Admin(r)).unwrap();
+        assert_eq!(s1.version(), 1);
+        assert_eq!(s1.queued(), 0);
+    }
+
+    #[test]
+    fn invalid_request_stays_invalid_after_validation_of_others() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let r = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
+        // s2 deletes concurrently with the revocation.
+        let q = s2.generate(Op::del(1, 'a')).unwrap();
+        // s1 applies the revocation first, then receives the delete.
+        s1.receive(Message::Admin(r)).unwrap();
+        s1.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Invalid));
+        assert_eq!(s1.document().to_string(), "abc");
+        assert_eq!(s1.denials(), &[q.ot.id]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Randomized end-to-end tests of the access-control layer.
+//!
+//! Scenarios mix cooperative edits with concurrent administrative
+//! grant/revoke churn, deliver everything in random orders, and assert the
+//! paper's two target properties after quiescence:
+//!
+//! 1. **Convergence** — every site ends with the same document and the
+//!    same per-request flags;
+//! 2. **Security** — the surviving effects are exactly the requests that
+//!    ended `Valid`: no request flagged `Invalid` anywhere has a live
+//!    effect anywhere, and no `Valid` request was lost.
+
+use dce_core::{CoopRequest, Flag, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+const ADMIN: u32 = 0;
+
+fn make_sites(n_users: u32, initial: &str) -> Vec<Site<Char>> {
+    let users: Vec<u32> = (0..=n_users).collect();
+    let policy = Policy::permissive(users.clone());
+    let d0 = CharDocument::from_str(initial);
+    users
+        .iter()
+        .map(|&u| {
+            if u == ADMIN {
+                Site::new_admin(u, d0.clone(), policy.clone())
+            } else {
+                Site::new_user(u, ADMIN, d0.clone(), policy.clone())
+            }
+        })
+        .collect()
+}
+
+fn random_coop(site: &mut Site<Char>, rng: &mut StdRng, next_char: &mut u32) -> Option<CoopRequest<Char>> {
+    let len = site.document().len();
+    let choice = rng.gen_range(0..100);
+    let op = if len == 0 || choice < 50 {
+        let pos = rng.gen_range(1..=len + 1);
+        let c = char::from_u32('a' as u32 + (*next_char % 26)).unwrap();
+        *next_char += 1;
+        Op::ins(pos, c)
+    } else if choice < 80 {
+        let pos = rng.gen_range(1..=len);
+        let elem = *site.document().get(pos).unwrap();
+        Op::Del { pos, elem }
+    } else {
+        let pos = rng.gen_range(1..=len);
+        let old = *site.document().get(pos).unwrap();
+        let c = char::from_u32('A' as u32 + (*next_char % 26)).unwrap();
+        *next_char += 1;
+        Op::up(pos, old, c)
+    };
+    site.generate(op).ok()
+}
+
+fn random_admin(rng: &mut StdRng, n_users: u32) -> AdminOp {
+    let user = rng.gen_range(1..=n_users);
+    let right = [Right::Insert, Right::Delete, Right::Update][rng.gen_range(0..3)];
+    let sign = if rng.gen_bool(0.5) { Sign::Minus } else { Sign::Plus };
+    AdminOp::AddAuth {
+        pos: 0,
+        auth: Authorization::new(Subject::User(user), DocObject::Document, [right], sign),
+    }
+}
+
+/// Runs one randomized session and checks the invariants.
+fn run_session(seed: u64, n_users: u32, rounds: usize, initial: &str) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sites = make_sites(n_users, initial);
+    let mut next_char = 0;
+
+    // Per-destination pending message queues (random delivery order).
+    let n = sites.len();
+    let mut pending: Vec<Vec<Message<Char>>> = vec![Vec::new(); n];
+
+    let broadcast = |msg: Message<Char>, from: usize, pending: &mut Vec<Vec<Message<Char>>>| {
+        for (i, q) in pending.iter_mut().enumerate() {
+            if i != from {
+                q.push(msg.clone());
+            }
+        }
+    };
+
+    #[allow(clippy::needless_range_loop)] // indices shared between queues and sites
+    for _ in 0..rounds {
+        // Each site (possibly) generates a cooperative op; the admin
+        // (possibly) issues an administrative op.
+        for i in 0..n {
+            if rng.gen_bool(0.7) {
+                if let Some(q) = random_coop(&mut sites[i], &mut rng, &mut next_char) {
+                    broadcast(Message::Coop(q), i, &mut pending);
+                }
+            }
+        }
+        if rng.gen_bool(0.6) {
+            let op = random_admin(&mut rng, n_users);
+            if let Ok(r) = sites[0].admin_generate(op) {
+                broadcast(Message::Admin(r), 0, &mut pending);
+            }
+        }
+
+        // Randomly deliver a few messages per site.
+        for i in 0..n {
+            pending[i].shuffle(&mut rng);
+            let k = rng.gen_range(0..=pending[i].len());
+            for msg in pending[i].drain(..k).collect::<Vec<_>>() {
+                sites[i].receive(msg).unwrap();
+                for out in sites[i].drain_outbox() {
+                    broadcast(out, i, &mut pending);
+                }
+            }
+        }
+    }
+
+    // Quiescence: flush every queue until empty (retrying non-ready ones).
+    let mut remaining = 4 * n * rounds + 16;
+    loop {
+        let mut moved = false;
+        for i in 0..n {
+            pending[i].shuffle(&mut rng);
+            for msg in pending[i].drain(..).collect::<Vec<_>>() {
+                sites[i].receive(msg).unwrap();
+                moved = true;
+                for out in sites[i].drain_outbox() {
+                    broadcast(out, i, &mut pending);
+                }
+            }
+        }
+        if !moved && pending.iter().all(|q| q.is_empty()) {
+            break;
+        }
+        remaining -= 1;
+        assert!(remaining > 0, "session did not quiesce (seed {seed})");
+    }
+    for site in &sites {
+        assert_eq!(site.queued(), 0, "stuck queue at s{} (seed {seed})", site.user());
+    }
+
+    // 1. Convergence.
+    let reference = sites[0].document().to_string();
+    for site in &sites {
+        assert_eq!(
+            site.document().to_string(),
+            reference,
+            "document divergence at s{} (seed {seed})",
+            site.user()
+        );
+        assert_eq!(site.version(), sites[0].version(), "policy version divergence");
+        assert_eq!(site.policy(), sites[0].policy(), "policy divergence");
+    }
+
+    // 2. Flag agreement and security: a request inert at one site must be
+    // inert at all sites, and its flag must be Invalid; live requests must
+    // not be Invalid anywhere.
+    for entry in sites[0].engine().log().iter() {
+        let id = entry.id;
+        let inert0 = entry.inert;
+        for site in &sites[1..] {
+            let e = site
+                .engine()
+                .log()
+                .get(id)
+                .unwrap_or_else(|| panic!("request {id} missing at s{} (seed {seed})", site.user()));
+            assert_eq!(
+                e.inert, inert0,
+                "inertness divergence for {id} at s{} (seed {seed})",
+                site.user()
+            );
+        }
+        let flags: Vec<Option<Flag>> = sites.iter().map(|s| s.flag_of(id)).collect();
+        if inert0 {
+            for (s, f) in sites.iter().zip(&flags) {
+                assert_eq!(
+                    *f,
+                    Some(Flag::Invalid),
+                    "inert request {id} not flagged invalid at s{} (seed {seed})",
+                    s.user()
+                );
+            }
+        } else {
+            // A live (effective) request must never be flagged invalid, and
+            // after quiescence the administrator has validated everything.
+            for (s, f) in sites.iter().zip(&flags) {
+                assert_ne!(
+                    *f,
+                    Some(Flag::Invalid),
+                    "live request {id} flagged invalid at s{} (seed {seed})",
+                    s.user()
+                );
+            }
+            assert_eq!(
+                sites[0].flag_of(id),
+                Some(Flag::Valid),
+                "live request {id} not validated by the admin (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sessions_with_light_churn() {
+    for seed in 0..60 {
+        run_session(seed, 2, 4, "abcdef");
+    }
+}
+
+#[test]
+fn sessions_with_more_users() {
+    for seed in 100..140 {
+        run_session(seed, 4, 4, "collaborative");
+    }
+}
+
+#[test]
+fn sessions_from_empty_document() {
+    for seed in 200..240 {
+        run_session(seed, 3, 5, "");
+    }
+}
+
+#[test]
+fn single_user_with_admin_churn() {
+    for seed in 300..340 {
+        run_session(seed, 1, 6, "xy");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn proptest_sessions(seed in any::<u64>(), users in 1u32..5, rounds in 1usize..6) {
+        run_session(seed, users, rounds, "abc");
+    }
+}
+
+/// Regression: an admin validation plus a later restrictive request must
+/// arrive as a unit — the restrictive one cannot jump the queue (Fig. 4).
+#[test]
+fn fig4_restrictive_request_waits_for_validation() {
+    let mut sites = make_sites(2, "abc");
+    let q = sites[1].generate(Op::ins(1, 'x')).unwrap();
+    sites[0].receive(Message::Coop(q.clone())).unwrap();
+    let validation = sites[0].drain_outbox();
+    let revoke = sites[0]
+        .admin_generate(AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(1),
+                DocObject::Document,
+                [Right::Insert],
+                Sign::Minus,
+            ),
+        })
+        .unwrap();
+
+    // s2 receives the revocation first: it must wait (version 2 > 0 + 1
+    // requires the validation, and the validation requires the insert).
+    let s2 = &mut sites[2];
+    s2.receive(Message::Admin(revoke)).unwrap();
+    assert_eq!(s2.version(), 0);
+    for m in validation {
+        s2.receive(m).unwrap();
+    }
+    assert_eq!(s2.version(), 0, "validation must wait for its target");
+    s2.receive(Message::Coop(q.clone())).unwrap();
+    // Everything unblocks in order: insert applied, validated, then the
+    // revocation — which must NOT undo the now-valid insert.
+    assert_eq!(s2.version(), 2);
+    assert_eq!(s2.document().to_string(), "xabc");
+    assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Valid));
+}
+
+/// Regression for the paper's Fig. 3: the administrative log is what makes
+/// re-granting safe — a request rejected under a concurrent revocation
+/// stays rejected even if the right is granted again afterwards.
+#[test]
+fn fig3_regrant_does_not_resurrect_rejected_request() {
+    let mut sites = make_sites(2, "abc");
+
+    // adm revokes s2's deletion right; s2 concurrently deletes.
+    let revoke = sites[0]
+        .admin_generate(AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(2),
+                DocObject::Document,
+                [Right::Delete],
+                Sign::Minus,
+            ),
+        })
+        .unwrap();
+    let q = sites[2].generate(Op::del(1, 'a')).unwrap();
+
+    // adm then re-grants deletion to s2.
+    let regrant = sites[0]
+        .admin_generate(AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(2),
+                DocObject::Document,
+                [Right::Delete],
+                Sign::Plus,
+            ),
+        })
+        .unwrap();
+
+    // s1 applies both administrative requests, then receives the deletion.
+    // Without the administrative log it would check the deletion against
+    // the *current* (permissive again) policy and wrongly accept it.
+    let s1 = &mut sites[1];
+    s1.receive(Message::Admin(revoke.clone())).unwrap();
+    s1.receive(Message::Admin(regrant.clone())).unwrap();
+    s1.receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(s1.document().to_string(), "abc");
+    assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Invalid));
+
+    // The admin rejects it identically.
+    sites[0].receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(sites[0].document().to_string(), "abc");
+    assert_eq!(sites[0].flag_of(q.ot.id), Some(Flag::Invalid));
+
+    // s2 undoes its own deletion when the revocation arrives.
+    let s2 = &mut sites[2];
+    s2.receive(Message::Admin(revoke)).unwrap();
+    assert_eq!(s2.document().to_string(), "abc");
+    s2.receive(Message::Admin(regrant)).unwrap();
+    assert_eq!(s2.document().to_string(), "abc");
+}

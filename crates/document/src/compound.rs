@@ -1,0 +1,229 @@
+//! Compound editing operations.
+//!
+//! §3.1 of the paper: "combinations of these operations enable us to define
+//! more complex ones, such as cut/copy and paste, that are intensively used
+//! in professional text editors." This module provides exactly those
+//! combinators: each compound expands to a sequence of primitive
+//! [`Op`]s that the caller submits one by one (so each is individually
+//! checked against the policy and individually transformable).
+//!
+//! Expansion happens against a document snapshot, producing operations that
+//! apply **in sequence**: each op's positions assume the previous ops of
+//! the same compound have executed.
+
+use crate::element::Element;
+use crate::error::ApplyError;
+use crate::ops::Op;
+use crate::state::{Document, Position};
+
+/// Expands a *cut*: removes `len` elements starting at `pos`, returning the
+/// removed elements (the clipboard) and the deletion sequence.
+///
+/// The deletions all target `pos` because each one shifts the remainder
+/// left — the standard expansion.
+pub fn cut<E: Element>(
+    doc: &Document<E>,
+    pos: Position,
+    len: usize,
+) -> Result<(Vec<E>, Vec<Op<E>>), ApplyError> {
+    if len == 0 {
+        return Ok((Vec::new(), Vec::new()));
+    }
+    if pos == 0 || pos + len - 1 > doc.len() {
+        return Err(ApplyError::OutOfBounds { pos: pos + len - 1, len: doc.len(), max: doc.len() });
+    }
+    let clipboard: Vec<E> =
+        (0..len).map(|i| doc.get(pos + i).expect("range checked").clone()).collect();
+    let ops = clipboard.iter().map(|e| Op::Del { pos, elem: e.clone() }).collect();
+    Ok((clipboard, ops))
+}
+
+/// Expands a *copy*: returns the elements of the range without any
+/// operations (copying is not an edit and needs only the read right).
+pub fn copy<E: Element>(
+    doc: &Document<E>,
+    pos: Position,
+    len: usize,
+) -> Result<Vec<E>, ApplyError> {
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    if pos == 0 || pos + len - 1 > doc.len() {
+        return Err(ApplyError::OutOfBounds { pos: pos + len - 1, len: doc.len(), max: doc.len() });
+    }
+    Ok((0..len).map(|i| doc.get(pos + i).expect("range checked").clone()).collect())
+}
+
+/// Expands a *paste* of `clipboard` at `pos`: one insertion per element,
+/// at consecutive positions.
+pub fn paste<E: Element>(
+    doc: &Document<E>,
+    pos: Position,
+    clipboard: &[E],
+) -> Result<Vec<Op<E>>, ApplyError> {
+    if pos == 0 || pos > doc.len() + 1 {
+        return Err(ApplyError::OutOfBounds { pos, len: doc.len(), max: doc.len() + 1 });
+    }
+    Ok(clipboard
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Op::Ins { pos: pos + i, elem: e.clone() })
+        .collect())
+}
+
+/// Expands a *move* (cut at `from`, paste at `to`): the paste position is
+/// given in pre-cut coordinates and adjusted for the removal.
+pub fn move_range<E: Element>(
+    doc: &Document<E>,
+    from: Position,
+    len: usize,
+    to: Position,
+) -> Result<Vec<Op<E>>, ApplyError> {
+    if to > from && to < from + len {
+        return Err(ApplyError::OutOfBounds { pos: to, len: doc.len(), max: doc.len() });
+    }
+    let (clipboard, mut ops) = cut(doc, from, len)?;
+    // Where the paste target lands after the cut.
+    let adjusted = if to > from { to - len } else { to };
+    if adjusted == 0 || adjusted > doc.len() - len + 1 {
+        return Err(ApplyError::OutOfBounds { pos: to, len: doc.len(), max: doc.len() });
+    }
+    for (i, e) in clipboard.into_iter().enumerate() {
+        ops.push(Op::Ins { pos: adjusted + i, elem: e });
+    }
+    Ok(ops)
+}
+
+/// Expands a *replace-range*: updates each element of `range` with the
+/// corresponding element of `new` (lengths must match; use cut+paste for
+/// resizing edits).
+pub fn replace_range<E: Element>(
+    doc: &Document<E>,
+    pos: Position,
+    new: &[E],
+) -> Result<Vec<Op<E>>, ApplyError> {
+    if new.is_empty() {
+        return Ok(Vec::new());
+    }
+    if pos == 0 || pos + new.len() - 1 > doc.len() {
+        return Err(ApplyError::OutOfBounds {
+            pos: pos + new.len() - 1,
+            len: doc.len(),
+            max: doc.len(),
+        });
+    }
+    Ok(new
+        .iter()
+        .enumerate()
+        .map(|(i, e)| Op::Up {
+            pos: pos + i,
+            old: doc.get(pos + i).expect("range checked").clone(),
+            new: e.clone(),
+        })
+        .collect())
+}
+
+/// Applies an expanded compound to a document (test/offline helper; live
+/// sessions submit each op through the access-control layer instead).
+pub fn apply_all<E: Element>(doc: &mut Document<E>, ops: &[Op<E>]) -> Result<(), ApplyError> {
+    for op in ops {
+        op.apply(doc)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::element::Char;
+    use crate::state::CharDocument;
+
+    fn doc(s: &str) -> CharDocument {
+        CharDocument::from_str(s)
+    }
+
+    #[test]
+    fn cut_removes_range_and_fills_clipboard() {
+        let d = doc("abcdef");
+        let (clip, ops) = cut(&d, 2, 3).unwrap();
+        assert_eq!(clip, vec![Char('b'), Char('c'), Char('d')]);
+        assert_eq!(ops.len(), 3);
+        let mut d2 = d.clone();
+        apply_all(&mut d2, &ops).unwrap();
+        assert_eq!(d2.to_string(), "aef");
+    }
+
+    #[test]
+    fn cut_of_zero_length_is_empty() {
+        let d = doc("abc");
+        let (clip, ops) = cut(&d, 1, 0).unwrap();
+        assert!(clip.is_empty());
+        assert!(ops.is_empty());
+    }
+
+    #[test]
+    fn cut_out_of_range_errors() {
+        let d = doc("abc");
+        assert!(cut(&d, 2, 9).is_err());
+        assert!(cut(&d, 0, 1).is_err());
+    }
+
+    #[test]
+    fn copy_reads_without_ops() {
+        let d = doc("abcdef");
+        assert_eq!(copy(&d, 4, 2).unwrap(), vec![Char('d'), Char('e')]);
+        assert!(copy(&d, 6, 2).is_err());
+        assert!(copy(&d, 1, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn paste_inserts_sequence() {
+        let d = doc("ad");
+        let ops = paste(&d, 2, &[Char('b'), Char('c')]).unwrap();
+        let mut d2 = d.clone();
+        apply_all(&mut d2, &ops).unwrap();
+        assert_eq!(d2.to_string(), "abcd");
+        assert!(paste(&d, 9, &[Char('x')]).is_err());
+    }
+
+    #[test]
+    fn cut_paste_roundtrip_is_identity() {
+        let d = doc("hello world");
+        let (clip, cut_ops) = cut(&d, 7, 5).unwrap();
+        let mut d2 = d.clone();
+        apply_all(&mut d2, &cut_ops).unwrap();
+        assert_eq!(d2.to_string(), "hello ");
+        let paste_ops = paste(&d2, 7, &clip).unwrap();
+        apply_all(&mut d2, &paste_ops).unwrap();
+        assert_eq!(d2.to_string(), "hello world");
+    }
+
+    #[test]
+    fn move_range_forward_and_backward() {
+        // Move "bc" after "e": "abcde" -> "adebc"? positions: from=2 len=2
+        // to=6 (end, pre-cut coords).
+        let d = doc("abcde");
+        let ops = move_range(&d, 2, 2, 6).unwrap();
+        let mut d2 = d.clone();
+        apply_all(&mut d2, &ops).unwrap();
+        assert_eq!(d2.to_string(), "adebc");
+        // Backward: move "de" to the front.
+        let ops = move_range(&d, 4, 2, 1).unwrap();
+        let mut d3 = d.clone();
+        apply_all(&mut d3, &ops).unwrap();
+        assert_eq!(d3.to_string(), "deabc");
+        // Moving into the cut range is rejected.
+        assert!(move_range(&d, 2, 3, 3).is_err());
+    }
+
+    #[test]
+    fn replace_range_updates_in_place() {
+        let d = doc("abcdef");
+        let ops = replace_range(&d, 3, &[Char('X'), Char('Y')]).unwrap();
+        let mut d2 = d.clone();
+        apply_all(&mut d2, &ops).unwrap();
+        assert_eq!(d2.to_string(), "abXYef");
+        assert!(replace_range(&d, 6, &[Char('p'), Char('q')]).is_err());
+        assert!(replace_range(&d, 1, &[]).unwrap().is_empty());
+    }
+}

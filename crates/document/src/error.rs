@@ -1,0 +1,69 @@
+//! Errors raised when applying cooperative operations to a document.
+
+use crate::state::Position;
+use std::fmt;
+
+/// Why an [`crate::Op`] could not be applied to a [`crate::Document`].
+///
+/// In a correct OT integration these never occur at execution time — the
+/// transformation layer reshapes every remote operation so it fits the local
+/// state. Surfacing them as errors (rather than panicking) lets the test
+/// suite and the baselines observe exactly where naive integration breaks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The operation addressed a position outside the document.
+    OutOfBounds {
+        /// Position the operation targeted (1-based).
+        pos: Position,
+        /// Document length at the time of application.
+        len: usize,
+        /// Largest position the operation kind would have accepted.
+        max: Position,
+    },
+    /// A `Del`/`Up` carried an expected element that does not match the
+    /// element actually stored at the target position. The paper's operations
+    /// carry the affected element precisely so this check is possible.
+    ElementMismatch {
+        /// Target position (1-based).
+        pos: Position,
+        /// Debug rendering of the element the operation expected.
+        expected: String,
+        /// Debug rendering of the element found in the document.
+        found: String,
+    },
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::OutOfBounds { pos, len, max } => write!(
+                f,
+                "position {pos} out of bounds (document length {len}, max allowed {max})"
+            ),
+            ApplyError::ElementMismatch { pos, expected, found } => write!(
+                f,
+                "element mismatch at position {pos}: operation expected {expected}, document holds {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ApplyError::OutOfBounds { pos: 9, len: 3, max: 4 };
+        assert!(e.to_string().contains("position 9"));
+        let e = ApplyError::ElementMismatch {
+            pos: 2,
+            expected: "'a'".into(),
+            found: "'b'".into(),
+        };
+        assert!(e.to_string().contains("'a'"));
+        assert!(e.to_string().contains("'b'"));
+    }
+}

@@ -1,0 +1,99 @@
+//! End-to-end test of the `p2pedit` binary: drive a scripted session
+//! through stdin and check the rendered output, exactly as a user (or a
+//! shell script) would.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_script(script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_p2pedit"))
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(script.as_bytes())
+        .expect("script written");
+    let out = child.wait_with_output().expect("binary exits");
+    assert!(out.status.success(), "p2pedit exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn scripted_session_enforces_policy() {
+    let out = run_script(
+        "type 1 1 hello\n\
+         sync\n\
+         revoke 2 i\n\
+         type 2 1 SPAM\n\
+         sync\n\
+         show\n\
+         quit\n",
+    );
+    assert!(out.contains("s1 typed \"hello\""), "{out}");
+    assert!(out.contains("converged = true"), "{out}");
+    // The spam was retroactively removed everywhere.
+    assert!(!out.contains("\"SPAMhello\""), "{out}");
+    assert!(out.matches("| \"hello\"").count() >= 3, "{out}");
+}
+
+#[test]
+fn clipboard_audit_and_gc_commands_work() {
+    let out = run_script(
+        "type 1 1 abcdef\n\
+         sync\n\
+         cut 1 1 3\n\
+         sync\n\
+         paste 2 4\n\
+         sync\n\
+         show\n\
+         audit 0\n\
+         gc\n\
+         policy\n\
+         quit\n",
+    );
+    assert!(out.contains("clipboard = \"abc\""), "{out}");
+    assert!(out.contains("\"defabc\""), "{out}");
+    assert!(out.contains("valid"), "{out}");
+    assert!(out.contains("compacted"), "{out}");
+    assert!(out.contains("P(v"), "{out}");
+}
+
+#[test]
+fn bad_input_is_reported_not_fatal() {
+    let out = run_script(
+        "type 9 1 nope\n\
+         del 1 99 1\n\
+         frobnicate\n\
+         grant x y\n\
+         show\n\
+         quit\n",
+    );
+    // Every bad command yields a diagnostic and the REPL keeps going.
+    assert!(out.matches("!!").count() >= 3, "{out}");
+    assert!(out.contains("bye"), "{out}");
+}
+
+#[test]
+fn membership_lifecycle_via_cli() {
+    let out = run_script(
+        "type 1 1 base\n\
+         sync\n\
+         join 7\n\
+         sync\n\
+         show\n\
+         expel 7\n\
+         sync\n\
+         type 3 1 x\n\
+         quit\n",
+    );
+    assert!(out.contains("user 7 joined as site 3"), "{out}");
+    // The joined replica sees the history…
+    assert!(out.matches("\"base\"").count() >= 4, "{out}");
+    // …and after expulsion its edits are denied locally.
+    assert!(out.contains("access denied"), "{out}");
+}

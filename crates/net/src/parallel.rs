@@ -1,0 +1,181 @@
+//! Thread-per-site runner: each site lives on its own OS thread, messages
+//! travel over crossbeam channels — the closest laboratory analog of the
+//! paper's JXTA deployment, exercising the stack under real parallelism.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dce_core::{Message, Site};
+use dce_document::{Document, Element, Op};
+use dce_policy::{AdminOp, Policy};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+/// A scripted action for one site in a parallel run.
+#[derive(Debug, Clone)]
+pub enum ScriptStep<E> {
+    /// Generate a cooperative operation (ignored if the policy denies it).
+    Edit(Op<E>),
+    /// Issue an administrative operation (admin site only).
+    Admin(AdminOp),
+}
+
+/// Runs a group of sites in parallel: site `i` executes `scripts[i]` in
+/// order, broadcasting over channels; every site then drains its inbox
+/// until the whole group is quiet, and the final sites are returned.
+///
+/// Termination: each site counts the messages it has received; the run
+/// finishes when every channel is empty and all threads agree no message
+/// is in flight (tracked with an atomic in-flight counter).
+pub fn run_parallel_session<E: Element + Send + 'static>(
+    d0: Document<E>,
+    policy: Policy,
+    scripts: Vec<Vec<ScriptStep<E>>>,
+) -> Vec<Site<E>> {
+    let n = scripts.len();
+    assert!(n > 0, "need at least the administrator");
+
+    let mut senders: Vec<Sender<Message<E>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Message<E>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    // Messages in flight (sent but not yet processed).
+    let in_flight = Arc::new(std::sync::atomic::AtomicI64::new(0));
+    let results: Arc<Mutex<Vec<Option<Site<E>>>>> =
+        Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+
+    let mut handles = Vec::new();
+    for (i, script) in scripts.into_iter().enumerate() {
+        let my_rx = receivers[i].clone();
+        let peers: Vec<Sender<Message<E>>> = senders
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, s)| s.clone())
+            .collect();
+        let d0 = d0.clone();
+        let policy = policy.clone();
+        let in_flight = in_flight.clone();
+        let results = results.clone();
+
+        handles.push(thread::spawn(move || {
+            let mut site: Site<E> = if i == 0 {
+                Site::new_admin(0, d0, policy)
+            } else {
+                Site::new_user(i as u32, 0, d0, policy)
+            };
+
+            let broadcast = |msg: &Message<E>,
+                             peers: &[Sender<Message<E>>],
+                             in_flight: &std::sync::atomic::AtomicI64| {
+                in_flight
+                    .fetch_add(peers.len() as i64, std::sync::atomic::Ordering::SeqCst);
+                for p in peers {
+                    let _ = p.send(msg.clone());
+                }
+            };
+
+            let drain_inbox = |site: &mut Site<E>| {
+                while let Ok(msg) = my_rx.try_recv() {
+                    site.receive(msg).expect("protocol error");
+                    in_flight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    for out in site.drain_outbox() {
+                        broadcast(&out, &peers, &in_flight);
+                    }
+                }
+            };
+
+            for step in script {
+                drain_inbox(&mut site);
+                match step {
+                    ScriptStep::Edit(op) => {
+                        if let Ok(q) = site.generate(op) {
+                            broadcast(&Message::Coop(q), &peers, &in_flight);
+                        }
+                    }
+                    ScriptStep::Admin(op) => {
+                        let r = site.admin_generate(op).expect("script admin op");
+                        broadcast(&Message::Admin(r), &peers, &in_flight);
+                    }
+                }
+                thread::yield_now();
+            }
+
+            // Cooperative quiescence: keep draining until nothing is in
+            // flight anywhere and our inbox is empty.
+            loop {
+                drain_inbox(&mut site);
+                if in_flight.load(std::sync::atomic::Ordering::SeqCst) == 0 && my_rx.is_empty() {
+                    break;
+                }
+                thread::yield_now();
+            }
+
+            results.lock()[i] = Some(site);
+        }));
+    }
+
+    for h in handles {
+        h.join().expect("site thread panicked");
+    }
+    Arc::try_unwrap(results)
+        .map(|m| m.into_inner())
+        .unwrap_or_else(|arc| arc.lock().clone())
+        .into_iter()
+        .map(|s| s.expect("every site reported"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_document::{Char, CharDocument};
+
+    #[test]
+    fn parallel_session_converges() {
+        let d0 = CharDocument::from_str("shared");
+        let policy = Policy::permissive([0, 1, 2, 3]);
+        let scripts: Vec<Vec<ScriptStep<Char>>> = vec![
+            vec![ScriptStep::Edit(Op::ins(1, 'A'))],
+            vec![ScriptStep::Edit(Op::ins(1, 'b')), ScriptStep::Edit(Op::del(1, 'b'))],
+            vec![ScriptStep::Edit(Op::up(1, 's', 'S'))],
+            vec![ScriptStep::Edit(Op::ins(7, 'z'))],
+        ];
+        let sites = run_parallel_session(d0, policy, scripts);
+        let doc0 = sites[0].document().to_string();
+        for s in &sites {
+            assert_eq!(s.document().to_string(), doc0, "site {} diverged", s.user());
+        }
+    }
+
+    #[test]
+    fn parallel_session_with_admin_churn_converges() {
+        use dce_policy::{Authorization, DocObject, Right, Sign, Subject};
+        let d0 = CharDocument::from_str("abc");
+        let policy = Policy::permissive([0, 1, 2]);
+        let revoke = AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(2),
+                DocObject::Document,
+                [Right::Insert],
+                Sign::Minus,
+            ),
+        };
+        let scripts: Vec<Vec<ScriptStep<Char>>> = vec![
+            vec![ScriptStep::Admin(revoke)],
+            vec![ScriptStep::Edit(Op::ins(1, 'x'))],
+            vec![ScriptStep::Edit(Op::ins(2, 'y'))],
+        ];
+        for _ in 0..10 {
+            let sites =
+                run_parallel_session(d0.clone(), policy.clone(), scripts.clone());
+            let doc0 = sites[0].document().to_string();
+            for s in &sites {
+                assert_eq!(s.document().to_string(), doc0);
+            }
+        }
+    }
+}

@@ -1,0 +1,593 @@
+//! Deterministic discrete-event network simulation.
+
+use dce_core::{CoreError, CoopRequest, Message, Site};
+use dce_document::{Document, Element, Op};
+use dce_policy::{Action, AdminOp, AdminRequest, Policy, Right, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Message latency model (milliseconds of simulated time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Latency {
+    /// Every message takes exactly this long.
+    Fixed(u64),
+    /// Uniformly random in `[min, max]` — different messages overtake each
+    /// other, which is exactly the out-of-order delivery §4 worries about.
+    Uniform(u64, u64),
+}
+
+impl Latency {
+    fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            Latency::Fixed(ms) => *ms,
+            Latency::Uniform(lo, hi) => rng.gen_range(*lo..=*hi),
+        }
+    }
+}
+
+/// A per-delivery message transform (e.g. the wire codec round-trip).
+type Transport<E> = Box<dyn Fn(&Message<E>) -> Message<E> + Send>;
+
+/// Counters the experiments report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages delivered so far.
+    pub delivered: u64,
+    /// Messages broadcast so far (one count per destination).
+    pub sent: u64,
+    /// Simulated milliseconds elapsed.
+    pub now: u64,
+}
+
+/// The simulated broadcast network over a group of [`Site`]s.
+pub struct SimNet<E: Element> {
+    sites: Vec<Site<E>>,
+    /// `false` once a site has left the group (no further deliveries).
+    active: Vec<bool>,
+    events: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    payloads: std::collections::HashMap<(u64, u64, usize), Message<E>>,
+    next_seq: u64,
+    rng: StdRng,
+    latency: Latency,
+    stats: SimStats,
+    /// Optional per-delivery transform — used to route every message
+    /// through the binary wire codec (`enable_wire_codec`).
+    transport: Option<Transport<E>>,
+    /// Probability that a broadcast leg is duplicated (fault injection;
+    /// the protocol must ignore duplicates).
+    duplicate_prob: f64,
+}
+
+impl<E: Element> SimNet<E> {
+    /// Builds a group of `n` sites (site 0 is the administrator) sharing
+    /// `d0` and `policy`.
+    pub fn group(n: u32, d0: Document<E>, policy: Policy, seed: u64, latency: Latency) -> Self {
+        let sites: Vec<Site<E>> = (0..n)
+            .map(|u| {
+                if u == 0 {
+                    Site::new_admin(0, d0.clone(), policy.clone())
+                } else {
+                    Site::new_user(u, 0, d0.clone(), policy.clone())
+                }
+            })
+            .collect();
+        Self::from_sites(sites, seed, latency)
+    }
+
+    /// Wraps pre-built sites (custom policies, admin id, …).
+    pub fn from_sites(sites: Vec<Site<E>>, seed: u64, latency: Latency) -> Self {
+        let n = sites.len();
+        SimNet {
+            sites,
+            active: vec![true; n],
+            events: BinaryHeap::new(),
+            payloads: std::collections::HashMap::new(),
+            next_seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            latency,
+            stats: SimStats::default(),
+            transport: None,
+            duplicate_prob: 0.0,
+        }
+    }
+
+    /// Injects duplicate deliveries with the given probability per
+    /// broadcast leg. The protocol suppresses duplicates by request
+    /// identity, so sessions must behave identically.
+    pub fn set_duplication(&mut self, prob: f64) {
+        self.duplicate_prob = prob.clamp(0.0, 1.0);
+    }
+
+    /// Current simulated time (ms).
+    pub fn now(&self) -> u64 {
+        self.stats.now
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Number of sites ever created (including departed ones).
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` when the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Immutable access to a site.
+    pub fn site(&self, idx: usize) -> &Site<E> {
+        &self.sites[idx]
+    }
+
+    /// Mutable access to a site (inspection or direct manipulation in
+    /// tests).
+    pub fn site_mut(&mut self, idx: usize) -> &mut Site<E> {
+        &mut self.sites[idx]
+    }
+
+    /// Iterates the active sites.
+    pub fn active_sites(&self) -> impl Iterator<Item = &Site<E>> {
+        self.sites.iter().zip(&self.active).filter(|(_, a)| **a).map(|(s, _)| s)
+    }
+
+    fn enqueue(&mut self, dest: usize, msg: Message<E>) {
+        let delay = self.latency.sample(&mut self.rng);
+        let at = self.stats.now + delay;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse((at, seq, dest)));
+        self.payloads.insert((at, seq, dest), msg);
+        self.stats.sent += 1;
+    }
+
+    fn broadcast(&mut self, from: usize, msg: Message<E>) {
+        for dest in 0..self.sites.len() {
+            if dest == from || !self.active[dest] {
+                continue;
+            }
+            self.enqueue(dest, msg.clone());
+            if self.duplicate_prob > 0.0 && self.rng.gen_bool(self.duplicate_prob) {
+                self.enqueue(dest, msg.clone());
+            }
+        }
+    }
+
+    fn check_site(&self, site: usize) -> Result<(), CoreError> {
+        if site >= self.sites.len() {
+            return Err(CoreError::Protocol(format!(
+                "no such site {site} (group has {})",
+                self.sites.len()
+            )));
+        }
+        if !self.active[site] {
+            return Err(CoreError::Protocol(format!("site {site} has left the group")));
+        }
+        Ok(())
+    }
+
+    /// A user edits their replica: `Check_Local`, local execution, and
+    /// broadcast of the resulting request.
+    pub fn submit_coop(&mut self, site: usize, op: Op<E>) -> Result<CoopRequest<E>, CoreError> {
+        self.check_site(site)?;
+        let q = self.sites[site].generate(op)?;
+        self.broadcast(site, Message::Coop(q.clone()));
+        Ok(q)
+    }
+
+    /// The administrator issues an administrative operation.
+    pub fn submit_admin(&mut self, site: usize, op: AdminOp) -> Result<AdminRequest, CoreError> {
+        self.check_site(site)?;
+        let r = self.sites[site].admin_generate(op)?;
+        self.broadcast(site, Message::Admin(r.clone()));
+        Ok(r)
+    }
+
+    /// A delegate proposes an administrative operation; the proposal is
+    /// routed to the administrator (site 0 by convention in `group`), who
+    /// sequences and broadcasts it if the delegation checks out.
+    pub fn submit_proposal(
+        &mut self,
+        site: usize,
+        admin_site: usize,
+        op: AdminOp,
+    ) -> Result<(), CoreError> {
+        self.check_site(site)?;
+        self.check_site(admin_site)?;
+        let p = self.sites[site].propose_admin(op)?;
+        // Point-to-point to the administrator.
+        let delay = self.latency.sample(&mut self.rng);
+        let at = self.stats.now + delay;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse((at, seq, admin_site)));
+        self.payloads.insert((at, seq, admin_site), Message::Proposal(p));
+        self.stats.sent += 1;
+        Ok(())
+    }
+
+    /// A new user joins: replicates the state of `clone_from` (document,
+    /// logs, policy) under the new identity, and the administrator
+    /// registers them. Returns the new site index.
+    ///
+    /// Admission control: joining means *reading* the whole document, so
+    /// the newcomer must hold the read right under the policy as it will
+    /// stand once they are registered (the paper keeps dynamic read-right
+    /// changes out of scope but the static check belongs to membership).
+    pub fn join(&mut self, user: UserId, clone_from: usize) -> Result<usize, CoreError> {
+        let mut prospective = self.sites[0].policy().clone();
+        prospective.add_user(user);
+        let read = Action::new(Right::Read, None);
+        let decision = prospective.check(user, &read);
+        if !decision.granted() {
+            return Err(CoreError::AccessDenied { user, action: read, decision });
+        }
+
+        self.check_site(clone_from)?;
+        let template = &self.sites[clone_from];
+        let site = template.rejoin_as(user);
+        self.sites.push(site);
+        self.active.push(true);
+        let idx = self.sites.len() - 1;
+        // Register the newcomer (idempotent if already present).
+        if !self.sites[0].policy().has_user(user) {
+            self.submit_admin(0, AdminOp::AddUser(user))?;
+        }
+        Ok(idx)
+    }
+
+    /// A site leaves the group: no further messages are delivered to it.
+    /// (Its already-broadcast requests remain in flight, as on a real P2P
+    /// network.) Returns `false` for an unknown site index.
+    pub fn leave(&mut self, idx: usize) -> bool {
+        match self.active.get_mut(idx) {
+            Some(a) => {
+                *a = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Every active site broadcasts a heartbeat (GC gossip round).
+    pub fn gossip_heartbeats(&mut self) {
+        for i in 0..self.sites.len() {
+            if self.active[i] {
+                let hb = self.sites[i].make_heartbeat();
+                self.broadcast(i, hb);
+            }
+        }
+    }
+
+    /// Runs `auto_compact` on every active site, returning the total
+    /// number of log entries reclaimed group-wide.
+    pub fn auto_compact_all(&mut self) -> usize {
+        let mut total = 0;
+        for i in 0..self.sites.len() {
+            if self.active[i] {
+                total += self.sites[i].auto_compact();
+            }
+        }
+        total
+    }
+
+    /// Delivers the next scheduled message. Returns `false` when the
+    /// network is quiet.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse((at, seq, dest))) = self.events.pop() else {
+            return false;
+        };
+        let msg = self.payloads.remove(&(at, seq, dest)).expect("payload stored");
+        let msg = match &self.transport {
+            Some(t) => t(&msg),
+            None => msg,
+        };
+        self.stats.now = self.stats.now.max(at);
+        if self.active[dest] {
+            self.sites[dest]
+                .receive(msg)
+                .expect("protocol errors are bugs in the simulation");
+            self.stats.delivered += 1;
+            for out in self.sites[dest].drain_outbox() {
+                self.broadcast(dest, out);
+            }
+        }
+        true
+    }
+
+    /// Runs until no messages remain in flight.
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// `true` when every active site holds the same document and policy.
+    pub fn converged(&self) -> bool {
+        let mut actives = self.active_sites();
+        let Some(first) = actives.next() else {
+            return true;
+        };
+        let doc = first.document();
+        let policy = first.policy();
+        actives.all(|s| s.document() == doc && s.policy() == policy)
+    }
+}
+
+impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
+    /// Like [`SimNet::join`], but the newcomer bootstraps from a *binary
+    /// snapshot* of the donor replica — the realistic state-transfer path,
+    /// exercising the full snapshot codec.
+    pub fn join_via_snapshot(&mut self, user: UserId, donor: usize) -> Result<usize, CoreError> {
+        self.check_site(donor)?;
+        let mut prospective = self.sites[0].policy().clone();
+        prospective.add_user(user);
+        let read = Action::new(Right::Read, None);
+        let decision = prospective.check(user, &read);
+        if !decision.granted() {
+            return Err(CoreError::AccessDenied { user, action: read, decision });
+        }
+        let admin_id = self.sites[0].user();
+        let bytes = crate::snapshot::encode_snapshot(&self.sites[donor]);
+        let site = crate::snapshot::decode_snapshot(bytes, user, admin_id)
+            .map_err(|e| CoreError::Protocol(format!("snapshot transfer failed: {e}")))?;
+        self.sites.push(site);
+        self.active.push(true);
+        let idx = self.sites.len() - 1;
+        if !self.sites[0].policy().has_user(user) {
+            self.submit_admin(0, AdminOp::AddUser(user))?;
+        }
+        Ok(idx)
+    }
+
+    /// Routes every delivery through the binary wire codec
+    /// ([`crate::wire`]): messages are encoded to bytes and decoded back
+    /// before reception, exactly as a real deployment would ship them.
+    /// Exercises the codec end-to-end under protocol load.
+    pub fn enable_wire_codec(&mut self) {
+        self.transport = Some(Box::new(|msg: &Message<E>| {
+            let bytes = crate::wire::encode_message(msg);
+            crate::wire::decode_message(bytes).expect("wire codec round-trips every message")
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_core::Flag;
+    use dce_document::{Char, CharDocument};
+    use dce_policy::{Authorization, DocObject, Sign, Subject};
+
+    fn net(n: u32, s: &str, seed: u64, lat: Latency) -> SimNet<Char> {
+        let users: Vec<u32> = (0..n).collect();
+        SimNet::group(n, CharDocument::from_str(s), Policy::permissive(users), seed, lat)
+    }
+
+    #[test]
+    fn concurrent_edits_converge_under_random_latency() {
+        for seed in 0..20 {
+            let mut sim = net(4, "abcdef", seed, Latency::Uniform(1, 200));
+            sim.submit_coop(1, Op::ins(2, 'x')).unwrap();
+            sim.submit_coop(2, Op::del(4, 'd')).unwrap();
+            sim.submit_coop(3, Op::up(1, 'a', 'A')).unwrap();
+            sim.submit_coop(0, Op::ins(7, 'z')).unwrap();
+            sim.run_to_quiescence();
+            assert!(sim.converged(), "seed {seed}");
+            assert!(sim.stats().delivered > 0);
+        }
+    }
+
+    #[test]
+    fn fixed_latency_is_deterministic() {
+        let run = |seed| {
+            let mut sim = net(3, "abc", seed, Latency::Fixed(10));
+            sim.submit_coop(1, Op::ins(1, 'p')).unwrap();
+            sim.submit_coop(2, Op::ins(1, 'q')).unwrap();
+            sim.run_to_quiescence();
+            sim.site(0).document().to_string()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn revocation_race_plays_out_over_the_network() {
+        let mut sim = net(3, "abc", 11, Latency::Uniform(1, 100));
+        sim.submit_admin(
+            0,
+            AdminOp::AddAuth {
+                pos: 0,
+                auth: Authorization::new(
+                    Subject::User(1),
+                    DocObject::Document,
+                    [Right::Insert],
+                    Sign::Minus,
+                ),
+            },
+        )
+        .unwrap();
+        let q = sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.converged());
+        assert_eq!(sim.site(0).document().to_string(), "abc");
+        assert_eq!(sim.site(1).flag_of(q.ot.id), Some(Flag::Invalid));
+    }
+
+    #[test]
+    fn join_replicates_state_and_participates() {
+        let mut sim = net(2, "abc", 3, Latency::Fixed(5));
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        let idx = sim.join(7, 1).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.site(idx).document().to_string(), "xabc");
+        // The newcomer can edit.
+        sim.submit_coop(idx, Op::ins(5, 'w')).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.converged());
+        assert_eq!(sim.site(0).document().to_string(), "xabcw");
+    }
+
+    #[test]
+    fn leave_stops_deliveries_without_breaking_others() {
+        let mut sim = net(3, "abc", 5, Latency::Fixed(5));
+        sim.leave(2);
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.site(0).document().to_string(), "xabc");
+        // The departed site never saw the edit.
+        assert_eq!(sim.site(2).document().to_string(), "abc");
+        assert!(sim.converged(), "departed sites are excluded from convergence");
+    }
+
+    #[test]
+    fn join_requires_the_read_right() {
+        use dce_policy::{Authorization, Sign, Subject};
+        // A policy that grants writes but not reads to newcomers.
+        let mut p = Policy::new();
+        for u in [0u32, 1] {
+            p.add_user(u);
+        }
+        p.add_auth_at(
+            0,
+            Authorization::new(
+                Subject::Users([0, 1].into_iter().collect()),
+                DocObject::Document,
+                Right::ALL,
+                Sign::Plus,
+            ),
+        )
+        .unwrap();
+        let mut sim: SimNet<Char> = SimNet::from_sites(
+            vec![
+                dce_core::Site::new_admin(0, CharDocument::from_str("secret"), p.clone()),
+                dce_core::Site::new_user(1, 0, CharDocument::from_str("secret"), p),
+            ],
+            1,
+            Latency::Fixed(1),
+        );
+        let err = sim.join(9, 0).unwrap_err();
+        assert!(matches!(err, CoreError::AccessDenied { user: 9, .. }));
+        assert_eq!(sim.len(), 2);
+        // Grant read to all, and the join goes through.
+        sim.submit_admin(
+            0,
+            AdminOp::AddAuth {
+                pos: 0,
+                auth: Authorization::new(Subject::All, DocObject::Document, [Right::Read], Sign::Plus),
+            },
+        )
+        .unwrap();
+        sim.run_to_quiescence();
+        let idx = sim.join(9, 0).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.site(idx).document().to_string(), "secret");
+    }
+
+    #[test]
+    fn delegated_proposals_flow_through_the_network() {
+        let mut sim = net(3, "abc", 13, Latency::Fixed(7));
+        sim.submit_admin(0, AdminOp::Delegate(1)).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.site(1).policy().is_delegate(1));
+        sim.submit_proposal(1, 0, AdminOp::AddUser(42)).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.converged());
+        for i in 0..3 {
+            assert!(sim.site(i).policy().has_user(42), "site {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_join_equals_clone_join() {
+        let mut sim = net(2, "abc", 19, Latency::Fixed(4));
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        let a = sim.join(7, 0).unwrap();
+        let b = sim.join_via_snapshot(8, 0).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.site(a).document(), sim.site(b).document());
+        assert_eq!(sim.site(a).policy().version(), sim.site(b).policy().version());
+        // Both newcomers edit; group converges.
+        sim.submit_coop(a, Op::ins(1, 'p')).unwrap();
+        sim.submit_coop(b, Op::ins(1, 'q')).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.converged());
+    }
+
+    #[test]
+    fn heartbeat_gossip_enables_group_wide_compaction() {
+        let mut sim = net(3, "", 61, Latency::Fixed(3));
+        sim.submit_coop(1, Op::ins(1, 'a')).unwrap();
+        sim.submit_coop(2, Op::ins(1, 'b')).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.auto_compact_all(), 0, "no heartbeats yet");
+        sim.gossip_heartbeats();
+        sim.run_to_quiescence();
+        let reclaimed = sim.auto_compact_all();
+        assert_eq!(reclaimed, 6, "two settled entries at each of three sites");
+        // The session keeps working.
+        sim.submit_coop(1, Op::ins(1, 'c')).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.converged());
+    }
+
+    #[test]
+    fn wire_codec_transport_is_transparent() {
+        let run = |wire: bool| {
+            let mut sim = net(3, "shared", 29, Latency::Uniform(1, 80));
+            if wire {
+                sim.enable_wire_codec();
+            }
+            sim.submit_coop(1, Op::ins(1, 'α')).unwrap();
+            sim.submit_coop(2, Op::del(4, 'r')).unwrap();
+            sim.submit_admin(
+                0,
+                AdminOp::AddAuth {
+                    pos: 0,
+                    auth: Authorization::new(
+                        Subject::User(2),
+                        DocObject::Document,
+                        [Right::Update],
+                        Sign::Minus,
+                    ),
+                },
+            )
+            .unwrap();
+            sim.run_to_quiescence();
+            assert!(sim.converged());
+            sim.site(0).document().to_string()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_suppressed() {
+        let mut sim = net(3, "abc", 41, Latency::Uniform(1, 50));
+        sim.set_duplication(0.9);
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.submit_coop(2, Op::ins(4, 'y')).unwrap();
+        sim.run_to_quiescence();
+        assert!(sim.converged());
+        assert_eq!(sim.site(0).document().to_string(), "xabcy");
+        // More messages were sent than a clean run would send.
+        assert!(sim.stats().sent > 8, "duplicates were injected: {:?}", sim.stats());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut sim = net(3, "ab", 1, Latency::Fixed(8));
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        let st = sim.stats();
+        // 2 destinations for the edit + 2 for the admin validation.
+        assert_eq!(st.sent, 4);
+        assert_eq!(st.delivered, 4);
+        assert!(st.now >= 8);
+        assert_eq!(sim.len(), 3);
+        assert!(!sim.is_empty());
+    }
+}

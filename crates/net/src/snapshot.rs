@@ -1,0 +1,285 @@
+//! Wire-encodable site snapshots: how a joining participant bootstraps.
+//!
+//! The paper's prototype lets users "join the group to participate in html
+//! page editing" at any time (§6). Joining means receiving a full replica
+//! — document buffer, cooperative log `H`, clock, policy copy,
+//! administrative log `L`, request flags — from any existing member. This
+//! module serializes that state with the same binary conventions as
+//! [`crate::wire`], so state transfer can ride the same transport as
+//! ordinary messages.
+
+use crate::wire::{self, WireElement, WireError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dce_core::{Flag, Site};
+use dce_document::Element;
+use dce_ot::ids::RequestId;
+use dce_ot::log::Log;
+use dce_ot::Cell;
+use dce_policy::{AdminLog, UserId};
+use std::collections::HashSet;
+
+const MAGIC: u8 = 0xD5; // distinct from message frames
+const VERSION: u8 = 1;
+
+type Result<T> = std::result::Result<T, WireError>;
+
+/// Encodes a full snapshot of `site`'s replicated state.
+pub fn encode_snapshot<E: Element + WireElement>(site: &Site<E>) -> Bytes {
+    let (cells, log, clock, pruned_inert, pruned_count, policy, admin_log, flags) =
+        site.snapshot_parts();
+
+    let mut out = BytesMut::with_capacity(1024);
+    out.put_u8(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u32_le(site.user());
+
+    // Buffer cells.
+    out.put_u64_le(cells.len() as u64);
+    for c in &cells {
+        c.elem.encode(&mut out);
+        c.original.encode(&mut out);
+        match c.creator {
+            None => out.put_u8(0),
+            Some(id) => {
+                out.put_u8(1);
+                wire::encode_id(id, &mut out);
+            }
+        }
+        out.put_u8(c.ghost as u8);
+        wire::encode_id_list(&c.killers, &mut out);
+        out.put_u32_le(c.anon_kills);
+        out.put_u32_le(c.chain.len() as u32);
+        for link in &c.chain {
+            wire::encode_id(link.id, &mut out);
+            link.value.encode(&mut out);
+            wire::encode_id_list(&link.saw, &mut out);
+        }
+    }
+
+    // Cooperative log.
+    out.put_u64_le(log.len() as u64);
+    for e in log.iter() {
+        wire::encode_log_entry(e, &mut out);
+    }
+
+    wire::encode_clock_pub(&clock, &mut out);
+
+    // Pruned-inert identities + count.
+    let mut pruned: Vec<RequestId> = pruned_inert.iter().copied().collect();
+    pruned.sort();
+    wire::encode_id_list(&pruned, &mut out);
+    out.put_u64_le(pruned_count as u64);
+
+    wire::encode_policy(&policy, &mut out);
+
+    // Administrative log.
+    out.put_u64_le(admin_log.len() as u64);
+    for r in admin_log.iter() {
+        out.put_u32_le(r.admin);
+        out.put_u64_le(r.version);
+        wire::encode_admin_op_pub(&r.op, &mut out);
+    }
+
+    // Flags.
+    out.put_u64_le(flags.len() as u64);
+    for (id, flag) in &flags {
+        wire::encode_id(*id, &mut out);
+        out.put_u8(match flag {
+            Flag::Tentative => 0,
+            Flag::Valid => 1,
+            Flag::Invalid => 2,
+        });
+    }
+
+    out.freeze()
+}
+
+/// Decodes a snapshot, rebinding the replica to `new_user` (who must know
+/// the group's `admin_id`).
+pub fn decode_snapshot<E: Element + WireElement>(
+    mut buf: Bytes,
+    new_user: UserId,
+    admin_id: UserId,
+) -> Result<Site<E>> {
+    if buf.remaining() < 2 || buf.get_u8() != MAGIC || buf.get_u8() != VERSION {
+        return Err(WireError::BadHeader);
+    }
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let _source_user = buf.get_u32_le();
+
+    let n_cells = wire::get_u64_pub(&mut buf)? as usize;
+    let mut cells: Vec<Cell<E>> = Vec::with_capacity(n_cells.min(1 << 20));
+    for _ in 0..n_cells {
+        let elem = E::decode(&mut buf)?;
+        let original = E::decode(&mut buf)?;
+        let creator = match wire::get_u8_pub(&mut buf)? {
+            0 => None,
+            1 => Some(wire::decode_id(&mut buf)?),
+            t => return Err(WireError::BadTag(t)),
+        };
+        let ghost = wire::get_u8_pub(&mut buf)? != 0;
+        let killers = wire::decode_id_list(&mut buf)?;
+        let anon_kills = wire::get_u32_pub(&mut buf)?;
+        let n_links = wire::get_u32_pub(&mut buf)? as usize;
+        let mut chain = Vec::with_capacity(n_links.min(1 << 20));
+        for _ in 0..n_links {
+            let id = wire::decode_id(&mut buf)?;
+            let value = E::decode(&mut buf)?;
+            let saw = wire::decode_id_list(&mut buf)?;
+            chain.push(dce_ot::buffer::ChainLink { id, value, saw });
+        }
+        cells.push(Cell { elem, original, creator, ghost, killers, anon_kills, chain });
+    }
+
+    let n_entries = wire::get_u64_pub(&mut buf)? as usize;
+    let mut log: Log<E> = Log::new();
+    for _ in 0..n_entries {
+        log.push_raw(wire::decode_log_entry(&mut buf)?);
+    }
+
+    let clock = wire::decode_clock_pub(&mut buf)?;
+    let pruned: HashSet<RequestId> = wire::decode_id_list(&mut buf)?.into_iter().collect();
+    let pruned_count = wire::get_u64_pub(&mut buf)? as usize;
+    let policy = wire::decode_policy(&mut buf)?;
+
+    let n_admin = wire::get_u64_pub(&mut buf)? as usize;
+    let mut admin_entries = Vec::with_capacity(n_admin.min(1 << 20));
+    for _ in 0..n_admin {
+        let admin = wire::get_u32_pub(&mut buf)?;
+        let version = wire::get_u64_pub(&mut buf)?;
+        let op = wire::decode_admin_op_pub(&mut buf)?;
+        admin_entries.push(dce_policy::AdminRequest { admin, version, op });
+    }
+    let admin_log = AdminLog::from_entries(admin_entries);
+
+    let n_flags = wire::get_u64_pub(&mut buf)? as usize;
+    let mut flags = Vec::with_capacity(n_flags.min(1 << 20));
+    for _ in 0..n_flags {
+        let id = wire::decode_id(&mut buf)?;
+        let flag = match wire::get_u8_pub(&mut buf)? {
+            0 => Flag::Tentative,
+            1 => Flag::Valid,
+            2 => Flag::Invalid,
+            t => return Err(WireError::BadTag(t)),
+        };
+        flags.push((id, flag));
+    }
+
+    Ok(Site::from_snapshot_parts(
+        new_user,
+        admin_id,
+        cells,
+        log,
+        clock,
+        pruned,
+        pruned_count,
+        policy,
+        admin_log,
+        flags,
+    ))
+}
+
+/// Convenience: snapshot `donor` and rebuild it as a replica for
+/// `new_user` through the byte encoding (exercising the full codec).
+pub fn transfer<E: Element + WireElement>(
+    donor: &Site<E>,
+    new_user: UserId,
+    admin_id: UserId,
+) -> Result<Site<E>> {
+    decode_snapshot(encode_snapshot(donor), new_user, admin_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_core::Message;
+    use dce_document::{Char, CharDocument, Op};
+    use dce_policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+
+    fn busy_site() -> (Site<Char>, Site<Char>) {
+        let p = Policy::permissive([0, 1, 2]);
+        let d0 = CharDocument::from_str("state");
+        let mut adm: Site<Char> = Site::new_admin(0, d0.clone(), p.clone());
+        let mut s1: Site<Char> = Site::new_user(1, 0, d0, p);
+        // Build a state with all the interesting artifacts: validated
+        // requests, an invalid one, tombstones, ghosts, policy churn.
+        let q1 = s1.generate(Op::ins(1, 'x')).unwrap();
+        let q2 = s1.generate(Op::del(3, 't')).unwrap();
+        adm.receive(Message::Coop(q1)).unwrap();
+        adm.receive(Message::Coop(q2)).unwrap();
+        let validations = adm.drain_outbox();
+        for m in validations {
+            s1.receive(m).unwrap();
+        }
+        let r = adm
+            .admin_generate(AdminOp::AddAuth {
+                pos: 0,
+                auth: Authorization::new(
+                    Subject::User(1),
+                    DocObject::Document,
+                    [Right::Insert],
+                    Sign::Minus,
+                ),
+            })
+            .unwrap();
+        let rogue = s1.generate(Op::ins(1, 'z')).unwrap();
+        adm.receive(Message::Coop(rogue)).unwrap();
+        s1.receive(Message::Admin(r)).unwrap();
+        (adm, s1)
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_replicated_state() {
+        let (adm, _) = busy_site();
+        let restored = transfer(&adm, 9, 0).unwrap();
+        assert_eq!(restored.user(), 9);
+        assert!(!restored.is_admin());
+        assert_eq!(restored.document(), adm.document());
+        assert_eq!(restored.policy(), adm.policy());
+        assert_eq!(restored.version(), adm.version());
+        assert_eq!(restored.engine().log().len(), adm.engine().log().len());
+        assert_eq!(restored.engine().clock(), adm.engine().clock());
+        for e in adm.engine().log().iter() {
+            assert_eq!(restored.flag_of(e.id), adm.flag_of(e.id), "{}", e.id);
+        }
+    }
+
+    #[test]
+    fn restored_site_participates_in_the_session() {
+        let (mut adm, mut s1) = busy_site();
+        // Register user 9, then transfer state.
+        let add = adm.admin_generate(AdminOp::AddUser(9)).unwrap();
+        s1.receive(Message::Admin(add)).unwrap();
+        let mut s9 = transfer(&adm, 9, 0).unwrap();
+
+        // The newcomer edits; everyone converges.
+        let q = s9.generate(Op::del(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        s1.receive(Message::Coop(q)).unwrap();
+        let validations = adm.drain_outbox();
+        for m in validations {
+            s1.receive(m.clone()).unwrap();
+            s9.receive(m).unwrap();
+        }
+        assert_eq!(adm.document(), s9.document());
+        assert_eq!(s1.document(), s9.document());
+
+        // And old concurrent edits still integrate at the newcomer.
+        let q_old = s1.generate(Op::up(1, 's', 'S')).unwrap();
+        s9.receive(Message::Coop(q_old.clone())).unwrap();
+        adm.receive(Message::Coop(q_old)).unwrap();
+        assert_eq!(adm.document().to_string(), s9.document().to_string());
+    }
+
+    #[test]
+    fn snapshot_rejects_garbage() {
+        assert!(decode_snapshot::<Char>(Bytes::new(), 1, 0).is_err());
+        assert!(decode_snapshot::<Char>(Bytes::from_static(&[0xD5, 9]), 1, 0).is_err());
+        let (adm, _) = busy_site();
+        let full = encode_snapshot(&adm);
+        let cut = full.slice(0..full.len() / 2);
+        assert!(decode_snapshot::<Char>(cut, 1, 0).is_err());
+    }
+}

@@ -1,0 +1,89 @@
+//! Error types for the OT layer.
+
+use crate::ids::RequestId;
+use dce_document::ApplyError;
+use std::fmt;
+
+/// Exclusion transformation was asked to remove the effect of a request the
+/// operation semantically depends on (e.g. excluding the insertion that
+/// created the element a deletion targets). The engine treats this as a
+/// dependency edge, never as a recoverable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcludeError {
+    /// Human-readable description of the dependency that blocked exclusion.
+    pub reason: String,
+}
+
+impl fmt::Display for ExcludeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "exclusion undefined: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ExcludeError {}
+
+/// Failure to integrate a remote request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntegrateError {
+    /// The request's direct dependency has not been integrated yet; the
+    /// caller must buffer the request until it becomes causally ready.
+    NotReady {
+        /// The missing dependency.
+        missing: RequestId,
+    },
+    /// A request with the same identity was already integrated.
+    Duplicate(RequestId),
+    /// The transformed form failed to apply — indicates a transformation
+    /// bug; surfaced rather than silently swallowed.
+    Apply(ApplyError),
+}
+
+impl fmt::Display for IntegrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrateError::NotReady { missing } => {
+                write!(f, "request not causally ready: missing dependency {missing}")
+            }
+            IntegrateError::Duplicate(id) => write!(f, "request {id} already integrated"),
+            IntegrateError::Apply(e) => write!(f, "transformed request failed to apply: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IntegrateError {}
+
+/// Errors common to engine entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OtError {
+    /// A locally generated operation does not fit the current document.
+    InvalidLocalOp(ApplyError),
+    /// Undo targeted a request that is not in the log.
+    UnknownRequest(RequestId),
+    /// Undo targeted a request that was already undone or stored invalid.
+    AlreadyInert(RequestId),
+}
+
+impl fmt::Display for OtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtError::InvalidLocalOp(e) => write!(f, "local operation rejected: {e}"),
+            OtError::UnknownRequest(id) => write!(f, "request {id} not found in log"),
+            OtError::AlreadyInert(id) => write!(f, "request {id} has no live effect"),
+        }
+    }
+}
+
+impl std::error::Error for OtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_ids() {
+        let id = RequestId::new(2, 5);
+        assert!(IntegrateError::NotReady { missing: id }.to_string().contains("2#5"));
+        assert!(OtError::UnknownRequest(id).to_string().contains("2#5"));
+        assert!(ExcludeError { reason: "dep".into() }.to_string().contains("dep"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # dce-ot — the operational-transformation coordination substrate
+//!
+//! This crate reimplements the OT framework the paper builds on (its
+//! reference \[4\]: Imine's coordination model, COORDINATION 2009). It lets a
+//! group of sites apply cooperative operations in *any* order and still
+//! converge, without a central server and without vector clocks:
+//!
+//! * [`transform`] — the inclusion (`IT`) and exclusion (`ET`)
+//!   transformation functions over [`dce_document::Op`], with original
+//!   position + site-identifier tie-breaking for concurrent insertions;
+//! * [`transpose`] — reordering of two adjacent log requests while
+//!   preserving the combined document effect;
+//! * [`log`] — the request log, kept **canonical** (every insertion before
+//!   every deletion/update) exactly as §5 of the paper requires;
+//! * [`engine`] — the per-site integration engine providing the paper's
+//!   `ComputeBF` (broadcast a request in *base form*, i.e. in the context of
+//!   its semantic-dependency chain only), `ComputeFF` (replay a remote base
+//!   form against the local log), `Canonize`, and the retroactive `Undo`
+//!   used for optimistic policy enforcement.
+//!
+//! Dependency tracking uses the paper's *dependency tree* technique: each
+//! request carries the identity of the single request it directly depends on
+//! (the last request that touched the element it operates on), so request
+//! size is independent of group size.
+//!
+//! ```
+//! use dce_document::{CharDocument, Op};
+//! use dce_ot::engine::Engine;
+//!
+//! // Fig. 1(b): two sites, concurrent Ins(2,'f') and Del(6,'e') on "efecte".
+//! let mut s1 = Engine::new(1, CharDocument::from_str("efecte"));
+//! let mut s2 = Engine::new(2, CharDocument::from_str("efecte"));
+//! let q1 = s1.generate(Op::ins(2, 'f')).unwrap();
+//! let q2 = s2.generate(Op::del(6, 'e')).unwrap();
+//! s1.integrate(&q2).unwrap();
+//! s2.integrate(&q1).unwrap();
+//! assert_eq!(s1.document().to_string(), "effect");
+//! assert_eq!(s2.document().to_string(), "effect");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod engine;
+pub mod error;
+pub mod ids;
+pub mod log;
+pub mod transform;
+pub mod transpose;
+
+pub use buffer::{Buffer, Cell};
+pub use engine::{BroadcastRequest, Engine, EngineMetrics};
+pub use error::{ExcludeError, IntegrateError, OtError};
+pub use ids::{RequestId, SiteId};
+pub use log::{Log, LogEntry};
+pub use transform::{exclude, include, TOp};

@@ -1,0 +1,195 @@
+//! Transposition of adjacent requests in a log.
+//!
+//! `transpose(o1, o2)` takes two operations executed in the order
+//! `o1; o2` and returns `(o2', o1')` such that executing `o2'; o1'` yields
+//! the same document state. It is the primitive both `Canonize` (keeping the
+//! log canonical) and `ComputeBF`/`Undo` (moving a request across the log)
+//! are built from:
+//!
+//! * `o2' = ET(o2, o1)` — express `o2` as if `o1` had not run;
+//! * `o1' = IT(o1, o2')` — then make `o1` include `o2'`'s effect.
+//!
+//! Transposition fails exactly when `o2` semantically depends on `o1`
+//! (for instance `o1` inserted the element `o2` deletes); dependent pairs
+//! are never reordered.
+
+use crate::error::ExcludeError;
+use crate::transform::{exclude, include, TOp};
+use dce_document::Element;
+
+/// Swaps the execution order of the adjacent pair `o1; o2`.
+///
+/// Returns `(o2', o1')` with `o2'; o1'` effect-equivalent to `o1; o2`, or an
+/// [`ExcludeError`] when `o2` depends on `o1`.
+pub fn transpose<E: Element>(
+    o1: &TOp<E>,
+    o2: &TOp<E>,
+) -> Result<(TOp<E>, TOp<E>), ExcludeError> {
+    use dce_document::Op::Ins;
+    // Two sequential insertions need order-aware handling: when `o2` landed
+    // at or before `o1`'s element, the user placed it to the *left*, so after
+    // swapping, `o1` must shift right — regardless of the concurrency
+    // tie-break `include` would apply on a position tie.
+    if let (Ins { pos: p1, .. }, Ins { pos: p2, .. }) = (&o1.op, &o2.op) {
+        return Ok(if *p2 <= *p1 {
+            (o2.clone(), o1.with_op(o1.op.clone().with_pos(p1 + 1)))
+        } else {
+            (o2.with_op(o2.op.clone().with_pos(p2 - 1)), o1.clone())
+        });
+    }
+    // Sequential same-position updates: the later one (`o2`) overwrote the
+    // earlier, so after the swap `o1` becomes an identity update of `o2`'s
+    // value — regardless of the site-id winner `include` would pick for
+    // *concurrent* updates. (Identity rather than `Nop` so the entry keeps a
+    // position and stays on the cell's provenance chain.)
+    if let (
+        dce_document::Op::Up { pos: p1, .. },
+        dce_document::Op::Up { pos: p2, new: n2, .. },
+    ) = (&o1.op, &o2.op)
+    {
+        if p1 == p2 {
+            let o2_prime = exclude(o2, o1)?;
+            return Ok((
+                o2_prime,
+                o1.with_op(dce_document::Op::Up { pos: *p1, old: n2.clone(), new: n2.clone() }),
+            ));
+        }
+    }
+    let o2_prime = exclude(o2, o1)?;
+    let o1_prime = include(o1, &o2_prime);
+    Ok((o2_prime, o1_prime))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Buffer;
+    use dce_document::{Char, CharDocument, Op};
+
+    fn t(op: Op<Char>, site: u32) -> TOp<Char> {
+        TOp::new(op, site)
+    }
+
+    /// Asserts that transposing preserves the combined effect on `state`
+    /// (compared on the full internal buffers, tombstones included where
+    /// they matter for visibility).
+    fn assert_transpose_equivalent(state: &str, o1: TOp<Char>, o2_ops: Op<Char>) {
+        let base = Buffer::from_document(&CharDocument::from_str(state));
+
+        // Sequential execution o1; o2 — o2 is given in the context after o1.
+        let mut b_seq = base.clone();
+        b_seq.apply(&o1.op, None, None).unwrap();
+        let o2 = t(o2_ops, 2);
+        b_seq.apply(&o2.op, None, None).unwrap();
+
+        let (o2p, o1p) = transpose(&o1, &o2).expect("transpose defined");
+        let mut b_swapped = base.clone();
+        b_swapped.apply(&o2p.op, None, None).expect("o2' applies to base");
+        b_swapped.apply(&o1p.op, None, None).expect("o1' applies after o2'");
+
+        assert_eq!(
+            b_seq.visible_string(),
+            b_swapped.visible_string(),
+            "transpose changed visible effect for {o1} ; {o2}"
+        );
+    }
+
+    #[test]
+    fn transpose_ins_then_del_independent() {
+        assert_transpose_equivalent("abc", t(Op::ins(2, 'x'), 1), Op::del(4, 'c'));
+    }
+
+    #[test]
+    fn transpose_del_then_ins() {
+        // Tombstones: Del(1,'a') leaves the cell in place; Ins(2,'y') lands
+        // right after it.
+        assert_transpose_equivalent("abc", t(Op::del(1, 'a'), 1), Op::ins(2, 'y'));
+    }
+
+    #[test]
+    fn transpose_two_deletions() {
+        assert_transpose_equivalent("abcd", t(Op::del(2, 'b'), 1), Op::del(3, 'c'));
+        assert_transpose_equivalent("abcd", t(Op::del(3, 'c'), 1), Op::del(2, 'b'));
+    }
+
+    #[test]
+    fn transpose_two_insertions_every_offset() {
+        for p1 in 1..=4usize {
+            for p2 in 1..=5usize {
+                assert_transpose_equivalent("abc", t(Op::ins(p1, 'x'), 1), Op::ins(p2, 'y'));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_two_insertions_preserves_relative_order() {
+        // o1 = Ins(2,'x'); o2 = Ins(2,'y') placed deliberately before 'x'.
+        let o1 = t(Op::ins(2, 'x'), 1);
+        let o2 = t(Op::ins(2, 'y'), 2);
+        let (o2p, o1p) = transpose(&o1, &o2).unwrap();
+        assert_eq!(o2p.op.pos(), Some(2));
+        assert_eq!(o1p.op.pos(), Some(3));
+        let mut b = Buffer::from_document(&CharDocument::from_str("abc"));
+        b.apply(&o2p.op, None, None).unwrap();
+        b.apply(&o1p.op, None, None).unwrap();
+        assert_eq!(b.visible_string(), "ayxbc");
+    }
+
+    #[test]
+    fn transpose_update_pairs() {
+        assert_transpose_equivalent("abc", t(Op::up(1, 'a', 'A'), 1), Op::up(3, 'c', 'C'));
+        assert_transpose_equivalent("abc", t(Op::del(2, 'b'), 1), Op::up(3, 'c', 'C'));
+        assert_transpose_equivalent("abc", t(Op::up(2, 'b', 'B'), 1), Op::del(1, 'a'));
+        assert_transpose_equivalent("abc", t(Op::ins(3, 'x'), 1), Op::up(1, 'a', 'A'));
+        assert_transpose_equivalent("abc", t(Op::ins(3, 'x'), 1), Op::up(4, 'c', 'C'));
+    }
+
+    #[test]
+    fn transpose_rejects_dependent_pair() {
+        // o2 deletes the cell o1 inserted.
+        let o1 = t(Op::ins(2, 'x'), 1);
+        let o2 = t(Op::del(2, 'x'), 2);
+        assert!(transpose(&o1, &o2).is_err());
+        // o2 updates the cell o1 inserted.
+        let o2 = t(Op::up(2, 'x', 'y'), 2);
+        assert!(transpose(&o1, &o2).is_err());
+    }
+
+    #[test]
+    fn transpose_chained_updates_rewrites_values() {
+        // o2 chains on the value o1 wrote to a pre-existing element: the
+        // swap folds the value history (b→x→z becomes b→z) and absorbs o1.
+        let o1 = t(Op::up(2, 'b', 'x'), 1);
+        let o2 = t(Op::up(2, 'x', 'z'), 2);
+        let (o2p, o1p) = transpose(&o1, &o2).unwrap();
+        assert_eq!(o2p.op, Op::up(2, 'b', 'z'));
+        assert_eq!(o1p.op, Op::up(2, 'z', 'z'));
+        let mut b = Buffer::from_document(&CharDocument::from_str("abc"));
+        b.apply(&o2p.op, None, None).unwrap();
+        b.apply(&o1p.op, None, None).unwrap();
+        assert_eq!(b.visible_string(), "azc");
+    }
+
+    #[test]
+    fn transpose_absorbs_earlier_update_regardless_of_sites() {
+        // Same as above but with the site order reversed: the later update
+        // must still win (order, not site id, decides sequential pairs).
+        let o1 = t(Op::up(2, 'b', 'x'), 9);
+        let o2 = t(Op::up(2, 'x', 'z'), 3);
+        let (o2p, o1p) = transpose(&o1, &o2).unwrap();
+        assert_eq!(o2p.op, Op::up(2, 'b', 'z'));
+        assert_eq!(o1p.op, Op::up(2, 'z', 'z'));
+    }
+
+    #[test]
+    fn transpose_nop_pairs_are_trivial() {
+        let o1 = t(Op::ins(1, 'x'), 1);
+        let nop = t(Op::Nop, 2);
+        let (a, b) = transpose(&o1, &nop).unwrap();
+        assert!(a.op.is_nop());
+        assert_eq!(b.op, o1.op);
+        let (a, b) = transpose(&nop, &o1).unwrap();
+        assert_eq!(a.op, o1.op);
+        assert!(b.op.is_nop());
+    }
+}

@@ -1,0 +1,277 @@
+//! Randomized convergence tests for the OT engine.
+//!
+//! These are the strongest correctness checks in the crate: N sites generate
+//! random operations concurrently, every broadcast request is delivered to
+//! every other site in a random (causally ready) order, and all replicas
+//! must end in the identical state. This covers the TP1/TP2 territory the
+//! paper's framework claims to handle via canonical logs, for every mix of
+//! insertions, deletions and updates.
+
+use dce_document::{Char, CharDocument, Op};
+use dce_ot::engine::{BroadcastRequest, Engine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A site-local plan: how many operations the site generates, drawn from a
+/// seeded RNG against its live document (so positions are always valid).
+fn generate_round(
+    engine: &mut Engine<Char>,
+    rng: &mut StdRng,
+    ops: usize,
+    next_char: &mut u32,
+) -> Vec<BroadcastRequest<Char>> {
+    let mut out = Vec::new();
+    for _ in 0..ops {
+        let len = engine.document().len();
+        let choice = rng.gen_range(0..100);
+        let op = if len == 0 || choice < 45 {
+            let pos = rng.gen_range(1..=len + 1);
+            let c = char::from_u32('a' as u32 + (*next_char % 26)).unwrap();
+            *next_char += 1;
+            Op::ins(pos, c)
+        } else if choice < 80 {
+            let pos = rng.gen_range(1..=len);
+            let elem = *engine.document().get(pos).unwrap();
+            Op::Del { pos, elem }
+        } else {
+            let pos = rng.gen_range(1..=len);
+            let old = *engine.document().get(pos).unwrap();
+            let c = char::from_u32('A' as u32 + (*next_char % 26)).unwrap();
+            *next_char += 1;
+            Op::up(pos, old, c)
+        };
+        out.push(engine.generate(op).expect("locally valid op"));
+    }
+    out
+}
+
+/// Delivers `requests` to `engine` in the given order, deferring requests
+/// that are not yet causally ready (as the real reception queue `F` does).
+fn deliver_all(engine: &mut Engine<Char>, mut pending: Vec<BroadcastRequest<Char>>) {
+    let mut progress = true;
+    while !pending.is_empty() && progress {
+        progress = false;
+        let mut still = Vec::new();
+        for req in pending {
+            if engine.has_seen(req.id) {
+                progress = true;
+                continue;
+            }
+            if engine.is_ready(&req) {
+                engine.integrate(&req).expect("ready request integrates");
+                progress = true;
+            } else {
+                still.push(req);
+            }
+        }
+        pending = still;
+    }
+    assert!(pending.is_empty(), "requests stuck un-ready: {:?}", pending.len());
+}
+
+/// Runs a full scenario: each of `n_sites` sites generates `ops_per_site`
+/// operations concurrently (one burst, no intermediate sync), then all
+/// requests are delivered everywhere in per-site random orders.
+fn run_scenario(seed: u64, n_sites: u32, ops_per_site: usize, initial: &str) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engines: Vec<Engine<Char>> = (1..=n_sites)
+        .map(|s| Engine::new(s, CharDocument::from_str(initial)))
+        .collect();
+
+    let mut next_char = 0;
+    let mut all: Vec<Vec<BroadcastRequest<Char>>> = Vec::new();
+    for engine in engines.iter_mut() {
+        let reqs = generate_round(engine, &mut rng, ops_per_site, &mut next_char);
+        all.push(reqs);
+    }
+
+    for (i, engine) in engines.iter_mut().enumerate() {
+        let mut incoming: Vec<BroadcastRequest<Char>> = all
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .flat_map(|(_, reqs)| reqs.iter().cloned())
+            .collect();
+        incoming.shuffle(&mut rng);
+        deliver_all(engine, incoming);
+    }
+
+    let reference = engines[0].document().to_string();
+    for engine in &engines {
+        assert_eq!(
+            engine.document().to_string(),
+            reference,
+            "divergence at site {} (seed {seed}, {n_sites} sites, {ops_per_site} ops)",
+            engine.site()
+        );
+        assert!(engine.log().is_canonical(), "non-canonical log at site {}", engine.site());
+    }
+}
+
+/// Multi-round variant: sites sync fully between rounds, so later operations
+/// causally depend on transformed remote operations — exercising dependency
+/// chains across elements created by other sites.
+fn run_multi_round(seed: u64, n_sites: u32, rounds: usize, ops_per_round: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engines: Vec<Engine<Char>> = (1..=n_sites)
+        .map(|s| Engine::new(s, CharDocument::from_str("base")))
+        .collect();
+    let mut next_char = 0;
+
+    for _ in 0..rounds {
+        let mut all: Vec<Vec<BroadcastRequest<Char>>> = Vec::new();
+        for engine in engines.iter_mut() {
+            let reqs = generate_round(engine, &mut rng, ops_per_round, &mut next_char);
+            all.push(reqs);
+        }
+        for (i, engine) in engines.iter_mut().enumerate() {
+            let mut incoming: Vec<BroadcastRequest<Char>> = all
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .flat_map(|(_, reqs)| reqs.iter().cloned())
+                .collect();
+            incoming.shuffle(&mut rng);
+            deliver_all(engine, incoming);
+        }
+        let reference = engines[0].document().to_string();
+        for engine in &engines {
+            assert_eq!(engine.document().to_string(), reference, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn two_sites_small_bursts() {
+    for seed in 0..200 {
+        run_scenario(seed, 2, 3, "abc");
+    }
+}
+
+#[test]
+fn three_sites_small_bursts() {
+    for seed in 200..400 {
+        run_scenario(seed, 3, 3, "abcd");
+    }
+}
+
+#[test]
+fn five_sites_larger_bursts() {
+    for seed in 400..460 {
+        run_scenario(seed, 5, 5, "hello world");
+    }
+}
+
+#[test]
+fn empty_initial_document() {
+    for seed in 500..560 {
+        run_scenario(seed, 3, 4, "");
+    }
+}
+
+#[test]
+fn multi_round_dependency_chains() {
+    for seed in 600..640 {
+        run_multi_round(seed, 3, 3, 3);
+    }
+}
+
+#[test]
+fn many_sites_single_op_each() {
+    for seed in 700..760 {
+        run_scenario(seed, 8, 1, "xy");
+    }
+}
+
+/// After convergence, undoing the same request at every site must keep the
+/// replicas identical (the retroactive-enforcement primitive of §4.2).
+fn run_undo_scenario(seed: u64, n_sites: u32, ops_per_site: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engines: Vec<Engine<Char>> = (1..=n_sites)
+        .map(|s| Engine::new(s, CharDocument::from_str("abcdef")))
+        .collect();
+    let mut next_char = 0;
+    let mut all: Vec<Vec<BroadcastRequest<Char>>> = Vec::new();
+    for engine in engines.iter_mut() {
+        all.push(generate_round(engine, &mut rng, ops_per_site, &mut next_char));
+    }
+    for (i, engine) in engines.iter_mut().enumerate() {
+        let mut incoming: Vec<BroadcastRequest<Char>> = all
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .flat_map(|(_, reqs)| reqs.iter().cloned())
+            .collect();
+        incoming.shuffle(&mut rng);
+        deliver_all(engine, incoming);
+    }
+
+    // Undo a random subset of requests (same set everywhere, random count).
+    let mut victims: Vec<_> = all.iter().flatten().map(|r| r.id).collect();
+    victims.shuffle(&mut rng);
+    victims.truncate(rng.gen_range(1..=victims.len()));
+    for victim in victims {
+        let mut undone_sets = Vec::new();
+        for engine in engines.iter_mut() {
+            match engine.undo(victim) {
+                Ok(mut ids) => {
+                    ids.sort();
+                    undone_sets.push(ids);
+                }
+                Err(dce_ot::OtError::AlreadyInert(_)) => undone_sets.push(Vec::new()),
+                Err(e) => panic!("undo failed at site {}: {e}", engine.site()),
+            }
+        }
+        // Every site must have undone the same cascade.
+        for w in undone_sets.windows(2) {
+            assert_eq!(w[0], w[1], "cascades differ (seed {seed})");
+        }
+        let reference = engines[0].document().to_string();
+        for engine in &engines {
+            assert_eq!(
+                engine.document().to_string(),
+                reference,
+                "divergence after undoing {victim} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn undo_scenarios_converge() {
+    for seed in 800..880 {
+        run_undo_scenario(seed, 3, 4);
+    }
+}
+
+#[test]
+fn heavy_bursts_converge() {
+    for seed in 900..930 {
+        run_scenario(seed, 4, 8, "the quick brown fox");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn proptest_random_scenarios(
+        seed in any::<u64>(),
+        n_sites in 2u32..5,
+        ops in 1usize..6,
+    ) {
+        run_scenario(seed, n_sites, ops, "abcdef");
+    }
+
+    #[test]
+    fn proptest_multi_round(seed in any::<u64>(), rounds in 1usize..4) {
+        run_multi_round(seed, 3, rounds, 2);
+    }
+
+    #[test]
+    fn proptest_undo(seed in any::<u64>(), n_sites in 2u32..4, ops in 1usize..5) {
+        run_undo_scenario(seed, n_sites, ops);
+    }
+}

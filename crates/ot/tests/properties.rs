@@ -1,0 +1,230 @@
+//! Property-based tests of the transformation algebra and the engine's
+//! structural invariants, beyond the exhaustive small-state checks in the
+//! unit tests.
+
+use dce_document::{Char, CharDocument, Document, Op, Paragraph};
+use dce_ot::buffer::Buffer;
+use dce_ot::engine::Engine;
+use dce_ot::transform::{exclude, include, TOp};
+use dce_ot::transpose::transpose;
+use proptest::prelude::*;
+
+const STATE: &str = "abcdefgh";
+
+fn arb_op(site: u32, len: usize) -> impl Strategy<Value = TOp<Char>> {
+    let state: Vec<char> = STATE.chars().collect();
+    let state2 = state.clone();
+    prop_oneof![
+        (1..=len + 1, proptest::char::range('a', 'z'))
+            .prop_map(move |(p, c)| TOp::new(Op::ins(p, c), site)),
+        (1..=len).prop_map(move |p| TOp::new(Op::del(p, state[p - 1]), site)),
+        (1..=len, proptest::char::range('A', 'Z'))
+            .prop_map(move |(p, c)| TOp::new(Op::up(p, state2[p - 1], c), site)),
+        Just(TOp::new(Op::Nop, site)),
+    ]
+}
+
+fn buffer() -> Buffer<Char> {
+    Buffer::from_document(&CharDocument::from_str(STATE))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// TP1 over random operation pairs, on internal buffers.
+    #[test]
+    fn tp1_random(o1 in arb_op(1, STATE.len()), o2 in arb_op(2, STATE.len())) {
+        let mut b1 = buffer();
+        b1.apply(&o1.op, None, None).unwrap();
+        b1.apply(&include(&o2, &o1).op, None, None).unwrap();
+        let mut b2 = buffer();
+        b2.apply(&o2.op, None, None).unwrap();
+        b2.apply(&include(&o1, &o2).op, None, None).unwrap();
+        prop_assert_eq!(b1.visible_string(), b2.visible_string());
+    }
+
+    /// TP2 over random triples: the form of o3 is independent of the
+    /// order in which the two concurrent operations are folded in.
+    #[test]
+    fn tp2_random(
+        o1 in arb_op(1, STATE.len()),
+        o2 in arb_op(2, STATE.len()),
+        o3 in arb_op(3, STATE.len()),
+    ) {
+        let a = include(&include(&o3, &o1), &include(&o2, &o1));
+        let b = include(&include(&o3, &o2), &include(&o1, &o2));
+        prop_assert_eq!(a.op, b.op);
+    }
+
+    /// Transposition preserves the combined effect for sequential pairs
+    /// generated on live states.
+    #[test]
+    fn transpose_preserves_effect(o1 in arb_op(1, STATE.len()), idx in 0usize..24) {
+        let mut seq = buffer();
+        seq.apply(&o1.op, None, None).unwrap();
+        // Derive a second op valid on the post-o1 visible state.
+        let vis = seq.visible();
+        let len = vis.len();
+        if len == 0 { return Ok(()); }
+        let p = idx % len + 1;
+        let internal = seq.internal_target_pos(p).unwrap();
+        let elem = seq.cell(internal).unwrap().elem;
+        let o2 = TOp::new(
+            if idx % 2 == 0 {
+                Op::Del { pos: internal, elem }
+            } else {
+                Op::Up { pos: internal, old: elem, new: Char('Z') }
+            },
+            2,
+        );
+        seq.apply(&o2.op, None, None).unwrap();
+
+        // Dependent pairs may refuse to transpose; that is correct.
+        if let Ok((o2p, o1p)) = transpose(&o1, &o2) {
+            let mut swapped = buffer();
+            swapped.apply(&o2p.op, None, None).unwrap();
+            swapped.apply(&o1p.op, None, None).unwrap();
+            prop_assert_eq!(seq.visible_string(), swapped.visible_string());
+        }
+    }
+
+    /// Exclusion inverts inclusion whenever the operation survives intact.
+    #[test]
+    fn et_inverts_it(o1 in arb_op(1, STATE.len()), o2 in arb_op(2, STATE.len())) {
+        let included = include(&o1, &o2);
+        let absorbed = matches!(
+            (&included.op, &o1.op),
+            (Op::Up { old, new, .. }, Op::Up { old: a, new: b, .. })
+                if old == new && (a, b) != (old, new)
+        );
+        if absorbed { return Ok(()); }
+        if let Ok(back) = exclude(&included, &o2) {
+            prop_assert_eq!(back.op, o1.op);
+        }
+    }
+
+    /// Inclusion never changes an operation's kind, except update
+    /// absorption (which keeps the Up kind anyway) — i.e. kinds are stable.
+    #[test]
+    fn kinds_are_stable(o1 in arb_op(1, STATE.len()), o2 in arb_op(2, STATE.len())) {
+        prop_assert_eq!(include(&o1, &o2).op.kind(), o1.op.kind());
+    }
+}
+
+// Engine invariants after arbitrary local activity.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn local_logs_stay_canonical(choices in proptest::collection::vec((0u8..3, 0usize..32, any::<u8>()), 1..40)) {
+        let mut e = Engine::new(1, CharDocument::from_str(STATE));
+        for (kind, raw_pos, c) in choices {
+            let len = e.document().len();
+            match kind {
+                0 => {
+                    let pos = raw_pos % (len + 1) + 1;
+                    e.generate(Op::ins(pos, (b'a' + c % 26) as char)).unwrap();
+                }
+                1 if len > 0 => {
+                    let pos = raw_pos % len + 1;
+                    let elem = *e.document().get(pos).unwrap();
+                    e.generate(Op::Del { pos, elem }).unwrap();
+                }
+                _ if len > 0 => {
+                    let pos = raw_pos % len + 1;
+                    let old = *e.document().get(pos).unwrap();
+                    e.generate(Op::up(pos, old, (b'A' + c % 26) as char)).unwrap();
+                }
+                _ => {}
+            }
+            prop_assert!(e.log().is_canonical());
+        }
+        // The buffer's visible view equals replaying nothing: documents
+        // never contain ghosts.
+        prop_assert_eq!(e.document().len(), e.buffer().visible_len());
+    }
+
+    /// Undoing every request in any order returns to D0.
+    #[test]
+    fn undo_everything_returns_to_initial(
+        n_ops in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut e = Engine::new(1, CharDocument::from_str(STATE));
+        let mut ids = Vec::new();
+        for i in 0..n_ops {
+            let len = e.document().len();
+            let op = if len == 0 || rng.gen_bool(0.5) {
+                Op::ins(rng.gen_range(1..=len + 1), (b'a' + (i % 26) as u8) as char)
+            } else if rng.gen_bool(0.5) {
+                let p = rng.gen_range(1..=len);
+                Op::Del { pos: p, elem: *e.document().get(p).unwrap() }
+            } else {
+                let p = rng.gen_range(1..=len);
+                Op::up(p, *e.document().get(p).unwrap(), (b'A' + (i % 26) as u8) as char)
+            };
+            ids.push(e.generate(op).unwrap().id);
+        }
+        ids.shuffle(&mut rng);
+        for id in ids {
+            match e.undo(id) {
+                Ok(_) => {}
+                Err(dce_ot::OtError::AlreadyInert(_)) => {} // undone as a dependent
+                Err(other) => return Err(TestCaseError::fail(format!("{other}"))),
+            }
+        }
+        prop_assert_eq!(e.document().to_string(), STATE);
+    }
+}
+
+/// The whole engine works identically for non-character elements.
+#[test]
+fn paragraph_elements_converge() {
+    let d0: Document<Paragraph> = Document::from_elements(vec![
+        Paragraph::styled("Title", "h1"),
+        Paragraph::new("Body."),
+    ]);
+    let mut s1 = Engine::new(1, d0.clone());
+    let mut s2 = Engine::new(2, d0);
+    let q1 = s1.generate(Op::Ins { pos: 2, elem: Paragraph::new("Abstract.") }).unwrap();
+    let q2 = s2
+        .generate(Op::Up {
+            pos: 2,
+            old: Paragraph::new("Body."),
+            new: Paragraph::new("Improved body."),
+        })
+        .unwrap();
+    let q3 = s2.generate(Op::Ins { pos: 3, elem: Paragraph::styled("Refs", "h2") }).unwrap();
+    s1.integrate(&q2).unwrap();
+    s1.integrate(&q3).unwrap();
+    s2.integrate(&q1).unwrap();
+    assert_eq!(s1.document(), s2.document());
+    let rendered: Vec<String> = s1.document().iter().map(|p| p.to_string()).collect();
+    assert_eq!(
+        rendered,
+        vec![
+            "<h1>Title</h1>",
+            "<p>Abstract.</p>",
+            "<p>Improved body.</p>",
+            "<h2>Refs</h2>",
+        ]
+    );
+}
+
+/// Integer elements: the document model is fully generic.
+#[test]
+fn integer_elements_converge() {
+    let d0: Document<u64> = Document::from_elements(vec![10, 20, 30]);
+    let mut s1 = Engine::new(1, d0.clone());
+    let mut s2 = Engine::new(2, d0);
+    let q1 = s1.generate(Op::Ins { pos: 1, elem: 5 }).unwrap();
+    let q2 = s2.generate(Op::Del { pos: 3, elem: 30 }).unwrap();
+    s1.integrate(&q2).unwrap();
+    s2.integrate(&q1).unwrap();
+    assert_eq!(s1.document().as_slice(), &[5, 10, 20]);
+    assert_eq!(s2.document().as_slice(), &[5, 10, 20]);
+}

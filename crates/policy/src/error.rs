@@ -1,0 +1,67 @@
+//! Policy-layer errors.
+
+use crate::subject::UserId;
+use std::fmt;
+
+/// Failures applying administrative operations to a policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyError {
+    /// `AddAuth`/`DelAuth` addressed a position beyond the authorization
+    /// list.
+    AuthIndexOutOfRange {
+        /// Offending index.
+        index: usize,
+        /// Current list length.
+        len: usize,
+    },
+    /// `DelAuth` named an authorization that does not match the entry at
+    /// the given position (the administrator's view was stale).
+    AuthMismatch {
+        /// Position addressed.
+        index: usize,
+    },
+    /// `AddUser` for a user already in `S`.
+    DuplicateUser(UserId),
+    /// `DelUser` for a user not in `S`.
+    UnknownUser(UserId),
+    /// `AddObj` with a name already registered.
+    DuplicateObject(String),
+    /// `DelObj` for a name that is not registered.
+    UnknownObject(String),
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::AuthIndexOutOfRange { index, len } => {
+                write!(f, "authorization index {index} out of range (len {len})")
+            }
+            PolicyError::AuthMismatch { index } => {
+                write!(f, "authorization at index {index} does not match the one to delete")
+            }
+            PolicyError::DuplicateUser(u) => write!(f, "user s{u} already in the group"),
+            PolicyError::UnknownUser(u) => write!(f, "user s{u} not in the group"),
+            PolicyError::DuplicateObject(n) => write!(f, "object #{n} already registered"),
+            PolicyError::UnknownObject(n) => write!(f, "object #{n} not registered"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(PolicyError::AuthIndexOutOfRange { index: 4, len: 2 }
+            .to_string()
+            .contains("index 4"));
+        assert!(PolicyError::DuplicateUser(7).to_string().contains("s7"));
+        assert!(PolicyError::UnknownObject("x".into()).to_string().contains("#x"));
+        assert!(PolicyError::AuthMismatch { index: 1 }.to_string().contains("index 1"));
+        assert!(PolicyError::UnknownUser(3).to_string().contains("s3"));
+        assert!(PolicyError::DuplicateObject("o".into()).to_string().contains("#o"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # dce-policy — the replicated authorization policy object
+//!
+//! The paper's shared *policy object* (§3.2): an ordered list of signed
+//! authorizations `⟨S, O, R, ω⟩` evaluated with **first-match** semantics,
+//! replicated at every site and mutated only by the group administrator
+//! through administrative operations. This crate provides:
+//!
+//! * [`Right`] — the access rights `rR` (read), `iR` (insert), `dR`
+//!   (delete), `uR` (update);
+//! * [`Subject`] / [`DocObject`] — who an authorization covers and which
+//!   part of the shared document it protects;
+//! * [`Authorization`] — one signed policy entry;
+//! * [`Policy`] — the versioned policy state `⟨P, S, O⟩` with
+//!   `check(user, action)` (the paper's `Check_Local`);
+//! * [`AdminOp`] / [`AdminRequest`] / [`AdminLog`] — administrative
+//!   operations (`AddUser`, `DelUser`, `AddObj`, `DelObj`, `AddAuth`,
+//!   `DelAuth`, plus the version-bumping `Validate`), their totally ordered
+//!   requests, and the administrative log `L` used by `Check_Remote`.
+//!
+//! ```
+//! use dce_policy::{Authorization, DocObject, Policy, Right, Sign, Subject, Action};
+//!
+//! let mut policy = Policy::new();
+//! policy.add_user(1);
+//! policy.add_auth_at(0, Authorization::new(
+//!     Subject::All, DocObject::Document, [Right::Insert, Right::Delete], Sign::Plus,
+//! )).unwrap();
+//! assert!(policy.check(1, &Action::new(Right::Insert, Some(3))).granted());
+//! assert!(!policy.check(1, &Action::new(Right::Update, Some(3))).granted());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod auth;
+pub mod error;
+pub mod normalize;
+pub mod object;
+pub mod policy;
+pub mod right;
+pub mod subject;
+
+pub use admin::{AdminLog, AdminOp, AdminRequest};
+pub use auth::{Authorization, Sign};
+pub use error::PolicyError;
+pub use normalize::{dead_entries, normalize};
+pub use object::DocObject;
+pub use policy::{Action, Decision, Policy, PolicyVersion};
+pub use right::Right;
+pub use subject::{Subject, UserId};

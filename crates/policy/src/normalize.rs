@@ -1,0 +1,251 @@
+//! Policy normalization: removing authorizations that can never fire.
+//!
+//! §6 of the paper benchmarks against a policy that "is not optimized
+//! (i.e. it contains authorization redundancies)". Under first-match
+//! semantics an authorization is *dead* if every access it matches is
+//! already matched by an earlier entry — whatever the signs, the earlier
+//! entry decides first. [`normalize`] removes such entries, shrinking the
+//! list the checker scans without changing a single decision; the
+//! equivalence is property-tested below and benchmarked as an ablation in
+//! `dce-bench`.
+//!
+//! Shadowing is decided by a *sound, conservative* coverage relation
+//! (`⊒`): we only remove an entry when an earlier one provably covers it
+//! for every possible access. Group subjects and named objects are only
+//! compared by name (their definitions can change after normalization).
+
+use crate::auth::Authorization;
+use crate::object::DocObject;
+use crate::policy::Policy;
+use crate::subject::Subject;
+
+/// `true` when `outer` matches every user `inner` matches, regardless of
+/// the policy state (conservative: group names must coincide).
+fn subject_covers(outer: &Subject, inner: &Subject) -> bool {
+    match (outer, inner) {
+        (Subject::All, _) => true,
+        (Subject::User(a), Subject::User(b)) => a == b,
+        (Subject::Users(set), Subject::User(b)) => set.contains(b),
+        (Subject::Users(a), Subject::Users(b)) => b.is_subset(a),
+        (Subject::User(a), Subject::Users(b)) => b.len() == 1 && b.contains(a),
+        (Subject::Group(a), Subject::Group(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// `true` when `outer` matches every position `inner` matches.
+fn object_covers(outer: &DocObject, inner: &DocObject) -> bool {
+    match (outer, inner) {
+        (DocObject::Document, _) => true,
+        (DocObject::Element(a), DocObject::Element(b)) => a == b,
+        (DocObject::Range { from, to }, DocObject::Element(p)) => p >= from && p <= to,
+        (DocObject::Range { from: f1, to: t1 }, DocObject::Range { from: f2, to: t2 }) => {
+            f1 <= f2 && t1 >= t2
+        }
+        (DocObject::Element(a), DocObject::Range { from, to }) => from == to && a == from,
+        (DocObject::Named(a), DocObject::Named(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// `true` when `outer` decides every access `inner` would decide.
+fn shadows(outer: &Authorization, inner: &Authorization) -> bool {
+    inner.rights.is_subset(&outer.rights)
+        && subject_covers(&outer.subject, &inner.subject)
+        && object_covers(&outer.object, &inner.object)
+}
+
+/// Returns the indices of dead authorizations in `policy` (empty-rights
+/// entries, and entries fully shadowed by an earlier one).
+pub fn dead_entries(policy: &Policy) -> Vec<usize> {
+    let auths = policy.authorizations();
+    let mut dead = Vec::new();
+    for (j, inner) in auths.iter().enumerate() {
+        if inner.rights.is_empty() {
+            dead.push(j);
+            continue;
+        }
+        if auths[..j].iter().any(|outer| shadows(outer, inner)) {
+            dead.push(j);
+        }
+    }
+    dead
+}
+
+/// Produces an equivalent policy with every dead authorization removed.
+/// The version counter is preserved (normalization is a local optimization,
+/// not an administrative operation).
+pub fn normalize(policy: &Policy) -> Policy {
+    let dead = dead_entries(policy);
+    if dead.is_empty() {
+        return policy.clone();
+    }
+    let mut out = policy.clone();
+    // Remove from the end so indices stay valid.
+    for j in dead.into_iter().rev() {
+        let auth = out.authorizations()[j].clone();
+        out.del_auth_at(j, &auth).expect("index valid");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Action;
+    use crate::right::Right;
+    use proptest::prelude::*;
+
+    fn grant_all() -> Authorization {
+        Authorization::grant(Subject::All, DocObject::Document, Right::ALL)
+    }
+
+    #[test]
+    fn shadowed_entries_are_detected() {
+        let mut p = Policy::permissive([1, 2]);
+        // Everything after the catch-all is dead.
+        p.add_auth_at(
+            1,
+            Authorization::grant(Subject::User(1), DocObject::Element(3), [Right::Insert]),
+        )
+        .unwrap();
+        p.add_auth_at(
+            2,
+            Authorization::revoke(Subject::User(2), DocObject::Document, [Right::Delete]),
+        )
+        .unwrap();
+        assert_eq!(dead_entries(&p), vec![1, 2]);
+        let n = normalize(&p);
+        assert_eq!(n.authorizations().len(), 1);
+        assert_eq!(n.version(), p.version());
+    }
+
+    #[test]
+    fn live_entries_are_kept() {
+        let mut p = Policy::new();
+        p.add_user(1);
+        p.add_auth_at(
+            0,
+            Authorization::revoke(Subject::User(1), DocObject::Range { from: 1, to: 3 }, [Right::Update]),
+        )
+        .unwrap();
+        p.add_auth_at(1, grant_all()).unwrap();
+        // The negative head is narrower than the grant below: both live.
+        assert!(dead_entries(&p).is_empty());
+        // A *wider* follow-up of the head is not shadowed by it either.
+        p.add_auth_at(
+            2,
+            Authorization::revoke(Subject::User(1), DocObject::Range { from: 1, to: 9 }, [Right::Update]),
+        )
+        .unwrap();
+        // …but it *is* shadowed by the catch-all grant at index 1.
+        assert_eq!(dead_entries(&p), vec![2]);
+    }
+
+    #[test]
+    fn empty_rights_are_dead() {
+        let mut p = Policy::new();
+        p.add_auth_at(0, Authorization::grant(Subject::All, DocObject::Document, []))
+            .unwrap();
+        assert_eq!(dead_entries(&p), vec![0]);
+        assert!(normalize(&p).authorizations().is_empty());
+    }
+
+    #[test]
+    fn coverage_relations() {
+        assert!(subject_covers(&Subject::All, &Subject::Group("g".into())));
+        assert!(subject_covers(&Subject::users([1, 2]), &Subject::User(2)));
+        assert!(!subject_covers(&Subject::users([1]), &Subject::users([1, 2])));
+        assert!(subject_covers(&Subject::User(1), &Subject::users([1])));
+        assert!(!subject_covers(&Subject::Group("a".into()), &Subject::Group("b".into())));
+        assert!(!subject_covers(&Subject::Group("a".into()), &Subject::User(1)));
+
+        assert!(object_covers(&DocObject::Document, &DocObject::Named("x".into())));
+        assert!(object_covers(
+            &DocObject::Range { from: 1, to: 9 },
+            &DocObject::Range { from: 2, to: 8 }
+        ));
+        assert!(object_covers(&DocObject::Range { from: 1, to: 9 }, &DocObject::Element(9)));
+        assert!(object_covers(&DocObject::Element(4), &DocObject::Range { from: 4, to: 4 }));
+        assert!(!object_covers(&DocObject::Element(4), &DocObject::Range { from: 4, to: 5 }));
+        assert!(!object_covers(&DocObject::Named("a".into()), &DocObject::Document));
+    }
+
+    // ---- property: normalization never changes a decision ----
+
+    fn arb_subject() -> impl Strategy<Value = Subject> {
+        prop_oneof![
+            Just(Subject::All),
+            (1u32..6).prop_map(Subject::User),
+            proptest::collection::btree_set(1u32..6, 1..4).prop_map(Subject::Users),
+            "[ab]".prop_map(Subject::Group),
+        ]
+    }
+
+    fn arb_object() -> impl Strategy<Value = DocObject> {
+        prop_oneof![
+            Just(DocObject::Document),
+            (1usize..10).prop_map(DocObject::Element),
+            (1usize..10, 0usize..5)
+                .prop_map(|(f, w)| DocObject::Range { from: f, to: f + w }),
+            "[xy]".prop_map(DocObject::Named),
+        ]
+    }
+
+    fn arb_auth() -> impl Strategy<Value = Authorization> {
+        (
+            arb_subject(),
+            arb_object(),
+            proptest::collection::btree_set(
+                prop_oneof![
+                    Just(Right::Read),
+                    Just(Right::Insert),
+                    Just(Right::Delete),
+                    Just(Right::Update)
+                ],
+                1..4,
+            ),
+            any::<bool>(),
+        )
+            .prop_map(|(s, o, r, pos)| {
+                Authorization::new(s, o, r, if pos { crate::auth::Sign::Plus } else { crate::auth::Sign::Minus })
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn normalization_preserves_every_decision(
+            auths in proptest::collection::vec(arb_auth(), 0..10),
+            checks in proptest::collection::vec(
+                ((1u32..6), (0u8..4), proptest::option::of(1usize..12)),
+                1..20
+            ),
+        ) {
+            let mut p = Policy::new();
+            for u in 1..6 {
+                p.add_user(u);
+            }
+            p.set_group("a", [1, 2]);
+            p.set_group("b", [3]);
+            p.add_object("x", DocObject::Range { from: 2, to: 6 }).unwrap();
+            p.add_object("y", DocObject::Element(1)).unwrap();
+            for (i, a) in auths.iter().enumerate() {
+                p.add_auth_at(i, a.clone()).unwrap();
+            }
+            let n = normalize(&p);
+            prop_assert!(n.authorizations().len() <= p.authorizations().len());
+            for (user, right_tag, pos) in checks {
+                let right = Right::ALL[right_tag as usize];
+                let action = Action::new(right, pos);
+                prop_assert_eq!(
+                    p.check(user, &action),
+                    n.check(user, &action),
+                    "user {} action {} original {} normalized {}",
+                    user, action, p, n
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Differential testing of the policy checker against a transparent
+//! reference implementation of Definition 2's first-match semantics,
+//! written independently (naive, allocation-happy, obviously correct).
+
+use dce_policy::{
+    Action, Authorization, Decision, DocObject, Policy, Right, Sign, Subject, UserId,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// The reference: resolve groups and named objects eagerly into explicit
+/// sets, then scan.
+fn reference_check(policy: &Policy, user: UserId, action: &Action) -> Decision {
+    if !policy.users().contains(&user) {
+        return Decision::DeniedUnknownUser;
+    }
+    for auth in policy.authorizations() {
+        // Subject resolution.
+        let subject_hit = match &auth.subject {
+            Subject::All => true,
+            Subject::User(u) => *u == user,
+            Subject::Users(set) => set.contains(&user),
+            Subject::Group(name) => policy
+                .groups()
+                .get(name)
+                .map(|members| members.contains(&user))
+                .unwrap_or(false),
+        };
+        if !subject_hit {
+            continue;
+        }
+        // Rights.
+        if !auth.rights.contains(&action.right) {
+            continue;
+        }
+        // Object resolution (one level of naming, as documented).
+        let object = match &auth.object {
+            DocObject::Named(name) => match policy.objects().get(name) {
+                Some(DocObject::Named(_)) | None => continue,
+                Some(other) => other.clone(),
+            },
+            other => other.clone(),
+        };
+        let object_hit = match object {
+            DocObject::Document => true,
+            DocObject::Element(p) => action.pos == Some(p),
+            DocObject::Range { from, to } => {
+                matches!(action.pos, Some(p) if p >= from && p <= to)
+            }
+            DocObject::Named(_) => unreachable!("resolved above"),
+        };
+        if !object_hit {
+            continue;
+        }
+        return match auth.sign {
+            Sign::Plus => Decision::Granted,
+            Sign::Minus => Decision::DeniedByAuth,
+        };
+    }
+    Decision::DeniedByDefault
+}
+
+fn arb_subject() -> impl Strategy<Value = Subject> {
+    prop_oneof![
+        Just(Subject::All),
+        (1u32..8).prop_map(Subject::User),
+        proptest::collection::btree_set(1u32..8, 1..4).prop_map(Subject::Users),
+        "[abc]".prop_map(Subject::Group),
+    ]
+}
+
+fn arb_object() -> impl Strategy<Value = DocObject> {
+    prop_oneof![
+        Just(DocObject::Document),
+        (1usize..15).prop_map(DocObject::Element),
+        (1usize..15, 0usize..6).prop_map(|(f, w)| DocObject::Range { from: f, to: f + w }),
+        "[xyz]".prop_map(DocObject::Named),
+    ]
+}
+
+fn arb_rights() -> impl Strategy<Value = BTreeSet<Right>> {
+    proptest::collection::btree_set(
+        prop_oneof![
+            Just(Right::Read),
+            Just(Right::Insert),
+            Just(Right::Delete),
+            Just(Right::Update)
+        ],
+        1..4,
+    )
+}
+
+fn arb_auth() -> impl Strategy<Value = Authorization> {
+    (arb_subject(), arb_object(), arb_rights(), any::<bool>()).prop_map(|(s, o, r, pos)| {
+        Authorization::new(s, o, r, if pos { Sign::Plus } else { Sign::Minus })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn production_checker_matches_reference(
+        auths in proptest::collection::vec(arb_auth(), 0..14),
+        users in proptest::collection::btree_set(1u32..8, 1..6),
+        checks in proptest::collection::vec(
+            ((1u32..9), (0u8..4), proptest::option::of(1usize..18)),
+            1..30
+        ),
+    ) {
+        let mut p = Policy::new();
+        for u in &users {
+            p.add_user(*u);
+        }
+        p.set_group("a", [1, 2, 3]);
+        p.set_group("b", [4]);
+        // "c" intentionally undefined.
+        p.add_object("x", DocObject::Range { from: 3, to: 9 }).unwrap();
+        p.add_object("y", DocObject::Element(2)).unwrap();
+        // "z" intentionally undefined.
+        for (i, a) in auths.iter().enumerate() {
+            p.add_auth_at(i, a.clone()).unwrap();
+        }
+        for (user, right_tag, pos) in checks {
+            let action = Action::new(Right::ALL[right_tag as usize], pos);
+            prop_assert_eq!(
+                p.check(user, &action),
+                reference_check(&p, user, &action),
+                "user {} action {} policy {}",
+                user, action, p
+            );
+        }
+    }
+
+    #[test]
+    fn normalized_policies_match_reference_too(
+        auths in proptest::collection::vec(arb_auth(), 0..10),
+        checks in proptest::collection::vec(
+            ((1u32..8), (0u8..4), proptest::option::of(1usize..18)),
+            1..20
+        ),
+    ) {
+        let mut p = Policy::new();
+        for u in 1..8 {
+            p.add_user(u);
+        }
+        p.set_group("a", [1, 2]);
+        p.add_object("x", DocObject::Range { from: 1, to: 5 }).unwrap();
+        for (i, a) in auths.iter().enumerate() {
+            p.add_auth_at(i, a.clone()).unwrap();
+        }
+        let n = dce_policy::normalize(&p);
+        for (user, right_tag, pos) in checks {
+            let action = Action::new(Right::ALL[right_tag as usize], pos);
+            prop_assert_eq!(
+                n.check(user, &action),
+                reference_check(&p, user, &action),
+                "user {} action {}",
+                user, action
+            );
+        }
+    }
+}

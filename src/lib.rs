@@ -1,0 +1,23 @@
+//! # dce — optimistic replicated access control for collaborative editors
+//!
+//! Umbrella crate re-exporting the full stack that reproduces
+//! *Imine, Cherif, Rusinowitch — "A Flexible Access Control Model for
+//! Distributed Collaborative Editors"* (SDM/VLDB workshops, 2009):
+//!
+//! * [`document`] — the linear shared-document model (`Ins`/`Del`/`Up`);
+//! * [`ot`] — the operational-transformation substrate with canonical logs;
+//! * [`policy`] — the replicated, versioned authorization policy object;
+//! * [`core`] — the paper's concurrency-control algorithm combining both;
+//! * [`net`] — a deterministic simulated P2P broadcast network;
+//! * [`baselines`] — comparison algorithms (naive, central-server, SDT/ABT);
+//! * [`editor`] — high-level collaborative sessions (the p2pEdit analog).
+//!
+//! See `examples/quickstart.rs` for a three-site session in ~40 lines.
+
+pub use dce_baselines as baselines;
+pub use dce_core as core;
+pub use dce_document as document;
+pub use dce_editor as editor;
+pub use dce_net as net;
+pub use dce_ot as ot;
+pub use dce_policy as policy;

@@ -1,0 +1,34 @@
+//! Shared helpers for the figure-replay integration tests.
+#![allow(dead_code)] // each test binary uses a subset
+
+use dce::core::Site;
+use dce::document::{Char, CharDocument};
+use dce::policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+
+/// A three-participant group on `initial`: administrator (user 0) plus two
+/// users, fully permissive starting policy — the setup of every figure.
+pub fn group(initial: &str) -> (Site<Char>, Site<Char>, Site<Char>) {
+    let d0 = CharDocument::from_str(initial);
+    let p = Policy::permissive([0, 1, 2]);
+    (
+        Site::new_admin(0, d0.clone(), p.clone()),
+        Site::new_user(1, 0, d0.clone(), p.clone()),
+        Site::new_user(2, 0, d0, p),
+    )
+}
+
+/// `AddAuth(0, ⟨s_user, Doc, {right}, −⟩)` — the revocations of Figs. 2–5.
+pub fn revoke(right: Right, user: u32) -> AdminOp {
+    AdminOp::AddAuth {
+        pos: 0,
+        auth: Authorization::new(Subject::User(user), DocObject::Document, [right], Sign::Minus),
+    }
+}
+
+/// `AddAuth(0, ⟨s_user, Doc, {right}, +⟩)` — the re-grant of Fig. 3.
+pub fn grant(right: Right, user: u32) -> AdminOp {
+    AdminOp::AddAuth {
+        pos: 0,
+        auth: Authorization::new(Subject::User(user), DocObject::Document, [right], Sign::Plus),
+    }
+}

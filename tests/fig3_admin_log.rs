@@ -1,0 +1,69 @@
+//! E3 — paper Fig. 3: "necessity of admin log". A deletion concurrent with
+//! a revocation must stay rejected even after the right is granted again;
+//! checking against the *current* policy would wrongly accept it.
+
+mod common;
+
+use common::{grant, group, revoke};
+use dce::core::{Flag, Message};
+use dce::document::Op;
+use dce::policy::Right;
+
+#[test]
+fn regrant_does_not_resurrect_a_concurrently_revoked_deletion() {
+    let (mut adm, mut s1, mut s2) = group("abc");
+
+    let r1 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
+    let q = s2.generate(Op::del(1, 'a')).unwrap();
+    assert_eq!(s2.document().to_string(), "bc");
+    let r2 = adm.admin_generate(grant(Right::Delete, 2)).unwrap();
+
+    // s1 has both administrative requests — its *current* policy allows
+    // s2 to delete again — yet the admin log must reject the late q.
+    s1.receive(Message::Admin(r1.clone())).unwrap();
+    s1.receive(Message::Admin(r2.clone())).unwrap();
+    assert!(s1
+        .policy()
+        .check(2, &dce::policy::Action::new(Right::Delete, Some(1)))
+        .granted());
+    s1.receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(s1.document().to_string(), "abc");
+    assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Invalid));
+
+    // adm rejects identically (its policy was empty of the grant when q
+    // arrived in the paper's telling; with L the order does not matter).
+    adm.receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(adm.document().to_string(), "abc");
+
+    // s2 undoes its own deletion on receiving the revocation.
+    s2.receive(Message::Admin(r1)).unwrap();
+    assert_eq!(s2.document().to_string(), "abc");
+    s2.receive(Message::Admin(r2)).unwrap();
+
+    for (site, name) in [(&adm, "adm"), (&s1, "s1"), (&s2, "s2")] {
+        assert_eq!(site.document().to_string(), "abc", "{name}");
+        assert_eq!(site.flag_of(q.ot.id), Some(Flag::Invalid), "{name}");
+    }
+}
+
+#[test]
+fn deletion_generated_after_the_regrant_is_accepted() {
+    // The admin-log check keys on the generation context q.v: a deletion
+    // issued *after* both administrative requests is legal.
+    let (mut adm, mut s1, mut s2) = group("abc");
+    let r1 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
+    let r2 = adm.admin_generate(grant(Right::Delete, 2)).unwrap();
+    s2.receive(Message::Admin(r1.clone())).unwrap();
+    s2.receive(Message::Admin(r2.clone())).unwrap();
+    let q = s2.generate(Op::del(1, 'a')).unwrap();
+    assert_eq!(q.v, 2);
+
+    s1.receive(Message::Admin(r1)).unwrap();
+    s1.receive(Message::Admin(r2)).unwrap();
+    s1.receive(Message::Coop(q.clone())).unwrap();
+    adm.receive(Message::Coop(q.clone())).unwrap();
+
+    assert_eq!(adm.document().to_string(), "bc");
+    assert_eq!(s1.document().to_string(), "bc");
+    assert_eq!(s2.document().to_string(), "bc");
+}

@@ -1,0 +1,66 @@
+//! E4 — paper Fig. 4: a legal insertion delayed behind a later revocation
+//! must not be rejected; the validation protocol serializes the revocation
+//! after the insertion at every site.
+
+mod common;
+
+use common::{group, revoke};
+use dce::core::{Flag, Message};
+use dce::document::Op;
+use dce::policy::Right;
+
+#[test]
+fn delayed_legal_insert_is_not_lost() {
+    let (mut adm, mut s1, mut s2) = group("abc");
+
+    // s1 inserts; adm accepts and validates; only then adm revokes.
+    let q = s1.generate(Op::ins(1, 'x')).unwrap();
+    adm.receive(Message::Coop(q.clone())).unwrap();
+    let validation = adm.drain_outbox();
+    assert_eq!(validation.len(), 1);
+    let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+    assert_eq!(r.version, 2);
+
+    // Adversarial delivery at s2: revocation first, then validation, and
+    // the insertion last (delayed "by the latency of the network or by a
+    // malicious user").
+    s2.receive(Message::Admin(r.clone())).unwrap();
+    assert_eq!(s2.version(), 0, "revocation deferred (missing v1)");
+    for m in validation.clone() {
+        s2.receive(m).unwrap();
+    }
+    assert_eq!(s2.version(), 0, "validation deferred until its target arrives");
+    s2.receive(Message::Coop(q.clone())).unwrap();
+    // Everything unblocks in version order.
+    assert_eq!(s2.version(), 2);
+    assert_eq!(s2.document().to_string(), "xabc");
+    assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Valid));
+
+    // The issuer also settles.
+    for m in validation {
+        s1.receive(m).unwrap();
+    }
+    s1.receive(Message::Admin(r)).unwrap();
+    assert_eq!(s1.document().to_string(), "xabc");
+    assert_eq!(adm.document().to_string(), "xabc");
+}
+
+#[test]
+fn without_prior_validation_the_same_schedule_rejects() {
+    // Counterpoint: if the admin had *not* seen the insert before revoking,
+    // the insert is illegal and every site rejects or undoes it.
+    let (mut adm, mut s1, mut s2) = group("abc");
+    let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
+    let q = s1.generate(Op::ins(1, 'x')).unwrap();
+
+    s2.receive(Message::Admin(r.clone())).unwrap();
+    assert_eq!(s2.version(), 1, "restrictive request applies: nothing to wait for");
+    s2.receive(Message::Coop(q.clone())).unwrap();
+    assert_eq!(s2.document().to_string(), "abc");
+    assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Invalid));
+
+    adm.receive(Message::Coop(q.clone())).unwrap();
+    s1.receive(Message::Admin(r)).unwrap();
+    assert_eq!(adm.document().to_string(), "abc");
+    assert_eq!(s1.document().to_string(), "abc");
+}

@@ -1,0 +1,91 @@
+//! E5 — paper Fig. 5: the full illustrative scenario, step by step, with
+//! the intermediate states the paper reports and the final convergence to
+//! "ayc" with `q3` invalid everywhere.
+
+mod common;
+
+use common::{group, revoke};
+use dce::core::{Flag, Message};
+use dce::document::Op;
+use dce::policy::Right;
+
+#[test]
+fn fig5_full_walkthrough() {
+    let (mut adm, mut s1, mut s2) = group("abc");
+
+    // Three pairwise-concurrent requests.
+    let q0 = adm.generate(Op::ins(2, 'y')).unwrap(); // D01 = "aybc"
+    let q1 = s1.generate(Op::del(2, 'b')).unwrap(); // D11 = "ac"
+    let q2 = s2.generate(Op::ins(3, 'x')).unwrap(); // D21 = "abxc"
+    assert_eq!(adm.document().to_string(), "aybc");
+    assert_eq!(s1.document().to_string(), "ac");
+    assert_eq!(s2.document().to_string(), "abxc");
+
+    // Step 1 (paper): adm integrates q2 then q1 → "ayxc".
+    adm.receive(Message::Coop(q2.clone())).unwrap();
+    adm.receive(Message::Coop(q1.clone())).unwrap();
+    let validations_1 = adm.drain_outbox();
+    assert_eq!(adm.document().to_string(), "ayxc");
+    assert_eq!(validations_1.len(), 2, "q1 and q2 validated");
+
+    // s1 integrates q2 then q0 → "ayxc".
+    s1.receive(Message::Coop(q2.clone())).unwrap();
+    s1.receive(Message::Coop(q0.clone())).unwrap();
+    assert_eq!(s1.document().to_string(), "ayxc");
+
+    // s2 integrates q1 → "axc" (it has not seen q0 yet).
+    s2.receive(Message::Coop(q1.clone())).unwrap();
+    assert_eq!(s2.document().to_string(), "axc");
+
+    // Step 2 (paper): q3 = Del(1,'a') at s1 (→ "yxc"),
+    // q4 = Del(2,'x') at s2 (→ "ac"), and adm issues
+    // r = AddAuth(1, (s1, Doc, dR, −)).
+    let q3 = s1.generate(Op::del(1, 'a')).unwrap();
+    assert_eq!(s1.document().to_string(), "yxc");
+    let q4 = s2.generate(Op::del(2, 'x')).unwrap();
+    assert_eq!(s2.document().to_string(), "ac");
+    let r = adm.admin_generate(revoke(Right::Delete, 1)).unwrap();
+
+    // s2 now receives q0 → "ayc" (paper: D24 = "ayc").
+    s2.receive(Message::Coop(q0.clone())).unwrap();
+    assert_eq!(s2.document().to_string(), "ayc");
+
+    // Step 3 (paper): full exchange.
+    // At adm: q3 checked against L₀¹ = [r] → rejected, stored invalid.
+    adm.receive(Message::Coop(q3.clone())).unwrap();
+    assert_eq!(adm.flag_of(q3.ot.id), Some(Flag::Invalid));
+    assert_eq!(adm.document().to_string(), "ayxc");
+    // q4 is legal → accepted and validated.
+    adm.receive(Message::Coop(q4.clone())).unwrap();
+    let validations_2 = adm.drain_outbox();
+    assert_eq!(adm.document().to_string(), "ayc");
+
+    // At s1: q4 arrives, then the validations, then r — the tentative q3
+    // is undone (paper: D16 = "ayc").
+    s1.receive(Message::Coop(q4.clone())).unwrap();
+    for m in validations_1.iter().chain(validations_2.iter()) {
+        s1.receive(m.clone()).unwrap();
+    }
+    s1.receive(Message::Admin(r.clone())).unwrap();
+    assert_eq!(s1.document().to_string(), "ayc");
+    assert_eq!(s1.flag_of(q3.ot.id), Some(Flag::Invalid));
+
+    // At s2: r arrives (after the validations), then q3 — invalidated on
+    // arrival, "stored in log without being executed".
+    for m in validations_1.iter().chain(validations_2.iter()) {
+        s2.receive(m.clone()).unwrap();
+    }
+    s2.receive(Message::Admin(r)).unwrap();
+    s2.receive(Message::Coop(q3.clone())).unwrap();
+    assert_eq!(s2.document().to_string(), "ayc");
+    assert_eq!(s2.flag_of(q3.ot.id), Some(Flag::Invalid));
+
+    // Final: everyone converged on "ayc"; q0/q1/q2/q4 valid, q3 invalid.
+    for (site, name) in [(&adm, "adm"), (&s1, "s1"), (&s2, "s2")] {
+        assert_eq!(site.document().to_string(), "ayc", "{name}");
+        for q in [&q0, &q1, &q2, &q4] {
+            assert_eq!(site.flag_of(q.ot.id), Some(Flag::Valid), "{name}/{}", q.ot.id);
+        }
+        assert_eq!(site.flag_of(q3.ot.id), Some(Flag::Invalid), "{name}");
+    }
+}
