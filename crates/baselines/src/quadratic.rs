@@ -125,11 +125,8 @@ impl<E: Element> QuadraticSite<E> {
             }
         }
 
-        let boundary = self
-            .history
-            .iter()
-            .position(|e| !req.ctx.contains(e.id))
-            .unwrap_or(self.history.len());
+        let boundary =
+            self.history.iter().position(|e| !req.ctx.contains(e.id)).unwrap_or(self.history.len());
 
         let mut top = req.top.clone();
         for i in boundary..self.history.len() {
@@ -160,18 +157,17 @@ impl<E: Element> QuadraticSite<E> {
     fn to_internal(&self, op: &Op<E>) -> Option<Op<E>> {
         match op {
             Op::Nop => Some(Op::Nop),
-            Op::Ins { pos, elem } => self
-                .buf
-                .internal_ins_pos(*pos)
-                .map(|p| Op::Ins { pos: p, elem: elem.clone() }),
-            Op::Del { pos, elem } => self
-                .buf
-                .internal_target_pos(*pos)
-                .map(|p| Op::Del { pos: p, elem: elem.clone() }),
-            Op::Up { pos, old, new } => self
-                .buf
-                .internal_target_pos(*pos)
-                .map(|p| Op::Up { pos: p, old: old.clone(), new: new.clone() }),
+            Op::Ins { pos, elem } => {
+                self.buf.internal_ins_pos(*pos).map(|p| Op::Ins { pos: p, elem: elem.clone() })
+            }
+            Op::Del { pos, elem } => {
+                self.buf.internal_target_pos(*pos).map(|p| Op::Del { pos: p, elem: elem.clone() })
+            }
+            Op::Up { pos, old, new } => self.buf.internal_target_pos(*pos).map(|p| Op::Up {
+                pos: p,
+                old: old.clone(),
+                new: new.clone(),
+            }),
         }
     }
 }
@@ -267,11 +263,7 @@ mod tests {
             for q in &q1s {
                 s2.integrate(q);
             }
-            assert_eq!(
-                s1.document().to_string(),
-                s2.document().to_string(),
-                "seed {seed}"
-            );
+            assert_eq!(s1.document().to_string(), s2.document().to_string(), "seed {seed}");
         }
     }
 }

@@ -12,20 +12,16 @@ fn bench_generate(c: &mut Criterion) {
     for ins_pct in [0u32, 100] {
         for h in [1000usize, 4000] {
             let (site, _) = build_loaded_site(h, ins_pct, 10, 5);
-            g.bench_with_input(
-                BenchmarkId::new(format!("ins{ins_pct}"), h),
-                &h,
-                |b, _| {
-                    b.iter_batched(
-                        || site.clone(),
-                        |mut s| {
-                            let len = s.document().len();
-                            s.generate(Op::ins(len / 2 + 1, 'T')).unwrap()
-                        },
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("ins{ins_pct}"), h), &h, |b, _| {
+                b.iter_batched(
+                    || site.clone(),
+                    |mut s| {
+                        let len = s.document().len();
+                        s.generate(Op::ins(len / 2 + 1, 'T')).unwrap()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     g.finish();
@@ -37,17 +33,13 @@ fn bench_receive(c: &mut Criterion) {
     for ins_pct in [0u32, 100] {
         for h in [1000usize, 4000] {
             let (site, pending) = build_loaded_site(h, ins_pct, 10, 6);
-            g.bench_with_input(
-                BenchmarkId::new(format!("ins{ins_pct}"), h),
-                &h,
-                |b, _| {
-                    b.iter_batched(
-                        || (site.clone(), pending.clone()),
-                        |(mut s, q)| s.receive(Message::Coop(q)).unwrap(),
-                        criterion::BatchSize::LargeInput,
-                    )
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("ins{ins_pct}"), h), &h, |b, _| {
+                b.iter_batched(
+                    || (site.clone(), pending.clone()),
+                    |(mut s, q)| s.receive(Message::Coop(q)).unwrap(),
+                    criterion::BatchSize::LargeInput,
+                )
+            });
         }
     }
     g.finish();

@@ -11,9 +11,7 @@ fn bench_transform(c: &mut Criterion) {
     let a: TOp<Char> = TOp::new(Op::ins(10, 'x'), 1);
     let b: TOp<Char> = TOp::new(Op::del(5, 'q'), 2);
     c.bench_function("it_include", |bch| bch.iter(|| include(&a, &b)));
-    c.bench_function("et_exclude", |bch| {
-        bch.iter(|| exclude(&a, &b).unwrap())
-    });
+    c.bench_function("et_exclude", |bch| bch.iter(|| exclude(&a, &b).unwrap()));
     c.bench_function("transpose_pair", |bch| bch.iter(|| transpose(&b, &a).unwrap()));
 }
 

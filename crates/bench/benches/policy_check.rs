@@ -4,8 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dce_policy::{
-    Action, AdminLog, AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Sign,
-    Subject,
+    Action, AdminLog, AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Sign, Subject,
 };
 
 fn policy_with(n: usize) -> Policy {
@@ -42,11 +41,7 @@ fn bench_check_remote(c: &mut Criterion) {
     for n in [10usize, 100, 1000] {
         let mut log = AdminLog::new();
         for v in 1..=n as u64 {
-            log.push(AdminRequest {
-                admin: 0,
-                version: v,
-                op: AdminOp::AddUser(100 + v as u32),
-            });
+            log.push(AdminRequest { admin: 0, version: v, op: AdminOp::AddUser(100 + v as u32) });
         }
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| log.check_remote(1, &action, 0, &policy))

@@ -106,9 +106,7 @@ fn loaded_with_admin_log(h: usize, l: usize) -> (Site<Char>, dce_core::CoopReque
     let policy = dce_bench::bench_policy(0);
     let mut adm: Site<Char> = Site::new_admin(0, CharDocument::from_str(&d0), policy.clone());
     for i in 0..l {
-        let r = adm
-            .admin_generate(AdminOp::Validate { site: 9, seq: i as u64 + 1 })
-            .unwrap();
+        let r = adm.admin_generate(AdminOp::Validate { site: 9, seq: i as u64 + 1 }).unwrap();
         // Deliver by hand: validations for unknown requests are only
         // version bumps at the benchmark site... they must wait for their
         // targets, so use AddUser churn instead for pure |L| growth.
@@ -121,12 +119,7 @@ fn loaded_with_admin_log(h: usize, l: usize) -> (Site<Char>, dce_core::CoopReque
     }
     // The pending remote request was checked at version 0: Check_Remote
     // scans the whole concurrent suffix of L.
-    let mut remote: Site<Char> = Site::new_user(
-        2,
-        0,
-        CharDocument::from_str(&d0),
-        policy,
-    );
+    let mut remote: Site<Char> = Site::new_user(2, 0, CharDocument::from_str(&d0), policy);
     let pending = remote.generate(Op::ins(1, 'R')).unwrap();
     (site, pending)
 }

@@ -9,7 +9,7 @@
 //! Accepts an optional max |H| argument (default 9000).
 
 use dce_baselines::{QuadraticFlavor, QuadraticSite};
-use dce_bench::workload::{type_burst, Typist, TypingModel};
+use dce_bench::workload::{type_burst, TypingModel, Typist};
 use dce_bench::{bench_policy, build_loaded_site, measure_t1, measure_t2};
 use dce_core::Site;
 use dce_document::{Char, CharDocument, Op};
@@ -30,10 +30,7 @@ fn baseline_receive(h: usize, flavor: QuadraticFlavor) -> Duration {
 }
 
 fn main() {
-    let max_h: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(9000);
+    let max_h: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(9000);
     let reps = 5;
 
     println!("# Figure 7 — time processing of insert requests");

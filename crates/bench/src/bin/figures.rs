@@ -73,11 +73,20 @@ fn fig2() {
     let (mut adm, mut s1, mut s2) = group("abc");
     let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
     let q = s1.generate(Op::ins(1, 'x')).unwrap();
-    println!("   adm revokes s1's insert right; s1 concurrently performs Ins(1,'x') -> {:?}", s1.document().to_string());
+    println!(
+        "   adm revokes s1's insert right; s1 concurrently performs Ins(1,'x') -> {:?}",
+        s1.document().to_string()
+    );
     adm.receive(Message::Coop(q.clone())).unwrap();
-    println!("   adm receives the insert after the revocation: state {:?} (ignored)", adm.document().to_string());
+    println!(
+        "   adm receives the insert after the revocation: state {:?} (ignored)",
+        adm.document().to_string()
+    );
     s2.receive(Message::Coop(q.clone())).unwrap();
-    println!("   s2 receives the insert first: state {:?} (accepted tentatively)", s2.document().to_string());
+    println!(
+        "   s2 receives the insert first: state {:?} (accepted tentatively)",
+        s2.document().to_string()
+    );
     s2.receive(Message::Admin(r.clone())).unwrap();
     s1.receive(Message::Admin(r)).unwrap();
     println!(
@@ -95,7 +104,10 @@ fn fig3() {
     let (mut adm, mut s1, mut s2) = group("abc");
     let r1 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
     let q = s2.generate(Op::del(1, 'a')).unwrap();
-    println!("   adm revokes s2's delete right; s2 concurrently performs Del(1,'a') -> {:?}", s2.document().to_string());
+    println!(
+        "   adm revokes s2's delete right; s2 concurrently performs Del(1,'a') -> {:?}",
+        s2.document().to_string()
+    );
     let r2 = adm.admin_generate(grant(Right::Delete, 2)).unwrap();
     println!("   adm then grants the right again (policy looks permissive once more)");
     s1.receive(Message::Admin(r1.clone())).unwrap();
@@ -161,7 +173,9 @@ fn fig5() {
     let q0 = adm.generate(Op::ins(2, 'y')).unwrap();
     let q1 = s1.generate(Op::del(2, 'b')).unwrap();
     let q2 = s2.generate(Op::ins(3, 'x')).unwrap();
-    println!("   q0 = Ins(2,'y') @adm, q1 = Del(2,'b') @s1, q2 = Ins(3,'x') @s2 (pairwise concurrent)");
+    println!(
+        "   q0 = Ins(2,'y') @adm, q1 = Del(2,'b') @s1, q2 = Ins(3,'x') @s2 (pairwise concurrent)"
+    );
 
     // Step 1 integration orders from the paper: adm sees q2 then q1 and
     // reaches "ayxc"; s1 sees q2 then q0 ("ayxc"); s2 sees only q1 for now
@@ -184,11 +198,17 @@ fn fig5() {
     let q3 = s1.generate(Op::del(1, 'a')).unwrap();
     let q4 = s2.generate(Op::del(2, 'x')).unwrap();
     s2.receive(Message::Coop(q0.clone())).unwrap();
-    let r = adm.admin_generate(AdminOp::AddAuth {
-        pos: 0,
-        auth: Authorization::new(Subject::User(1), DocObject::Document, [Right::Delete], Sign::Minus),
-    })
-    .unwrap();
+    let r = adm
+        .admin_generate(AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::new(
+                Subject::User(1),
+                DocObject::Document,
+                [Right::Delete],
+                Sign::Minus,
+            ),
+        })
+        .unwrap();
     println!("   step 2: q3 = Del(1,'a') @s1, q4 = Del(2,'x') @s2, r = revoke dR from s1 @adm");
 
     // Step 3: full delivery.

@@ -50,10 +50,7 @@ pub fn stability_horizon<'a>(clocks: impl IntoIterator<Item = &'a Clock>) -> Clo
 pub fn compact<E: Element>(site: &mut Site<E>, horizon: &Clock) -> usize {
     let mut n = 0;
     for entry in site.engine().log().iter() {
-        let settled = matches!(
-            site.flag_of(entry.id),
-            Some(Flag::Valid) | Some(Flag::Invalid)
-        );
+        let settled = matches!(site.flag_of(entry.id), Some(Flag::Valid) | Some(Flag::Invalid));
         if settled && horizon.contains(entry.id) {
             n += 1;
         } else {

@@ -6,9 +6,7 @@ use dce_document::{Document, Element, Op};
 use dce_ot::engine::{Engine, Integration};
 use dce_ot::ids::Clock;
 use dce_ot::RequestId;
-use dce_policy::{
-    Action, AdminLog, AdminOp, AdminRequest, Policy, PolicyVersion, UserId,
-};
+use dce_policy::{Action, AdminLog, AdminOp, AdminRequest, Policy, PolicyVersion, UserId};
 use std::collections::HashMap;
 
 /// One collaborating site: a user (or the administrator), their document
@@ -109,6 +107,12 @@ impl<E: Element> Site<E> {
     /// Flag of a cooperative request, if known at this site.
     pub fn flag_of(&self, id: RequestId) -> Option<Flag> {
         self.flags.get(&id).copied()
+    }
+
+    /// All request flags known at this site (order unspecified). Used by
+    /// the convergence oracle to compare flag tables across replicas.
+    pub fn flags(&self) -> impl Iterator<Item = (RequestId, Flag)> + '_ {
+        self.flags.iter().map(|(id, f)| (*id, *f))
     }
 
     /// Requests rejected by `Check_Remote` at this site.
@@ -321,17 +325,13 @@ impl<E: Element> Site<E> {
     /// administrator's check is authoritative.
     pub fn propose_admin(&self, op: AdminOp) -> Result<AdminProposal, CoreError> {
         if self.is_admin() {
-            return Err(CoreError::Protocol(
-                "the administrator issues operations directly".into(),
-            ));
+            return Err(CoreError::Protocol("the administrator issues operations directly".into()));
         }
         if !self.policy.is_delegate(self.user) {
             return Err(CoreError::NotAdministrator { user: self.user });
         }
         if !op.delegable() {
-            return Err(CoreError::Protocol(format!(
-                "operation {op} cannot be delegated"
-            )));
+            return Err(CoreError::Protocol(format!("operation {op} cannot be delegated")));
         }
         Ok(AdminProposal { from: self.user, op })
     }
@@ -345,12 +345,25 @@ impl<E: Element> Site<E> {
     pub fn receive(&mut self, msg: Message<E>) -> Result<(), CoreError> {
         match msg {
             Message::Coop(q) => {
-                if !self.engine.has_seen(q.ot.id) {
+                // Dedup against both the processed history *and* the queue:
+                // a duplicate arriving before its original has been
+                // processed (not yet causally ready) would otherwise be
+                // enqueued twice and integrated... once, but only after the
+                // retain pass — and until then it inflates `queued()` and
+                // every ready-scan.
+                if !self.engine.has_seen(q.ot.id)
+                    && !self.coop_queue.iter().any(|held| held.ot.id == q.ot.id)
+                {
                     self.coop_queue.push(q);
                 }
             }
             Message::Admin(r) => {
-                if r.version > self.policy.version() {
+                // Administrative requests are totally ordered by policy
+                // version, so an equal version already queued is the same
+                // request replayed.
+                if r.version > self.policy.version()
+                    && !self.admin_queue.iter().any(|held| held.version == r.version)
+                {
                     self.admin_queue.push(r);
                 }
             }
@@ -437,9 +450,7 @@ impl<E: Element> Site<E> {
             return false;
         }
         match &r.op {
-            AdminOp::Validate { site, seq } => {
-                self.engine.has_seen(RequestId::new(*site, *seq))
-            }
+            AdminOp::Validate { site, seq } => self.engine.has_seen(RequestId::new(*site, *seq)),
             _ => true,
         }
     }
@@ -456,26 +467,21 @@ impl<E: Element> Site<E> {
         // version q.v; it stays granted unless a concurrent restrictive
         // administrative request revokes the access it relied on.
         let denied = match &action {
-            Some(action) => self
-                .admin_log
-                .check_remote(q.user(), action, q.v, &self.policy)
-                .is_some(),
+            Some(action) => {
+                self.admin_log.check_remote(q.user(), action, q.v, &self.policy).is_some()
+            }
             None => false,
         };
 
         if denied {
-            self.engine
-                .integrate_inert(&q.ot)
-                .map_err(|e| CoreError::Protocol(e.to_string()))?;
+            self.engine.integrate_inert(&q.ot).map_err(|e| CoreError::Protocol(e.to_string()))?;
             self.flags.insert(id, Flag::Invalid);
             self.denials.push(id);
             return Ok(());
         }
 
-        let outcome = self
-            .engine
-            .integrate(&q.ot)
-            .map_err(|e| CoreError::Protocol(e.to_string()))?;
+        let outcome =
+            self.engine.integrate(&q.ot).map_err(|e| CoreError::Protocol(e.to_string()))?;
 
         match outcome {
             Integration::Inert => {
@@ -492,10 +498,8 @@ impl<E: Element> Site<E> {
                     // Algorithm 3, administrator side: validate the request
                     // and broadcast the validation.
                     self.flags.insert(id, Flag::Valid);
-                    let validation = self.admin_generate(AdminOp::Validate {
-                        site: id.site,
-                        seq: id.seq,
-                    })?;
+                    let validation =
+                        self.admin_generate(AdminOp::Validate { site: id.site, seq: id.seq })?;
                     self.outbox.push(Message::Admin(validation));
                 } else {
                     self.flags.insert(id, Flag::Tentative);
@@ -550,11 +554,9 @@ impl<E: Element> Site<E> {
             .iter()
             .filter(|e| !e.inert)
             .filter(|e| self.flag_of(e.id) == Some(Flag::Tentative))
-            .filter(|e| {
-                match Action::for_op(&e.base) {
-                    Some(action) => !self.policy.check(e.id.site, &action).granted(),
-                    None => false,
-                }
+            .filter(|e| match Action::for_op(&e.base) {
+                Some(action) => !self.policy.check(e.id.site, &action).granted(),
+                None => false,
             })
             .map(|e| e.id)
             .collect();
@@ -565,10 +567,7 @@ impl<E: Element> Site<E> {
             if self.engine.log().get(victim).map(|e| e.inert).unwrap_or(true) {
                 continue;
             }
-            let cascade = self
-                .engine
-                .undo(victim)
-                .expect("tentative live request is undoable");
+            let cascade = self.engine.undo(victim).expect("tentative live request is undoable");
             for id in cascade {
                 self.flags.insert(id, Flag::Invalid);
                 self.undone.push(id);
@@ -611,10 +610,7 @@ mod tests {
         assert!(s2.policy().has_user(9));
 
         // Delegations themselves cannot be delegated.
-        assert!(matches!(
-            s1.propose_admin(AdminOp::Delegate(2)),
-            Err(CoreError::Protocol(_))
-        ));
+        assert!(matches!(s1.propose_admin(AdminOp::Delegate(2)), Err(CoreError::Protocol(_))));
 
         // Revocation of the delegation propagates; stale proposals are
         // refused at the administrator.
@@ -656,7 +652,7 @@ mod tests {
         let mut s3 = adm.rejoin_as(3);
         s3.receive(Message::Coop(q2.clone())).unwrap();
         s3.receive(Message::Coop(q2.clone())).unwrap();
-        assert_eq!(s3.queued(), 2, "both copies wait for the dependency");
+        assert_eq!(s3.queued(), 1, "the duplicate is rejected at the queue door");
         s3.receive(Message::Coop(q.clone())).unwrap();
         assert_eq!(s3.queued(), 0, "original processed, duplicate dropped");
         assert_eq!(s3.document().to_string(), "zabc");
@@ -718,6 +714,37 @@ mod tests {
             Site::new_user(1, 0, doc(initial), p.clone()),
             Site::new_user(2, 0, doc(initial), p),
         )
+    }
+
+    #[test]
+    fn duplicate_before_original_is_processed_enqueues_once() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        // s1 issues two causally chained edits; s2 only ever sees the
+        // *second*, which is therefore not ready and must sit queued.
+        let q1 = s1.generate(Op::ins(1, 'x')).unwrap();
+        let q2 = s1.generate(Op::ins(1, 'y')).unwrap();
+        s2.receive(Message::Coop(q2.clone())).unwrap();
+        assert_eq!(s2.queued(), 1);
+        // The network replays the same message back-to-back: the duplicate
+        // must not be enqueued a second time.
+        s2.receive(Message::Coop(q2.clone())).unwrap();
+        assert_eq!(s2.queued(), 1, "duplicate of a queued coop request stacked up");
+        // Same story for administrative requests: version 2 cannot apply
+        // before version 1 arrives. (The revocations target user 2, who
+        // edited nothing, so no retroactive undo disturbs the document.)
+        let r1 = adm.admin_generate(revoke(Right::Insert, 2)).unwrap();
+        let r2 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
+        assert_eq!(r2.version, 2);
+        s2.receive(Message::Admin(r2.clone())).unwrap();
+        s2.receive(Message::Admin(r2.clone())).unwrap();
+        assert_eq!(s2.queued(), 2, "duplicate of a queued admin request stacked up");
+        // Delivering the missing predecessors unblocks everything exactly
+        // once.
+        s2.receive(Message::Coop(q1)).unwrap();
+        s2.receive(Message::Admin(r1)).unwrap();
+        assert_eq!(s2.queued(), 0);
+        assert_eq!(s2.document().to_string(), "yxabc");
+        assert_eq!(s2.version(), 2);
     }
 
     fn revoke(right: Right, user: UserId) -> AdminOp {

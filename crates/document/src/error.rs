@@ -58,11 +58,7 @@ mod tests {
     fn display_is_informative() {
         let e = ApplyError::OutOfBounds { pos: 9, len: 3, max: 4 };
         assert!(e.to_string().contains("position 9"));
-        let e = ApplyError::ElementMismatch {
-            pos: 2,
-            expected: "'a'".into(),
-            found: "'b'".into(),
-        };
+        let e = ApplyError::ElementMismatch { pos: 2, expected: "'a'".into(), found: "'b'".into() };
         assert!(e.to_string().contains("'a'"));
         assert!(e.to_string().contains("'b'"));
     }

@@ -135,34 +135,30 @@ impl<E: Element> Op<E> {
                     Err(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() + 1 })
                 }
             }
-            Op::Del { pos, elem } => {
-                match doc.get(*pos) {
-                    None => Err(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() }),
-                    Some(found) if found != elem => Err(ApplyError::ElementMismatch {
-                        pos: *pos,
-                        expected: format!("{elem:?}"),
-                        found: format!("{found:?}"),
-                    }),
-                    Some(_) => {
-                        doc.remove(*pos);
-                        Ok(())
-                    }
+            Op::Del { pos, elem } => match doc.get(*pos) {
+                None => Err(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() }),
+                Some(found) if found != elem => Err(ApplyError::ElementMismatch {
+                    pos: *pos,
+                    expected: format!("{elem:?}"),
+                    found: format!("{found:?}"),
+                }),
+                Some(_) => {
+                    doc.remove(*pos);
+                    Ok(())
                 }
-            }
-            Op::Up { pos, old, new } => {
-                match doc.get(*pos) {
-                    None => Err(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() }),
-                    Some(found) if found != old => Err(ApplyError::ElementMismatch {
-                        pos: *pos,
-                        expected: format!("{old:?}"),
-                        found: format!("{found:?}"),
-                    }),
-                    Some(_) => {
-                        doc.replace(*pos, new.clone());
-                        Ok(())
-                    }
+            },
+            Op::Up { pos, old, new } => match doc.get(*pos) {
+                None => Err(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() }),
+                Some(found) if found != old => Err(ApplyError::ElementMismatch {
+                    pos: *pos,
+                    expected: format!("{old:?}"),
+                    found: format!("{found:?}"),
+                }),
+                Some(_) => {
+                    doc.replace(*pos, new.clone());
+                    Ok(())
                 }
-            }
+            },
         }
     }
 
@@ -180,10 +176,11 @@ impl<E: Element> Op<E> {
                     Err(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() + 1 })
                 }
             }
-            Op::Del { pos, .. } => doc
-                .remove(*pos)
-                .map(|_| ())
-                .ok_or(ApplyError::OutOfBounds { pos: *pos, len: doc.len(), max: doc.len() }),
+            Op::Del { pos, .. } => doc.remove(*pos).map(|_| ()).ok_or(ApplyError::OutOfBounds {
+                pos: *pos,
+                len: doc.len(),
+                max: doc.len(),
+            }),
             Op::Up { pos, new, .. } => doc
                 .replace(*pos, new.clone())
                 .map(|_| ())
@@ -199,9 +196,7 @@ impl<E: Element> Op<E> {
             Op::Nop => Op::Nop,
             Op::Ins { pos, elem } => Op::Del { pos: *pos, elem: elem.clone() },
             Op::Del { pos, elem } => Op::Ins { pos: *pos, elem: elem.clone() },
-            Op::Up { pos, old, new } => {
-                Op::Up { pos: *pos, old: new.clone(), new: old.clone() }
-            }
+            Op::Up { pos, old, new } => Op::Up { pos: *pos, old: new.clone(), new: old.clone() },
         }
     }
 }

@@ -111,15 +111,13 @@ fn run_command(
                 Err(e) => err(e),
             }
         }
-        ["del", site, pos, len] => {
-            match (site.parse(), pos.parse(), len.parse()) {
-                (Ok(site), Ok(pos), Ok(len)) => match session.delete_range(site, pos, len) {
-                    Ok(()) => msg(format!("s{site} deleted {len} chars at {pos}")),
-                    Err(e) => err(e),
-                },
-                _ => Message("!! usage: del <site> <pos> <len>".into()),
-            }
-        }
+        ["del", site, pos, len] => match (site.parse(), pos.parse(), len.parse()) {
+            (Ok(site), Ok(pos), Ok(len)) => match session.delete_range(site, pos, len) {
+                Ok(()) => msg(format!("s{site} deleted {len} chars at {pos}")),
+                Err(e) => err(e),
+            },
+            _ => Message("!! usage: del <site> <pos> <len>".into()),
+        },
         ["cut", site, pos, len] => match (site.parse(), pos.parse(), len.parse()) {
             (Ok(site), Ok(pos), Ok(len)) => match session.cut(site, pos, len) {
                 Ok(clip) => {
@@ -142,25 +140,23 @@ fn run_command(
             _ => Message("!! usage: paste <site> <pos>".into()),
         },
         ["grant", user, rights] => match user.parse() {
-            Ok(user) => match session.grant(
-                Subject::User(user),
-                DocObject::Document,
-                parse_rights(rights),
-            ) {
-                Ok(()) => msg(format!("granted {rights} to s{user}")),
-                Err(e) => err(e),
-            },
+            Ok(user) => {
+                match session.grant(Subject::User(user), DocObject::Document, parse_rights(rights))
+                {
+                    Ok(()) => msg(format!("granted {rights} to s{user}")),
+                    Err(e) => err(e),
+                }
+            }
             _ => Message("!! usage: grant <user> <rights like idu>".into()),
         },
         ["revoke", user, rights] => match user.parse() {
-            Ok(user) => match session.revoke(
-                Subject::User(user),
-                DocObject::Document,
-                parse_rights(rights),
-            ) {
-                Ok(()) => msg(format!("revoked {rights} from s{user}")),
-                Err(e) => err(e),
-            },
+            Ok(user) => {
+                match session.revoke(Subject::User(user), DocObject::Document, parse_rights(rights))
+                {
+                    Ok(()) => msg(format!("revoked {rights} from s{user}")),
+                    Err(e) => err(e),
+                }
+            }
             _ => Message("!! usage: revoke <user> <rights>".into()),
         },
         ["freeze", from, to] => match (from.parse(), to.parse()) {
@@ -207,10 +203,7 @@ fn run_command(
         },
         ["sync"] => {
             session.sync();
-            msg(format!(
-                "synced; converged = {}",
-                session.converged()
-            ))
+            msg(format!("synced; converged = {}", session.converged()))
         }
         ["show"] => {
             let mut out = String::new();
@@ -227,11 +220,7 @@ fn run_command(
                 if records.is_empty() {
                     msg("(no requests in the audit window)".into())
                 } else {
-                    msg(records
-                        .iter()
-                        .map(|r| format!("  {r}"))
-                        .collect::<Vec<_>>()
-                        .join("\n"))
+                    msg(records.iter().map(|r| format!("  {r}")).collect::<Vec<_>>().join("\n"))
                 }
             }
             _ => Message("!! usage: audit <site>".into()),

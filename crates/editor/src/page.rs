@@ -29,6 +29,19 @@ impl PageSession {
         self.net.site(idx)
     }
 
+    /// Mutable access to the underlying network — fault plans, session
+    /// crashes, and other transport-level manipulation.
+    pub fn net_mut(&mut self) -> &mut SimNet<Paragraph> {
+        &mut self.net
+    }
+
+    /// Runs the session over a chaotic transport with the acknowledged
+    /// session layer repairing the losses. Call before editing.
+    pub fn enable_chaos(&mut self, plan: dce_net::FaultPlan) {
+        self.net.set_fault_plan(plan);
+        self.net.enable_reliability();
+    }
+
     /// Inserts a paragraph so it becomes block number `pos` (1-based).
     pub fn insert_block(
         &mut self,
@@ -136,10 +149,7 @@ mod tests {
     use super::*;
 
     fn start() -> Vec<Paragraph> {
-        vec![
-            Paragraph::styled("Project Notes", "h1"),
-            Paragraph::new("Introduction goes here."),
-        ]
+        vec![Paragraph::styled("Project Notes", "h1"), Paragraph::new("Introduction goes here.")]
     }
 
     #[test]
@@ -170,8 +180,7 @@ mod tests {
     fn heading_lockdown() {
         let mut s = PageSession::open(start(), 2, 4, Latency::Fixed(3));
         // Nobody but the admin may touch block 1 (the title).
-        s.revoke(Subject::User(1), DocObject::Element(1), [Right::Update, Right::Delete])
-            .unwrap();
+        s.revoke(Subject::User(1), DocObject::Element(1), [Right::Update, Right::Delete]).unwrap();
         s.sync();
         assert!(s.edit_block(1, 1, "Defaced").is_err());
         assert!(s.remove_block(1, 1).is_err());

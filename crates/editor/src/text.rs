@@ -46,6 +46,20 @@ impl TextSession {
         &self.net
     }
 
+    /// Mutable access to the underlying network — fault plans, session
+    /// crashes, and other transport-level manipulation.
+    pub fn net_mut(&mut self) -> &mut SimNet<Char> {
+        &mut self.net
+    }
+
+    /// Runs the session over a chaotic transport: every broadcast leg
+    /// samples its fate from `plan`, and the acknowledged session layer
+    /// ([`dce_net::reliable`]) repairs the losses. Call before editing.
+    pub fn enable_chaos(&mut self, plan: dce_net::FaultPlan) {
+        self.net.set_fault_plan(plan);
+        self.net.enable_reliability();
+    }
+
     /// A site by index.
     pub fn site(&self, idx: usize) -> &Site<Char> {
         self.net.site(idx)
@@ -65,7 +79,12 @@ impl TextSession {
     }
 
     /// Deletes `len` characters starting at `pos` (1-based).
-    pub fn delete_range(&mut self, site: usize, pos: Position, len: usize) -> Result<(), CoreError> {
+    pub fn delete_range(
+        &mut self,
+        site: usize,
+        pos: Position,
+        len: usize,
+    ) -> Result<(), CoreError> {
         for _ in 0..len {
             let elem = *self
                 .net
@@ -80,12 +99,7 @@ impl TextSession {
 
     /// Cuts `len` characters at `pos` into a clipboard, removing them from
     /// the document (each deletion goes through the access-control layer).
-    pub fn cut(
-        &mut self,
-        site: usize,
-        pos: Position,
-        len: usize,
-    ) -> Result<Vec<Char>, CoreError> {
+    pub fn cut(&mut self, site: usize, pos: Position, len: usize) -> Result<Vec<Char>, CoreError> {
         let snapshot = self.net.site(site).document();
         let (clip, ops) = dce_document::compound::cut(&snapshot, pos, len)
             .map_err(|e| CoreError::Protocol(e.to_string()))?;
@@ -176,8 +190,7 @@ impl TextSession {
 
     /// Registers a named document region usable in grants.
     pub fn define_region(&mut self, name: &str, object: DocObject) -> Result<(), CoreError> {
-        self.net
-            .submit_admin(0, AdminOp::AddObj { name: name.to_owned(), object })?;
+        self.net.submit_admin(0, AdminOp::AddObj { name: name.to_owned(), object })?;
         Ok(())
     }
 
@@ -247,11 +260,8 @@ impl TextSession {
     /// session layer can see all replicas. A deployment uses the
     /// in-protocol variant instead: [`TextSession::gossip_and_compact`].
     pub fn compact(&mut self) -> usize {
-        let clocks: Vec<Clock> = self
-            .net
-            .active_sites()
-            .map(|s| s.engine().clock().clone())
-            .collect();
+        let clocks: Vec<Clock> =
+            self.net.active_sites().map(|s| s.engine().clock().clone()).collect();
         let horizon = gc::stability_horizon(clocks.iter());
         let mut total = 0;
         for idx in 0..self.net.len() {
@@ -337,8 +347,7 @@ mod tests {
         let mut s = TextSession::open("title body", 2, 4, Latency::Fixed(2));
         s.define_region("title", DocObject::Range { from: 1, to: 5 }).unwrap();
         // Deny user 1 updates on the title region (prepended).
-        s.revoke(Subject::User(1), DocObject::Named("title".into()), [Right::Update])
-            .unwrap();
+        s.revoke(Subject::User(1), DocObject::Named("title".into()), [Right::Update]).unwrap();
         s.sync();
         assert!(s.replace_char(1, 2, 'X').is_err());
         s.replace_char(1, 7, 'B').unwrap();
@@ -409,8 +418,7 @@ mod tests {
         let mut s = TextSession::open("doc", 4, 21, Latency::Fixed(2));
         // Put users 2 and 3 in a "reviewers" group and revoke their inserts.
         s.set_group("reviewers", [2, 3]).unwrap();
-        s.revoke(Subject::Group("reviewers".into()), DocObject::Document, [Right::Insert])
-            .unwrap();
+        s.revoke(Subject::Group("reviewers".into()), DocObject::Document, [Right::Insert]).unwrap();
         s.sync();
         assert!(s.insert_str(2, 1, "no").is_err());
         assert!(s.insert_str(3, 1, "no").is_err());

@@ -12,6 +12,12 @@
 //! * [`parallel`] — a thread-per-site runner over crossbeam channels, for
 //!   wall-clock realism and for exercising the stack under true
 //!   parallelism.
+//! * [`fault`] — the chaos transport: seeded fault plans injecting drops,
+//!   duplication, reordering and scheduled partitions into [`sim`] runs.
+//! * [`reliable`] — the acknowledged session layer (sequence numbers,
+//!   cumulative acks, timeout-driven retransmission with capped
+//!   exponential backoff) that restores eventual delivery over a lossy
+//!   chaos transport.
 //! * [`wire`] — the binary wire codec a real deployment would ship
 //!   messages with (length-explicit, versioned, zero-reflection).
 //! * [`snapshot`] — wire-encodable full-replica snapshots, the state
@@ -34,11 +40,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod parallel;
+pub mod reliable;
 pub mod sim;
 pub mod snapshot;
 pub mod wire;
 
+pub use fault::{FaultPlan, FaultStats, LegFate, Partition};
+pub use reliable::{Endpoint, Packet, ReliableConfig};
 pub use sim::{Latency, SimNet, SimStats};
 pub use snapshot::{decode_snapshot, encode_snapshot, transfer};
 pub use wire::{decode_message, encode_message, WireElement, WireError};

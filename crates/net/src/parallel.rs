@@ -1,12 +1,21 @@
 //! Thread-per-site runner: each site lives on its own OS thread, messages
 //! travel over crossbeam channels — the closest laboratory analog of the
 //! paper's JXTA deployment, exercising the stack under real parallelism.
+//!
+//! [`run_parallel_session_chaotic`] additionally injects duplication and
+//! reordering at the sender (channels never lose messages, so the two
+//! faults a lossless transport can exhibit are exactly these); the
+//! protocol's dedup guards and OT integration must absorb both under true
+//! parallelism.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dce_core::{Message, Site};
 use dce_document::{Document, Element, Op};
 use dce_policy::{AdminOp, Policy};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::thread;
 
@@ -17,6 +26,60 @@ pub enum ScriptStep<E> {
     Edit(Op<E>),
     /// Issue an administrative operation (admin site only).
     Admin(AdminOp),
+}
+
+/// Sender-side chaos for the parallel runner.
+struct SenderChaos {
+    rng: StdRng,
+    dup_prob: f64,
+    reorder_prob: f64,
+}
+
+/// One thread's view of the wire: its peers, the global in-flight
+/// counter, and optional sender-side chaos (a held-back stash realises
+/// reordering; duplicate sends realise duplication).
+struct Courier<E> {
+    peers: Vec<Sender<Message<E>>>,
+    in_flight: Arc<AtomicI64>,
+    chaos: Option<SenderChaos>,
+    stash: Vec<Message<E>>,
+}
+
+impl<E: Element> Courier<E> {
+    fn send_raw(&self, msg: &Message<E>) {
+        for p in &self.peers {
+            let _ = p.send(msg.clone());
+        }
+    }
+
+    /// Broadcasts `msg`, possibly holding it back past later messages
+    /// (reorder) or sending it twice (duplicate). Every copy — held or
+    /// not — is counted in flight immediately, so no thread can conclude
+    /// the network is quiet while a stash is pending.
+    fn broadcast(&mut self, msg: &Message<E>) {
+        self.in_flight.fetch_add(self.peers.len() as i64, Ordering::SeqCst);
+        let (dup, hold) = match &mut self.chaos {
+            Some(c) => (c.rng.gen_bool(c.dup_prob), c.rng.gen_bool(c.reorder_prob)),
+            None => (false, false),
+        };
+        if hold {
+            self.stash.push(msg.clone());
+        } else {
+            self.send_raw(msg);
+            self.flush();
+        }
+        if dup {
+            self.in_flight.fetch_add(self.peers.len() as i64, Ordering::SeqCst);
+            self.send_raw(msg);
+        }
+    }
+
+    /// Releases held-back messages (after newer traffic — the reorder).
+    fn flush(&mut self) {
+        for held in std::mem::take(&mut self.stash) {
+            self.send_raw(&held);
+        }
+    }
 }
 
 /// Runs a group of sites in parallel: site `i` executes `scripts[i]` in
@@ -31,6 +94,31 @@ pub fn run_parallel_session<E: Element + Send + 'static>(
     policy: Policy,
     scripts: Vec<Vec<ScriptStep<E>>>,
 ) -> Vec<Site<E>> {
+    run_session_inner(d0, policy, scripts, None)
+}
+
+/// [`run_parallel_session`] with sender-side chaos: each site duplicates
+/// a broadcast with probability `dup_prob` and holds it back past later
+/// traffic with probability `reorder_prob` (draws seeded per site from
+/// `seed`). Channels never drop, so delivery stays reliable — the
+/// protocol must merely survive the double and shuffled arrivals.
+pub fn run_parallel_session_chaotic<E: Element + Send + 'static>(
+    d0: Document<E>,
+    policy: Policy,
+    scripts: Vec<Vec<ScriptStep<E>>>,
+    seed: u64,
+    dup_prob: f64,
+    reorder_prob: f64,
+) -> Vec<Site<E>> {
+    run_session_inner(d0, policy, scripts, Some((seed, dup_prob, reorder_prob)))
+}
+
+fn run_session_inner<E: Element + Send + 'static>(
+    d0: Document<E>,
+    policy: Policy,
+    scripts: Vec<Vec<ScriptStep<E>>>,
+    chaos: Option<(u64, f64, f64)>,
+) -> Vec<Site<E>> {
     let n = scripts.len();
     assert!(n > 0, "need at least the administrator");
 
@@ -42,23 +130,24 @@ pub fn run_parallel_session<E: Element + Send + 'static>(
         receivers.push(rx);
     }
     // Messages in flight (sent but not yet processed).
-    let in_flight = Arc::new(std::sync::atomic::AtomicI64::new(0));
+    let in_flight = Arc::new(AtomicI64::new(0));
     let results: Arc<Mutex<Vec<Option<Site<E>>>>> =
         Arc::new(Mutex::new((0..n).map(|_| None).collect()));
 
     let mut handles = Vec::new();
     for (i, script) in scripts.into_iter().enumerate() {
         let my_rx = receivers[i].clone();
-        let peers: Vec<Sender<Message<E>>> = senders
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| *j != i)
-            .map(|(_, s)| s.clone())
-            .collect();
+        let peers: Vec<Sender<Message<E>>> =
+            senders.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, s)| s.clone()).collect();
         let d0 = d0.clone();
         let policy = policy.clone();
         let in_flight = in_flight.clone();
         let results = results.clone();
+        let site_chaos = chaos.map(|(seed, dup_prob, reorder_prob)| SenderChaos {
+            rng: StdRng::seed_from_u64(seed.wrapping_add((i as u64).wrapping_mul(0x9e37_79b9))),
+            dup_prob,
+            reorder_prob,
+        });
 
         handles.push(thread::spawn(move || {
             let mut site: Site<E> = if i == 0 {
@@ -66,38 +155,34 @@ pub fn run_parallel_session<E: Element + Send + 'static>(
             } else {
                 Site::new_user(i as u32, 0, d0, policy)
             };
-
-            let broadcast = |msg: &Message<E>,
-                             peers: &[Sender<Message<E>>],
-                             in_flight: &std::sync::atomic::AtomicI64| {
-                in_flight
-                    .fetch_add(peers.len() as i64, std::sync::atomic::Ordering::SeqCst);
-                for p in peers {
-                    let _ = p.send(msg.clone());
-                }
+            let mut courier = Courier {
+                peers,
+                in_flight: in_flight.clone(),
+                chaos: site_chaos,
+                stash: Vec::new(),
             };
 
-            let drain_inbox = |site: &mut Site<E>| {
+            let drain_inbox = |site: &mut Site<E>, courier: &mut Courier<E>| {
                 while let Ok(msg) = my_rx.try_recv() {
                     site.receive(msg).expect("protocol error");
-                    in_flight.fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
                     for out in site.drain_outbox() {
-                        broadcast(&out, &peers, &in_flight);
+                        courier.broadcast(&out);
                     }
                 }
             };
 
             for step in script {
-                drain_inbox(&mut site);
+                drain_inbox(&mut site, &mut courier);
                 match step {
                     ScriptStep::Edit(op) => {
                         if let Ok(q) = site.generate(op) {
-                            broadcast(&Message::Coop(q), &peers, &in_flight);
+                            courier.broadcast(&Message::Coop(q));
                         }
                     }
                     ScriptStep::Admin(op) => {
                         let r = site.admin_generate(op).expect("script admin op");
-                        broadcast(&Message::Admin(r), &peers, &in_flight);
+                        courier.broadcast(&Message::Admin(r));
                     }
                 }
                 thread::yield_now();
@@ -106,8 +191,12 @@ pub fn run_parallel_session<E: Element + Send + 'static>(
             // Cooperative quiescence: keep draining until nothing is in
             // flight anywhere and our inbox is empty.
             loop {
-                drain_inbox(&mut site);
-                if in_flight.load(std::sync::atomic::Ordering::SeqCst) == 0 && my_rx.is_empty() {
+                courier.flush();
+                drain_inbox(&mut site, &mut courier);
+                if courier.stash.is_empty()
+                    && in_flight.load(Ordering::SeqCst) == 0
+                    && my_rx.is_empty()
+                {
                     break;
                 }
                 thread::yield_now();
@@ -170,11 +259,41 @@ mod tests {
             vec![ScriptStep::Edit(Op::ins(2, 'y'))],
         ];
         for _ in 0..10 {
-            let sites =
-                run_parallel_session(d0.clone(), policy.clone(), scripts.clone());
+            let sites = run_parallel_session(d0.clone(), policy.clone(), scripts.clone());
             let doc0 = sites[0].document().to_string();
             for s in &sites {
                 assert_eq!(s.document().to_string(), doc0);
+            }
+        }
+    }
+
+    #[test]
+    fn chaotic_parallel_session_converges() {
+        let d0 = CharDocument::from_str("abc");
+        let policy = Policy::permissive([0, 1, 2, 3]);
+        let scripts: Vec<Vec<ScriptStep<Char>>> = vec![
+            vec![ScriptStep::Edit(Op::ins(1, 'A')), ScriptStep::Edit(Op::ins(1, 'B'))],
+            vec![ScriptStep::Edit(Op::ins(2, 'x')), ScriptStep::Edit(Op::del(1, 'a'))],
+            vec![ScriptStep::Edit(Op::up(1, 'a', 'Z'))],
+            vec![ScriptStep::Edit(Op::ins(4, 'w'))],
+        ];
+        for seed in 0..6 {
+            let sites = run_parallel_session_chaotic(
+                d0.clone(),
+                policy.clone(),
+                scripts.clone(),
+                seed,
+                0.5,
+                0.5,
+            );
+            let doc0 = sites[0].document().to_string();
+            for s in &sites {
+                assert_eq!(
+                    s.document().to_string(),
+                    doc0,
+                    "seed {seed}: site {} diverged",
+                    s.user()
+                );
             }
         }
     }

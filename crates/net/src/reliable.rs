@@ -1,0 +1,531 @@
+//! Acknowledged, retransmitting session layer over the lossy transport.
+//!
+//! The OT/access-control protocol of the paper assumes every request
+//! eventually reaches every site. Once the chaos transport
+//! ([`crate::fault`]) may *drop* messages, that assumption has to be
+//! earned: each ordered pair of sites maintains a **sequence-numbered
+//! stream** with TCP-flavoured bookkeeping —
+//!
+//! * the sender keeps every unacknowledged message in a per-peer **send
+//!   buffer**; stream sequence numbers are assigned at first send and
+//!   renumbered only when the stream itself restarts;
+//! * every data packet **piggybacks a cumulative ack** for the reverse
+//!   stream (heartbeat gossip therefore doubles as the ack carrier on an
+//!   otherwise idle connection), and receivers additionally emit a
+//!   standalone ack on every data arrival so a one-directional flow still
+//!   completes;
+//! * a per-peer **retransmission timer** resends the whole outstanding
+//!   window when it fires, doubling its timeout up to a cap (capped
+//!   exponential backoff) and resetting it when an ack makes progress;
+//! * the receiver delivers **in order**: a packet beyond the next expected
+//!   sequence number is held back, duplicates below it are counted and
+//!   dropped;
+//! * every stream carries an **epoch**, bumped when the stream restarts
+//!   after a crash/rejoin. Packets and acks are tagged with their epoch,
+//!   and traffic from a stale epoch is ignored — without this, a
+//!   pre-crash ack still in flight could acknowledge *renumbered* data it
+//!   never saw, silently deleting it from the send buffer and leaving the
+//!   receiver retransmitting into a permanent gap.
+//!
+//! The layer is deliberately transport-agnostic: it never touches clocks
+//! or sockets itself. [`SimNet`](crate::sim::SimNet) owns the endpoints,
+//! feeds them simulated time, and moves [`Packet`]s between them.
+
+use dce_core::Message;
+use dce_document::Element;
+use std::collections::{BTreeMap, HashMap};
+
+/// Tuning knobs for the session layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout (ms of simulated time).
+    pub initial_rto_ms: u64,
+    /// Ceiling for the exponential backoff (ms).
+    pub max_rto_ms: u64,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig { initial_rto_ms: 120, max_rto_ms: 2_000 }
+    }
+}
+
+/// A sequenced data packet travelling from `src`: the `seq`-th message of
+/// epoch `epoch` of the `src → dest` stream, carrying a cumulative `ack`
+/// for the reverse (`dest → src`) stream.
+#[derive(Debug, Clone)]
+pub struct Packet<E> {
+    /// Sender's site index.
+    pub src: usize,
+    /// Restart epoch of the `src → dest` stream this packet belongs to.
+    pub epoch: u64,
+    /// Position of `msg` within the epoch (1-based).
+    pub seq: u64,
+    /// Epoch of the reverse stream the piggybacked ack refers to.
+    pub ack_epoch: u64,
+    /// Cumulative ack: `src` has received every `dest → src` sequence
+    /// number of `ack_epoch` up to and including this.
+    pub ack: u64,
+    /// The protocol message itself.
+    pub msg: Message<E>,
+}
+
+/// Sender-side state of one outgoing stream.
+#[derive(Debug, Clone)]
+struct TxStream<E> {
+    /// Restart epoch; acks from other epochs are void.
+    epoch: u64,
+    /// Highest sequence number assigned so far (within the epoch).
+    next_seq: u64,
+    /// Sent but not yet cumulatively acknowledged, oldest first.
+    unacked: Vec<(u64, Message<E>)>,
+    /// Current retransmission timeout.
+    rto: u64,
+    /// When the pending retransmission timer fires (simulated ms);
+    /// `None` while nothing is outstanding or the stream is paused.
+    deadline: Option<u64>,
+}
+
+impl<E> TxStream<E> {
+    fn new(rto: u64) -> Self {
+        TxStream { epoch: 0, next_seq: 0, unacked: Vec::new(), rto, deadline: None }
+    }
+}
+
+/// Receiver-side state of one incoming stream.
+#[derive(Debug, Clone)]
+struct RxStream<E> {
+    /// The sender epoch this state belongs to; a higher epoch on the wire
+    /// resets it, a lower one is stale.
+    epoch: u64,
+    /// Every sequence number `<= delivered` has been handed to the site.
+    delivered: u64,
+    /// Out-of-order packets held until the gap before them fills.
+    held: BTreeMap<u64, Message<E>>,
+}
+
+impl<E> Default for RxStream<E> {
+    fn default() -> Self {
+        RxStream { epoch: 0, delivered: 0, held: BTreeMap::new() }
+    }
+}
+
+/// What [`Endpoint::on_data`] concluded about an arriving packet.
+#[derive(Debug)]
+pub struct RxOutcome<E> {
+    /// Messages now deliverable to the site, in stream order (empty for
+    /// duplicates and out-of-order arrivals).
+    pub deliverable: Vec<Message<E>>,
+    /// `true` when the packet was at or below the cumulative point, or
+    /// from a stale epoch — a retransmission the receiver has already
+    /// moved past.
+    pub duplicate: bool,
+}
+
+/// One site's session-layer state: an outgoing stream per peer it has
+/// written to, an incoming stream per peer it has heard from.
+#[derive(Debug, Clone)]
+pub struct Endpoint<E> {
+    site: usize,
+    cfg: ReliableConfig,
+    tx: HashMap<usize, TxStream<E>>,
+    rx: HashMap<usize, RxStream<E>>,
+}
+
+impl<E: Element> Endpoint<E> {
+    /// A fresh endpoint for site index `site`.
+    pub fn new(site: usize, cfg: ReliableConfig) -> Self {
+        Endpoint { site, cfg, tx: HashMap::new(), rx: HashMap::new() }
+    }
+
+    /// The site index this endpoint belongs to.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// Queues `msg` on the `self → dest` stream and returns the packet to
+    /// put on the wire. The message stays in the send buffer until
+    /// [`Endpoint::on_ack`] covers its sequence number.
+    pub fn send(&mut self, dest: usize, msg: Message<E>, now: u64) -> Packet<E> {
+        let (ack_epoch, ack) = self.ack_for(dest);
+        let rto = self.cfg.initial_rto_ms;
+        let stream = self.tx.entry(dest).or_insert_with(|| TxStream::new(rto));
+        stream.next_seq += 1;
+        stream.unacked.push((stream.next_seq, msg.clone()));
+        if stream.deadline.is_none() {
+            stream.deadline = Some(now + stream.rto);
+        }
+        Packet { src: self.site, epoch: stream.epoch, seq: stream.next_seq, ack_epoch, ack, msg }
+    }
+
+    /// Processes a cumulative ack from `peer` for epoch `epoch` of the
+    /// `self → peer` stream: everything at or below `cum` leaves the send
+    /// buffer; if that made progress, the backoff resets. Acks for any
+    /// other epoch are void — they describe a stream that no longer
+    /// exists.
+    pub fn on_ack(&mut self, peer: usize, epoch: u64, cum: u64, now: u64) {
+        let Some(stream) = self.tx.get_mut(&peer) else {
+            return;
+        };
+        if stream.epoch != epoch {
+            return;
+        }
+        let before = stream.unacked.len();
+        stream.unacked.retain(|(seq, _)| *seq > cum);
+        if stream.unacked.len() < before {
+            stream.rto = self.cfg.initial_rto_ms;
+            stream.deadline = if stream.unacked.is_empty() { None } else { Some(now + stream.rto) };
+        }
+    }
+
+    /// Processes a data packet from `peer`. In-order data (and any held
+    /// packets it unblocks) comes back deliverable; anything at or below
+    /// the cumulative point — or from a stale epoch — is flagged a
+    /// duplicate; a gap parks the packet in the hold queue. A packet from
+    /// a *newer* epoch resets the stream state: the peer restarted.
+    pub fn on_data(&mut self, peer: usize, epoch: u64, seq: u64, msg: Message<E>) -> RxOutcome<E> {
+        let stream = self.rx.entry(peer).or_default();
+        if epoch < stream.epoch {
+            return RxOutcome { deliverable: Vec::new(), duplicate: true };
+        }
+        if epoch > stream.epoch {
+            *stream = RxStream { epoch, delivered: 0, held: BTreeMap::new() };
+        }
+        if seq <= stream.delivered {
+            return RxOutcome { deliverable: Vec::new(), duplicate: true };
+        }
+        if seq != stream.delivered + 1 {
+            // `insert` also dedups concurrent copies of the same held seq.
+            stream.held.insert(seq, msg);
+            return RxOutcome { deliverable: Vec::new(), duplicate: false };
+        }
+        let mut deliverable = vec![msg];
+        stream.delivered = seq;
+        while let Some(next) = stream.held.remove(&(stream.delivered + 1)) {
+            stream.delivered += 1;
+            deliverable.push(next);
+        }
+        RxOutcome { deliverable, duplicate: false }
+    }
+
+    /// The cumulative ack to advertise toward `peer`: the epoch of the
+    /// `peer → self` stream as last seen, and the highest in-order
+    /// sequence number received within it.
+    pub fn ack_for(&self, peer: usize) -> (u64, u64) {
+        self.rx.get(&peer).map(|s| (s.epoch, s.delivered)).unwrap_or((0, 0))
+    }
+
+    /// `true` while any stream holds unacknowledged data.
+    pub fn has_unacked(&self) -> bool {
+        self.tx.values().any(|s| !s.unacked.is_empty())
+    }
+
+    /// The earliest pending retransmission deadline across all streams.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.tx.values().filter_map(|s| s.deadline).min()
+    }
+
+    /// Fires every stream whose timer is due: returns the packets to
+    /// retransmit (the full outstanding window per due peer, with their
+    /// original sequence numbers) and applies capped exponential backoff
+    /// to the fired streams.
+    pub fn due_retransmissions(&mut self, now: u64) -> Vec<(usize, Packet<E>)> {
+        let mut out = Vec::new();
+        // Reverse-stream acks are read through an immutable borrow first.
+        let acks: HashMap<usize, (u64, u64)> =
+            self.tx.keys().map(|&peer| (peer, self.ack_for(peer))).collect();
+        let mut peers: Vec<usize> = self.tx.keys().copied().collect();
+        peers.sort_unstable(); // deterministic firing order
+        for peer in peers {
+            let stream = self.tx.get_mut(&peer).expect("stream exists");
+            let due = matches!(stream.deadline, Some(d) if d <= now);
+            if !due {
+                continue;
+            }
+            if stream.unacked.is_empty() {
+                stream.deadline = None;
+                continue;
+            }
+            let (ack_epoch, ack) = acks[&peer];
+            for (seq, msg) in &stream.unacked {
+                out.push((
+                    peer,
+                    Packet {
+                        src: self.site,
+                        epoch: stream.epoch,
+                        seq: *seq,
+                        ack_epoch,
+                        ack,
+                        msg: msg.clone(),
+                    },
+                ));
+            }
+            stream.rto = (stream.rto * 2).min(self.cfg.max_rto_ms);
+            stream.deadline = Some(now + stream.rto);
+        }
+        out
+    }
+
+    /// Suspends the retransmission timer of the `self → peer` stream.
+    /// Outstanding data stays in the send buffer; nothing is resent until
+    /// the stream is restarted. Used while `peer` is crashed or departed —
+    /// retransmitting into a dead site can never make progress, and an
+    /// unkillable timer would keep the simulation from quiescing.
+    pub fn pause_stream_to(&mut self, peer: usize) {
+        if let Some(stream) = self.tx.get_mut(&peer) {
+            stream.deadline = None;
+        }
+    }
+
+    /// Restarts the `self → peer` stream in a new epoch, refilled with
+    /// every message of ours still unacknowledged by *any* peer. Used when
+    /// `peer` rejoins after a crash: its own receiver state died with it,
+    /// and its pre-crash acks are worthless — it may have acknowledged a
+    /// message that the snapshot donor had not yet received, in which case
+    /// the rebuilt replica lacks it even though no send buffer holds it
+    /// for `peer` any more. A message absent from *all* our send buffers,
+    /// however, was acked by every peer — the donor included — so the
+    /// snapshot is guaranteed to cover it. Refilling with the union is
+    /// therefore sufficient, and over-delivery is absorbed by the
+    /// protocol's duplicate suppression. The restarted stream's timer is
+    /// due immediately; in-flight packets and acks of the old epoch are
+    /// void.
+    pub fn restart_stream_to(&mut self, peer: usize, now: u64) {
+        let mut refill: Vec<Message<E>> = Vec::new();
+        let mut peers: Vec<usize> = self.tx.keys().copied().collect();
+        peers.sort_unstable(); // deterministic refill order
+        for p in peers {
+            for (_, msg) in &self.tx[&p].unacked {
+                if !refill.contains(msg) {
+                    refill.push(msg.clone());
+                }
+            }
+        }
+        let rto = self.cfg.initial_rto_ms;
+        let stream = self.tx.entry(peer).or_insert_with(|| TxStream::new(rto));
+        stream.epoch += 1;
+        stream.unacked = refill.into_iter().enumerate().map(|(i, m)| ((i + 1) as u64, m)).collect();
+        stream.next_seq = stream.unacked.len() as u64;
+        stream.rto = self.cfg.initial_rto_ms;
+        stream.deadline = if stream.unacked.is_empty() { None } else { Some(now) };
+    }
+
+    /// Forgets all receiver state for `peer` (its streams restart from 1).
+    pub fn reset_rx_from(&mut self, peer: usize) {
+        self.rx.remove(&peer);
+    }
+
+    /// Rebirths this endpoint after its site rejoins from a snapshot: all
+    /// receiver state is dropped, and every outgoing stream is emptied and
+    /// moved to a new epoch — so pre-crash packets and acks still in
+    /// flight (same site index, dead incarnation) cannot corrupt the new
+    /// streams. The epoch counters survive precisely so the new
+    /// incarnation outranks the old one on the wire.
+    pub fn reset_after_rejoin(&mut self) {
+        self.rx.clear();
+        for stream in self.tx.values_mut() {
+            stream.epoch += 1;
+            stream.next_seq = 0;
+            stream.unacked.clear();
+            stream.rto = self.cfg.initial_rto_ms;
+            stream.deadline = None;
+        }
+    }
+
+    /// Messages of this endpoint's own outgoing streams that are still
+    /// unacknowledged anywhere, deduplicated, in first-send order. Used at
+    /// rejoin: the crashed site's replica is rebuilt from a donor
+    /// snapshot, but operations it generated *before* crashing may still
+    /// be missing from that snapshot — they live on here, in the session
+    /// layer's durable send buffers.
+    pub fn unacked_messages(&self) -> Vec<Message<E>>
+    where
+        Message<E>: Clone,
+    {
+        let mut seen = Vec::new(); // tiny; linear scan beats hashing Message
+        let mut out = Vec::new();
+        let mut peers: Vec<usize> = self.tx.keys().copied().collect();
+        peers.sort_unstable();
+        for peer in peers {
+            for (seq, msg) in &self.tx[&peer].unacked {
+                let key = (peer, *seq);
+                if !seen.contains(&key) {
+                    seen.push(key);
+                    out.push(msg.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_core::Message;
+    use dce_document::Char;
+    use dce_ot::ids::Clock;
+
+    type Msg = Message<Char>;
+
+    fn hb(n: u64) -> Msg {
+        let mut clock = Clock::new();
+        clock.set(1, n);
+        Message::Heartbeat { from: 7, clock }
+    }
+
+    fn ep(site: usize) -> Endpoint<Char> {
+        Endpoint::new(site, ReliableConfig { initial_rto_ms: 100, max_rto_ms: 400 })
+    }
+
+    #[test]
+    fn in_order_delivery_and_cumulative_ack() {
+        let mut a = ep(0);
+        let mut b = ep(1);
+        let p1 = a.send(1, hb(1), 0);
+        let p2 = a.send(1, hb(2), 0);
+        assert_eq!((p1.seq, p2.seq), (1, 2));
+        assert_eq!(b.on_data(0, p1.epoch, p1.seq, p1.msg).deliverable.len(), 1);
+        assert_eq!(b.on_data(0, p2.epoch, p2.seq, p2.msg).deliverable.len(), 1);
+        assert_eq!(b.ack_for(0), (0, 2));
+        assert!(a.has_unacked());
+        a.on_ack(1, 0, 2, 0);
+        assert!(!a.has_unacked());
+        assert_eq!(a.next_deadline(), None);
+    }
+
+    #[test]
+    fn gaps_are_held_and_released_in_order() {
+        let mut a = ep(0);
+        let mut b = ep(1);
+        let p1 = a.send(1, hb(1), 0);
+        let p2 = a.send(1, hb(2), 0);
+        let p3 = a.send(1, hb(3), 0);
+        assert!(b.on_data(0, p3.epoch, p3.seq, p3.msg).deliverable.is_empty());
+        assert!(b.on_data(0, p2.epoch, p2.seq, p2.msg).deliverable.is_empty());
+        assert_eq!(b.ack_for(0), (0, 0), "nothing in order yet");
+        let out = b.on_data(0, p1.epoch, p1.seq, p1.msg);
+        assert_eq!(out.deliverable.len(), 3, "gap filled releases the whole run");
+        assert_eq!(b.ack_for(0), (0, 3));
+    }
+
+    #[test]
+    fn duplicates_are_flagged_not_redelivered() {
+        let mut a = ep(0);
+        let mut b = ep(1);
+        let p1 = a.send(1, hb(1), 0);
+        assert!(!b.on_data(0, p1.epoch, p1.seq, p1.msg.clone()).duplicate);
+        let again = b.on_data(0, p1.epoch, p1.seq, p1.msg);
+        assert!(again.duplicate);
+        assert!(again.deliverable.is_empty());
+    }
+
+    #[test]
+    fn retransmission_backs_off_exponentially_with_cap() {
+        let mut a = ep(0);
+        a.send(1, hb(1), 0);
+        assert_eq!(a.next_deadline(), Some(100));
+        assert!(a.due_retransmissions(99).is_empty(), "not due yet");
+        let r1 = a.due_retransmissions(100);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(a.next_deadline(), Some(100 + 200), "rto doubled");
+        let r2 = a.due_retransmissions(300);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(a.next_deadline(), Some(300 + 400));
+        a.due_retransmissions(700);
+        assert_eq!(a.next_deadline(), Some(700 + 400), "capped at max_rto");
+        // An ack that makes progress resets the backoff.
+        a.send(1, hb(2), 700);
+        a.on_ack(1, 0, 1, 700);
+        assert_eq!(a.next_deadline(), Some(800), "rto back to initial");
+    }
+
+    #[test]
+    fn retransmission_resends_whole_window_with_original_seqs() {
+        let mut a = ep(0);
+        let p1 = a.send(1, hb(1), 0);
+        let p2 = a.send(1, hb(2), 0);
+        a.on_ack(1, 0, 1, 0);
+        let resend = a.due_retransmissions(1_000);
+        assert_eq!(resend.len(), 1, "acked prefix is not resent");
+        assert_eq!(resend[0].1.seq, p2.seq);
+        assert_eq!(p1.seq, 1);
+    }
+
+    #[test]
+    fn stream_restart_renumbers_outstanding_data_in_a_new_epoch() {
+        let mut a = ep(0);
+        a.send(1, hb(1), 0);
+        a.send(1, hb(2), 0);
+        a.send(1, hb(3), 0);
+        a.on_ack(1, 0, 1, 0);
+        a.restart_stream_to(1, 50);
+        let resent = a.due_retransmissions(150);
+        let seqs: Vec<u64> = resent.iter().map(|(_, p)| p.seq).collect();
+        assert_eq!(seqs, vec![1, 2], "two outstanding messages renumbered from 1");
+        assert!(resent.iter().all(|(_, p)| p.epoch == 1), "restart opened epoch 1");
+        let p4 = a.send(1, hb(4), 150);
+        assert_eq!((p4.epoch, p4.seq), (1, 3), "new data continues the restarted numbering");
+    }
+
+    #[test]
+    fn stream_restart_refills_from_every_send_buffer() {
+        let mut a = ep(0);
+        // hb(1) went to both peers; peer 2 acked it, peer 1 did not. A
+        // rejoining peer 2 must get it again: its own old ack proves
+        // nothing, and hb(1)'s survival in the stream toward peer 1
+        // proves it is not yet covered by every snapshot.
+        a.send(1, hb(1), 0);
+        a.send(2, hb(1), 0);
+        a.send(2, hb(2), 0);
+        a.on_ack(2, 0, 1, 0);
+        a.restart_stream_to(2, 50);
+        let resent = a.due_retransmissions(50);
+        let to_2: Vec<u64> = resent.iter().filter(|(p, _)| *p == 2).map(|(_, p)| p.seq).collect();
+        assert_eq!(to_2.len(), 2, "hb(1) re-enters the stream alongside hb(2)");
+        assert_eq!(to_2, vec![1, 2]);
+    }
+
+    #[test]
+    fn stale_epoch_acks_are_void() {
+        let mut a = ep(0);
+        a.send(1, hb(1), 0);
+        a.restart_stream_to(1, 10);
+        // A pre-restart ack arrives late: it must not delete epoch-1 data.
+        a.on_ack(1, 0, 5, 20);
+        assert!(a.has_unacked(), "epoch-0 ack cannot ack epoch-1 data");
+        a.on_ack(1, 1, 1, 30);
+        assert!(!a.has_unacked());
+    }
+
+    #[test]
+    fn newer_epoch_data_resets_the_receiver() {
+        let mut a = ep(0);
+        let mut b = ep(1);
+        for n in 1..=3 {
+            let p = a.send(1, hb(n), 0);
+            b.on_data(0, p.epoch, p.seq, p.msg);
+        }
+        assert_eq!(b.ack_for(0), (0, 3));
+        // The sender restarts (peer rejoined); epoch-1 data from seq 1.
+        a.reset_after_rejoin();
+        let p = a.send(1, hb(9), 100);
+        assert_eq!((p.epoch, p.seq), (1, 1));
+        let out = b.on_data(0, p.epoch, p.seq, p.msg);
+        assert_eq!(out.deliverable.len(), 1, "epoch bump resets delivered to 0");
+        assert_eq!(b.ack_for(0), (1, 1));
+        // Stale epoch-0 data is now void.
+        let stale = b.on_data(0, 0, 2, hb(2));
+        assert!(stale.duplicate);
+    }
+
+    #[test]
+    fn unacked_messages_collects_across_peers() {
+        let mut a = ep(0);
+        a.send(1, hb(1), 0);
+        a.send(2, hb(1), 0);
+        a.send(2, hb(2), 0);
+        a.on_ack(2, 0, 1, 0);
+        assert_eq!(a.unacked_messages().len(), 2, "one per live stream position");
+    }
+}

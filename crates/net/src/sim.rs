@@ -1,12 +1,29 @@
 //! Deterministic discrete-event network simulation.
+//!
+//! Every delivery leg passes through a [`FaultPlan`] (drops, duplication,
+//! reordering, scheduled partitions); with
+//! [`enable_reliability`](SimNet::enable_reliability) the legs carry
+//! sequenced, acknowledged [`Packet`]s and lost data is retransmitted on
+//! timers, so a chaotic run still delivers everything exactly once, in
+//! per-sender order, to every surviving site. Sites can additionally
+//! [`crash`](SimNet::crash_site) and later
+//! [rejoin from a snapshot](SimNet::rejoin_via_snapshot).
+//!
+//! The [`check_converged`](SimNet::check_converged) oracle compares
+//! document buffers, policy copies, administrative logs and request flags
+//! across all live sites and reports the *first* divergence it finds —
+//! paired with the run's seed, a failing chaos schedule is exactly
+//! replayable.
 
-use dce_core::{CoreError, CoopRequest, Message, Site};
+use crate::fault::{FaultPlan, FaultStats, LegFate};
+use crate::reliable::{Endpoint, Packet, ReliableConfig};
+use dce_core::{CoopRequest, CoreError, Message, Site};
 use dce_document::{Document, Element, Op};
 use dce_policy::{Action, AdminOp, AdminRequest, Policy, Right, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Message latency model (milliseconds of simulated time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,19 +52,37 @@ type Transport<E> = Box<dyn Fn(&Message<E>) -> Message<E> + Send>;
 pub struct SimStats {
     /// Messages delivered so far.
     pub delivered: u64,
-    /// Messages broadcast so far (one count per destination).
+    /// Payload legs put on the wire so far (one count per destination,
+    /// including duplicated copies, retransmissions, and legs lost to
+    /// faults).
     pub sent: u64,
     /// Simulated milliseconds elapsed.
     pub now: u64,
 }
 
+/// What travels on one scheduled wire event.
+#[derive(Debug, Clone)]
+enum Wire<E> {
+    /// An unsequenced broadcast leg (the fire-and-forget legacy path,
+    /// used while reliability is off).
+    Raw(Message<E>),
+    /// A sequenced data packet on a reliable stream.
+    Data(Packet<E>),
+    /// A standalone cumulative ack from `from` for the `dest → from`
+    /// stream (data and heartbeats piggyback acks too; the standalone ack
+    /// lets a one-directional flow complete).
+    Ack { from: usize, epoch: u64, cum: u64 },
+    /// `src`'s retransmission timer.
+    Retry { src: usize },
+}
+
 /// The simulated broadcast network over a group of [`Site`]s.
 pub struct SimNet<E: Element> {
     sites: Vec<Site<E>>,
-    /// `false` once a site has left the group (no further deliveries).
+    /// `false` once a site has left the group or crashed (no deliveries).
     active: Vec<bool>,
     events: BinaryHeap<Reverse<(u64, u64, usize)>>,
-    payloads: std::collections::HashMap<(u64, u64, usize), Message<E>>,
+    payloads: HashMap<(u64, u64, usize), Wire<E>>,
     next_seq: u64,
     rng: StdRng,
     latency: Latency,
@@ -55,9 +90,14 @@ pub struct SimNet<E: Element> {
     /// Optional per-delivery transform — used to route every message
     /// through the binary wire codec (`enable_wire_codec`).
     transport: Option<Transport<E>>,
-    /// Probability that a broadcast leg is duplicated (fault injection;
-    /// the protocol must ignore duplicates).
-    duplicate_prob: f64,
+    /// The chaos schedule applied to every payload leg.
+    fault_plan: FaultPlan,
+    fault_stats: FaultStats,
+    /// Per-site session-layer endpoints; `Some` once reliability is on.
+    endpoints: Option<Vec<Endpoint<E>>>,
+    reliable_cfg: ReliableConfig,
+    /// `true` while a `Wire::Retry` event is in flight for that site.
+    retry_pending: Vec<bool>,
 }
 
 impl<E: Element> SimNet<E> {
@@ -83,21 +123,59 @@ impl<E: Element> SimNet<E> {
             sites,
             active: vec![true; n],
             events: BinaryHeap::new(),
-            payloads: std::collections::HashMap::new(),
+            payloads: HashMap::new(),
             next_seq: 0,
             rng: StdRng::seed_from_u64(seed),
             latency,
             stats: SimStats::default(),
             transport: None,
-            duplicate_prob: 0.0,
+            fault_plan: FaultPlan::none(),
+            fault_stats: FaultStats::default(),
+            endpoints: None,
+            reliable_cfg: ReliableConfig::default(),
+            retry_pending: vec![false; n],
         }
+    }
+
+    /// Installs a chaos schedule: every subsequent payload leg samples its
+    /// fate (drop / duplicate / reorder / partition) from `plan`.
+    ///
+    /// Drops and partitions lose messages outright, so plans that use them
+    /// should be paired with [`SimNet::enable_reliability`] when the run
+    /// is expected to converge.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// The active chaos schedule.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault_plan
+    }
+
+    /// Counters of injected faults and session-layer repairs.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Switches every broadcast leg onto the acknowledged session layer
+    /// ([`crate::reliable`]): per-peer sequence numbers, cumulative acks
+    /// piggybacked on every data packet (heartbeats included), and
+    /// timeout-driven retransmission with capped exponential backoff.
+    pub fn enable_reliability(&mut self) {
+        self.enable_reliability_with(ReliableConfig::default());
+    }
+
+    /// [`SimNet::enable_reliability`] with explicit timer tuning.
+    pub fn enable_reliability_with(&mut self, cfg: ReliableConfig) {
+        self.reliable_cfg = cfg;
+        self.endpoints = Some((0..self.sites.len()).map(|i| Endpoint::new(i, cfg)).collect());
     }
 
     /// Injects duplicate deliveries with the given probability per
     /// broadcast leg. The protocol suppresses duplicates by request
     /// identity, so sessions must behave identically.
     pub fn set_duplication(&mut self, prob: f64) {
-        self.duplicate_prob = prob.clamp(0.0, 1.0);
+        self.fault_plan.dup_prob = prob.clamp(0.0, 1.0);
     }
 
     /// Current simulated time (ms).
@@ -136,25 +214,98 @@ impl<E: Element> SimNet<E> {
         self.sites.iter().zip(&self.active).filter(|(_, a)| **a).map(|(s, _)| s)
     }
 
-    fn enqueue(&mut self, dest: usize, msg: Message<E>) {
-        let delay = self.latency.sample(&mut self.rng);
-        let at = self.stats.now + delay;
+    /// `true` while site `idx` participates in deliveries.
+    pub fn is_active(&self, idx: usize) -> bool {
+        self.active.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Schedules a wire event for `dest` at absolute time `at`.
+    fn schedule(&mut self, dest: usize, at: u64, wire: Wire<E>) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.events.push(Reverse((at, seq, dest)));
-        self.payloads.insert((at, seq, dest), msg);
-        self.stats.sent += 1;
+        self.payloads.insert((at, seq, dest), wire);
+    }
+
+    /// Puts one leg on the wire, letting the fault plan decide its fate.
+    fn transmit(&mut self, src: usize, dest: usize, wire: Wire<E>) {
+        let is_payload = matches!(wire, Wire::Raw(_) | Wire::Data(_));
+        match self.fault_plan.sample(src, dest, self.stats.now, &mut self.rng) {
+            LegFate::Partitioned => {
+                self.fault_stats.partitioned += 1;
+                if is_payload {
+                    self.stats.sent += 1;
+                }
+            }
+            LegFate::Dropped => {
+                self.fault_stats.dropped += 1;
+                if is_payload {
+                    self.stats.sent += 1;
+                }
+            }
+            LegFate::Delivered { copies, extra_delay } => {
+                if copies > 1 {
+                    self.fault_stats.duplicated += u64::from(copies - 1);
+                }
+                if extra_delay > 0 {
+                    self.fault_stats.reordered += 1;
+                }
+                for _ in 0..copies {
+                    let delay = self.latency.sample(&mut self.rng) + extra_delay;
+                    let at = self.stats.now + delay;
+                    self.schedule(dest, at, wire.clone());
+                    if is_payload {
+                        self.stats.sent += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ensures a retransmission-timer event is pending for `src`'s
+    /// earliest stream deadline. Timer events are local to the site: they
+    /// bypass latency and the fault plan.
+    fn schedule_retry(&mut self, src: usize) {
+        if self.retry_pending[src] {
+            return;
+        }
+        let deadline = match &self.endpoints {
+            Some(eps) => eps[src].next_deadline(),
+            None => None,
+        };
+        if let Some(d) = deadline {
+            let at = d.max(self.stats.now);
+            self.schedule(src, at, Wire::Retry { src });
+            self.retry_pending[src] = true;
+        }
+    }
+
+    /// Sends `msg` from `from` to one destination, through the session
+    /// layer when reliability is on.
+    fn unicast(&mut self, from: usize, dest: usize, msg: Message<E>) {
+        if self.endpoints.is_some() {
+            let now = self.stats.now;
+            let eps = self.endpoints.as_mut().expect("checked");
+            let pkt = eps[from].send(dest, msg, now);
+            if self.active[dest] {
+                self.transmit(from, dest, Wire::Data(pkt));
+                self.schedule_retry(from);
+            } else {
+                // Buffered for a possible rejoin; no timer while the
+                // destination cannot make progress.
+                eps[from].pause_stream_to(dest);
+            }
+        } else if self.active[dest] {
+            self.transmit(from, dest, Wire::Raw(msg));
+        }
     }
 
     fn broadcast(&mut self, from: usize, msg: Message<E>) {
         for dest in 0..self.sites.len() {
-            if dest == from || !self.active[dest] {
+            if dest == from {
                 continue;
             }
-            self.enqueue(dest, msg.clone());
-            if self.duplicate_prob > 0.0 && self.rng.gen_bool(self.duplicate_prob) {
-                self.enqueue(dest, msg.clone());
-            }
+            self.unicast(from, dest, msg.clone());
         }
     }
 
@@ -200,14 +351,7 @@ impl<E: Element> SimNet<E> {
         self.check_site(site)?;
         self.check_site(admin_site)?;
         let p = self.sites[site].propose_admin(op)?;
-        // Point-to-point to the administrator.
-        let delay = self.latency.sample(&mut self.rng);
-        let at = self.stats.now + delay;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(Reverse((at, seq, admin_site)));
-        self.payloads.insert((at, seq, admin_site), Message::Proposal(p));
-        self.stats.sent += 1;
+        self.unicast(site, admin_site, Message::Proposal(p));
         Ok(())
     }
 
@@ -231,8 +375,7 @@ impl<E: Element> SimNet<E> {
         self.check_site(clone_from)?;
         let template = &self.sites[clone_from];
         let site = template.rejoin_as(user);
-        self.sites.push(site);
-        self.active.push(true);
+        self.push_site(site);
         let idx = self.sites.len() - 1;
         // Register the newcomer (idempotent if already present).
         if !self.sites[0].policy().has_user(user) {
@@ -241,16 +384,54 @@ impl<E: Element> SimNet<E> {
         Ok(idx)
     }
 
+    /// Appends a site plus its per-site bookkeeping (active flag, session
+    /// endpoint, retry slot).
+    fn push_site(&mut self, site: Site<E>) {
+        self.sites.push(site);
+        self.active.push(true);
+        self.retry_pending.push(false);
+        let idx = self.sites.len() - 1;
+        let cfg = self.reliable_cfg;
+        if let Some(eps) = self.endpoints.as_mut() {
+            eps.push(Endpoint::new(idx, cfg));
+        }
+    }
+
     /// A site leaves the group: no further messages are delivered to it.
     /// (Its already-broadcast requests remain in flight, as on a real P2P
     /// network.) Returns `false` for an unknown site index.
     pub fn leave(&mut self, idx: usize) -> bool {
-        match self.active.get_mut(idx) {
-            Some(a) => {
-                *a = false;
-                true
+        if idx >= self.sites.len() {
+            return false;
+        }
+        self.active[idx] = false;
+        self.pause_streams_to(idx);
+        true
+    }
+
+    /// Crashes a site: the process is gone — no further deliveries, no
+    /// local state. Messages the site handed to its session layer before
+    /// dying stay in the per-peer send buffers and keep being
+    /// retransmitted (the network does not forget them), and acks
+    /// addressed to the dead site still settle those buffers. Rejoin with
+    /// [`SimNet::rejoin_via_snapshot`].
+    pub fn crash_site(&mut self, idx: usize) -> Result<(), CoreError> {
+        self.check_site(idx)?;
+        self.active[idx] = false;
+        self.fault_stats.crashes += 1;
+        self.pause_streams_to(idx);
+        Ok(())
+    }
+
+    /// Stops every peer's retransmission timer toward `idx` (outstanding
+    /// data stays buffered).
+    fn pause_streams_to(&mut self, idx: usize) {
+        if let Some(eps) = self.endpoints.as_mut() {
+            for (i, ep) in eps.iter_mut().enumerate() {
+                if i != idx {
+                    ep.pause_stream_to(idx);
+                }
             }
-            None => false,
         }
     }
 
@@ -276,25 +457,79 @@ impl<E: Element> SimNet<E> {
         total
     }
 
-    /// Delivers the next scheduled message. Returns `false` when the
+    /// Hands one message to a live site and broadcasts whatever the site
+    /// emits in response.
+    fn deliver(&mut self, dest: usize, msg: Message<E>) {
+        let msg = match &self.transport {
+            Some(t) => t(&msg),
+            None => msg,
+        };
+        self.sites[dest].receive(msg).expect("protocol errors are bugs in the simulation");
+        self.stats.delivered += 1;
+        for out in self.sites[dest].drain_outbox() {
+            self.broadcast(dest, out);
+        }
+    }
+
+    /// Delivers the next scheduled event. Returns `false` when the
     /// network is quiet.
     pub fn step(&mut self) -> bool {
         let Some(Reverse((at, seq, dest))) = self.events.pop() else {
             return false;
         };
-        let msg = self.payloads.remove(&(at, seq, dest)).expect("payload stored");
-        let msg = match &self.transport {
-            Some(t) => t(&msg),
-            None => msg,
-        };
+        let wire = self.payloads.remove(&(at, seq, dest)).expect("payload stored");
         self.stats.now = self.stats.now.max(at);
-        if self.active[dest] {
-            self.sites[dest]
-                .receive(msg)
-                .expect("protocol errors are bugs in the simulation");
-            self.stats.delivered += 1;
-            for out in self.sites[dest].drain_outbox() {
-                self.broadcast(dest, out);
+        let now = self.stats.now;
+        match wire {
+            Wire::Raw(msg) => {
+                if self.active[dest] {
+                    self.deliver(dest, msg);
+                }
+            }
+            Wire::Data(pkt) => {
+                let src = pkt.src;
+                let (deliverable, ack_back) = match self.endpoints.as_mut() {
+                    Some(eps) => {
+                        // The piggybacked ack settles `dest`'s send buffer
+                        // toward `src` even when `dest` is down: a ghost
+                        // endpoint's outbox drains so the run can quiesce.
+                        eps[dest].on_ack(src, pkt.ack_epoch, pkt.ack, now);
+                        if self.active[dest] {
+                            let out = eps[dest].on_data(src, pkt.epoch, pkt.seq, pkt.msg);
+                            (out.deliverable, Some(eps[dest].ack_for(src)))
+                        } else {
+                            (Vec::new(), None)
+                        }
+                    }
+                    // Reliability switched off mid-flight: degrade to raw.
+                    None if self.active[dest] => (vec![pkt.msg], None),
+                    None => (Vec::new(), None),
+                };
+                for m in deliverable {
+                    self.deliver(dest, m);
+                }
+                if let Some((epoch, cum)) = ack_back {
+                    self.transmit(dest, src, Wire::Ack { from: dest, epoch, cum });
+                }
+            }
+            Wire::Ack { from, epoch, cum } => {
+                if let Some(eps) = self.endpoints.as_mut() {
+                    eps[dest].on_ack(from, epoch, cum, now);
+                }
+            }
+            Wire::Retry { src } => {
+                self.retry_pending[src] = false;
+                let resends = match self.endpoints.as_mut() {
+                    Some(eps) => eps[src].due_retransmissions(now),
+                    None => Vec::new(),
+                };
+                for (peer, pkt) in resends {
+                    if self.active[peer] {
+                        self.fault_stats.retransmitted += 1;
+                        self.transmit(src, peer, Wire::Data(pkt));
+                    }
+                }
+                self.schedule_retry(src);
             }
         }
         true
@@ -305,15 +540,77 @@ impl<E: Element> SimNet<E> {
         while self.step() {}
     }
 
-    /// `true` when every active site holds the same document and policy.
+    /// `true` when every active site agrees on all replicated state.
     pub fn converged(&self) -> bool {
-        let mut actives = self.active_sites();
-        let Some(first) = actives.next() else {
-            return true;
+        self.check_converged().is_ok()
+    }
+
+    /// The convergence oracle: compares document buffers, policy copies,
+    /// policy versions, administrative logs and request flags pairwise
+    /// across all active sites. Returns the first divergence found, as a
+    /// human-readable description naming both sites.
+    ///
+    /// Flags are compared on the ids both sites still hold — compaction
+    /// legitimately forgets settled requests at different times on
+    /// different sites, so a one-sided entry is not divergence.
+    pub fn check_converged(&self) -> Result<(), String> {
+        let live: Vec<usize> = (0..self.sites.len()).filter(|&i| self.active[i]).collect();
+        let Some((&first, rest)) = live.split_first() else {
+            return Ok(());
         };
-        let doc = first.document();
-        let policy = first.policy();
-        actives.all(|s| s.document() == doc && s.policy() == policy)
+        let a = &self.sites[first];
+        for &i in rest {
+            let b = &self.sites[i];
+            if a.document() != b.document() {
+                return Err(format!(
+                    "document divergence: site {first} has {:?}, site {i} has {:?}",
+                    a.document(),
+                    b.document()
+                ));
+            }
+            if a.version() != b.version() {
+                return Err(format!(
+                    "policy version divergence: site {first} at v{}, site {i} at v{}",
+                    a.version(),
+                    b.version()
+                ));
+            }
+            if a.policy() != b.policy() {
+                return Err(format!(
+                    "policy divergence between site {first} and site {i} (both at v{})",
+                    a.version()
+                ));
+            }
+            if a.admin_log() != b.admin_log() {
+                return Err(format!(
+                    "admin log divergence: site {first} holds {} entries, site {i} holds {}",
+                    a.admin_log().len(),
+                    b.admin_log().len()
+                ));
+            }
+            let fa: HashMap<_, _> = a.flags().collect();
+            for (id, fb) in b.flags() {
+                if let Some(&f) = fa.get(&id) {
+                    if f != fb {
+                        return Err(format!(
+                            "flag divergence on request {id:?}: site {first} says {f}, site {i} says {fb}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics with the first divergence and the seed that replays it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`SimNet::check_converged`] reports a divergence.
+    pub fn assert_converged(&self, seed: u64) {
+        if let Err(why) = self.check_converged() {
+            panic!("sites diverged: {why}; replay with seed {seed}");
+        }
     }
 }
 
@@ -334,13 +631,72 @@ impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
         let bytes = crate::snapshot::encode_snapshot(&self.sites[donor]);
         let site = crate::snapshot::decode_snapshot(bytes, user, admin_id)
             .map_err(|e| CoreError::Protocol(format!("snapshot transfer failed: {e}")))?;
-        self.sites.push(site);
-        self.active.push(true);
+        self.push_site(site);
         let idx = self.sites.len() - 1;
         if !self.sites[0].policy().has_user(user) {
             self.submit_admin(0, AdminOp::AddUser(user))?;
         }
         Ok(idx)
+    }
+
+    /// Brings a crashed site back under its original identity, bootstrapped
+    /// from a binary snapshot of `donor`'s replica.
+    ///
+    /// Session-layer recovery:
+    /// * every peer restarts its stream toward the rebuilt site — the data
+    ///   buffered while it was down is renumbered from 1 and resent
+    ///   immediately (the snapshot covers whatever was acknowledged before
+    ///   the crash; the dedup guards absorb any overlap);
+    /// * messages the crashed site itself broadcast before dying and that
+    ///   are still unacknowledged are replayed: into the rebuilt replica
+    ///   (so its engine clock moves past its own pre-crash requests and
+    ///   fresh edits cannot reuse a request id) and to every peer;
+    /// * the rebuilt site starts with a fresh endpoint, and peers forget
+    ///   their receive state for it, so both directions renumber cleanly.
+    pub fn rejoin_via_snapshot(&mut self, idx: usize, donor: usize) -> Result<(), CoreError> {
+        self.check_site(donor)?;
+        if idx >= self.sites.len() {
+            return Err(CoreError::Protocol(format!("no such site {idx}")));
+        }
+        if self.active[idx] {
+            return Err(CoreError::Protocol(format!("site {idx} has not crashed")));
+        }
+        let user = self.sites[idx].user();
+        let admin_id = self.sites[0].user();
+        let bytes = crate::snapshot::encode_snapshot(&self.sites[donor]);
+        let site = crate::snapshot::decode_snapshot(bytes, user, admin_id)
+            .map_err(|e| CoreError::Protocol(format!("snapshot transfer failed: {e}")))?;
+        self.sites[idx] = site;
+        self.active[idx] = true;
+
+        let mut ghost_backlog = Vec::new();
+        if let Some(eps) = self.endpoints.as_mut() {
+            ghost_backlog = eps[idx].unacked_messages();
+            // A fresh `Endpoint::new` would restart every epoch at 0 and
+            // collide with stale pre-crash traffic still in flight;
+            // `reset_after_rejoin` bumps the epochs past it instead.
+            eps[idx].reset_after_rejoin();
+            let now = self.stats.now;
+            for (i, ep) in eps.iter_mut().enumerate() {
+                if i != idx {
+                    ep.restart_stream_to(idx, now);
+                    ep.reset_rx_from(idx);
+                }
+            }
+            for i in 0..self.sites.len() {
+                if i != idx && self.active[i] {
+                    self.schedule_retry(i);
+                }
+            }
+        }
+        for msg in ghost_backlog {
+            self.sites[idx].receive(msg.clone()).expect("replaying own pre-crash traffic is safe");
+            for out in self.sites[idx].drain_outbox() {
+                self.broadcast(idx, out);
+            }
+            self.broadcast(idx, msg);
+        }
+        Ok(())
     }
 
     /// Routes every delivery through the binary wire codec
@@ -477,7 +833,12 @@ mod tests {
             0,
             AdminOp::AddAuth {
                 pos: 0,
-                auth: Authorization::new(Subject::All, DocObject::Document, [Right::Read], Sign::Plus),
+                auth: Authorization::new(
+                    Subject::All,
+                    DocObject::Document,
+                    [Right::Read],
+                    Sign::Plus,
+                ),
             },
         )
         .unwrap();
@@ -575,6 +936,7 @@ mod tests {
         assert_eq!(sim.site(0).document().to_string(), "xabcy");
         // More messages were sent than a clean run would send.
         assert!(sim.stats().sent > 8, "duplicates were injected: {:?}", sim.stats());
+        assert!(sim.fault_stats().duplicated > 0);
     }
 
     #[test]
@@ -589,5 +951,111 @@ mod tests {
         assert!(st.now >= 8);
         assert_eq!(sim.len(), 3);
         assert!(!sim.is_empty());
+    }
+
+    #[test]
+    fn reliability_is_transparent_on_a_clean_network() {
+        let run = |reliable: bool| {
+            let mut sim = net(3, "abc", 23, Latency::Uniform(1, 60));
+            if reliable {
+                sim.enable_reliability();
+            }
+            sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+            sim.submit_coop(2, Op::del(3, 'c')).unwrap();
+            sim.run_to_quiescence();
+            assert!(sim.converged());
+            sim.site(0).document().to_string()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn drops_lose_edits_without_reliability_and_not_with_it() {
+        let lossy = FaultPlan::none().with_drops(0.5);
+        // Without the session layer, a dropped broadcast leg is gone.
+        let mut bare = net(3, "abc", 97, Latency::Fixed(5));
+        bare.set_fault_plan(lossy.clone());
+        for i in 0..6 {
+            bare.submit_coop(1, Op::ins(1, char::from(b'a' + i))).unwrap();
+        }
+        bare.run_to_quiescence();
+        assert!(bare.fault_stats().dropped > 0, "the plan did fire");
+
+        // With it, everything arrives and the group converges.
+        let mut sim = net(3, "abc", 97, Latency::Fixed(5));
+        sim.set_fault_plan(lossy);
+        sim.enable_reliability();
+        for i in 0..6 {
+            sim.submit_coop(1, Op::ins(1, char::from(b'a' + i))).unwrap();
+        }
+        sim.run_to_quiescence();
+        sim.assert_converged(97);
+        assert!(sim.fault_stats().retransmitted > 0, "losses were repaired");
+        assert_eq!(sim.site(0).document().len(), 9);
+    }
+
+    #[test]
+    fn partition_heals_through_retransmission() {
+        let mut sim = net(4, "abc", 31, Latency::Fixed(10));
+        sim.set_fault_plan(FaultPlan::none().with_partition([3], 0, 5_000));
+        sim.enable_reliability();
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.submit_coop(3, Op::ins(4, 'y')).unwrap();
+        sim.run_to_quiescence();
+        sim.assert_converged(31);
+        assert!(sim.fault_stats().partitioned > 0);
+        assert!(sim.now() >= 5_000, "quiescence had to outlast the partition");
+        assert_eq!(sim.site(0).document().to_string(), "xabcy");
+    }
+
+    #[test]
+    fn crash_and_snapshot_rejoin_catches_up() {
+        let mut sim = net(3, "abc", 53, Latency::Fixed(5));
+        sim.enable_reliability();
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        sim.crash_site(2).unwrap();
+        // The group keeps editing while site 2 is down.
+        sim.submit_coop(0, Op::ins(1, 'y')).unwrap();
+        sim.submit_coop(1, Op::del(4, 'c')).unwrap();
+        sim.run_to_quiescence();
+        assert_eq!(sim.site(2).document().to_string(), "xabc", "dead replica is stale");
+        sim.rejoin_via_snapshot(2, 0).unwrap();
+        sim.run_to_quiescence();
+        sim.assert_converged(53);
+        assert_eq!(sim.site(2).document().to_string(), "yxab");
+        assert_eq!(sim.fault_stats().crashes, 1);
+        // The rejoined site edits again without request-id collisions.
+        sim.submit_coop(2, Op::ins(1, 'z')).unwrap();
+        sim.run_to_quiescence();
+        sim.assert_converged(53);
+    }
+
+    #[test]
+    fn crashed_sites_in_flight_requests_survive_the_crash() {
+        let mut sim = net(3, "abc", 71, Latency::Fixed(20));
+        sim.enable_reliability();
+        // Site 2 edits, then dies before anyone acknowledges.
+        sim.submit_coop(2, Op::ins(1, 'q')).unwrap();
+        sim.crash_site(2).unwrap();
+        sim.run_to_quiescence();
+        // The session layer delivered the orphan broadcast anyway.
+        assert_eq!(sim.site(0).document().to_string(), "qabc");
+        assert_eq!(sim.site(1).document().to_string(), "qabc");
+        // And the rejoined site recovers its own pre-crash edit.
+        sim.rejoin_via_snapshot(2, 1).unwrap();
+        sim.run_to_quiescence();
+        sim.assert_converged(71);
+        assert_eq!(sim.site(2).document().to_string(), "qabc");
+    }
+
+    #[test]
+    fn oracle_reports_document_divergence() {
+        let mut sim = net(2, "abc", 3, Latency::Fixed(1));
+        // Forge a divergence: a local edit that is never broadcast.
+        sim.site_mut(1).generate(Op::ins(1, 'z')).unwrap();
+        let err = sim.check_converged().unwrap_err();
+        assert!(err.contains("document divergence"), "{err}");
+        assert!(!sim.converged());
     }
 }

@@ -23,9 +23,7 @@ use dce_ot::engine::BroadcastRequest;
 use dce_ot::ids::{Clock, RequestId};
 use dce_ot::log::LogEntry;
 use dce_ot::transform::TOp;
-use dce_policy::{
-    AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Sign, Subject,
-};
+use dce_policy::{AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Sign, Subject};
 use std::collections::BTreeSet;
 
 const MAGIC: u8 = 0xDC;
@@ -179,11 +177,7 @@ fn decode_op<E: WireElement>(buf: &mut Bytes) -> Result<Op<E>> {
         0 => Ok(Op::Nop),
         1 => Ok(Op::Ins { pos: get_u64(buf)? as usize, elem: E::decode(buf)? }),
         2 => Ok(Op::Del { pos: get_u64(buf)? as usize, elem: E::decode(buf)? }),
-        3 => Ok(Op::Up {
-            pos: get_u64(buf)? as usize,
-            old: E::decode(buf)?,
-            new: E::decode(buf)?,
-        }),
+        3 => Ok(Op::Up { pos: get_u64(buf)? as usize, old: E::decode(buf)?, new: E::decode(buf)? }),
         t => Err(WireError::BadTag(t)),
     }
 }
@@ -729,10 +723,7 @@ mod tests {
 
     #[test]
     fn proposal_roundtrips() {
-        roundtrip::<Char>(&Message::Proposal(AdminProposal {
-            from: 4,
-            op: AdminOp::AddUser(11),
-        }));
+        roundtrip::<Char>(&Message::Proposal(AdminProposal { from: 4, op: AdminOp::AddUser(11) }));
     }
 
     #[test]

@@ -246,9 +246,11 @@ impl<E: Element> Buffer<E> {
             }
             Op::Del { pos, .. } => {
                 let len = self.cells.len();
-                let cell = self
-                    .cell_mut(*pos)
-                    .ok_or(ApplyError::OutOfBounds { pos: *pos, len, max: len })?;
+                let cell = self.cell_mut(*pos).ok_or(ApplyError::OutOfBounds {
+                    pos: *pos,
+                    len,
+                    max: len,
+                })?;
                 match by {
                     Some(id) => cell.killers.push(id),
                     None => cell.anon_kills += 1,
@@ -257,9 +259,11 @@ impl<E: Element> Buffer<E> {
             }
             Op::Up { pos, new, .. } => {
                 let len = self.cells.len();
-                let cell = self
-                    .cell_mut(*pos)
-                    .ok_or(ApplyError::OutOfBounds { pos: *pos, len, max: len })?;
+                let cell = self.cell_mut(*pos).ok_or(ApplyError::OutOfBounds {
+                    pos: *pos,
+                    len,
+                    max: len,
+                })?;
                 cell.elem = new.clone();
                 if let Some(id) = by {
                     let saw = cell
@@ -332,10 +336,7 @@ impl<E: Element> Buffer<E> {
     /// Internal position of the cell whose provenance chain contains `id`
     /// (used by update-undo).
     pub fn find_in_chain(&self, id: RequestId) -> Option<Position> {
-        self.cells
-            .iter()
-            .position(|c| c.chain.iter().any(|l| l.id == id))
-            .map(|i| i + 1)
+        self.cells.iter().position(|c| c.chain.iter().any(|l| l.id == id)).map(|i| i + 1)
     }
 }
 

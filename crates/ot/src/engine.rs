@@ -212,10 +212,11 @@ impl<E: Element> Engine<E> {
                 .map(|p| Op::Ins { pos: p, elem: elem.clone() })
                 .ok_or(ApplyError::OutOfBounds { pos: *pos, len: vis_len, max: vis_len + 1 }),
             Op::Del { pos, elem } => {
-                let p = self
-                    .buf
-                    .internal_target_pos(*pos)
-                    .ok_or(ApplyError::OutOfBounds { pos: *pos, len: vis_len, max: vis_len })?;
+                let p = self.buf.internal_target_pos(*pos).ok_or(ApplyError::OutOfBounds {
+                    pos: *pos,
+                    len: vis_len,
+                    max: vis_len,
+                })?;
                 let found = &self.buf.cell(p).expect("mapped cell exists").elem;
                 if found != elem {
                     return Err(ApplyError::ElementMismatch {
@@ -227,10 +228,11 @@ impl<E: Element> Engine<E> {
                 Ok(Op::Del { pos: p, elem: elem.clone() })
             }
             Op::Up { pos, old, new } => {
-                let p = self
-                    .buf
-                    .internal_target_pos(*pos)
-                    .ok_or(ApplyError::OutOfBounds { pos: *pos, len: vis_len, max: vis_len })?;
+                let p = self.buf.internal_target_pos(*pos).ok_or(ApplyError::OutOfBounds {
+                    pos: *pos,
+                    len: vis_len,
+                    max: vis_len,
+                })?;
                 let found = &self.buf.cell(p).expect("mapped cell exists").elem;
                 if found != old {
                     return Err(ApplyError::ElementMismatch {
@@ -333,7 +335,10 @@ impl<E: Element> Engine<E> {
                     cursor = entry.dep;
                 }
                 None => {
-                    debug_assert!(self.clock.contains(id), "unseen ancestor slipped past readiness");
+                    debug_assert!(
+                        self.clock.contains(id),
+                        "unseen ancestor slipped past readiness"
+                    );
                     if self.pruned_inert.contains(&id) {
                         ancestor_inert = true;
                     }
@@ -386,9 +391,7 @@ impl<E: Element> Engine<E> {
             return Ok(Integration::Inert);
         }
 
-        self.buf
-            .apply(&top.op, Some(req.id), Some(&req.ctx))
-            .map_err(IntegrateError::Apply)?;
+        self.buf.apply(&top.op, Some(req.id), Some(&req.ctx)).map_err(IntegrateError::Apply)?;
         // The chain link must record the value the *generator* wrote (the
         // base form), not the folded form: an update absorbed by a
         // concurrent winner applies as an identity write of the winner's
@@ -402,6 +405,15 @@ impl<E: Element> Engine<E> {
                     }
                 }
             }
+            // The folded form's written value can be stale: a concurrent
+            // loser absorbed into an identity update keeps the winner's
+            // value in its stored log form, and if that winner has since
+            // been *undone* at this site, applying the identity form just
+            // resurrected the undone value. The provenance chain — whose
+            // content is the same at every site — is the authority on the
+            // cell's value, so recompute it from the live links.
+            let value = self.chain_winner_value(pos, None);
+            self.buf.cell_mut(pos).expect("updated cell exists").elem = value;
         }
         let swaps = self.log.push_canonical(LogEntry {
             id: req.id,
@@ -469,19 +481,32 @@ impl<E: Element> Engine<E> {
     /// value. Falls back to the cell's original element when no live update
     /// remains.
     fn recompute_cell_value(&mut self, pos: dce_document::Position, undone: RequestId) {
-        // Collect the cell's *live* writers (excluding the undone request
-        // and the creating insertion) from the chain links themselves — the
-        // links carry values and causal visibility, so this works even when
-        // the corresponding log entries have been compacted away.
-        let cell = self.buf.cell(pos).expect("undone update cell exists");
+        let value = self.chain_winner_value(pos, Some(undone));
+        let cell = self.buf.cell_mut(pos).expect("undone update cell exists");
+        cell.elem = value;
+        cell.chain.retain(|l| l.id != undone);
+    }
+
+    /// The cell's value as decided by its provenance chain: collect the
+    /// *live* writers (excluding `exclude`, if given, and the creating
+    /// insertion) from the chain links themselves — the links carry values
+    /// and causal visibility, so this works even when the corresponding
+    /// log entries have been compacted away — and run the deterministic
+    /// tournament (causal visibility first, site id among concurrent
+    /// maxima, in sorted id order so every site scans identically). Falls
+    /// back to the cell's original element when no live update remains.
+    fn chain_winner_value(&self, pos: dce_document::Position, exclude: Option<RequestId>) -> E {
+        let cell = self.buf.cell(pos).expect("chained cell exists");
         let mut candidates: Vec<&crate::buffer::ChainLink<E>> = cell
             .chain
             .iter()
-            .filter(|l| l.id != undone)
+            .filter(|l| Some(l.id) != exclude)
             .filter(|l| match self.log.get(l.id) {
                 Some(e) => !e.inert,
                 // Pruned by compaction: settled. Invalid pruned ids are
-                // remembered; everything else pruned is live-valid.
+                // remembered; everything else pruned is live-valid. (A
+                // link not in the log at all is the request being
+                // integrated right now — live by definition.)
                 None => !self.pruned_inert.contains(&l.id),
             })
             .collect();
@@ -503,10 +528,7 @@ impl<E: Element> Engine<E> {
                 }
             });
         }
-        let value = best.map(|l| l.value.clone()).unwrap_or_else(|| cell.original.clone());
-        let cell = self.buf.cell_mut(pos).expect("undone update cell exists");
-        cell.elem = value;
-        cell.chain.retain(|l| l.id != undone);
+        best.map(|l| l.value.clone()).unwrap_or_else(|| cell.original.clone())
     }
 
     /// `true` if `entry`'s dependency chain passes through `target`.
@@ -527,12 +549,7 @@ impl<E: Element> Engine<E> {
     }
 
     fn undo_single(&mut self, id: RequestId) -> Result<(), OtError> {
-        let base_kind = self
-            .log
-            .get(id)
-            .ok_or(OtError::UnknownRequest(id))?
-            .base
-            .kind();
+        let base_kind = self.log.get(id).ok_or(OtError::UnknownRequest(id))?.base.kind();
         match base_kind {
             dce_document::OpKind::Ins => {
                 self.buf
@@ -808,8 +825,8 @@ mod tests {
         let q_ins = s1.generate(Op::ins(1, 'x')).unwrap(); // "xabc"
         assert_eq!(q_ins.ctx.total(), 0);
         let q = s1.generate(Op::del(3, 'b')).unwrap(); // deletes D0 'b'
-        // The broadcast form is the executed form ("xabc": position 3)
-        // together with the context that gives it meaning.
+                                                       // The broadcast form is the executed form ("xabc": position 3)
+                                                       // together with the context that gives it meaning.
         assert_eq!(q.top.op, Op::del(3, 'b'));
         assert_eq!(q.dep, None);
         assert!(q.ctx.contains(q_ins.id));

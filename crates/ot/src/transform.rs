@@ -89,11 +89,9 @@ pub fn include<E: Element>(o1: &TOp<E>, o2: &TOp<E>) -> TOp<E> {
             }
         }
 
-        (Up { pos: p1, old, new }, Ins { pos: p2, .. }) => Up {
-            pos: if *p1 >= *p2 { p1 + 1 } else { *p1 },
-            old: old.clone(),
-            new: new.clone(),
-        },
+        (Up { pos: p1, old, new }, Ins { pos: p2, .. }) => {
+            Up { pos: if *p1 >= *p2 { p1 + 1 } else { *p1 }, old: old.clone(), new: new.clone() }
+        }
         // Updates write through tombstones, so a concurrent deletion does
         // not disturb them.
         (Up { .. }, Del { .. }) => o1.op.clone(),
@@ -164,9 +162,7 @@ pub fn exclude<E: Element>(o1: &TOp<E>, o2: &TOp<E>) -> Result<TOp<E>, ExcludeEr
 
         (Up { pos: p1, old, new }, Ins { pos: p2, .. }) => match p1.cmp(p2) {
             std::cmp::Ordering::Less => o1.op.clone(),
-            std::cmp::Ordering::Greater => {
-                Up { pos: p1 - 1, old: old.clone(), new: new.clone() }
-            }
+            std::cmp::Ordering::Greater => Up { pos: p1 - 1, old: old.clone(), new: new.clone() },
             std::cmp::Ordering::Equal => {
                 return Err(ExcludeError {
                     reason: format!(
@@ -325,10 +321,9 @@ mod tests {
                     continue;
                 }
                 match exclude(&included, &o2) {
-                    Ok(back) => assert_eq!(
-                        back.op, o1.op,
-                        "ET(IT({o1},{o2}),{o2}) did not round-trip"
-                    ),
+                    Ok(back) => {
+                        assert_eq!(back.op, o1.op, "ET(IT({o1},{o2}),{o2}) did not round-trip")
+                    }
                     Err(e) => panic!("exclusion of independent pair failed: {o1} / {o2}: {e}"),
                 }
             }
@@ -342,10 +337,7 @@ mod tests {
         assert!(exclude(&t(Op::up(2, 'x', 'y'), 1), &ins).is_err());
         // Chained update on a pre-existing element: defined, rewrites value.
         let up1 = t(Op::up(2, 'x', 'y'), 2);
-        assert_eq!(
-            exclude(&t(Op::up(2, 'y', 'z'), 1), &up1).unwrap().op,
-            Op::up(2, 'x', 'z')
-        );
+        assert_eq!(exclude(&t(Op::up(2, 'y', 'z'), 1), &up1).unwrap().op, Op::up(2, 'x', 'z'));
         // Mismatching value chain is an error.
         assert!(exclude(&t(Op::up(2, 'q', 'z'), 1), &up1).is_err());
         assert!(exclude(&t(Op::del(2, 'q'), 1), &up1).is_err());

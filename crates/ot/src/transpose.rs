@@ -21,10 +21,7 @@ use dce_document::Element;
 ///
 /// Returns `(o2', o1')` with `o2'; o1'` effect-equivalent to `o1; o2`, or an
 /// [`ExcludeError`] when `o2` depends on `o1`.
-pub fn transpose<E: Element>(
-    o1: &TOp<E>,
-    o2: &TOp<E>,
-) -> Result<(TOp<E>, TOp<E>), ExcludeError> {
+pub fn transpose<E: Element>(o1: &TOp<E>, o2: &TOp<E>) -> Result<(TOp<E>, TOp<E>), ExcludeError> {
     use dce_document::Op::Ins;
     // Two sequential insertions need order-aware handling: when `o2` landed
     // at or before `o1`'s element, the user placed it to the *left*, so after
@@ -42,10 +39,8 @@ pub fn transpose<E: Element>(
     // value — regardless of the site-id winner `include` would pick for
     // *concurrent* updates. (Identity rather than `Nop` so the entry keeps a
     // position and stays on the cell's provenance chain.)
-    if let (
-        dce_document::Op::Up { pos: p1, .. },
-        dce_document::Op::Up { pos: p2, new: n2, .. },
-    ) = (&o1.op, &o2.op)
+    if let (dce_document::Op::Up { pos: p1, .. }, dce_document::Op::Up { pos: p2, new: n2, .. }) =
+        (&o1.op, &o2.op)
     {
         if p1 == p2 {
             let o2_prime = exclude(o2, o1)?;

@@ -76,9 +76,8 @@ fn deliver_all(engine: &mut Engine<Char>, mut pending: Vec<BroadcastRequest<Char
 /// requests are delivered everywhere in per-site random orders.
 fn run_scenario(seed: u64, n_sites: u32, ops_per_site: usize, initial: &str) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut engines: Vec<Engine<Char>> = (1..=n_sites)
-        .map(|s| Engine::new(s, CharDocument::from_str(initial)))
-        .collect();
+    let mut engines: Vec<Engine<Char>> =
+        (1..=n_sites).map(|s| Engine::new(s, CharDocument::from_str(initial))).collect();
 
     let mut next_char = 0;
     let mut all: Vec<Vec<BroadcastRequest<Char>>> = Vec::new();
@@ -115,9 +114,8 @@ fn run_scenario(seed: u64, n_sites: u32, ops_per_site: usize, initial: &str) {
 /// chains across elements created by other sites.
 fn run_multi_round(seed: u64, n_sites: u32, rounds: usize, ops_per_round: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut engines: Vec<Engine<Char>> = (1..=n_sites)
-        .map(|s| Engine::new(s, CharDocument::from_str("base")))
-        .collect();
+    let mut engines: Vec<Engine<Char>> =
+        (1..=n_sites).map(|s| Engine::new(s, CharDocument::from_str("base"))).collect();
     let mut next_char = 0;
 
     for _ in 0..rounds {
@@ -189,9 +187,8 @@ fn many_sites_single_op_each() {
 /// replicas identical (the retroactive-enforcement primitive of §4.2).
 fn run_undo_scenario(seed: u64, n_sites: u32, ops_per_site: usize) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut engines: Vec<Engine<Char>> = (1..=n_sites)
-        .map(|s| Engine::new(s, CharDocument::from_str("abcdef")))
-        .collect();
+    let mut engines: Vec<Engine<Char>> =
+        (1..=n_sites).map(|s| Engine::new(s, CharDocument::from_str("abcdef"))).collect();
     let mut next_char = 0;
     let mut all: Vec<Vec<BroadcastRequest<Char>>> = Vec::new();
     for engine in engines.iter_mut() {

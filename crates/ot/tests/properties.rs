@@ -184,10 +184,8 @@ proptest! {
 /// The whole engine works identically for non-character elements.
 #[test]
 fn paragraph_elements_converge() {
-    let d0: Document<Paragraph> = Document::from_elements(vec![
-        Paragraph::styled("Title", "h1"),
-        Paragraph::new("Body."),
-    ]);
+    let d0: Document<Paragraph> =
+        Document::from_elements(vec![Paragraph::styled("Title", "h1"), Paragraph::new("Body.")]);
     let mut s1 = Engine::new(1, d0.clone());
     let mut s2 = Engine::new(2, d0);
     let q1 = s1.generate(Op::Ins { pos: 2, elem: Paragraph::new("Abstract.") }).unwrap();
@@ -206,12 +204,7 @@ fn paragraph_elements_converge() {
     let rendered: Vec<String> = s1.document().iter().map(|p| p.to_string()).collect();
     assert_eq!(
         rendered,
-        vec![
-            "<h1>Title</h1>",
-            "<p>Abstract.</p>",
-            "<p>Improved body.</p>",
-            "<h2>Refs</h2>",
-        ]
+        vec!["<h1>Title</h1>", "<p>Abstract.</p>", "<p>Improved body.</p>", "<h2>Refs</h2>",]
     );
 }
 

@@ -143,9 +143,7 @@ impl AdminOp {
             _ => return false,
         };
         auth.rights.contains(&action.right)
-            && auth
-                .subject
-                .covers(user, |g| policy.groups().get(g).cloned().unwrap_or_default())
+            && auth.subject.covers(user, |g| policy.groups().get(g).cloned().unwrap_or_default())
             && auth.object.covers(action.pos, &|n| policy.objects().get(n).cloned())
     }
 }
@@ -324,16 +322,10 @@ mod tests {
         let mut p = Policy::new();
         AdminOp::AddUser(1).apply_to(&mut p).unwrap();
         assert!(p.has_user(1));
-        assert!(matches!(
-            AdminOp::AddUser(1).apply_to(&mut p),
-            Err(PolicyError::DuplicateUser(1))
-        ));
+        assert!(matches!(AdminOp::AddUser(1).apply_to(&mut p), Err(PolicyError::DuplicateUser(1))));
         AdminOp::DelUser(1).apply_to(&mut p).unwrap();
         assert!(!p.has_user(1));
-        assert!(matches!(
-            AdminOp::DelUser(1).apply_to(&mut p),
-            Err(PolicyError::UnknownUser(1))
-        ));
+        assert!(matches!(AdminOp::DelUser(1).apply_to(&mut p), Err(PolicyError::UnknownUser(1))));
     }
 
     #[test]
@@ -343,7 +335,8 @@ mod tests {
             .apply_to(&mut p)
             .unwrap();
         assert!(p.objects().contains_key("title"));
-        let auth = Authorization::grant(Subject::All, DocObject::Named("title".into()), [Right::Update]);
+        let auth =
+            Authorization::grant(Subject::All, DocObject::Named("title".into()), [Right::Update]);
         AdminOp::AddAuth { pos: 0, auth: auth.clone() }.apply_to(&mut p).unwrap();
         assert_eq!(p.authorizations().len(), 1);
         AdminOp::DelAuth { pos: 0, auth }.apply_to(&mut p).unwrap();
@@ -405,7 +398,11 @@ mod tests {
         let policy = Policy::permissive([1]);
         let grant = Authorization::grant(Subject::All, DocObject::Document, [Right::Delete]);
         let mut log = AdminLog::new();
-        log.push(AdminRequest { admin: 0, version: 1, op: AdminOp::DelAuth { pos: 0, auth: grant } });
+        log.push(AdminRequest {
+            admin: 0,
+            version: 1,
+            op: AdminOp::DelAuth { pos: 0, auth: grant },
+        });
         let del = Action::new(Right::Delete, Some(1));
         assert!(log.check_remote(1, &del, 0, &policy).is_some());
         let ins = Action::new(Right::Insert, Some(1));

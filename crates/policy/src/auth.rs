@@ -99,11 +99,8 @@ mod tests {
 
     #[test]
     fn display_matches_paper_notation() {
-        let a = Authorization::grant(
-            Subject::All,
-            DocObject::Document,
-            [Right::Insert, Right::Delete],
-        );
+        let a =
+            Authorization::grant(Subject::All, DocObject::Document, [Right::Insert, Right::Delete]);
         assert_eq!(a.to_string(), "⟨All, Doc, {iR,dR}, +⟩");
     }
 }

@@ -126,7 +126,11 @@ mod tests {
         p.add_user(1);
         p.add_auth_at(
             0,
-            Authorization::revoke(Subject::User(1), DocObject::Range { from: 1, to: 3 }, [Right::Update]),
+            Authorization::revoke(
+                Subject::User(1),
+                DocObject::Range { from: 1, to: 3 },
+                [Right::Update],
+            ),
         )
         .unwrap();
         p.add_auth_at(1, grant_all()).unwrap();
@@ -135,7 +139,11 @@ mod tests {
         // A *wider* follow-up of the head is not shadowed by it either.
         p.add_auth_at(
             2,
-            Authorization::revoke(Subject::User(1), DocObject::Range { from: 1, to: 9 }, [Right::Update]),
+            Authorization::revoke(
+                Subject::User(1),
+                DocObject::Range { from: 1, to: 9 },
+                [Right::Update],
+            ),
         )
         .unwrap();
         // …but it *is* shadowed by the catch-all grant at index 1.
@@ -145,8 +153,7 @@ mod tests {
     #[test]
     fn empty_rights_are_dead() {
         let mut p = Policy::new();
-        p.add_auth_at(0, Authorization::grant(Subject::All, DocObject::Document, []))
-            .unwrap();
+        p.add_auth_at(0, Authorization::grant(Subject::All, DocObject::Document, [])).unwrap();
         assert_eq!(dead_entries(&p), vec![0]);
         assert!(normalize(&p).authorizations().is_empty());
     }
@@ -186,8 +193,7 @@ mod tests {
         prop_oneof![
             Just(DocObject::Document),
             (1usize..10).prop_map(DocObject::Element),
-            (1usize..10, 0usize..5)
-                .prop_map(|(f, w)| DocObject::Range { from: f, to: f + w }),
+            (1usize..10, 0usize..5).prop_map(|(f, w)| DocObject::Range { from: f, to: f + w }),
             "[xy]".prop_map(DocObject::Named),
         ]
     }
@@ -208,7 +214,12 @@ mod tests {
             any::<bool>(),
         )
             .prop_map(|(s, o, r, pos)| {
-                Authorization::new(s, o, r, if pos { crate::auth::Sign::Plus } else { crate::auth::Sign::Minus })
+                Authorization::new(
+                    s,
+                    o,
+                    r,
+                    if pos { crate::auth::Sign::Plus } else { crate::auth::Sign::Minus },
+                )
             })
     }
 

@@ -181,12 +181,20 @@ impl Policy {
     }
 
     /// Creates or replaces a named group.
-    pub fn set_group(&mut self, name: impl Into<String>, members: impl IntoIterator<Item = UserId>) {
+    pub fn set_group(
+        &mut self,
+        name: impl Into<String>,
+        members: impl IntoIterator<Item = UserId>,
+    ) {
         self.groups.insert(name.into(), members.into_iter().collect());
     }
 
     /// Registers a named object.
-    pub fn add_object(&mut self, name: impl Into<String>, object: DocObject) -> Result<(), PolicyError> {
+    pub fn add_object(
+        &mut self,
+        name: impl Into<String>,
+        object: DocObject,
+    ) -> Result<(), PolicyError> {
         let name = name.into();
         if self.objects.contains_key(&name) {
             return Err(PolicyError::DuplicateObject(name));
@@ -288,8 +296,11 @@ mod tests {
     fn first_match_wins() {
         let mut p = Policy::permissive([1]);
         // Prepend a negative authorization: it must shadow the grant.
-        p.add_auth_at(0, Authorization::revoke(Subject::User(1), DocObject::Document, [Right::Insert]))
-            .unwrap();
+        p.add_auth_at(
+            0,
+            Authorization::revoke(Subject::User(1), DocObject::Document, [Right::Insert]),
+        )
+        .unwrap();
         assert_eq!(p.check(1, &insert_at(Some(2))), Decision::DeniedByAuth);
         // Deletion is still granted by the later catch-all.
         assert!(p.check(1, &Action::new(Right::Delete, Some(2))).granted());
@@ -298,8 +309,11 @@ mod tests {
     #[test]
     fn negative_after_positive_is_shadowed() {
         let mut p = Policy::permissive([1]);
-        p.add_auth_at(1, Authorization::revoke(Subject::User(1), DocObject::Document, [Right::Insert]))
-            .unwrap();
+        p.add_auth_at(
+            1,
+            Authorization::revoke(Subject::User(1), DocObject::Document, [Right::Insert]),
+        )
+        .unwrap();
         assert!(p.check(1, &insert_at(Some(2))).granted());
     }
 
@@ -352,10 +366,7 @@ mod tests {
         p.add_auth_at(0, a.clone()).unwrap();
         let other = Authorization::grant(Subject::All, DocObject::Document, [Right::Insert]);
         assert!(matches!(p.del_auth_at(0, &other), Err(PolicyError::AuthMismatch { .. })));
-        assert!(matches!(
-            p.del_auth_at(5, &a),
-            Err(PolicyError::AuthIndexOutOfRange { .. })
-        ));
+        assert!(matches!(p.del_auth_at(5, &a), Err(PolicyError::AuthIndexOutOfRange { .. })));
         p.del_auth_at(0, &a).unwrap();
         assert!(p.authorizations().is_empty());
     }

@@ -20,11 +20,9 @@ fn reference_check(policy: &Policy, user: UserId, action: &Action) -> Decision {
             Subject::All => true,
             Subject::User(u) => *u == user,
             Subject::Users(set) => set.contains(&user),
-            Subject::Group(name) => policy
-                .groups()
-                .get(name)
-                .map(|members| members.contains(&user))
-                .unwrap_or(false),
+            Subject::Group(name) => {
+                policy.groups().get(name).map(|members| members.contains(&user)).unwrap_or(false)
+            }
         };
         if !subject_hit {
             continue;

@@ -5,8 +5,7 @@
 //! Run with `cargo run --example policy_admin`.
 
 use dce::policy::{
-    Action, AdminLog, AdminOp, AdminRequest, Authorization, DocObject, Policy, Right,
-    Subject,
+    Action, AdminLog, AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Subject,
 };
 
 fn show_check(p: &Policy, user: u32, action: Action) {
@@ -46,7 +45,11 @@ fn main() {
     println!("== first match wins: a negative entry shadows later grants ==");
     p.add_auth_at(
         0,
-        Authorization::revoke(Subject::User(2), DocObject::Range { from: 1, to: 5 }, [Right::Delete]),
+        Authorization::revoke(
+            Subject::User(2),
+            DocObject::Range { from: 1, to: 5 },
+            [Right::Delete],
+        ),
     )
     .unwrap();
     println!("   {}", p.authorizations()[0]);

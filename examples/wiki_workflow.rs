@@ -24,10 +24,8 @@ fn main() {
     print!("{}", wiki.render_html(0));
 
     // Protect the title and section headings: only the admin touches them.
-    wiki.revoke(Subject::User(1), DocObject::Element(1), [Right::Update, Right::Delete])
-        .unwrap();
-    wiki.revoke(Subject::User(2), DocObject::Element(1), [Right::Update, Right::Delete])
-        .unwrap();
+    wiki.revoke(Subject::User(1), DocObject::Element(1), [Right::Update, Right::Delete]).unwrap();
+    wiki.revoke(Subject::User(2), DocObject::Element(1), [Right::Update, Right::Delete]).unwrap();
     wiki.sync();
 
     // Concurrent body edits from both users.
@@ -51,8 +49,7 @@ fn main() {
     // The admin restructures: promote the history section, add a footer.
     wiki.restyle_block(0, 3, "h2").unwrap();
     wiki.insert_block(0, 6, Paragraph::styled("References", "h2")).unwrap();
-    wiki.insert_block(0, 7, Paragraph::new("[1] Ellis & Gibbs, SIGMOD 1989."))
-        .unwrap();
+    wiki.insert_block(0, 7, Paragraph::new("[1] Ellis & Gibbs, SIGMOD 1989.")).unwrap();
     wiki.sync();
     assert!(wiki.converged());
 

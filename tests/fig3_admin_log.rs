@@ -22,10 +22,7 @@ fn regrant_does_not_resurrect_a_concurrently_revoked_deletion() {
     // s2 to delete again — yet the admin log must reject the late q.
     s1.receive(Message::Admin(r1.clone())).unwrap();
     s1.receive(Message::Admin(r2.clone())).unwrap();
-    assert!(s1
-        .policy()
-        .check(2, &dce::policy::Action::new(Right::Delete, Some(1)))
-        .granted());
+    assert!(s1.policy().check(2, &dce::policy::Action::new(Right::Delete, Some(1))).granted());
     s1.receive(Message::Coop(q.clone())).unwrap();
     assert_eq!(s1.document().to_string(), "abc");
     assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Invalid));

@@ -3,10 +3,10 @@
 //! membership, log compaction, and paragraph documents.
 
 use dce::document::Paragraph;
+use dce::document::{CharDocument, Op};
 use dce::editor::{PageSession, TextSession};
 use dce::net::sim::{Latency, SimNet};
 use dce::policy::{AdminOp, DocObject, Policy, Right, Subject};
-use dce::document::{CharDocument, Op};
 
 #[test]
 fn long_mixed_session_converges_across_seeds() {
@@ -52,10 +52,7 @@ fn membership_churn_with_compaction() {
 
 #[test]
 fn page_session_with_protected_sections() {
-    let blocks = vec![
-        Paragraph::styled("Spec", "h1"),
-        Paragraph::new("Draft body."),
-    ];
+    let blocks = vec![Paragraph::styled("Spec", "h1"), Paragraph::new("Draft body.")];
     let mut s = PageSession::open(blocks, 3, 5, Latency::Uniform(1, 40));
     s.revoke(Subject::All, DocObject::Element(1), [Right::Update, Right::Delete]).unwrap();
     s.sync();

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset the workspace benches use: `Criterion`,
+//! `bench_function`, `benchmark_group` / `bench_with_input`, `Bencher`
+//! with `iter` / `iter_batched`, `BenchmarkId`, `BatchSize`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Instead of
+//! statistical sampling it runs each routine a small fixed number of
+//! iterations and prints the mean wall-clock time — enough to compare
+//! orders of magnitude offline, and fast enough that `cargo test` can
+//! smoke-run every bench target.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Iterations per measurement (after one warm-up iteration).
+const DEFAULT_ITERS: u64 = 25;
+
+/// Opaque-to-the-optimizer identity function (best-effort without
+/// `std::hint::black_box`'s guarantees being load-bearing here).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Batch sizing hints for [`Bencher::iter_batched`]; ignored by this
+/// stand-in beyond API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Identifier carrying only the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark.
+pub struct Bencher {
+    iters: u64,
+    /// Total time and iteration count of the last measurement.
+    elapsed: Duration,
+    measured: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.measured = self.iters;
+    }
+
+    /// Runs `routine` over fresh inputs produced by `setup`, timing only
+    /// the routine.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+        self.measured = self.iters;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.measured == 0 {
+        println!("bench {name:<40} (not measured)");
+        return;
+    }
+    let mean = b.elapsed.as_nanos() as f64 / b.measured as f64;
+    println!("bench {name:<40} {:>12.0} ns/iter", mean);
+}
+
+/// Benchmark registry and runner (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: DEFAULT_ITERS, elapsed: Duration::ZERO, measured: 0 };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), iters: DEFAULT_ITERS }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    iters: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (mapped onto iteration count here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one parameterized benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { iters: self.iters, elapsed: Duration::ZERO, measured: 0 };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.iters, elapsed: Duration::ZERO, measured: 0 };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (subset of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; accept and
+            // ignore them.
+            let _args: Vec<String> = std::env::args().collect();
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(5);
+        g.bench_with_input(BenchmarkId::new("x", 3), &3, |b, n| {
+            b.iter_batched(|| *n, |v| v * 2, BatchSize::LargeInput)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn api_smoke() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+}

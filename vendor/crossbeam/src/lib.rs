@@ -1,0 +1,124 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with the
+//! operations the parallel runner uses: `send`, `recv`, `try_recv`,
+//! `is_empty`, and cloning on both ends. Backed by a mutex-guarded
+//! `VecDeque` plus a condvar — not lock-free, but correct and plenty for
+//! laboratory workloads.
+
+#![forbid(unsafe_code)]
+
+/// MPMC channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: self.shared.clone() }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] (never produced here: the
+    /// channel has no disconnect tracking, matching how the workspace
+    /// uses it).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::try_recv`] on an empty channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message was waiting.
+        Empty,
+        /// All senders were dropped (not tracked by this stand-in).
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message. Infallible in this implementation.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.shared.queue.lock().unwrap().push_back(msg);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.shared.queue.lock().unwrap().pop_front().ok_or(TryRecvError::Empty)
+        }
+
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(v) = q.pop_front() {
+                    return Ok(v);
+                }
+                q = self.shared.ready.wait(q).unwrap();
+            }
+        }
+
+        /// `true` when no message is waiting.
+        pub fn is_empty(&self) -> bool {
+            self.shared.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of waiting messages.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() });
+        (Sender { shared: shared.clone() }, Receiver { shared })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_and_receive_across_threads() {
+            let (tx, rx) = unbounded();
+            let tx2 = tx.clone();
+            let h = std::thread::spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            h.join().unwrap();
+            let mut got = Vec::new();
+            while let Ok(v) = rx.try_recv() {
+                got.push(v);
+            }
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            assert!(rx.is_empty());
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+    }
+}

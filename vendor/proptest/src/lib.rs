@@ -1,0 +1,593 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest 1.x this workspace uses: the
+//! [`Strategy`] trait with `prop_map`, range / tuple / `Just` / string
+//! char-class strategies, `any::<T>()`, [`collection::vec`],
+//! [`collection::btree_set`], [`option::of`], [`char::range`],
+//! `prop_oneof!`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, deliberate for an offline laboratory:
+//!
+//! * **No shrinking.** A failing case reports its inputs via the panic
+//!   message (every scenario here threads an explicit seed through, so
+//!   replaying is already cheap).
+//! * **Deterministic seeding.** Each generated test derives its RNG seed
+//!   from the test's name (overridable with `PROPTEST_SEED`), so CI runs
+//!   are reproducible. Set `PROPTEST_SEED` to explore new schedules.
+//! * `proptest-regressions` files are not consumed; pin regressions as
+//!   explicit `#[test]` cases instead (see
+//!   `crates/core/tests/security.rs`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+
+/// Deterministic SplitMix64 RNG driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform sample in `[0, span)`.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Bernoulli sample.
+    pub fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+/// Error a property body may return to fail the current case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    reason: String,
+}
+
+impl TestCaseError {
+    /// Fails the case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError { reason: reason.into() }
+    }
+
+    /// Alias of [`TestCaseError::fail`] kept for API parity.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::fail(reason)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.reason)
+    }
+}
+
+/// Per-test configuration (subset of proptest's).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Value-generation strategies.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over the given alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128 - lo as u128 + 1) as u64;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Simple char-class strategy for string literals: `"[abc]"` samples one
+/// of the bracketed characters (as a `String`); any other literal is
+/// produced verbatim.
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let s = *self;
+        if let Some(inner) = s.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let chars: Vec<char> = inner.chars().collect();
+            assert!(!chars.is_empty(), "empty char class strategy");
+            chars[rng.below(chars.len() as u64) as usize].to_string()
+        } else {
+            s.to_string()
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical "arbitrary" strategy.
+pub trait Arbitrary: Sized {
+    /// Samples an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Valid scalar values, surrogate range excluded.
+        loop {
+            let raw = (rng.next_u64() % 0x11_0000) as u32;
+            if let Some(c) = char::from_u32(raw) {
+                return c;
+            }
+        }
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Vector of `size` elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// Strategy for `BTreeSet<T>` targeting a size drawn from `size`
+    /// (may come up short when the element space is small, matching
+    /// proptest's behaviour after dedup).
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.clone().sample(rng);
+            let mut out = BTreeSet::new();
+            // Bounded attempts so small element domains terminate.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.elem.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// Set of up to `size` elements from `elem`.
+    pub fn btree_set<S: Strategy>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { elem, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<T>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Some-biased, like upstream's default.
+            if rng.chance(0.8) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `None` or a value of `inner`, Some-biased.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Char strategies.
+pub mod char {
+    use super::{Strategy, TestRng};
+
+    /// Strategy over an inclusive scalar-value range.
+    pub struct CharRange {
+        lo: u32,
+        hi: u32,
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn sample(&self, rng: &mut TestRng) -> char {
+            loop {
+                let raw = self.lo + rng.below((self.hi - self.lo + 1) as u64) as u32;
+                if let Some(c) = char::from_u32(raw) {
+                    return c;
+                }
+            }
+        }
+    }
+
+    /// Chars in `[lo, hi]`.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo: lo as u32, hi: hi as u32 }
+    }
+}
+
+/// FNV-1a over the test path: a stable per-test seed.
+pub fn seed_for(test_path: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `ProptestConfig::cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::seed_from_u64($crate::seed_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                )));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                    let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs: {}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            stringify!($($arg in $strat),+)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Uniform choice among alternative strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+// Silence "unused import" for the BTreeSet import above (used in docs and
+// by the collection module's signature re-exports).
+#[allow(unused)]
+fn _btreeset_marker(_: BTreeSet<u8>) {}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_sample_in_bounds() {
+        let mut rng = TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3u32..7), &mut rng);
+            assert!((3..7).contains(&v));
+            let (a, b) = Strategy::sample(&((1usize..4), (10u64..=12)), &mut rng);
+            assert!((1..4).contains(&a));
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn char_class_literals_sample_members() {
+        let mut rng = TestRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let s = Strategy::sample(&"[xy]", &mut rng);
+            assert!(s == "x" || s == "y");
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let v = Strategy::sample(&crate::collection::vec(0u8..4, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = Strategy::sample(&crate::collection::btree_set(0u32..100, 1..4), &mut rng);
+            assert!((1..4).contains(&s.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_generates_runnable_tests(x in 0u32..10, flag in any::<bool>()) {
+            prop_assert!(x < 10);
+            if flag {
+                prop_assert_ne!(x, 100);
+            }
+            prop_assert_eq!(x, x, "x must equal itself ({})", x);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace tags its data types with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers but performs all real
+//! serialization through its own binary wire codec. This stand-in
+//! re-exports no-op derives so those annotations compile without pulling
+//! the real serde stack into an offline build.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
