@@ -1,0 +1,60 @@
+//! Reception-queue scaling: the causal-readiness scheduler against the
+//! original Algorithm-1 scan loop.
+//!
+//! The workload is the scheduler's worst case for a scan: one producer
+//! generates a causal chain of `n` edits, and the observer receives the
+//! chain in *reverse* order. Every delivery but the last parks — the scan
+//! loop re-tests the whole queue after each arrival (O(n²) readiness
+//! checks per replay), while the scheduler parks each request on its one
+//! missing predecessor and wakes exactly one per integration (O(n)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dce_core::{Message, ScanSite, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::Policy;
+
+/// A causal chain of `n` cooperative requests, reversed.
+fn reversed_chain(n: usize) -> (Vec<Message<Char>>, Site<Char>) {
+    let d0 = CharDocument::from_str("");
+    let policy = Policy::permissive([0, 1, 2]);
+    let mut producer: Site<Char> = Site::new_user(1, 0, d0.clone(), policy.clone());
+    let mut msgs: Vec<Message<Char>> =
+        (0..n).map(|i| Message::Coop(producer.generate(Op::ins(i + 1, 'x')).unwrap())).collect();
+    msgs.reverse();
+    let observer = Site::new_user(2, 0, d0, policy);
+    (msgs, observer)
+}
+
+fn bench_drain_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("drain_reverse_chain");
+    g.sample_size(10);
+    for n in [100usize, 300, 1000] {
+        let (msgs, observer) = reversed_chain(n);
+
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| {
+                let mut site = ScanSite::new(observer.clone());
+                for m in &msgs {
+                    site.receive(m.clone()).unwrap();
+                }
+                assert_eq!(site.queued(), 0);
+                site.site().document().len()
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("scheduler", n), &n, |b, _| {
+            b.iter(|| {
+                let mut site = observer.clone();
+                for m in &msgs {
+                    site.receive(m.clone()).unwrap();
+                }
+                assert_eq!(site.queued(), 0);
+                site.document().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_drain_scaling);
+criterion_main!(benches);

@@ -34,6 +34,25 @@ fn bench_check_local(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_naive_vs_indexed(c: &mut Criterion) {
+    // The refactor ablation: the same worst-case policies as
+    // `check_local`, answered by the preserved linear scan
+    // (`check_naive`) and by the positional index + decision memo
+    // (`check`). The `hotpaths` bin reports the same pair as JSON.
+    let mut g = c.benchmark_group("check_local_index_ablation");
+    let action = Action::new(Right::Insert, Some(2));
+    for n in [10usize, 100, 1000] {
+        let p = policy_with(n);
+        g.bench_with_input(BenchmarkId::new("naive", n + 1), &n, |b, _| {
+            b.iter(|| p.check_naive(1, &action))
+        });
+        g.bench_with_input(BenchmarkId::new("indexed", n + 1), &n, |b, _| {
+            b.iter(|| p.check(1, &action))
+        });
+    }
+    g.finish();
+}
+
 fn bench_check_remote(c: &mut Criterion) {
     let mut g = c.benchmark_group("check_remote");
     let policy = Policy::permissive([1, 2, 3]);
@@ -91,5 +110,11 @@ fn bench_normalization_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_check_local, bench_check_remote, bench_normalization_ablation);
+criterion_group!(
+    benches,
+    bench_check_local,
+    bench_naive_vs_indexed,
+    bench_check_remote,
+    bench_normalization_ablation
+);
 criterion_main!(benches);

@@ -82,7 +82,7 @@ fn fig2() {
         "   adm receives the insert after the revocation: state {:?} (ignored)",
         adm.document().to_string()
     );
-    s2.receive(Message::Coop(q.clone())).unwrap();
+    s2.receive(Message::Coop(q)).unwrap();
     println!(
         "   s2 receives the insert first: state {:?} (accepted tentatively)",
         s2.document().to_string()
@@ -118,7 +118,7 @@ fn fig3() {
         s1.document().to_string(),
         s1.flag_of(q.ot.id)
     );
-    adm.receive(Message::Coop(q.clone())).unwrap();
+    adm.receive(Message::Coop(q)).unwrap();
     s2.receive(Message::Admin(r1)).unwrap();
     s2.receive(Message::Admin(r2)).unwrap();
     println!(
@@ -183,9 +183,9 @@ fn fig5() {
     adm.receive(Message::Coop(q2.clone())).unwrap();
     adm.receive(Message::Coop(q1.clone())).unwrap();
     let val_adm_1 = adm.drain_outbox();
-    s1.receive(Message::Coop(q2.clone())).unwrap();
+    s1.receive(Message::Coop(q2)).unwrap();
     s1.receive(Message::Coop(q0.clone())).unwrap();
-    s2.receive(Message::Coop(q1.clone())).unwrap();
+    s2.receive(Message::Coop(q1)).unwrap();
     println!(
         "   step 1: adm = {:?}, s1 = {:?}, s2 = {:?} (paper: \"ayxc\", \"ayxc\", \"axc\")",
         adm.document().to_string(),
@@ -197,7 +197,7 @@ fn fig5() {
     // revokes s1's delete right.
     let q3 = s1.generate(Op::del(1, 'a')).unwrap();
     let q4 = s2.generate(Op::del(2, 'x')).unwrap();
-    s2.receive(Message::Coop(q0.clone())).unwrap();
+    s2.receive(Message::Coop(q0)).unwrap();
     let r = adm
         .admin_generate(AdminOp::AddAuth {
             pos: 0,
@@ -212,14 +212,14 @@ fn fig5() {
     println!("   step 2: q3 = Del(1,'a') @s1, q4 = Del(2,'x') @s2, r = revoke dR from s1 @adm");
 
     // Step 3: full delivery.
-    for m in val_adm_1.clone() {
+    for m in val_adm_1 {
         s1.receive(m.clone()).unwrap();
         s2.receive(m).unwrap();
     }
     adm.receive(Message::Coop(q3.clone())).unwrap();
     adm.receive(Message::Coop(q4.clone())).unwrap();
     let val_adm_2 = adm.drain_outbox();
-    s1.receive(Message::Coop(q4.clone())).unwrap();
+    s1.receive(Message::Coop(q4)).unwrap();
     s2.receive(Message::Coop(q3.clone())).unwrap();
     for m in val_adm_2 {
         s1.receive(m.clone()).unwrap();

@@ -1,0 +1,113 @@
+//! Before/after numbers for the indexed hot paths, emitted as JSON.
+//!
+//! Two ablations, each pitting the preserved pre-refactor implementation
+//! against the indexed one on the same workload:
+//!
+//! * **policy_check** — `Check_Local` on a policy with 1 000 + 1 ordered
+//!   authorizations: [`Policy::check_naive`] (the linear first-match
+//!   scan) vs [`Policy::check`] (positional index + decision memo);
+//! * **drain** — reception of a 1 000-request causal chain delivered in
+//!   reverse order: [`ScanSite`] (the Algorithm-1 fixpoint scan) vs
+//!   [`Site`] (the causal-readiness scheduler).
+//!
+//! Run with `cargo run --release -p dce-bench --bin hotpaths`; writes
+//! `results/BENCH_hotpaths.json` at the repository root.
+
+use dce_core::{Message, ScanSite, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::{Action, Authorization, DocObject, Policy, Right, Sign, Subject};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// The `check_local` worst case from `benches/policy_check.rs`: `n`
+/// irrelevant range entries ahead of the permissive catch-all.
+fn policy_with(n: usize) -> Policy {
+    let mut p = Policy::permissive([1, 2, 3]);
+    for i in 0..n {
+        let auth = Authorization::new(
+            Subject::User(2),
+            DocObject::Range { from: i + 10, to: i + 20 },
+            [Right::Update],
+            Sign::Plus,
+        );
+        p.add_auth_at(0, auth).unwrap();
+    }
+    p
+}
+
+/// Mean ns per call of `f`, with a warmup pass.
+fn time_ns<F: FnMut() -> u64>(iters: u32, mut f: F) -> (f64, u64) {
+    let mut sink = 0u64;
+    for _ in 0..iters.min(16) {
+        sink = sink.wrapping_add(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    (start.elapsed().as_nanos() as f64 / f64::from(iters), sink)
+}
+
+fn bench_policy_check(n: usize) -> (f64, f64) {
+    let p = policy_with(n);
+    let action = Action::new(Right::Insert, Some(2));
+    assert_eq!(p.check_naive(1, &action), p.check(1, &action), "paths agree on the workload");
+    let (naive_ns, s1) = time_ns(2_000, || u64::from(p.check_naive(1, &action).granted()));
+    let (indexed_ns, s2) = time_ns(200_000, || u64::from(p.check(1, &action).granted()));
+    std::hint::black_box((s1, s2));
+    (naive_ns, indexed_ns)
+}
+
+fn bench_drain(n: usize) -> (f64, f64) {
+    let d0 = CharDocument::from_str("");
+    let policy = Policy::permissive([0, 1, 2]);
+    let mut producer: Site<Char> = Site::new_user(1, 0, d0.clone(), policy.clone());
+    let mut msgs: Vec<Message<Char>> =
+        (0..n).map(|i| Message::Coop(producer.generate(Op::ins(i + 1, 'x')).unwrap())).collect();
+    msgs.reverse();
+    let observer: Site<Char> = Site::new_user(2, 0, d0, policy);
+
+    let (scan_ns, a) = time_ns(6, || {
+        let mut site = ScanSite::new(observer.clone());
+        for m in &msgs {
+            site.receive(m.clone()).unwrap();
+        }
+        assert_eq!(site.queued(), 0);
+        assert_eq!(site.site().document().len(), n, "scan integrated the full chain");
+        n as u64
+    });
+    let (sched_ns, b) = time_ns(40, || {
+        let mut site = observer.clone();
+        for m in &msgs {
+            site.receive(m.clone()).unwrap();
+        }
+        assert_eq!(site.queued(), 0);
+        assert_eq!(site.document().len(), n, "scheduler integrated the full chain");
+        n as u64
+    });
+    std::hint::black_box((a, b));
+    (scan_ns, sched_ns)
+}
+
+fn main() {
+    let auths = 1000usize;
+    let (naive_ns, indexed_ns) = bench_policy_check(auths);
+    let queued = 1000usize;
+    let (scan_ns, sched_ns) = bench_drain(queued);
+
+    let json = format!(
+        "{{\n  \"policy_check\": {{\n    \"auths\": {auths},\n    \"naive_ns_per_check\": {naive_ns:.1},\n    \"indexed_ns_per_check\": {indexed_ns:.1},\n    \"speedup\": {:.1}\n  }},\n  \"drain_scaling\": {{\n    \"queued_requests\": {queued},\n    \"scan_ns_per_replay\": {scan_ns:.0},\n    \"scheduler_ns_per_replay\": {sched_ns:.0},\n    \"speedup\": {:.1}\n  }}\n}}\n",
+        naive_ns / indexed_ns,
+        scan_ns / sched_ns,
+    );
+    print!("{json}");
+
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    out.push("BENCH_hotpaths.json");
+    std::fs::write(&out, json).expect("write BENCH_hotpaths.json");
+    eprintln!("wrote {}", out.display());
+}

@@ -22,7 +22,7 @@ fn main() {
 
     // Replicated: the real stack, measuring pure local generate time.
     let policy = Policy::permissive([0, 1]);
-    let mut site: Site<Char> = Site::new_user(1, 0, CharDocument::new(), policy.clone());
+    let mut site: Site<Char> = Site::new_user(1, 0, CharDocument::new(), policy);
     let start = Instant::now();
     for i in 0..EDITS {
         site.generate(Op::ins(i + 1, 'x')).unwrap();

@@ -112,7 +112,8 @@ fn main() {
         for i in 0..n {
             pending[i].shuffle(&mut rng);
             let k = rng.gen_range(0..=pending[i].len());
-            for msg in pending[i].drain(..k).collect::<Vec<_>>() {
+            let rest = pending[i].split_off(k);
+            for msg in std::mem::replace(&mut pending[i], rest) {
                 println!("[r{round}] s{i} RECV {}", describe(&msg));
                 sites[i].receive(msg).unwrap();
                 for out in sites[i].drain_outbox() {
@@ -131,7 +132,7 @@ fn main() {
         let mut moved = false;
         for i in 0..n {
             pending[i].shuffle(&mut rng);
-            for msg in pending[i].drain(..).collect::<Vec<_>>() {
+            for msg in std::mem::take(&mut pending[i]) {
                 println!("[q] s{i} RECV {}", describe(&msg));
                 sites[i].receive(msg).unwrap();
                 moved = true;

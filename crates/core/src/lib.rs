@@ -46,10 +46,13 @@
 pub mod audit;
 pub mod error;
 pub mod gc;
+pub mod reference;
 pub mod request;
+mod scheduler;
 pub mod site;
 
 pub use audit::{audit, metrics, AuditRecord, SiteMetrics};
 pub use error::CoreError;
+pub use reference::ScanSite;
 pub use request::{AdminProposal, CoopRequest, Flag, Message};
 pub use site::Site;

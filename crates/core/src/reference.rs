@@ -1,0 +1,158 @@
+//! The pre-index reception loop, kept as a reference oracle.
+//!
+//! [`Site`] used to implement Algorithm 1 literally: push every received
+//! message into the `F`/`Q` vectors, then fixpoint-*scan* both queues for
+//! causally ready requests after every delivery — O(|F|+|Q|) per message.
+//! The scheduler refactor replaced the scans with wake lists; this module
+//! preserves the original scan loop **outside** `Site`, driving an inner
+//! site that only ever sees messages the scan has proven ready (a ready
+//! message is processed by the inner site immediately, so the inner queues
+//! stay empty and all queueing semantics live here).
+//!
+//! It exists for two consumers and is not a production code path:
+//!
+//! * the `scheduler_matches_scan_drain` differential proptest, which
+//!   replays random delivery schedules into a [`ScanSite`] and a plain
+//!   [`Site`] and requires identical documents, policies, flags and
+//!   diagnostics;
+//! * `benches/drain_scaling.rs` and the `hotpaths` bench binary, which
+//!   measure the scan loop as the pre-refactor baseline.
+
+use crate::error::CoreError;
+use crate::request::{CoopRequest, Message};
+use crate::site::Site;
+use dce_document::Element;
+use dce_ot::RequestId;
+use dce_policy::{AdminOp, AdminRequest};
+
+/// A [`Site`] wrapped in the original scan-based reception loop.
+#[derive(Debug, Clone)]
+pub struct ScanSite<E> {
+    site: Site<E>,
+    /// Reception queue `F` (cooperative), scanned linearly.
+    coop: Vec<CoopRequest<E>>,
+    /// Reception queue `Q` (administrative), scanned linearly.
+    admin: Vec<AdminRequest>,
+}
+
+impl<E: Element> ScanSite<E> {
+    /// Wraps a site (normally freshly built) in the scan loop.
+    pub fn new(site: Site<E>) -> Self {
+        ScanSite { site, coop: Vec::new(), admin: Vec::new() }
+    }
+
+    /// The wrapped site (documents, policy, flags, outbox…).
+    pub fn site(&self) -> &Site<E> {
+        &self.site
+    }
+
+    /// Mutable access to the wrapped site (e.g. to drain its outbox).
+    pub fn site_mut(&mut self) -> &mut Site<E> {
+        &mut self.site
+    }
+
+    /// Number of queued (not yet causally ready) messages.
+    pub fn queued(&self) -> usize {
+        self.coop.len() + self.admin.len()
+    }
+
+    /// Algorithm 1, as originally implemented: enqueue with the duplicate
+    /// guard at the door, then fixpoint-scan both queues.
+    pub fn receive(&mut self, msg: Message<E>) -> Result<(), CoreError> {
+        match msg {
+            Message::Coop(q) => {
+                if !self.site.engine().has_seen(q.ot.id)
+                    && !self.coop.iter().any(|held| held.ot.id == q.ot.id)
+                {
+                    self.coop.push(q);
+                }
+            }
+            Message::Admin(r) => {
+                if r.version > self.site.policy().version()
+                    && !self.admin.iter().any(|held| held.version == r.version)
+                {
+                    self.admin.push(r);
+                }
+            }
+            other => self.site.receive(other)?,
+        }
+        self.drain()
+    }
+
+    fn drain(&mut self) -> Result<(), CoreError> {
+        loop {
+            let mut progressed = false;
+
+            // Queue hygiene: drop messages made stale by processed history.
+            let before = self.coop.len() + self.admin.len();
+            {
+                let engine = self.site.engine();
+                self.coop.retain(|q| !engine.has_seen(q.ot.id));
+            }
+            let version = self.site.policy().version();
+            self.admin.retain(|r| r.version > version);
+            if self.coop.len() + self.admin.len() != before {
+                progressed = true;
+            }
+
+            // Administrative requests first: version order is total, so at
+            // most one is ready at a time.
+            if let Some(idx) = self.admin.iter().position(|r| self.admin_ready(r)) {
+                let r = self.admin.remove(idx);
+                self.site.receive(Message::Admin(r))?;
+                progressed = true;
+            }
+
+            if let Some(idx) = self.coop.iter().position(|q| self.coop_ready(q)) {
+                let q = self.coop.remove(idx);
+                self.site.receive(Message::Coop(q))?;
+                progressed = true;
+            }
+
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn coop_ready(&self, q: &CoopRequest<E>) -> bool {
+        q.v <= self.site.policy().version() && self.site.engine().is_ready(&q.ot)
+    }
+
+    fn admin_ready(&self, r: &AdminRequest) -> bool {
+        if r.version != self.site.policy().version() + 1 {
+            return false;
+        }
+        match &r.op {
+            AdminOp::Validate { site, seq } => {
+                self.site.engine().has_seen(RequestId::new(*site, *seq))
+            }
+            _ => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_document::{Char, CharDocument, Op};
+    use dce_policy::Policy;
+
+    #[test]
+    fn scan_loop_holds_and_releases_like_the_scheduler() {
+        let p = Policy::permissive([0, 1, 2]);
+        let mut s1: Site<Char> = Site::new_user(1, 0, CharDocument::from_str("abc"), p.clone());
+        let q1 = s1.generate(Op::ins(1, 'x')).unwrap();
+        let q2 = s1.generate(Op::ins(1, 'y')).unwrap();
+
+        let mut observer: ScanSite<Char> =
+            ScanSite::new(Site::new_user(2, 0, CharDocument::from_str("abc"), p));
+        observer.receive(Message::Coop(q2.clone())).unwrap();
+        assert_eq!(observer.queued(), 1);
+        observer.receive(Message::Coop(q2)).unwrap();
+        assert_eq!(observer.queued(), 1, "duplicate rejected at the door");
+        observer.receive(Message::Coop(q1)).unwrap();
+        assert_eq!(observer.queued(), 0);
+        assert_eq!(observer.site().document().to_string(), "yxabc");
+    }
+}

@@ -1,0 +1,239 @@
+//! The causal-readiness scheduler behind [`crate::Site`]'s reception
+//! queues `F` and `Q`.
+//!
+//! Algorithm 1 is specified as a fixpoint *scan*: after every delivery,
+//! re-test every queued request for causal readiness. That is O(|F|+|Q|)
+//! per delivery — quadratic over a session. This scheduler keeps the same
+//! observable behaviour (same processing order, same `queued()` counts —
+//! pinned by the `scheduler_matches_scan_drain` differential proptest)
+//! while making each delivery wake exactly the requests it unblocks:
+//!
+//! * **ready lane** — cooperative requests whose OT context and policy
+//!   version are satisfied, ordered by arrival (the scan picks the
+//!   earliest-arrived ready request, because queue removal preserves
+//!   relative order); plus at most one administrative request (versions
+//!   are totally ordered, so only `version + 1` can ever be ready);
+//! * **version parking** — requests waiting for the local policy version
+//!   to reach `v` are parked under key `v` in a `BTreeMap`; every version
+//!   bump drains the `..=version` prefix;
+//! * **clock parking** — requests waiting for a missing causal
+//!   predecessor are parked under the exact [`RequestId`] whose
+//!   integration unblocks them: the immediate site-FIFO predecessor
+//!   (`seq - 1` from their own site), or the *last* request needed from
+//!   the first lagging context site (per-site integration is sequential,
+//!   so that arrival is precisely when the component catches up).
+//!   Readiness is monotone — the policy version and the vector clock only
+//!   grow — so one blocker at a time suffices: integrating it
+//!   re-classifies the waiter, which becomes ready or parks on the next
+//!   blocker, with at most one re-park per distinct lagging site;
+//! * **membership sets** — queued cooperative ids and administrative
+//!   versions, replacing the queue scans the duplicate guard at the
+//!   reception door used to do.
+//!
+//! The scheduler only stores and wakes; *classification* (which lane a
+//! request belongs to) needs the policy version and the OT clock, so it
+//! stays in [`crate::Site`].
+
+use crate::request::CoopRequest;
+use dce_ot::RequestId;
+use dce_policy::{AdminRequest, PolicyVersion};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Where a classified message belongs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Slot {
+    /// Process at the next drain step.
+    Ready,
+    /// Park until the local policy version reaches the key.
+    WaitVersion(PolicyVersion),
+    /// Park until the request with this id has been integrated.
+    WaitClock(RequestId),
+}
+
+/// A parked message. Cooperative requests carry their arrival stamp so a
+/// woken request keeps its place in the ready order.
+#[derive(Debug, Clone)]
+pub(crate) enum Pending<E> {
+    /// A cooperative request and its arrival stamp.
+    Coop {
+        /// Monotonic reception stamp (ready-lane ordering key).
+        arrival: u64,
+        /// The parked request.
+        q: CoopRequest<E>,
+    },
+    /// An administrative request (ordered by its version, not arrival).
+    Admin(AdminRequest),
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Scheduler<E> {
+    next_arrival: u64,
+    ready_coop: BTreeMap<u64, CoopRequest<E>>,
+    ready_admin: Option<AdminRequest>,
+    wait_version: BTreeMap<PolicyVersion, Vec<Pending<E>>>,
+    wait_clock: HashMap<RequestId, Vec<Pending<E>>>,
+    held_coop: HashSet<RequestId>,
+    held_admin: BTreeSet<PolicyVersion>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Scheduler {
+            next_arrival: 0,
+            ready_coop: BTreeMap::new(),
+            ready_admin: None,
+            wait_version: BTreeMap::new(),
+            wait_clock: HashMap::new(),
+            held_coop: HashSet::new(),
+            held_admin: BTreeSet::new(),
+        }
+    }
+}
+
+impl<E> Scheduler<E> {
+    pub fn new() -> Self {
+        Scheduler::default()
+    }
+
+    /// `true` when a cooperative request with this id is queued (ready or
+    /// parked) — the reception-door duplicate guard.
+    pub fn holds_coop(&self, id: RequestId) -> bool {
+        self.held_coop.contains(&id)
+    }
+
+    /// `true` when an administrative request with this version is queued.
+    pub fn holds_admin(&self, version: PolicyVersion) -> bool {
+        self.held_admin.contains(&version)
+    }
+
+    /// Number of queued messages (ready and parked).
+    pub fn len(&self) -> usize {
+        self.held_coop.len() + self.held_admin.len()
+    }
+
+    /// Admits a newly received cooperative request into `slot`.
+    pub fn admit_coop(&mut self, q: CoopRequest<E>, slot: Slot) {
+        self.held_coop.insert(q.ot.id);
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.park(Pending::Coop { arrival, q }, slot);
+    }
+
+    /// Admits a newly received administrative request into `slot`.
+    pub fn admit_admin(&mut self, r: AdminRequest, slot: Slot) {
+        self.held_admin.insert(r.version);
+        self.park(Pending::Admin(r), slot);
+    }
+
+    /// Files a (new or re-classified) message under `slot`, keeping its
+    /// arrival stamp.
+    pub fn park(&mut self, pending: Pending<E>, slot: Slot) {
+        match slot {
+            Slot::Ready => match pending {
+                Pending::Coop { arrival, q } => {
+                    self.ready_coop.insert(arrival, q);
+                }
+                Pending::Admin(r) => {
+                    debug_assert!(
+                        self.ready_admin.is_none(),
+                        "two administrative requests ready at once breaks the total order"
+                    );
+                    self.ready_admin = Some(r);
+                }
+            },
+            Slot::WaitVersion(v) => self.wait_version.entry(v).or_default().push(pending),
+            Slot::WaitClock(id) => self.wait_clock.entry(id).or_default().push(pending),
+        }
+    }
+
+    /// Takes the ready administrative request, if any.
+    pub fn pop_ready_admin(&mut self) -> Option<AdminRequest> {
+        let r = self.ready_admin.take()?;
+        self.held_admin.remove(&r.version);
+        Some(r)
+    }
+
+    /// Takes the earliest-arrived ready cooperative request, if any.
+    pub fn pop_ready_coop(&mut self) -> Option<CoopRequest<E>> {
+        let arrival = *self.ready_coop.keys().next()?;
+        let q = self.ready_coop.remove(&arrival).expect("key just observed");
+        self.held_coop.remove(&q.ot.id);
+        Some(q)
+    }
+
+    /// Unparks every message waiting for a policy version `<= reached`.
+    /// The caller re-classifies each one.
+    pub fn take_version_waiters(&mut self, reached: PolicyVersion) -> Vec<Pending<E>> {
+        let mut woken = Vec::new();
+        while let Some((&v, _)) = self.wait_version.iter().next() {
+            if v > reached {
+                break;
+            }
+            woken.extend(self.wait_version.remove(&v).expect("key just observed"));
+        }
+        woken
+    }
+
+    /// Unparks every message waiting for `id` to be integrated. The caller
+    /// re-classifies each one.
+    pub fn take_clock_waiters(&mut self, id: RequestId) -> Vec<Pending<E>> {
+        self.wait_clock.remove(&id).unwrap_or_default()
+    }
+
+    /// Forgets a queued cooperative id (the request became a duplicate of
+    /// processed history while parked).
+    pub fn release_coop(&mut self, id: RequestId) {
+        self.held_coop.remove(&id);
+    }
+
+    /// Forgets a queued administrative version (overtaken by the local
+    /// version counter while parked).
+    pub fn release_admin(&mut self, version: PolicyVersion) {
+        self.held_admin.remove(&version);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_document::Char;
+
+    fn admin(version: PolicyVersion) -> AdminRequest {
+        AdminRequest { admin: 0, version, op: dce_policy::AdminOp::AddUser(9) }
+    }
+
+    #[test]
+    fn version_waiters_drain_in_prefix_order() {
+        let mut s: Scheduler<Char> = Scheduler::new();
+        s.admit_admin(admin(3), Slot::WaitVersion(2));
+        s.admit_admin(admin(5), Slot::WaitVersion(4));
+        assert_eq!(s.len(), 2);
+        assert!(s.holds_admin(3));
+        let woken = s.take_version_waiters(2);
+        assert_eq!(woken.len(), 1);
+        assert!(matches!(&woken[0], Pending::Admin(r) if r.version == 3));
+        // Waking does not release: the message is still queued until the
+        // caller re-parks or releases it.
+        assert_eq!(s.len(), 2);
+        assert!(s.take_version_waiters(3).is_empty());
+        assert_eq!(s.take_version_waiters(4).len(), 1);
+    }
+
+    #[test]
+    fn ready_admin_is_single_slot() {
+        let mut s: Scheduler<Char> = Scheduler::new();
+        s.admit_admin(admin(1), Slot::Ready);
+        assert_eq!(s.pop_ready_admin().map(|r| r.version), Some(1));
+        assert_eq!(s.len(), 0);
+        assert!(s.pop_ready_admin().is_none());
+    }
+
+    #[test]
+    fn clock_waiters_key_on_exact_id() {
+        let mut s: Scheduler<Char> = Scheduler::new();
+        let dep = RequestId::new(2, 7);
+        s.admit_admin(admin(1), Slot::WaitClock(dep));
+        assert!(s.take_clock_waiters(RequestId::new(2, 6)).is_empty());
+        assert_eq!(s.take_clock_waiters(dep).len(), 1);
+    }
+}

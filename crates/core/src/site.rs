@@ -2,17 +2,19 @@
 
 use crate::error::CoreError;
 use crate::request::{AdminProposal, CoopRequest, Flag, Message};
+use crate::scheduler::{Pending, Scheduler, Slot};
 use dce_document::{Document, Element, Op};
 use dce_ot::engine::{Engine, Integration};
 use dce_ot::ids::Clock;
-use dce_ot::RequestId;
+use dce_ot::{Buffer, Cell, Log, RequestId};
 use dce_policy::{Action, AdminLog, AdminOp, AdminRequest, Policy, PolicyVersion, UserId};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// One collaborating site: a user (or the administrator), their document
 /// replica with its OT log `H`, their policy copy with its administrative
 /// log `L`, the reception queues `F` (cooperative) and `Q` (administrative)
-/// of Algorithm 1, and the per-request flags.
+/// of Algorithm 1 — held by the causal-readiness [`Scheduler`] — and the
+/// per-request flags.
 #[derive(Debug, Clone)]
 pub struct Site<E> {
     user: UserId,
@@ -21,10 +23,9 @@ pub struct Site<E> {
     policy: Policy,
     admin_log: AdminLog,
     flags: HashMap<RequestId, Flag>,
-    /// Reception queue `F` for cooperative requests.
-    coop_queue: Vec<CoopRequest<E>>,
-    /// Reception queue `Q` for administrative requests.
-    admin_queue: Vec<AdminRequest>,
+    /// The reception queues `F` (cooperative) and `Q` (administrative),
+    /// indexed by what each queued request is waiting for.
+    sched: Scheduler<E>,
     /// Messages this site produced while *receiving* (the administrator's
     /// validation requests). The driver must broadcast these.
     outbox: Vec<Message<E>>,
@@ -36,7 +37,7 @@ pub struct Site<E> {
     /// delegation, or the operation failed against the policy).
     rejected_proposals: Vec<AdminProposal>,
     /// Last heartbeat clock received per peer (GC stability tracking).
-    peer_clocks: std::collections::HashMap<UserId, Clock>,
+    peer_clocks: HashMap<UserId, Clock>,
 }
 
 impl<E: Element> Site<E> {
@@ -59,13 +60,12 @@ impl<E: Element> Site<E> {
             policy,
             admin_log: AdminLog::new(),
             flags: HashMap::new(),
-            coop_queue: Vec::new(),
-            admin_queue: Vec::new(),
+            sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
             undone: Vec::new(),
             rejected_proposals: Vec::new(),
-            peer_clocks: std::collections::HashMap::new(),
+            peer_clocks: HashMap::new(),
         }
     }
 
@@ -130,9 +130,27 @@ impl<E: Element> Site<E> {
         &self.rejected_proposals
     }
 
+    /// Takes (and clears) the accumulated `Check_Remote` denials. The
+    /// diagnostics vectors grow for the whole session otherwise; callers
+    /// that consume them incrementally should prefer these `drain_*`
+    /// accessors over the borrowing ones.
+    pub fn drain_denials(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.denials)
+    }
+
+    /// Takes (and clears) the accumulated retroactive-undo records.
+    pub fn drain_undone(&mut self) -> Vec<RequestId> {
+        std::mem::take(&mut self.undone)
+    }
+
+    /// Takes (and clears) the refused delegated proposals.
+    pub fn drain_rejected_proposals(&mut self) -> Vec<AdminProposal> {
+        std::mem::take(&mut self.rejected_proposals)
+    }
+
     /// Number of queued (not yet causally ready) messages.
     pub fn queued(&self) -> usize {
-        self.coop_queue.len() + self.admin_queue.len()
+        self.sched.len()
     }
 
     /// Captures the replicated state for transfer to a joining site:
@@ -143,10 +161,10 @@ impl<E: Element> Site<E> {
     pub fn snapshot_parts(
         &self,
     ) -> (
-        Vec<dce_ot::Cell<E>>,
-        dce_ot::Log<E>,
+        Vec<Cell<E>>,
+        Log<E>,
         Clock,
-        std::collections::HashSet<RequestId>,
+        HashSet<RequestId>,
         usize,
         Policy,
         AdminLog,
@@ -170,10 +188,10 @@ impl<E: Element> Site<E> {
     pub fn from_snapshot_parts(
         user: UserId,
         admin_id: UserId,
-        cells: Vec<dce_ot::Cell<E>>,
-        log: dce_ot::Log<E>,
+        cells: Vec<Cell<E>>,
+        log: Log<E>,
         clock: Clock,
-        pruned_inert: std::collections::HashSet<RequestId>,
+        pruned_inert: HashSet<RequestId>,
         pruned_count: usize,
         policy: Policy,
         admin_log: AdminLog,
@@ -184,7 +202,7 @@ impl<E: Element> Site<E> {
             admin_id,
             engine: Engine::from_parts(
                 user,
-                dce_ot::Buffer::from_cells(cells),
+                Buffer::from_cells(cells),
                 log,
                 clock,
                 pruned_inert,
@@ -193,13 +211,12 @@ impl<E: Element> Site<E> {
             policy,
             admin_log,
             flags: flags.into_iter().collect(),
-            coop_queue: Vec::new(),
-            admin_queue: Vec::new(),
+            sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
             undone: Vec::new(),
             rejected_proposals: Vec::new(),
-            peer_clocks: std::collections::HashMap::new(),
+            peer_clocks: HashMap::new(),
         }
     }
 
@@ -218,13 +235,12 @@ impl<E: Element> Site<E> {
             policy: self.policy.clone(),
             admin_log: self.admin_log.clone(),
             flags: self.flags.clone(),
-            coop_queue: Vec::new(),
-            admin_queue: Vec::new(),
+            sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
             undone: Vec::new(),
             rejected_proposals: Vec::new(),
-            peer_clocks: std::collections::HashMap::new(),
+            peer_clocks: HashMap::new(),
         }
     }
 
@@ -262,6 +278,11 @@ impl<E: Element> Site<E> {
         let ot = self.engine.generate(op)?;
         let flag = if self.is_admin() { Flag::Valid } else { Flag::Tentative };
         self.flags.insert(ot.id, flag);
+        // A queued remote request can, after a snapshot rejoin, be parked
+        // on one of this site's own sequence numbers; the local generation
+        // satisfies it. (Re-parking only — processing happens at the next
+        // reception, like the scan loop.)
+        self.wake_clock_reached(ot.id);
         Ok(CoopRequest { ot, v: self.policy.version() })
     }
 
@@ -302,6 +323,12 @@ impl<E: Element> Site<E> {
     /// longer tentative). Members that have never sent a heartbeat hold
     /// compaction back — safe by construction. Returns the number of log
     /// entries reclaimed.
+    ///
+    /// The diagnostics vectors ([`Site::denials`], [`Site::undone`],
+    /// [`Site::rejected_proposals`]) are trimmed along the way: entries
+    /// below the stability horizon can never change flag again, so keeping
+    /// them only grows memory over a long session. Callers wanting the
+    /// full record should [`Site::drain_denials`] (etc.) before compacting.
     pub fn auto_compact(&mut self) -> usize {
         let mut clocks: Vec<Clock> = vec![self.engine.clock().clone()];
         for user in self.policy.users() {
@@ -315,6 +342,11 @@ impl<E: Element> Site<E> {
             }
         }
         let horizon = crate::gc::stability_horizon(clocks.iter());
+        self.denials.retain(|id| !horizon.contains(*id));
+        self.undone.retain(|id| !horizon.contains(*id));
+        // Refused proposals never entered the causal order at all; once the
+        // group has a horizon they are settled history.
+        self.rejected_proposals.clear();
         crate::gc::compact(self, &horizon)
     }
 
@@ -348,23 +380,19 @@ impl<E: Element> Site<E> {
                 // Dedup against both the processed history *and* the queue:
                 // a duplicate arriving before its original has been
                 // processed (not yet causally ready) would otherwise be
-                // enqueued twice and integrated... once, but only after the
-                // retain pass — and until then it inflates `queued()` and
-                // every ready-scan.
-                if !self.engine.has_seen(q.ot.id)
-                    && !self.coop_queue.iter().any(|held| held.ot.id == q.ot.id)
-                {
-                    self.coop_queue.push(q);
+                // admitted twice.
+                if !self.engine.has_seen(q.ot.id) && !self.sched.holds_coop(q.ot.id) {
+                    let slot = self.classify_coop(&q);
+                    self.sched.admit_coop(q, slot);
                 }
             }
             Message::Admin(r) => {
                 // Administrative requests are totally ordered by policy
                 // version, so an equal version already queued is the same
                 // request replayed.
-                if r.version > self.policy.version()
-                    && !self.admin_queue.iter().any(|held| held.version == r.version)
-                {
-                    self.admin_queue.push(r);
+                if r.version > self.policy.version() && !self.sched.holds_admin(r.version) {
+                    let slot = self.classify_admin(&r);
+                    self.sched.admit_admin(r, slot);
                 }
             }
             Message::Heartbeat { from, clock } => {
@@ -397,35 +425,36 @@ impl<E: Element> Site<E> {
         self.drain()
     }
 
-    /// Fixpoint over the two queues: keep processing ready requests until
-    /// nothing changes.
+    /// Fixpoint over the scheduler's ready lane: keep processing ready
+    /// requests until nothing changes. Preserves the scan loop's
+    /// processing order — per iteration at most one administrative request
+    /// (version order is total, so at most one is ever ready), then the
+    /// earliest-arrived ready cooperative request — but each delivered
+    /// message wakes exactly its dependents instead of re-scanning `F`/`Q`.
     fn drain(&mut self) -> Result<(), CoreError> {
         loop {
+            // Version parking is keyed on the *local* counter, which can
+            // also advance outside reception (local `admin_generate`), so
+            // re-check the prefix every iteration instead of hooking every
+            // bump site.
+            self.wake_version_reached();
             let mut progressed = false;
 
-            // Queue hygiene: duplicates whose original has been processed
-            // (the network may replay messages) would otherwise sit in the
-            // queues forever.
-            let before = self.coop_queue.len() + self.admin_queue.len();
-            let engine = &self.engine;
-            self.coop_queue.retain(|q| !engine.has_seen(q.ot.id));
-            let version = self.policy.version();
-            self.admin_queue.retain(|r| r.version > version);
-            if self.coop_queue.len() + self.admin_queue.len() != before {
+            if let Some(r) = self.sched.pop_ready_admin() {
+                // Re-verify at pop: the counter may have advanced past a
+                // parked request since classification.
+                if r.version == self.policy.version() + 1 {
+                    self.process_admin(r)?;
+                }
                 progressed = true;
             }
 
-            // Administrative requests first: version order is total, so at
-            // most one is ready at a time.
-            if let Some(idx) = self.admin_queue.iter().position(|r| self.admin_ready(r)) {
-                let r = self.admin_queue.remove(idx);
-                self.process_admin(r)?;
-                progressed = true;
-            }
-
-            if let Some(idx) = self.coop_queue.iter().position(|q| self.coop_ready(q)) {
-                let q = self.coop_queue.remove(idx);
-                self.process_coop(q)?;
+            if let Some(q) = self.sched.pop_ready_coop() {
+                if !self.engine.has_seen(q.ot.id) {
+                    let id = q.ot.id;
+                    self.process_coop(q)?;
+                    self.wake_clock_reached(id);
+                }
                 progressed = true;
             }
 
@@ -435,23 +464,100 @@ impl<E: Element> Site<E> {
         }
     }
 
-    /// Causal readiness of a cooperative request (Algorithm 3): its OT
-    /// context is satisfied *and* the policy copy has reached the version
-    /// it was checked under (`q.v ≤ version`).
-    fn coop_ready(&self, q: &CoopRequest<E>) -> bool {
-        q.v <= self.policy.version() && self.engine.is_ready(&q.ot)
+    /// Classifies a cooperative request (Algorithm 3 readiness): ready
+    /// when its OT context is satisfied *and* the policy copy has reached
+    /// the version it was checked under (`q.v ≤ version`); otherwise
+    /// parked on the missing version or the first missing causal
+    /// predecessor. Both conditions are monotone, so parking on one
+    /// blocker at a time is sound.
+    fn classify_coop(&self, q: &CoopRequest<E>) -> Slot {
+        if q.v > self.policy.version() {
+            return Slot::WaitVersion(q.v);
+        }
+        if self.engine.is_ready(&q.ot) {
+            return Slot::Ready;
+        }
+        let clock = self.engine.clock();
+        let site = q.ot.id.site;
+        if q.ot.id.seq > clock.get(site) + 1 {
+            // Missing site-FIFO predecessor. Park on the *immediate*
+            // predecessor, not the next id the clock expects: per-site
+            // integration is sequential, so integrating `seq - 1` is the
+            // exact event that makes this request's site-FIFO condition
+            // hold — one targeted wake instead of waking (and re-parking)
+            // the whole chain on every integration.
+            return Slot::WaitClock(RequestId::new(site, q.ot.id.seq - 1));
+        }
+        // Context gap: park on the *last* request needed from the first
+        // lagging site. Sequential per-site integration again makes its
+        // arrival the exact unblocking event for that component; at most
+        // one re-park per distinct lagging site.
+        let missing =
+            q.ot.ctx
+                .iter()
+                .find_map(|(s, need)| (clock.get(s) < need).then(|| RequestId::new(s, need)));
+        match missing {
+            Some(id) => Slot::WaitClock(id),
+            // Unreachable (is_ready would have been true), but classify
+            // conservatively rather than panic.
+            None => Slot::Ready,
+        }
     }
 
-    /// Causal readiness of an administrative request (Algorithm 4): the
-    /// next version in the total order (`r.v = version + 1`), and a
-    /// validation must not overtake the request it validates.
-    fn admin_ready(&self, r: &AdminRequest) -> bool {
-        if r.version != self.policy.version() + 1 {
-            return false;
+    /// Classifies an administrative request with `version >` the local
+    /// counter (Algorithm 4 readiness): ready when it is the next version
+    /// in the total order and — for a validation — its target has been
+    /// integrated (a validation must not overtake the request it
+    /// validates).
+    fn classify_admin(&self, r: &AdminRequest) -> Slot {
+        if r.version > self.policy.version() + 1 {
+            return Slot::WaitVersion(r.version - 1);
         }
-        match &r.op {
-            AdminOp::Validate { site, seq } => self.engine.has_seen(RequestId::new(*site, *seq)),
-            _ => true,
+        if let AdminOp::Validate { site, seq } = &r.op {
+            let target = RequestId::new(*site, *seq);
+            if !self.engine.has_seen(target) {
+                return Slot::WaitClock(target);
+            }
+        }
+        Slot::Ready
+    }
+
+    /// Unparks everything waiting for a policy version the local counter
+    /// has reached, re-classifying each waiter.
+    fn wake_version_reached(&mut self) {
+        let reached = self.policy.version();
+        for pending in self.sched.take_version_waiters(reached) {
+            self.requeue(pending);
+        }
+    }
+
+    /// Unparks everything waiting for `id`, re-classifying each waiter.
+    fn wake_clock_reached(&mut self, id: RequestId) {
+        for pending in self.sched.take_clock_waiters(id) {
+            self.requeue(pending);
+        }
+    }
+
+    /// Re-files a woken message: dropped when it became stale while parked
+    /// (the queue-hygiene `retain` of the scan loop), re-parked otherwise.
+    fn requeue(&mut self, pending: Pending<E>) {
+        match pending {
+            Pending::Coop { arrival, q } => {
+                if self.engine.has_seen(q.ot.id) {
+                    self.sched.release_coop(q.ot.id);
+                } else {
+                    let slot = self.classify_coop(&q);
+                    self.sched.park(Pending::Coop { arrival, q }, slot);
+                }
+            }
+            Pending::Admin(r) => {
+                if r.version <= self.policy.version() {
+                    self.sched.release_admin(r.version);
+                } else {
+                    let slot = self.classify_admin(&r);
+                    self.sched.park(Pending::Admin(r), slot);
+                }
+            }
         }
     }
 
@@ -651,9 +757,9 @@ mod tests {
         let q2 = s1.generate(Op::up(1, 'x', 'z')).unwrap();
         let mut s3 = adm.rejoin_as(3);
         s3.receive(Message::Coop(q2.clone())).unwrap();
-        s3.receive(Message::Coop(q2.clone())).unwrap();
+        s3.receive(Message::Coop(q2)).unwrap();
         assert_eq!(s3.queued(), 1, "the duplicate is rejected at the queue door");
-        s3.receive(Message::Coop(q.clone())).unwrap();
+        s3.receive(Message::Coop(q)).unwrap();
         assert_eq!(s3.queued(), 0, "original processed, duplicate dropped");
         assert_eq!(s3.document().to_string(), "zabc");
         // Administrative duplicates too.
@@ -727,7 +833,7 @@ mod tests {
         assert_eq!(s2.queued(), 1);
         // The network replays the same message back-to-back: the duplicate
         // must not be enqueued a second time.
-        s2.receive(Message::Coop(q2.clone())).unwrap();
+        s2.receive(Message::Coop(q2)).unwrap();
         assert_eq!(s2.queued(), 1, "duplicate of a queued coop request stacked up");
         // Same story for administrative requests: version 2 cannot apply
         // before version 1 arrives. (The revocations target user 2, who
@@ -736,7 +842,7 @@ mod tests {
         let r2 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
         assert_eq!(r2.version, 2);
         s2.receive(Message::Admin(r2.clone())).unwrap();
-        s2.receive(Message::Admin(r2.clone())).unwrap();
+        s2.receive(Message::Admin(r2)).unwrap();
         assert_eq!(s2.queued(), 2, "duplicate of a queued admin request stacked up");
         // Delivering the missing predecessors unblocks everything exactly
         // once.
@@ -883,7 +989,7 @@ mod tests {
     fn revocation_does_not_undo_validated_requests() {
         let (mut adm, mut s1, _) = group("abc");
         let q = s1.generate(Op::ins(1, 'x')).unwrap();
-        adm.receive(Message::Coop(q.clone())).unwrap();
+        adm.receive(Message::Coop(q)).unwrap();
         let validation = adm.drain_outbox();
         for m in validation {
             s1.receive(m).unwrap();
@@ -906,7 +1012,7 @@ mod tests {
         assert_eq!(q.v, 1);
         // s2 receives the edit first: its v (=1) is ahead of s2's policy
         // version (0), so it must wait.
-        s2.receive(Message::Coop(q.clone())).unwrap();
+        s2.receive(Message::Coop(q)).unwrap();
         assert_eq!(s2.document().to_string(), "abc");
         assert_eq!(s2.queued(), 1);
         s2.receive(Message::Admin(r1)).unwrap();

@@ -112,7 +112,8 @@ fn run_session(seed: u64, n_users: u32, rounds: usize, initial: &str) {
         for i in 0..n {
             pending[i].shuffle(&mut rng);
             let k = rng.gen_range(0..=pending[i].len());
-            for msg in pending[i].drain(..k).collect::<Vec<_>>() {
+            let rest = pending[i].split_off(k);
+            for msg in std::mem::replace(&mut pending[i], rest) {
                 sites[i].receive(msg).unwrap();
                 for out in sites[i].drain_outbox() {
                     broadcast(out, i, &mut pending);
@@ -127,7 +128,7 @@ fn run_session(seed: u64, n_users: u32, rounds: usize, initial: &str) {
         let mut moved = false;
         for i in 0..n {
             pending[i].shuffle(&mut rng);
-            for msg in pending[i].drain(..).collect::<Vec<_>>() {
+            for msg in std::mem::take(&mut pending[i]) {
                 sites[i].receive(msg).unwrap();
                 moved = true;
                 for out in sites[i].drain_outbox() {

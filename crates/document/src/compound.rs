@@ -148,7 +148,7 @@ mod tests {
         let (clip, ops) = cut(&d, 2, 3).unwrap();
         assert_eq!(clip, vec![Char('b'), Char('c'), Char('d')]);
         assert_eq!(ops.len(), 3);
-        let mut d2 = d.clone();
+        let mut d2 = d;
         apply_all(&mut d2, &ops).unwrap();
         assert_eq!(d2.to_string(), "aef");
     }
@@ -190,7 +190,7 @@ mod tests {
     fn cut_paste_roundtrip_is_identity() {
         let d = doc("hello world");
         let (clip, cut_ops) = cut(&d, 7, 5).unwrap();
-        let mut d2 = d.clone();
+        let mut d2 = d;
         apply_all(&mut d2, &cut_ops).unwrap();
         assert_eq!(d2.to_string(), "hello ");
         let paste_ops = paste(&d2, 7, &clip).unwrap();

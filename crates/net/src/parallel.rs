@@ -38,17 +38,20 @@ struct SenderChaos {
 /// One thread's view of the wire: its peers, the global in-flight
 /// counter, and optional sender-side chaos (a held-back stash realises
 /// reordering; duplicate sends realise duplication).
+///
+/// Channels carry `Arc<Message>` — one allocation per broadcast, shared
+/// across every peer's inbox (and any duplicate/stashed copies).
 struct Courier<E> {
-    peers: Vec<Sender<Message<E>>>,
+    peers: Vec<Sender<Arc<Message<E>>>>,
     in_flight: Arc<AtomicI64>,
     chaos: Option<SenderChaos>,
-    stash: Vec<Message<E>>,
+    stash: Vec<Arc<Message<E>>>,
 }
 
 impl<E: Element> Courier<E> {
-    fn send_raw(&self, msg: &Message<E>) {
+    fn send_raw(&self, msg: &Arc<Message<E>>) {
         for p in &self.peers {
-            let _ = p.send(msg.clone());
+            let _ = p.send(Arc::clone(msg));
         }
     }
 
@@ -56,21 +59,22 @@ impl<E: Element> Courier<E> {
     /// (reorder) or sending it twice (duplicate). Every copy — held or
     /// not — is counted in flight immediately, so no thread can conclude
     /// the network is quiet while a stash is pending.
-    fn broadcast(&mut self, msg: &Message<E>) {
+    fn broadcast(&mut self, msg: Message<E>) {
+        let msg = Arc::new(msg);
         self.in_flight.fetch_add(self.peers.len() as i64, Ordering::SeqCst);
         let (dup, hold) = match &mut self.chaos {
             Some(c) => (c.rng.gen_bool(c.dup_prob), c.rng.gen_bool(c.reorder_prob)),
             None => (false, false),
         };
         if hold {
-            self.stash.push(msg.clone());
+            self.stash.push(Arc::clone(&msg));
         } else {
-            self.send_raw(msg);
+            self.send_raw(&msg);
             self.flush();
         }
         if dup {
             self.in_flight.fetch_add(self.peers.len() as i64, Ordering::SeqCst);
-            self.send_raw(msg);
+            self.send_raw(&msg);
         }
     }
 
@@ -89,7 +93,7 @@ impl<E: Element> Courier<E> {
 /// Termination: each site counts the messages it has received; the run
 /// finishes when every channel is empty and all threads agree no message
 /// is in flight (tracked with an atomic in-flight counter).
-pub fn run_parallel_session<E: Element + Send + 'static>(
+pub fn run_parallel_session<E: Element + Send + Sync + 'static>(
     d0: Document<E>,
     policy: Policy,
     scripts: Vec<Vec<ScriptStep<E>>>,
@@ -102,7 +106,7 @@ pub fn run_parallel_session<E: Element + Send + 'static>(
 /// traffic with probability `reorder_prob` (draws seeded per site from
 /// `seed`). Channels never drop, so delivery stays reliable — the
 /// protocol must merely survive the double and shuffled arrivals.
-pub fn run_parallel_session_chaotic<E: Element + Send + 'static>(
+pub fn run_parallel_session_chaotic<E: Element + Send + Sync + 'static>(
     d0: Document<E>,
     policy: Policy,
     scripts: Vec<Vec<ScriptStep<E>>>,
@@ -113,7 +117,7 @@ pub fn run_parallel_session_chaotic<E: Element + Send + 'static>(
     run_session_inner(d0, policy, scripts, Some((seed, dup_prob, reorder_prob)))
 }
 
-fn run_session_inner<E: Element + Send + 'static>(
+fn run_session_inner<E: Element + Send + Sync + 'static>(
     d0: Document<E>,
     policy: Policy,
     scripts: Vec<Vec<ScriptStep<E>>>,
@@ -122,8 +126,8 @@ fn run_session_inner<E: Element + Send + 'static>(
     let n = scripts.len();
     assert!(n > 0, "need at least the administrator");
 
-    let mut senders: Vec<Sender<Message<E>>> = Vec::with_capacity(n);
-    let mut receivers: Vec<Receiver<Message<E>>> = Vec::with_capacity(n);
+    let mut senders: Vec<Sender<Arc<Message<E>>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Receiver<Arc<Message<E>>>> = Vec::with_capacity(n);
     for _ in 0..n {
         let (tx, rx) = unbounded();
         senders.push(tx);
@@ -137,7 +141,7 @@ fn run_session_inner<E: Element + Send + 'static>(
     let mut handles = Vec::new();
     for (i, script) in scripts.into_iter().enumerate() {
         let my_rx = receivers[i].clone();
-        let peers: Vec<Sender<Message<E>>> =
+        let peers: Vec<Sender<Arc<Message<E>>>> =
             senders.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, s)| s.clone()).collect();
         let d0 = d0.clone();
         let policy = policy.clone();
@@ -164,10 +168,12 @@ fn run_session_inner<E: Element + Send + 'static>(
 
             let drain_inbox = |site: &mut Site<E>, courier: &mut Courier<E>| {
                 while let Ok(msg) = my_rx.try_recv() {
-                    site.receive(msg).expect("protocol error");
+                    // The site takes ownership: deep-clone once per actual
+                    // reception, not once per peer at send time.
+                    site.receive((*msg).clone()).expect("protocol error");
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                     for out in site.drain_outbox() {
-                        courier.broadcast(&out);
+                        courier.broadcast(out);
                     }
                 }
             };
@@ -177,12 +183,12 @@ fn run_session_inner<E: Element + Send + 'static>(
                 match step {
                     ScriptStep::Edit(op) => {
                         if let Ok(q) = site.generate(op) {
-                            courier.broadcast(&Message::Coop(q));
+                            courier.broadcast(Message::Coop(q));
                         }
                     }
                     ScriptStep::Admin(op) => {
                         let r = site.admin_generate(op).expect("script admin op");
-                        courier.broadcast(&Message::Admin(r));
+                        courier.broadcast(Message::Admin(r));
                     }
                 }
                 thread::yield_now();

@@ -34,6 +34,7 @@
 use dce_core::Message;
 use dce_document::Element;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Tuning knobs for the session layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,8 +67,10 @@ pub struct Packet<E> {
     /// Cumulative ack: `src` has received every `dest → src` sequence
     /// number of `ack_epoch` up to and including this.
     pub ack: u64,
-    /// The protocol message itself.
-    pub msg: Message<E>,
+    /// The protocol message itself. Shared: a broadcast produces one
+    /// heap allocation, and every peer leg, duplicate copy and
+    /// retransmission buffer entry holds the same [`Arc`].
+    pub msg: Arc<Message<E>>,
 }
 
 /// Sender-side state of one outgoing stream.
@@ -77,8 +80,10 @@ struct TxStream<E> {
     epoch: u64,
     /// Highest sequence number assigned so far (within the epoch).
     next_seq: u64,
-    /// Sent but not yet cumulatively acknowledged, oldest first.
-    unacked: Vec<(u64, Message<E>)>,
+    /// Sent but not yet cumulatively acknowledged, oldest first. Entries
+    /// share the broadcast's allocation — retransmitting never deep-copies
+    /// the payload.
+    unacked: Vec<(u64, Arc<Message<E>>)>,
     /// Current retransmission timeout.
     rto: u64,
     /// When the pending retransmission timer fires (simulated ms);
@@ -101,7 +106,7 @@ struct RxStream<E> {
     /// Every sequence number `<= delivered` has been handed to the site.
     delivered: u64,
     /// Out-of-order packets held until the gap before them fills.
-    held: BTreeMap<u64, Message<E>>,
+    held: BTreeMap<u64, Arc<Message<E>>>,
 }
 
 impl<E> Default for RxStream<E> {
@@ -115,7 +120,7 @@ impl<E> Default for RxStream<E> {
 pub struct RxOutcome<E> {
     /// Messages now deliverable to the site, in stream order (empty for
     /// duplicates and out-of-order arrivals).
-    pub deliverable: Vec<Message<E>>,
+    pub deliverable: Vec<Arc<Message<E>>>,
     /// `true` when the packet was at or below the cumulative point, or
     /// from a stale epoch — a retransmission the receiver has already
     /// moved past.
@@ -145,13 +150,14 @@ impl<E: Element> Endpoint<E> {
 
     /// Queues `msg` on the `self → dest` stream and returns the packet to
     /// put on the wire. The message stays in the send buffer until
-    /// [`Endpoint::on_ack`] covers its sequence number.
-    pub fn send(&mut self, dest: usize, msg: Message<E>, now: u64) -> Packet<E> {
+    /// [`Endpoint::on_ack`] covers its sequence number; buffer and packet
+    /// share the caller's allocation.
+    pub fn send(&mut self, dest: usize, msg: Arc<Message<E>>, now: u64) -> Packet<E> {
         let (ack_epoch, ack) = self.ack_for(dest);
         let rto = self.cfg.initial_rto_ms;
         let stream = self.tx.entry(dest).or_insert_with(|| TxStream::new(rto));
         stream.next_seq += 1;
-        stream.unacked.push((stream.next_seq, msg.clone()));
+        stream.unacked.push((stream.next_seq, Arc::clone(&msg)));
         if stream.deadline.is_none() {
             stream.deadline = Some(now + stream.rto);
         }
@@ -183,7 +189,13 @@ impl<E: Element> Endpoint<E> {
     /// the cumulative point — or from a stale epoch — is flagged a
     /// duplicate; a gap parks the packet in the hold queue. A packet from
     /// a *newer* epoch resets the stream state: the peer restarted.
-    pub fn on_data(&mut self, peer: usize, epoch: u64, seq: u64, msg: Message<E>) -> RxOutcome<E> {
+    pub fn on_data(
+        &mut self,
+        peer: usize,
+        epoch: u64,
+        seq: u64,
+        msg: Arc<Message<E>>,
+    ) -> RxOutcome<E> {
         let stream = self.rx.entry(peer).or_default();
         if epoch < stream.epoch {
             return RxOutcome { deliverable: Vec::new(), duplicate: true };
@@ -256,7 +268,7 @@ impl<E: Element> Endpoint<E> {
                         seq: *seq,
                         ack_epoch,
                         ack,
-                        msg: msg.clone(),
+                        msg: Arc::clone(msg),
                     },
                 ));
             }
@@ -291,13 +303,15 @@ impl<E: Element> Endpoint<E> {
     /// due immediately; in-flight packets and acks of the old epoch are
     /// void.
     pub fn restart_stream_to(&mut self, peer: usize, now: u64) {
-        let mut refill: Vec<Message<E>> = Vec::new();
+        let mut refill: Vec<Arc<Message<E>>> = Vec::new();
         let mut peers: Vec<usize> = self.tx.keys().copied().collect();
         peers.sort_unstable(); // deterministic refill order
         for p in peers {
             for (_, msg) in &self.tx[&p].unacked {
+                // `Arc` equality compares the payloads (pointer fast path
+                // first), so cross-stream copies of one broadcast dedup.
                 if !refill.contains(msg) {
-                    refill.push(msg.clone());
+                    refill.push(Arc::clone(msg));
                 }
             }
         }
@@ -338,10 +352,7 @@ impl<E: Element> Endpoint<E> {
     /// snapshot, but operations it generated *before* crashing may still
     /// be missing from that snapshot — they live on here, in the session
     /// layer's durable send buffers.
-    pub fn unacked_messages(&self) -> Vec<Message<E>>
-    where
-        Message<E>: Clone,
-    {
+    pub fn unacked_messages(&self) -> Vec<Arc<Message<E>>> {
         let mut seen = Vec::new(); // tiny; linear scan beats hashing Message
         let mut out = Vec::new();
         let mut peers: Vec<usize> = self.tx.keys().copied().collect();
@@ -351,7 +362,7 @@ impl<E: Element> Endpoint<E> {
                 let key = (peer, *seq);
                 if !seen.contains(&key) {
                     seen.push(key);
-                    out.push(msg.clone());
+                    out.push(Arc::clone(msg));
                 }
             }
         }
@@ -368,10 +379,10 @@ mod tests {
 
     type Msg = Message<Char>;
 
-    fn hb(n: u64) -> Msg {
+    fn hb(n: u64) -> Arc<Msg> {
         let mut clock = Clock::new();
         clock.set(1, n);
-        Message::Heartbeat { from: 7, clock }
+        Arc::new(Message::Heartbeat { from: 7, clock })
     }
 
     fn ep(site: usize) -> Endpoint<Char> {

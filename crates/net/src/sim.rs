@@ -24,6 +24,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
 /// Message latency model (milliseconds of simulated time).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,11 +62,14 @@ pub struct SimStats {
 }
 
 /// What travels on one scheduled wire event.
+///
+/// Payload variants hold the broadcast's single [`Arc`] allocation —
+/// cloning a `Wire` for a duplicate leg copies a pointer, not a message.
 #[derive(Debug, Clone)]
 enum Wire<E> {
     /// An unsequenced broadcast leg (the fire-and-forget legacy path,
     /// used while reliability is off).
-    Raw(Message<E>),
+    Raw(Arc<Message<E>>),
     /// A sequenced data packet on a reliable stream.
     Data(Packet<E>),
     /// A standalone cumulative ack from `from` for the `dest → from`
@@ -281,8 +285,9 @@ impl<E: Element> SimNet<E> {
     }
 
     /// Sends `msg` from `from` to one destination, through the session
-    /// layer when reliability is on.
-    fn unicast(&mut self, from: usize, dest: usize, msg: Message<E>) {
+    /// layer when reliability is on. Takes the shared allocation — all
+    /// legs of one broadcast pass the same `Arc` through here.
+    fn unicast(&mut self, from: usize, dest: usize, msg: Arc<Message<E>>) {
         if self.endpoints.is_some() {
             let now = self.stats.now;
             let eps = self.endpoints.as_mut().expect("checked");
@@ -300,12 +305,19 @@ impl<E: Element> SimNet<E> {
         }
     }
 
+    /// Broadcasts `msg`: allocates the shared payload once and fans the
+    /// `Arc` out to every peer leg (and, with reliability on, into every
+    /// retransmission buffer).
     fn broadcast(&mut self, from: usize, msg: Message<E>) {
+        self.broadcast_shared(from, Arc::new(msg));
+    }
+
+    fn broadcast_shared(&mut self, from: usize, msg: Arc<Message<E>>) {
         for dest in 0..self.sites.len() {
             if dest == from {
                 continue;
             }
-            self.unicast(from, dest, msg.clone());
+            self.unicast(from, dest, Arc::clone(&msg));
         }
     }
 
@@ -351,7 +363,7 @@ impl<E: Element> SimNet<E> {
         self.check_site(site)?;
         self.check_site(admin_site)?;
         let p = self.sites[site].propose_admin(op)?;
-        self.unicast(site, admin_site, Message::Proposal(p));
+        self.unicast(site, admin_site, Arc::new(Message::Proposal(p)));
         Ok(())
     }
 
@@ -458,11 +470,14 @@ impl<E: Element> SimNet<E> {
     }
 
     /// Hands one message to a live site and broadcasts whatever the site
-    /// emits in response.
-    fn deliver(&mut self, dest: usize, msg: Message<E>) {
+    /// emits in response. This is the one place a broadcast payload is
+    /// materialised per destination: [`Site::receive`] takes ownership, so
+    /// the shared `Arc` is deep-cloned exactly once per actual delivery
+    /// (never for legs lost to faults or parked in send buffers).
+    fn deliver(&mut self, dest: usize, msg: &Message<E>) {
         let msg = match &self.transport {
-            Some(t) => t(&msg),
-            None => msg,
+            Some(t) => t(msg),
+            None => msg.clone(),
         };
         self.sites[dest].receive(msg).expect("protocol errors are bugs in the simulation");
         self.stats.delivered += 1;
@@ -483,7 +498,7 @@ impl<E: Element> SimNet<E> {
         match wire {
             Wire::Raw(msg) => {
                 if self.active[dest] {
-                    self.deliver(dest, msg);
+                    self.deliver(dest, &msg);
                 }
             }
             Wire::Data(pkt) => {
@@ -506,7 +521,7 @@ impl<E: Element> SimNet<E> {
                     None => (Vec::new(), None),
                 };
                 for m in deliverable {
-                    self.deliver(dest, m);
+                    self.deliver(dest, &m);
                 }
                 if let Some((epoch, cum)) = ack_back {
                     self.transmit(dest, src, Wire::Ack { from: dest, epoch, cum });
@@ -690,11 +705,14 @@ impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
             }
         }
         for msg in ghost_backlog {
-            self.sites[idx].receive(msg.clone()).expect("replaying own pre-crash traffic is safe");
+            self.sites[idx]
+                .receive((*msg).clone())
+                .expect("replaying own pre-crash traffic is safe");
             for out in self.sites[idx].drain_outbox() {
                 self.broadcast(idx, out);
             }
-            self.broadcast(idx, msg);
+            // Re-broadcast the surviving allocation itself.
+            self.broadcast_shared(idx, msg);
         }
         Ok(())
     }

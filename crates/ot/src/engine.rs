@@ -352,7 +352,17 @@ impl<E: Element> Engine<E> {
         // copy of the log so the entries of `req`'s generation context form
         // a prefix (exact, transposition-based), then fold the request
         // forward through the concurrent suffix with `IT`.
-        let (prefix_len, working, moves) = self.partition_context(&req.ctx);
+        let (prefix_len, working, moves) = if req.ctx.dominates(&self.clock) {
+            // Fast path: the request causally follows everything integrated
+            // here, so no log entry is concurrent with it — the partition
+            // is the identity (zero transpositions) and the concurrent
+            // suffix is empty. Skipping the O(|H|) working-copy build makes
+            // sequential integration (chains, catch-up replays) O(1) in the
+            // log instead of quadratic over a session.
+            (0, Vec::new(), 0)
+        } else {
+            self.partition_context(&req.ctx)
+        };
         self.metrics.partition_transposes += moves;
         let mut top = req.top.clone();
         for w in &working[prefix_len..] {

@@ -213,7 +213,7 @@ mod tests {
         b1.apply(&o1.op, None, None).expect("o1 applies to base");
         b1.apply(&include(&o2, &o1).op, None, None).expect("IT(o2,o1) applies");
 
-        let mut b2 = base.clone();
+        let mut b2 = base;
         b2.apply(&o2.op, None, None).expect("o2 applies to base");
         b2.apply(&include(&o1, &o2).op, None, None).expect("IT(o1,o2) applies");
 

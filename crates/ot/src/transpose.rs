@@ -78,7 +78,7 @@ mod tests {
         b_seq.apply(&o2.op, None, None).unwrap();
 
         let (o2p, o1p) = transpose(&o1, &o2).expect("transpose defined");
-        let mut b_swapped = base.clone();
+        let mut b_swapped = base;
         b_swapped.apply(&o2p.op, None, None).expect("o2' applies to base");
         b_swapped.apply(&o1p.op, None, None).expect("o1' applies after o2'");
 

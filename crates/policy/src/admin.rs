@@ -201,6 +201,12 @@ impl fmt::Display for AdminRequest {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdminLog {
     entries: Vec<AdminRequest>,
+    /// Positions of the *restrictive* entries, in version order — the only
+    /// entries `Check_Remote` can ever return, so its suffix walk skips
+    /// everything else. Derived deterministically from `entries` (push
+    /// maintains it, `from_entries` rebuilds it), so the derived
+    /// `PartialEq` stays consistent across replicas.
+    restrictive: Vec<usize>,
 }
 
 impl AdminLog {
@@ -242,6 +248,9 @@ impl AdminLog {
             self.last_version() + 1,
             "administrative requests must arrive in version order"
         );
+        if r.is_restrictive() {
+            self.restrictive.push(self.entries.len());
+        }
         self.entries.push(r);
     }
 
@@ -257,9 +266,12 @@ impl AdminLog {
 
     /// The requests with version strictly greater than `v` — the
     /// administrative operations *concurrent* to a cooperative request
-    /// generated at policy version `v`.
+    /// generated at policy version `v`. Versions are contiguous from 1
+    /// (`entries[i].version == i + 1`, enforced by [`AdminLog::push`]), so
+    /// the suffix is a direct slice lookup, not a search.
     pub fn since(&self, v: PolicyVersion) -> &[AdminRequest] {
-        let start = self.entries.partition_point(|r| r.version <= v);
+        let start = usize::try_from(v).unwrap_or(usize::MAX).min(self.entries.len());
+        debug_assert!(self.entries.get(start).is_none_or(|r| r.version == v + 1));
         &self.entries[start..]
     }
 
@@ -267,6 +279,10 @@ impl AdminLog {
     /// granted at its origin under policy version `v` stays granted unless
     /// some *concurrent restrictive* request (version > `v`) revokes the
     /// access it relies on. Returns the denying request, if any.
+    ///
+    /// Walks only the restrictive index entries past `v` — non-restrictive
+    /// requests (the overwhelming majority: every `Validate`) are never
+    /// touched.
     pub fn check_remote<'a>(
         &'a self,
         user: UserId,
@@ -274,9 +290,11 @@ impl AdminLog {
         v: PolicyVersion,
         policy: &Policy,
     ) -> Option<&'a AdminRequest> {
-        self.since(v)
+        let lo = self.restrictive.partition_point(|&i| self.entries[i].version <= v);
+        self.restrictive[lo..]
             .iter()
-            .find(|r| r.is_restrictive() && r.op.matches_access(user, action, policy))
+            .map(|&i| &self.entries[i])
+            .find(|r| r.op.matches_access(user, action, policy))
     }
 }
 
@@ -437,7 +455,7 @@ mod tests {
         assert!(AdminOp::DelObj { name: "x".into() }.to_string().contains("#x"));
         let a = Authorization::grant(Subject::All, DocObject::Document, [Right::Read]);
         assert!(AdminOp::AddAuth { pos: 0, auth: a.clone() }.to_string().contains("AddAuth(0"));
-        assert!(AdminOp::DelAuth { pos: 0, auth: a.clone() }.to_string().contains("DelAuth(0"));
+        assert!(AdminOp::DelAuth { pos: 0, auth: a }.to_string().contains("DelAuth(0"));
         assert!(AdminOp::AddObj { name: "y".into(), object: DocObject::Document }
             .to_string()
             .contains("#y"));

@@ -35,6 +35,7 @@
 pub mod admin;
 pub mod auth;
 pub mod error;
+mod index;
 pub mod normalize;
 pub mod object;
 pub mod policy;

@@ -111,6 +111,14 @@ fn chaos_session(seed: u64) -> (String, usize) {
     assert!(fs.retransmitted > 0, "the session layer repaired losses: {fs:?}");
     assert_eq!(fs.crashes, 1);
     sim.assert_converged(seed);
+    // Quiescence means the scheduler has woken and processed everything —
+    // a request parked forever (a wake list the refactor forgot to fire)
+    // would show up here as a non-empty queue.
+    for site in 0..N_SITES as usize {
+        if sim.is_active(site) {
+            assert_eq!(sim.site(site).queued(), 0, "site {site} still holds parked requests");
+        }
+    }
     (sim.site(0).document().to_string(), coop_ops)
 }
 
@@ -180,6 +188,9 @@ fn codec_chaos_session(seed: u64) {
     sim.run_to_quiescence();
     sim.assert_converged(seed);
     assert!(sim.site(0).policy().has_user(77), "the proposal landed");
+    for site in 0..4usize {
+        assert_eq!(sim.site(site).queued(), 0, "site {site} still holds parked requests");
+    }
 
     // Explicit fidelity for the remaining kinds.
     let hb = sim.site(2).make_heartbeat();

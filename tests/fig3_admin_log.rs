@@ -58,7 +58,7 @@ fn deletion_generated_after_the_regrant_is_accepted() {
     s1.receive(Message::Admin(r1)).unwrap();
     s1.receive(Message::Admin(r2)).unwrap();
     s1.receive(Message::Coop(q.clone())).unwrap();
-    adm.receive(Message::Coop(q.clone())).unwrap();
+    adm.receive(Message::Coop(q)).unwrap();
 
     assert_eq!(adm.document().to_string(), "bc");
     assert_eq!(s1.document().to_string(), "bc");

@@ -59,7 +59,7 @@ fn without_prior_validation_the_same_schedule_rejects() {
     assert_eq!(s2.document().to_string(), "abc");
     assert_eq!(s2.flag_of(q.ot.id), Some(Flag::Invalid));
 
-    adm.receive(Message::Coop(q.clone())).unwrap();
+    adm.receive(Message::Coop(q)).unwrap();
     s1.receive(Message::Admin(r)).unwrap();
     assert_eq!(adm.document().to_string(), "abc");
     assert_eq!(s1.document().to_string(), "abc");

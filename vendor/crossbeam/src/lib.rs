@@ -112,6 +112,7 @@ pub mod channel {
                 }
             });
             h.join().unwrap();
+            drop(tx);
             let mut got = Vec::new();
             while let Ok(v) = rx.try_recv() {
                 got.push(v);
