@@ -1,0 +1,234 @@
+//! The exhaustive schedule-space explorer: iterative DFS over delivery
+//! interleavings with sleep-set partial-order reduction and joined-state
+//! dedupe.
+//!
+//! ## Pruning soundness (sketch; the full argument is in DESIGN.md §6)
+//!
+//! Two enabled transitions are *independent* when they target different
+//! sites: each reads and writes only its target site's state plus appends
+//! to the in-flight message multiset (which is unordered and hashed as a
+//! multiset), so they commute; and since enabledness of a generate step
+//! depends only on its site's program counter and enabledness of a
+//! delivery only on its own flight, neither can disable the other. Under
+//! that independence relation, classic sleep sets explore at least one
+//! representative of every Mazurkiewicz trace — hence reach every
+//! reachable state, in particular every quiescent state where the oracles
+//! run. Joined states are deduped by behavioral digest; a visit is
+//! skipped only when a previous visit covered it with a sleep set no
+//! larger than the current one (`S_stored ⊆ S_now`), the standard sound
+//! combination of sleep sets with state caching.
+
+use crate::oracle::{check_quiescent, Violation};
+use crate::runner::{EventKey, Runner};
+use crate::scenario::Scenario;
+use crate::schedule::{Schedule, Step};
+use crate::shrink::shrink;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Exploration limits and toggles.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Budget on *distinct* states expanded; exceeding it ends the run
+    /// with `complete = false` instead of an error.
+    pub max_states: u64,
+    /// Re-run every quiescent state's schedule from scratch and require
+    /// each site's state to reproduce bit for bit (oracle 4).
+    pub check_determinism: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { max_states: 1_000_000, check_determinism: true }
+    }
+}
+
+/// Exploration counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Distinct states expanded (visited-set insertions).
+    pub states: u64,
+    /// Transitions applied.
+    pub transitions: u64,
+    /// Maximal schedules explored: quiescent states reached plus paths
+    /// ending in a dedupe hit or a fully slept frontier.
+    pub schedules: u64,
+    /// Quiescent states oracle-checked.
+    pub quiescent: u64,
+    /// Paths cut because the state was already covered.
+    pub dedupe_hits: u64,
+    /// Child expansions skipped by sleep sets.
+    pub sleep_skips: u64,
+    /// Longest schedule encountered.
+    pub max_depth: usize,
+    /// `true` when the whole bounded space was explored within budget.
+    pub complete: bool,
+}
+
+/// A violation together with its evidence.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The property that failed (after shrinking — shrinking preserves
+    /// the violation class, not necessarily the exact payload).
+    pub violation: Violation,
+    /// The delta-debugged schedule: replay with [`Schedule::check`] to
+    /// reproduce.
+    pub schedule: Schedule,
+    /// The schedule as originally encountered, before shrinking.
+    pub original: Schedule,
+    /// Counters up to the moment of failure.
+    pub stats: Stats,
+}
+
+/// Outcome of an exploration.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Every oracle held at every quiescent state reached.
+    Ok(Stats),
+    /// Some property failed; here is the (shrunk) evidence.
+    Violation(Box<Counterexample>),
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Verdict::Ok(_))
+    }
+
+    /// The exploration counters, whatever the outcome.
+    pub fn stats(&self) -> &Stats {
+        match self {
+            Verdict::Ok(s) => s,
+            Verdict::Violation(cx) => &cx.stats,
+        }
+    }
+}
+
+/// Explores every delivery interleaving of `scenario` under the default
+/// [`Config`]. See [`explore_with`].
+pub fn explore(scenario: &Scenario) -> Verdict {
+    explore_with(scenario, Config::default())
+}
+
+/// Explores every delivery interleaving of `scenario`, checking the
+/// invariant oracles at every quiescent state, and shrinks the first
+/// violation into a replayable counterexample.
+pub fn explore_with(scenario: &Scenario, cfg: Config) -> Verdict {
+    struct Node {
+        runner: Runner,
+        sleep: Vec<EventKey>,
+        schedule: Vec<Step>,
+    }
+
+    let scenario_arc = Arc::new(scenario.clone());
+    let mut stack = vec![Node {
+        runner: Runner::new(Arc::clone(&scenario_arc)),
+        sleep: Vec::new(),
+        schedule: Vec::new(),
+    }];
+    let mut visited: HashMap<u64, Vec<Box<[EventKey]>>> = HashMap::new();
+    let mut stats = Stats { complete: true, ..Stats::default() };
+
+    while let Some(node) = stack.pop() {
+        stats.max_depth = stats.max_depth.max(node.schedule.len());
+
+        let digest = node.runner.digest();
+        let covers = visited.entry(digest).or_default();
+        if covers.iter().any(|s| s.iter().all(|k| node.sleep.contains(k))) {
+            stats.dedupe_hits += 1;
+            stats.schedules += 1;
+            continue;
+        }
+        covers.push(node.sleep.iter().copied().collect());
+        stats.states += 1;
+        if stats.states >= cfg.max_states {
+            stats.complete = false;
+            break;
+        }
+
+        let choices = node.runner.choices();
+        if choices.is_empty() {
+            stats.quiescent += 1;
+            stats.schedules += 1;
+            if let Some(v) = check_quiescent(&node.runner) {
+                return fail(scenario, v, node.schedule, stats);
+            }
+            if cfg.check_determinism {
+                if let Some(v) =
+                    determinism(&scenario_arc, &node.schedule, &node.runner, &mut stats)
+                {
+                    return fail(scenario, v, node.schedule, stats);
+                }
+            }
+            continue;
+        }
+
+        let mut done: Vec<EventKey> = Vec::new();
+        let mut expanded = false;
+        for c in choices {
+            let key = node.runner.key_of(c);
+            if node.sleep.contains(&key) {
+                stats.sleep_skips += 1;
+                continue;
+            }
+            let mut schedule = node.schedule.clone();
+            schedule.push(node.runner.step_of(c));
+            let mut child = node.runner.clone();
+            if let Err(v) = child.apply(c) {
+                return fail(scenario, v, schedule, stats);
+            }
+            stats.transitions += 1;
+            let sleep: Vec<EventKey> = node
+                .sleep
+                .iter()
+                .chain(done.iter())
+                .copied()
+                .filter(|k| k.site != key.site)
+                .collect();
+            stack.push(Node { runner: child, sleep, schedule });
+            done.push(key);
+            expanded = true;
+        }
+        if !expanded {
+            // Everything enabled is slept: this path's continuations are
+            // explored from a sibling branch.
+            stats.schedules += 1;
+        }
+    }
+
+    Verdict::Ok(stats)
+}
+
+/// Oracle 4 — per-site determinism: strictly replaying the schedule that
+/// reached this quiescent state must reproduce each site bit for bit.
+fn determinism(
+    scenario: &Arc<Scenario>,
+    schedule: &[Step],
+    reached: &Runner,
+    stats: &mut Stats,
+) -> Option<Violation> {
+    let mut replay = Runner::new(Arc::clone(scenario));
+    for step in schedule {
+        let choice = replay.choice_of(*step)?;
+        stats.transitions += 1;
+        if replay.apply(choice).is_err() {
+            // A step that replays into an error never got recorded on the
+            // exploration side: the schedule itself failed to reproduce.
+            return Some(Violation::ProtocolError {
+                detail: format!("replaying step {step} failed"),
+            });
+        }
+    }
+    for (i, (a, b)) in reached.net.sites().iter().zip(replay.net.sites()).enumerate() {
+        if a.state_digest() != b.state_digest() {
+            return Some(Violation::Nondeterminism { site: i });
+        }
+    }
+    None
+}
+
+fn fail(scenario: &Scenario, violation: Violation, steps: Vec<Step>, stats: Stats) -> Verdict {
+    let original = Schedule::new(steps);
+    let (schedule, violation) = shrink(scenario, &original, &violation);
+    Verdict::Violation(Box::new(Counterexample { violation, schedule, original, stats }))
+}

@@ -1,0 +1,152 @@
+//! Replayable schedules: the counterexample currency.
+//!
+//! A [`Schedule`] is a sequence of [`Step`]s addressing deliveries by
+//! `(destination, slot)` — the slot counts the destination's in-flight
+//! messages in send order at the moment the step executes, which is
+//! stable under replay (raw send identifiers are not: they depend on how
+//! many broadcasts happened before).
+//!
+//! Replay is *lenient*: a step that no longer denotes an enabled
+//! transition is skipped. After the last step the run is driven to
+//! quiescence canonically (pending program actions in site order, then
+//! deliveries in send order, no duplicates) and the oracles are checked.
+//! Lenient-replay-then-drain gives every *subsequence* of a schedule a
+//! well-defined verdict — exactly what greedy delta-debugging needs.
+
+use crate::oracle::{check_quiescent, Violation};
+use crate::runner::{Choice, Runner};
+use crate::scenario::Scenario;
+use std::fmt;
+use std::sync::Arc;
+
+/// One schedule step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Site `site` executes its next program action.
+    Gen {
+        /// The acting site.
+        site: usize,
+    },
+    /// Deliver (and consume) the `slot`-th in-flight message addressed to
+    /// `dest`, counting in send order.
+    Deliver {
+        /// Destination site.
+        dest: usize,
+        /// Rank among `dest`'s in-flight messages, in send order.
+        slot: usize,
+    },
+    /// Deliver a duplicate copy of that message, keeping it in flight.
+    Dup {
+        /// Destination site.
+        dest: usize,
+        /// Rank among `dest`'s in-flight messages, in send order.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Gen { site } => write!(f, "gen@s{site}"),
+            Step::Deliver { dest, slot } => write!(f, "deliver#{slot}->s{dest}"),
+            Step::Dup { dest, slot } => write!(f, "dup#{slot}->s{dest}"),
+        }
+    }
+}
+
+/// A replayable delivery schedule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// The steps, in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// Wraps a step sequence.
+    pub fn new(steps: Vec<Step>) -> Schedule {
+        Schedule { steps }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when the schedule has no steps (the canonical drain alone).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Replays the schedule leniently against a fresh instance of
+    /// `scenario`, drains to quiescence and checks every oracle. `None` =
+    /// all properties hold. The regression-pinning entry point.
+    pub fn check(&self, scenario: &Scenario) -> Option<Violation> {
+        self.run(scenario).0
+    }
+
+    /// Lenient replay + canonical drain. Returns the verdict and the
+    /// steps that actually executed (the shrink loop adopts those: steps
+    /// that were skipped anyway can never be needed).
+    pub(crate) fn run(&self, scenario: &Scenario) -> (Option<Violation>, Vec<Step>) {
+        let mut runner = Runner::new(Arc::new(scenario.clone()));
+        let mut executed = Vec::new();
+        for step in &self.steps {
+            let Some(choice) = runner.choice_of(*step) else { continue };
+            if let Err(v) = runner.apply(choice) {
+                executed.push(*step);
+                return (Some(v), executed);
+            }
+            executed.push(*step);
+        }
+        if let Err(v) = drain(&mut runner, &mut executed) {
+            return (Some(v), executed);
+        }
+        (check_quiescent(&runner), executed)
+    }
+
+    /// The schedule as a Rust expression, for pinning a shrunk
+    /// counterexample in `crates/check/tests/regressions.rs`.
+    pub fn to_rust_literal(&self) -> String {
+        let mut out = String::from("Schedule::new(vec![\n");
+        for s in &self.steps {
+            let line = match s {
+                Step::Gen { site } => format!("    Step::Gen {{ site: {site} }},\n"),
+                Step::Deliver { dest, slot } => {
+                    format!("    Step::Deliver {{ dest: {dest}, slot: {slot} }},\n")
+                }
+                Step::Dup { dest, slot } => {
+                    format!("    Step::Dup {{ dest: {dest}, slot: {slot} }},\n")
+                }
+            };
+            out.push_str(&line);
+        }
+        out.push_str("])");
+        out
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" ")?;
+            }
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Drives a runner to quiescence canonically: pending program actions in
+/// site order first, then every delivery in send order, never duplicating.
+/// Appends the drained steps to `executed`.
+pub(crate) fn drain(runner: &mut Runner, executed: &mut Vec<Step>) -> Result<(), Violation> {
+    loop {
+        let next =
+            runner.choices().into_iter().find(|c| !matches!(c, Choice::Deliver { dup: true, .. }));
+        let Some(choice) = next else { break };
+        executed.push(runner.step_of(choice));
+        runner.apply(choice)?;
+    }
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Pinned counterexample schedules.
+//!
+//! When the explorer finds a violation it prints a shrunk, replayable
+//! schedule as a `Schedule::new(vec![...])` literal. Pin it here with a
+//! test asserting `schedule.check(&scenario).is_none()` once the bug is
+//! fixed — the schedule then guards against regression forever, at the
+//! cost of one replay instead of a whole exploration.
+//!
+//! No exploration of the bounded figure scenarios has produced a
+//! violation so far, so the only tests here exercise the replay
+//! machinery itself (the pattern a real pin would follow).
+
+use dce_check::{Scenario, Schedule, Step};
+
+/// The canonical drain alone (the empty schedule) must satisfy every
+/// oracle: generate everything in site order, deliver everything in send
+/// order.
+#[test]
+fn empty_schedule_is_clean_on_every_figure() {
+    for name in ["fig1", "fig2", "fig3", "fig4", "fig5"] {
+        let scenario = Scenario::by_name(name, 3, 2).unwrap();
+        assert_eq!(Schedule::new(Vec::new()).check(&scenario), None, "{name}");
+    }
+}
+
+/// A hand-written racy prefix — user inserts delivered to the admin
+/// before the revocation goes out, plus steps that are no longer
+/// applicable and must be skipped leniently — still ends clean.
+#[test]
+fn lenient_replay_of_a_racy_prefix_is_clean() {
+    let scenario = Scenario::by_name("fig2", 3, 2).unwrap();
+    let schedule = Schedule::new(vec![
+        Step::Gen { site: 1 },
+        Step::Gen { site: 2 },
+        Step::Deliver { dest: 0, slot: 1 },
+        Step::Deliver { dest: 0, slot: 0 },
+        Step::Gen { site: 0 },
+        Step::Dup { dest: 2, slot: 0 }, // inapplicable (dups disabled): skipped
+        Step::Deliver { dest: 9, slot: 0 }, // no such site: skipped
+        Step::Deliver { dest: 1, slot: 0 },
+    ]);
+    assert_eq!(schedule.check(&scenario), None);
+}

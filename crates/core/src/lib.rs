@@ -55,4 +55,4 @@ pub use audit::{audit, metrics, AuditRecord, SiteMetrics};
 pub use error::CoreError;
 pub use reference::ScanSite;
 pub use request::{AdminProposal, CoopRequest, Flag, Message};
-pub use site::Site;
+pub use site::{Checkpoint, Site};

@@ -191,6 +191,71 @@ impl<E> Scheduler<E> {
     pub fn release_admin(&mut self, version: PolicyVersion) {
         self.held_admin.remove(&version);
     }
+
+    /// Feeds the scheduler's queue contents into `h`, in behavioral order.
+    /// Absolute arrival stamps (and `next_arrival`) are excluded — they
+    /// count admissions along the path taken — but their *relative ranks*
+    /// are hashed: a woken request keeps its stamp as its ready-lane
+    /// ordering key, so the relative arrival order of queued cooperative
+    /// requests (across all lanes) is behavioral. Two runs joining on the
+    /// same pending set in the same relative order collide in state-space
+    /// dedupe; runs that differ only in absolute stamp values do too.
+    pub fn digest_into<H: std::hash::Hasher>(&self, h: &mut H)
+    where
+        E: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        let mut stamps: Vec<u64> = self.ready_coop.keys().copied().collect();
+        for pendings in self.wait_version.values().chain(self.wait_clock.values()) {
+            for p in pendings {
+                if let Pending::Coop { arrival, .. } = p {
+                    stamps.push(*arrival);
+                }
+            }
+        }
+        stamps.sort_unstable();
+        let rank = |a: u64| stamps.binary_search(&a).expect("queued stamp is present") as u64;
+        let hash_pending = |p: &Pending<E>, h: &mut H| match p {
+            Pending::Coop { arrival, q } => {
+                0u8.hash(h);
+                rank(*arrival).hash(h);
+                q.hash(h);
+            }
+            Pending::Admin(r) => {
+                1u8.hash(h);
+                r.hash(h);
+            }
+        };
+        self.ready_coop.len().hash(h);
+        for (arrival, q) in &self.ready_coop {
+            rank(*arrival).hash(h);
+            q.hash(h);
+        }
+        self.ready_admin.hash(h);
+        self.wait_version.len().hash(h);
+        for (v, pendings) in &self.wait_version {
+            v.hash(h);
+            pendings.len().hash(h);
+            for p in pendings {
+                hash_pending(p, h);
+            }
+        }
+        let mut clock_keys: Vec<RequestId> = self.wait_clock.keys().copied().collect();
+        clock_keys.sort_unstable();
+        clock_keys.len().hash(h);
+        for id in clock_keys {
+            id.hash(h);
+            let pendings = &self.wait_clock[&id];
+            pendings.len().hash(h);
+            for p in pendings {
+                hash_pending(p, h);
+            }
+        }
+        let mut held: Vec<RequestId> = self.held_coop.iter().copied().collect();
+        held.sort_unstable();
+        held.hash(h);
+        self.held_admin.hash(h);
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,20 @@ pub struct Site<E> {
     peer_clocks: HashMap<UserId, Clock>,
 }
 
+/// An opaque full-state checkpoint of a [`Site`], including its reception
+/// queues — see [`Site::checkpoint`]. Boxed so fork-heavy explorers can
+/// keep many of them on an explicit work stack cheaply.
+#[derive(Debug, Clone)]
+pub struct Checkpoint<E>(Box<Site<E>>);
+
+impl<E: Element> Checkpoint<E> {
+    /// Materializes an independent site from the checkpoint (state
+    /// forking: the checkpoint stays reusable).
+    pub fn materialize(&self) -> Site<E> {
+        (*self.0).clone()
+    }
+}
+
 impl<E: Element> Site<E> {
     /// Creates the administrator site (site id = user id).
     pub fn new_admin(user: UserId, d0: Document<E>, policy: Policy) -> Self {
@@ -242,6 +256,62 @@ impl<E: Element> Site<E> {
             rejected_proposals: Vec::new(),
             peer_clocks: HashMap::new(),
         }
+    }
+
+    /// Captures a *complete* checkpoint of this site — replicated state,
+    /// reception queues, outboxes and diagnostics alike. Unlike
+    /// [`Site::snapshot_parts`] (state transfer to a joining peer, which
+    /// deliberately drops the queues), a checkpoint is a fork point: state
+    /// explorers such as `dce-check` branch one prefix of a session into
+    /// many continuations without replaying it.
+    pub fn checkpoint(&self) -> Checkpoint<E> {
+        Checkpoint(Box::new(self.clone()))
+    }
+
+    /// Restores this site to a previously captured [`Checkpoint`],
+    /// discarding everything that happened since.
+    pub fn restore(&mut self, checkpoint: &Checkpoint<E>) {
+        *self = (*checkpoint.0).clone();
+    }
+
+    /// Feeds every behavioral component of the site into `h`: identity,
+    /// engine (buffer, log, clock), policy, administrative log, flags,
+    /// queued messages, outboxes, diagnostics and peer clocks. Work
+    /// counters and absolute arrival stamps are excluded (they record the
+    /// path taken, not the state reached), so two delivery orders joining
+    /// on the same state collide — the dedupe key of `dce-check`.
+    pub fn digest_into<H: std::hash::Hasher>(&self, h: &mut H)
+    where
+        E: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        self.user.hash(h);
+        self.admin_id.hash(h);
+        self.engine.digest_into(h);
+        self.policy.hash(h);
+        self.admin_log.hash(h);
+        let mut flags: Vec<(RequestId, Flag)> = self.flags.iter().map(|(k, v)| (*k, *v)).collect();
+        flags.sort_unstable_by_key(|(id, _)| *id);
+        flags.hash(h);
+        self.sched.digest_into(h);
+        self.outbox.hash(h);
+        self.denials.hash(h);
+        self.undone.hash(h);
+        self.rejected_proposals.hash(h);
+        let mut peers: Vec<(UserId, &Clock)> =
+            self.peer_clocks.iter().map(|(u, c)| (*u, c)).collect();
+        peers.sort_unstable_by_key(|(u, _)| *u);
+        peers.hash(h);
+    }
+
+    /// The site's behavioral state digest (see [`Site::digest_into`]).
+    pub fn state_digest(&self) -> u64
+    where
+        E: std::hash::Hash,
+    {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.digest_into(&mut h);
+        std::hash::Hasher::finish(&h)
     }
 
     /// Drops the first `n` entries of the cooperative log (used by

@@ -1,0 +1,102 @@
+//! The audit trail must agree with the drain-style diagnostics across a
+//! Fig. 2 revocation race: every record flagged `denied_here` is exactly
+//! what `drain_denials` hands out, every record flagged `undone_here` is
+//! exactly what `drain_undone` hands out, and draining empties the
+//! corresponding audit bits without touching flags or effects.
+
+use dce_core::{audit, Flag, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+use std::collections::BTreeSet;
+
+fn revoke_insert(user: u32) -> AdminOp {
+    AdminOp::AddAuth {
+        pos: 0,
+        auth: Authorization::new(
+            Subject::User(user),
+            DocObject::Document,
+            [Right::Insert],
+            Sign::Minus,
+        ),
+    }
+}
+
+#[test]
+fn audit_fates_agree_with_drained_diagnostics() {
+    let p = Policy::permissive([0, 1, 2]);
+    let d0 = CharDocument::from_str("abc");
+    let mut adm: Site<Char> = Site::new_admin(0, d0.clone(), p.clone());
+    let mut s1: Site<Char> = Site::new_user(1, 0, d0.clone(), p.clone());
+    let mut s2: Site<Char> = Site::new_user(2, 0, d0, p);
+
+    // A legal edit, validated before any revocation exists.
+    let good = s1.generate(Op::ins(1, 'x')).unwrap();
+    adm.receive(Message::Coop(good.clone())).unwrap();
+    let validations = adm.drain_outbox();
+    s2.receive(Message::Coop(good.clone())).unwrap();
+    for m in validations {
+        s1.receive(m.clone()).unwrap();
+        s2.receive(m).unwrap();
+    }
+
+    // The race: user 1 inserts concurrently with the revocation of its
+    // insert right. s2 and the administrator see the revocation first
+    // (deny on arrival); s1 executed its own edit optimistically and must
+    // undo it retroactively when the revocation lands.
+    let revocation = adm.admin_generate(revoke_insert(1)).unwrap();
+    let racy = s1.generate(Op::ins(2, 'y')).unwrap();
+    s2.receive(Message::Admin(revocation.clone())).unwrap();
+    s2.receive(Message::Coop(racy.clone())).unwrap();
+    adm.receive(Message::Coop(racy.clone())).unwrap();
+    s1.receive(Message::Admin(revocation)).unwrap();
+
+    // ---- Capture the audit BEFORE draining: `denied_here` and
+    // `undone_here` read the very vectors the drains consume. ----
+    for (name, site) in [("adm", &adm), ("s2", &s2)] {
+        let records = audit(site);
+        let denied: BTreeSet<_> = records.iter().filter(|r| r.denied_here).map(|r| r.id).collect();
+        let undone: BTreeSet<_> = records.iter().filter(|r| r.undone_here).map(|r| r.id).collect();
+        assert_eq!(denied, BTreeSet::from([racy.ot.id]), "{name}: denied set");
+        assert_eq!(undone, BTreeSet::new(), "{name}: nothing undone here");
+        let rec = records.iter().find(|r| r.id == racy.ot.id).unwrap();
+        assert_eq!(rec.flag, Flag::Invalid, "{name}");
+        assert!(rec.inert, "{name}: denied request must have no effect");
+    }
+    {
+        let records = audit(&s1);
+        let undone: BTreeSet<_> = records.iter().filter(|r| r.undone_here).map(|r| r.id).collect();
+        assert_eq!(undone, BTreeSet::from([racy.ot.id]), "s1: undone set");
+        assert!(!records.iter().any(|r| r.denied_here), "s1 denied nothing on arrival");
+        let rec = records.iter().find(|r| r.id == racy.ot.id).unwrap();
+        assert_eq!(rec.flag, Flag::Invalid);
+        assert!(rec.inert, "s1: the undone request must be effect-free");
+    }
+    // The validated edit stays clean everywhere.
+    for site in [&adm, &s1, &s2] {
+        let records = audit(site);
+        let rec = records.iter().find(|r| r.id == good.ot.id).unwrap();
+        assert_eq!(rec.flag, Flag::Valid);
+        assert!(!rec.inert && !rec.denied_here && !rec.undone_here);
+    }
+
+    // ---- Draining hands out exactly the audited sets… ----
+    assert_eq!(adm.drain_denials(), vec![racy.ot.id]);
+    assert_eq!(s2.drain_denials(), vec![racy.ot.id]);
+    assert_eq!(s1.drain_undone(), vec![racy.ot.id]);
+    assert_eq!(s1.drain_denials(), Vec::new());
+    assert_eq!(s2.drain_undone(), Vec::new());
+
+    // …and afterwards the audit reports the bits as consumed, while the
+    // durable fate (flag, inertness) is unchanged.
+    for site in [&adm, &s1, &s2] {
+        let records = audit(site);
+        assert!(records.iter().all(|r| !r.denied_here && !r.undone_here));
+        let rec = records.iter().find(|r| r.id == racy.ot.id).unwrap();
+        assert_eq!(rec.flag, Flag::Invalid);
+        assert!(rec.inert);
+    }
+
+    // Sanity: the race resolved identically everywhere.
+    assert_eq!(adm.document(), s1.document());
+    assert_eq!(adm.document(), s2.document());
+}

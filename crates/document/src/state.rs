@@ -16,7 +16,7 @@ pub type Position = usize;
 /// `Document` is a plain value type — cloning it snapshots the state, and
 /// equality is structural. All mutation goes through [`crate::Op::apply`] or
 /// the checked primitives below.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Document<E> {
     elems: Vec<E>,
 }

@@ -18,6 +18,10 @@
 //!   cumulative acks, timeout-driven retransmission with capped
 //!   exponential backoff) that restores eventual delivery over a lossy
 //!   chaos transport.
+//! * [`scripted`] — the driver-scripted transport: an external chooser
+//!   (the `dce-check` explorer, a pinned regression schedule) delivers
+//!   exactly one selected in-flight message per step. The substrate of
+//!   exhaustive schedule-space exploration.
 //! * [`wire`] — the binary wire codec a real deployment would ship
 //!   messages with (length-explicit, versioned, zero-reflection).
 //! * [`snapshot`] — wire-encodable full-replica snapshots, the state
@@ -43,12 +47,14 @@
 pub mod fault;
 pub mod parallel;
 pub mod reliable;
+pub mod scripted;
 pub mod sim;
 pub mod snapshot;
 pub mod wire;
 
 pub use fault::{FaultPlan, FaultStats, LegFate, Partition};
 pub use reliable::{Endpoint, Packet, ReliableConfig};
+pub use scripted::{Flight, ScriptedNet};
 pub use sim::{Latency, SimNet, SimStats};
 pub use snapshot::{decode_snapshot, encode_snapshot, transfer};
 pub use wire::{decode_message, encode_message, WireElement, WireError};

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// context, and the identity of its direct semantic dependency (`q.a`,
 /// the paper's dependency-tree pointer — used by the access-control layer
 /// and by the inert-ancestor rule).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BroadcastRequest<E> {
     /// Request identity (`q.c` + `q.r`).
     pub id: RequestId,
@@ -100,6 +100,26 @@ impl<E: Element> Engine<E> {
     /// Work counters accumulated so far.
     pub fn metrics(&self) -> EngineMetrics {
         self.metrics
+    }
+
+    /// Feeds the engine's *replicated* state into `h`: buffer, canonical
+    /// log, clock and compaction memory. The work counters are excluded —
+    /// they measure the integration path taken, not the state reached, so
+    /// including them would stop converged states from colliding in
+    /// state-space dedupe.
+    pub fn digest_into<H: std::hash::Hasher>(&self, h: &mut H)
+    where
+        E: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        self.site.hash(h);
+        self.buf.hash(h);
+        self.log.hash(h);
+        self.clock.hash(h);
+        let mut pruned: Vec<RequestId> = self.pruned_inert.iter().copied().collect();
+        pruned.sort_unstable();
+        pruned.hash(h);
+        self.pruned_count.hash(h);
     }
 
     /// Reassembles an engine from snapshot parts (state transfer for a

@@ -41,7 +41,7 @@ impl fmt::Display for RequestId {
 /// follow the classical state-vector discipline for context detection while
 /// keeping the dependency pointer for the access-control layer's causal
 /// gating (see DESIGN.md, substitutions).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Clock(std::collections::BTreeMap<SiteId, u64>);
 
 impl Clock {

@@ -15,7 +15,7 @@ use dce_document::{Element, Op, OpKind};
 use serde::{Deserialize, Serialize};
 
 /// One request stored in the log.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct LogEntry<E> {
     /// Request identity.
     pub id: RequestId,
@@ -60,7 +60,7 @@ impl<E: Element> LogEntry<E> {
 }
 
 /// The cooperative log `H`: entries in execution order, canonical.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Log<E> {
     entries: Vec<LogEntry<E>>,
 }

@@ -25,7 +25,7 @@ use std::fmt;
 
 /// An operation together with the metadata used by the transformation
 /// functions (`T` for "transformable").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TOp<E> {
     /// The positional operation in its current context (internal coords).
     pub op: Op<E>,

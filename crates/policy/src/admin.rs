@@ -12,7 +12,7 @@ use std::fmt;
 /// `Validate` operation of §4.2 (third scenario): "an additional
 /// administrative operation that doesn't modify the policy object but
 /// increments the local counter", confirming one cooperative request.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AdminOp {
     /// Add a user to the subject set `S`.
     AddUser(UserId),
@@ -169,7 +169,7 @@ impl fmt::Display for AdminOp {
 
 /// An administrative request `r = (id, o, v)` (paper §5.1): issued by the
 /// administrator, totally ordered by the policy version it produces.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AdminRequest {
     /// Identity of the administrator issuing the request.
     pub admin: UserId,
@@ -198,7 +198,7 @@ impl fmt::Display for AdminRequest {
 /// in our model to store administrative operations in a log at every site
 /// in order to validate the remote cooperative requests at appropriate
 /// context".
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AdminLog {
     entries: Vec<AdminRequest>,
     /// Positions of the *restrictive* entries, in version order — the only
@@ -213,6 +213,16 @@ impl AdminLog {
     /// Empty log.
     pub fn new() -> Self {
         AdminLog::default()
+    }
+
+    /// Structural digest of the log (companion to [`Policy::digest`]):
+    /// the dedupe key used by state-space exploration layers.
+    ///
+    /// [`Policy::digest`]: crate::Policy::digest
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(self, &mut h);
+        std::hash::Hasher::finish(&h)
     }
 
     /// Number of stored requests.

@@ -6,7 +6,7 @@ use std::fmt;
 
 /// The object part `O_i` of an authorization (paper §3.2: "an object can be
 /// the whole shared document, an element or a group of elements").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DocObject {
     /// The whole shared document (`Doc` in the paper's examples).
     Document,

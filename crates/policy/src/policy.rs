@@ -101,6 +101,31 @@ impl PartialEq for Policy {
 
 impl Eq for Policy {}
 
+impl std::hash::Hash for Policy {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Mirrors `PartialEq`: the compiled index is derived state, so two
+        // equal policies must hash identically whatever their index holds.
+        self.auths.hash(state);
+        self.users.hash(state);
+        self.groups.hash(state);
+        self.objects.hash(state);
+        self.delegates.hash(state);
+        self.version.hash(state);
+    }
+}
+
+impl Policy {
+    /// Structural digest of the semantic policy state (never the derived
+    /// index): the dedupe key used by state-space exploration layers such
+    /// as `dce-check`, where two policies reached along different
+    /// administrative schedules must collide iff they are equal.
+    pub fn digest(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        std::hash::Hash::hash(self, &mut h);
+        std::hash::Hasher::finish(&h)
+    }
+}
+
 impl Policy {
     /// Creates an empty policy (version 0, no users, no authorizations).
     pub fn new() -> Self {

@@ -9,7 +9,7 @@ use std::fmt;
 pub type UserId = u32;
 
 /// The subject part `S_i` of an authorization: which users it covers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Subject {
     /// Every user in the group (the paper's `All`).
     All,
