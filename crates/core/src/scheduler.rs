@@ -111,6 +111,16 @@ impl<E> Scheduler<E> {
         self.held_coop.len() + self.held_admin.len()
     }
 
+    /// Number of queued messages that are causally ready to process.
+    pub fn ready_len(&self) -> usize {
+        self.ready_coop.len() + usize::from(self.ready_admin.is_some())
+    }
+
+    /// Number of queued messages parked on a missing version or request.
+    pub fn parked_len(&self) -> usize {
+        self.len() - self.ready_len()
+    }
+
     /// Admits a newly received cooperative request into `slot`.
     pub fn admit_coop(&mut self, q: CoopRequest<E>, slot: Slot) {
         self.held_coop.insert(q.ot.id);

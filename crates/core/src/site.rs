@@ -4,6 +4,7 @@ use crate::error::CoreError;
 use crate::request::{AdminProposal, CoopRequest, Flag, Message};
 use crate::scheduler::{Pending, Scheduler, Slot};
 use dce_document::{Document, Element, Op};
+use dce_obs::{DeferReason, EventKind, ObsHandle, ReqId};
 use dce_ot::engine::{Engine, Integration};
 use dce_ot::ids::Clock;
 use dce_ot::{Buffer, Cell, Log, RequestId};
@@ -38,6 +39,25 @@ pub struct Site<E> {
     rejected_proposals: Vec<AdminProposal>,
     /// Last heartbeat clock received per peer (GC stability tracking).
     peer_clocks: HashMap<UserId, Clock>,
+    /// Observability capability (disabled by default). Deliberately *not*
+    /// part of replicated state: excluded from [`Site::digest_into`],
+    /// snapshots and checkpoints, so instrumentation never perturbs
+    /// `dce-check`'s state-space dedupe.
+    obs: ObsHandle,
+}
+
+/// The [`dce_obs::ReqId`] coordinates of an OT request id.
+fn obs_id(id: RequestId) -> ReqId {
+    ReqId::new(id.site, id.seq)
+}
+
+/// What a parked slot is waiting for, in event terms (`None` for ready).
+fn defer_reason(slot: &Slot) -> Option<DeferReason> {
+    match slot {
+        Slot::Ready => None,
+        Slot::WaitVersion(v) => Some(DeferReason::MissingVersion(*v)),
+        Slot::WaitClock(id) => Some(DeferReason::MissingRequest(obs_id(*id))),
+    }
 }
 
 /// An opaque full-state checkpoint of a [`Site`], including its reception
@@ -80,7 +100,33 @@ impl<E: Element> Site<E> {
             undone: Vec::new(),
             rejected_proposals: Vec::new(),
             peer_clocks: HashMap::new(),
+            obs: ObsHandle::default(),
         }
+    }
+
+    /// Attaches an observability handle (builder-style). All sites of a
+    /// group typically share one handle, merging their events into a
+    /// single lamport-ordered journal.
+    pub fn with_observability(mut self, obs: ObsHandle) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Attaches (or replaces) the observability handle in place.
+    pub fn set_observability(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (disabled by default).
+    pub fn observability(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Emits one protocol event stamped with this site's identity and
+    /// current policy version. A single branch when observability is off.
+    #[inline]
+    fn emit(&self, kind: EventKind) {
+        self.obs.emit(self.user, self.policy.version(), kind);
     }
 
     /// This site's user identity.
@@ -231,6 +277,7 @@ impl<E: Element> Site<E> {
             undone: Vec::new(),
             rejected_proposals: Vec::new(),
             peer_clocks: HashMap::new(),
+            obs: ObsHandle::default(),
         }
     }
 
@@ -255,6 +302,7 @@ impl<E: Element> Site<E> {
             undone: Vec::new(),
             rejected_proposals: Vec::new(),
             peer_clocks: HashMap::new(),
+            obs: ObsHandle::default(),
         }
     }
 
@@ -264,8 +312,13 @@ impl<E: Element> Site<E> {
     /// deliberately drops the queues), a checkpoint is a fork point: state
     /// explorers such as `dce-check` branch one prefix of a session into
     /// many continuations without replaying it.
+    /// Checkpoints carry no observability handle: instrumentation records
+    /// the path taken, not the state reached, so a restored site comes
+    /// back with recording disabled and counters at zero.
     pub fn checkpoint(&self) -> Checkpoint<E> {
-        Checkpoint(Box::new(self.clone()))
+        let mut copy = self.clone();
+        copy.obs = ObsHandle::default();
+        Checkpoint(Box::new(copy))
     }
 
     /// Restores this site to a previously captured [`Checkpoint`],
@@ -341,6 +394,7 @@ impl<E: Element> Site<E> {
             if let Some(action) = Action::for_op(&op) {
                 let decision = self.policy.check(self.user, &action);
                 if !decision.granted() {
+                    self.emit(EventKind::CheckLocalDenied { user: self.user });
                     return Err(CoreError::AccessDenied { user: self.user, action, decision });
                 }
             }
@@ -348,6 +402,8 @@ impl<E: Element> Site<E> {
         let ot = self.engine.generate(op)?;
         let flag = if self.is_admin() { Flag::Valid } else { Flag::Tentative };
         self.flags.insert(ot.id, flag);
+        self.emit(EventKind::ReqGenerated { id: obs_id(ot.id) });
+        self.emit(EventKind::ReqExecuted { id: obs_id(ot.id) });
         // A queued remote request can, after a snapshot rejoin, be parked
         // on one of this site's own sequence numbers; the local generation
         // satisfies it. (Re-parking only — processing happens at the next
@@ -371,7 +427,17 @@ impl<E: Element> Site<E> {
         let version = self.policy.bump_version();
         let request = AdminRequest { admin: self.user, version, op };
         self.admin_log.push(request.clone());
-        if request.is_restrictive() {
+        let restrictive = request.is_restrictive();
+        if let AdminOp::Validate { site, seq } = &request.op {
+            let id = ReqId::new(*site, *seq);
+            self.emit(EventKind::ValidationIssued { id, version });
+            // The administrator applies its own validation at issue time.
+            self.emit(EventKind::ValidationConsumed { id, version });
+        }
+        // Emitted before enforcement so every ReqUndone is preceded by
+        // its restrictive cause (the undo-follows-restriction oracle).
+        self.emit(EventKind::AdminApplied { version, restrictive });
+        if restrictive {
             self.enforce_policy();
         }
         Ok(request)
@@ -453,7 +519,16 @@ impl<E: Element> Site<E> {
                 // admitted twice.
                 if !self.engine.has_seen(q.ot.id) && !self.sched.holds_coop(q.ot.id) {
                     let slot = self.classify_coop(&q);
+                    if self.obs.enabled() {
+                        let id = obs_id(q.ot.id);
+                        self.emit(EventKind::ReqReceived { id });
+                        if let Some(reason) = defer_reason(&slot) {
+                            self.emit(EventKind::ReqDeferred { id, reason });
+                        }
+                    }
                     self.sched.admit_coop(q, slot);
+                } else if self.obs.enabled() {
+                    self.emit(EventKind::ReqDuplicate { id: obs_id(q.ot.id) });
                 }
             }
             Message::Admin(r) => {
@@ -462,6 +537,12 @@ impl<E: Element> Site<E> {
                 // request replayed.
                 if r.version > self.policy.version() && !self.sched.holds_admin(r.version) {
                     let slot = self.classify_admin(&r);
+                    if self.obs.enabled() {
+                        self.emit(EventKind::AdminReceived { version: r.version });
+                        if let Some(reason) = defer_reason(&slot) {
+                            self.emit(EventKind::AdminDeferred { version: r.version, reason });
+                        }
+                    }
                     self.sched.admit_admin(r, slot);
                 }
             }
@@ -502,6 +583,17 @@ impl<E: Element> Site<E> {
     /// earliest-arrived ready cooperative request — but each delivered
     /// message wakes exactly its dependents instead of re-scanning `F`/`Q`.
     fn drain(&mut self) -> Result<(), CoreError> {
+        let timer = self.obs.enabled().then(std::time::Instant::now);
+        let result = self.drain_inner();
+        if let Some(start) = timer {
+            self.obs.observe_hist("site.drain_ns", start.elapsed().as_nanos() as u64);
+            self.obs.set_gauge("site.queue_depth_ready", self.sched.ready_len() as u64);
+            self.obs.set_gauge("site.queue_depth_parked", self.sched.parked_len() as u64);
+        }
+        result
+    }
+
+    fn drain_inner(&mut self) -> Result<(), CoreError> {
         loop {
             // Version parking is keyed on the *local* counter, which can
             // also advance outside reception (local `admin_generate`), so
@@ -653,6 +745,7 @@ impl<E: Element> Site<E> {
             self.engine.integrate_inert(&q.ot).map_err(|e| CoreError::Protocol(e.to_string()))?;
             self.flags.insert(id, Flag::Invalid);
             self.denials.push(id);
+            self.emit(EventKind::ReqDenied { id: obs_id(id) });
             return Ok(());
         }
 
@@ -665,8 +758,10 @@ impl<E: Element> Site<E> {
                 // operates on does not exist, so the request is stored
                 // invalid.
                 self.flags.insert(id, Flag::Invalid);
+                self.emit(EventKind::ReqInert { id: obs_id(id) });
             }
             Integration::Executed(_) => {
+                self.emit(EventKind::ReqExecuted { id: obs_id(id) });
                 if q.user() == self.admin_id {
                     // The administrator's own edits are valid everywhere.
                     self.flags.insert(id, Flag::Valid);
@@ -702,15 +797,20 @@ impl<E: Element> Site<E> {
                 if self.flag_of(target) == Some(Flag::Tentative) {
                     self.flags.insert(target, Flag::Valid);
                 }
-                self.policy.bump_version();
+                let version = self.policy.bump_version();
                 self.admin_log.push(r);
+                self.emit(EventKind::ValidationConsumed { id: obs_id(target), version });
+                self.emit(EventKind::AdminApplied { version, restrictive: false });
             }
             _ => {
                 r.op.apply_to(&mut self.policy)?;
-                self.policy.bump_version();
-                debug_assert_eq!(self.policy.version(), r.version);
+                let version = self.policy.bump_version();
+                debug_assert_eq!(version, r.version);
                 let restrictive = r.is_restrictive();
                 self.admin_log.push(r);
+                // Before enforcement: the undo oracle requires the
+                // restrictive AdminApplied to precede every ReqUndone.
+                self.emit(EventKind::AdminApplied { version, restrictive });
                 if restrictive {
                     self.enforce_policy();
                 }
@@ -747,6 +847,7 @@ impl<E: Element> Site<E> {
             for id in cascade {
                 self.flags.insert(id, Flag::Invalid);
                 self.undone.push(id);
+                self.emit(EventKind::ReqUndone { id: obs_id(id) });
             }
         }
     }

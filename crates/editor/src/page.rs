@@ -42,6 +42,13 @@ impl PageSession {
         self.net.enable_reliability();
     }
 
+    /// Shares an observability handle with the whole session: every site
+    /// journals protocol events and the network adds transport events.
+    /// Call before editing to capture the run from the start.
+    pub fn enable_observability(&mut self, obs: dce_obs::ObsHandle) {
+        self.net.enable_observability(obs);
+    }
+
     /// Inserts a paragraph so it becomes block number `pos` (1-based).
     pub fn insert_block(
         &mut self,

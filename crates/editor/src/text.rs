@@ -60,6 +60,13 @@ impl TextSession {
         self.net.enable_reliability();
     }
 
+    /// Shares an observability handle with the whole session: every site
+    /// journals protocol events and the network adds transport events.
+    /// Call before editing to capture the run from the start.
+    pub fn enable_observability(&mut self, obs: dce_obs::ObsHandle) {
+        self.net.enable_observability(obs);
+    }
+
     /// A site by index.
     pub fn site(&self, idx: usize) -> &Site<Char> {
         self.net.site(idx)

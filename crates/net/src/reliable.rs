@@ -125,6 +125,13 @@ pub struct RxOutcome<E> {
     /// from a stale epoch — a retransmission the receiver has already
     /// moved past.
     pub duplicate: bool,
+    /// `true` when the packet overwrote an identical copy already parked
+    /// in the hold queue (a concurrent duplicate of a held sequence
+    /// number): the net hold count is unchanged.
+    pub displaced: bool,
+    /// Held packets thrown away because this packet opened a newer epoch
+    /// (the sender restarted; its old stream died mid-gap).
+    pub discarded: u64,
 }
 
 /// One site's session-layer state: an outgoing stream per peer it has
@@ -198,18 +205,30 @@ impl<E: Element> Endpoint<E> {
     ) -> RxOutcome<E> {
         let stream = self.rx.entry(peer).or_default();
         if epoch < stream.epoch {
-            return RxOutcome { deliverable: Vec::new(), duplicate: true };
+            return RxOutcome {
+                deliverable: Vec::new(),
+                duplicate: true,
+                displaced: false,
+                discarded: 0,
+            };
         }
+        let mut discarded = 0;
         if epoch > stream.epoch {
+            discarded = stream.held.len() as u64;
             *stream = RxStream { epoch, delivered: 0, held: BTreeMap::new() };
         }
         if seq <= stream.delivered {
-            return RxOutcome { deliverable: Vec::new(), duplicate: true };
+            return RxOutcome {
+                deliverable: Vec::new(),
+                duplicate: true,
+                displaced: false,
+                discarded,
+            };
         }
         if seq != stream.delivered + 1 {
             // `insert` also dedups concurrent copies of the same held seq.
-            stream.held.insert(seq, msg);
-            return RxOutcome { deliverable: Vec::new(), duplicate: false };
+            let displaced = stream.held.insert(seq, msg).is_some();
+            return RxOutcome { deliverable: Vec::new(), duplicate: false, displaced, discarded };
         }
         let mut deliverable = vec![msg];
         stream.delivered = seq;
@@ -217,7 +236,7 @@ impl<E: Element> Endpoint<E> {
             stream.delivered += 1;
             deliverable.push(next);
         }
-        RxOutcome { deliverable, duplicate: false }
+        RxOutcome { deliverable, duplicate: false, displaced: false, discarded }
     }
 
     /// The cumulative ack to advertise toward `peer`: the epoch of the
@@ -325,8 +344,10 @@ impl<E: Element> Endpoint<E> {
     }
 
     /// Forgets all receiver state for `peer` (its streams restart from 1).
-    pub fn reset_rx_from(&mut self, peer: usize) {
-        self.rx.remove(&peer);
+    /// Returns the number of held out-of-order packets thrown away with
+    /// that state, so the caller can settle its delivery ledger.
+    pub fn reset_rx_from(&mut self, peer: usize) -> u64 {
+        self.rx.remove(&peer).map_or(0, |s| s.held.len() as u64)
     }
 
     /// Rebirths this endpoint after its site rejoins from a snapshot: all
@@ -334,8 +355,10 @@ impl<E: Element> Endpoint<E> {
     /// moved to a new epoch — so pre-crash packets and acks still in
     /// flight (same site index, dead incarnation) cannot corrupt the new
     /// streams. The epoch counters survive precisely so the new
-    /// incarnation outranks the old one on the wire.
-    pub fn reset_after_rejoin(&mut self) {
+    /// incarnation outranks the old one on the wire. Returns the number
+    /// of held out-of-order packets discarded with the receiver state.
+    pub fn reset_after_rejoin(&mut self) -> u64 {
+        let discarded = self.rx.values().map(|s| s.held.len() as u64).sum();
         self.rx.clear();
         for stream in self.tx.values_mut() {
             stream.epoch += 1;
@@ -344,6 +367,7 @@ impl<E: Element> Endpoint<E> {
             stream.rto = self.cfg.initial_rto_ms;
             stream.deadline = None;
         }
+        discarded
     }
 
     /// Messages of this endpoint's own outgoing streams that are still

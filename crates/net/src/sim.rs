@@ -19,6 +19,7 @@ use crate::fault::{FaultPlan, FaultStats, LegFate};
 use crate::reliable::{Endpoint, Packet, ReliableConfig};
 use dce_core::{CoopRequest, CoreError, Message, Site};
 use dce_document::{Document, Element, Op};
+use dce_obs::{EventKind, ObsHandle};
 use dce_policy::{Action, AdminOp, AdminRequest, Policy, Right, UserId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +60,65 @@ pub struct SimStats {
     pub sent: u64,
     /// Simulated milliseconds elapsed.
     pub now: u64,
+}
+
+/// The always-on conservation ledger: per-destination counts of what
+/// happened to every **payload** leg (raw broadcasts and sequenced data
+/// packets; acks and timers are control traffic and excluded). At
+/// quiescence every leg put on the wire toward a destination must be
+/// accounted for exactly once:
+///
+/// ```text
+/// sent == delivered + dropped + partitioned + dead + suppressed + held
+/// ```
+///
+/// with `held == 0` for every active site (an out-of-order packet still
+/// parked at quiescence means the gap before it will never fill).
+/// [`SimNet::assert_ledger_conserved`] checks this, seed-replayably.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetLedger {
+    /// Payload legs put on the wire toward each destination (duplicated
+    /// copies and retransmissions each count).
+    pub sent: Vec<u64>,
+    /// Messages actually handed to each site's protocol layer.
+    pub delivered: Vec<u64>,
+    /// Legs lost to the random drop draw.
+    pub dropped: Vec<u64>,
+    /// Legs lost to partition windows.
+    pub partitioned: Vec<u64>,
+    /// Legs that arrived at a crashed or departed site and evaporated.
+    pub dead: Vec<u64>,
+    /// Legs the session layer swallowed: duplicates of delivered data,
+    /// concurrent copies of held data, and held packets discarded when a
+    /// stream moved to a newer epoch.
+    pub suppressed: Vec<u64>,
+    /// Legs currently parked out-of-order in a hold queue (a flow
+    /// balance, not a total: released packets move to `delivered`).
+    pub held: Vec<u64>,
+}
+
+impl NetLedger {
+    fn with_sites(n: usize) -> Self {
+        NetLedger {
+            sent: vec![0; n],
+            delivered: vec![0; n],
+            dropped: vec![0; n],
+            partitioned: vec![0; n],
+            dead: vec![0; n],
+            suppressed: vec![0; n],
+            held: vec![0; n],
+        }
+    }
+
+    fn grow(&mut self) {
+        self.sent.push(0);
+        self.delivered.push(0);
+        self.dropped.push(0);
+        self.partitioned.push(0);
+        self.dead.push(0);
+        self.suppressed.push(0);
+        self.held.push(0);
+    }
 }
 
 /// What travels on one scheduled wire event.
@@ -102,6 +162,15 @@ pub struct SimNet<E: Element> {
     reliable_cfg: ReliableConfig,
     /// `true` while a `Wire::Retry` event is in flight for that site.
     retry_pending: Vec<bool>,
+    /// Observability handle shared with every site; disabled by default.
+    /// Deliberately *not* part of replicated or compared state.
+    obs: ObsHandle,
+    /// Per-destination payload-leg accounting (always on — plain counter
+    /// bumps on paths that already branch on the fault plan).
+    ledger: NetLedger,
+    /// One flag per `fault_plan.partitions` entry: a `PartitionHealed`
+    /// event has been emitted for that window.
+    healed: Vec<bool>,
 }
 
 impl<E: Element> SimNet<E> {
@@ -138,7 +207,33 @@ impl<E: Element> SimNet<E> {
             endpoints: None,
             reliable_cfg: ReliableConfig::default(),
             retry_pending: vec![false; n],
+            obs: ObsHandle::default(),
+            ledger: NetLedger::with_sites(n),
+            healed: Vec::new(),
         }
+    }
+
+    /// Shares `obs` with the network and every site: sites emit protocol
+    /// events (generation, scheduling, execution, undo), the network adds
+    /// transport events (retransmissions, dropped/duplicated legs,
+    /// partition heals, crashes, rejoins). Sites added later inherit the
+    /// handle.
+    pub fn enable_observability(&mut self, obs: ObsHandle) {
+        for site in &mut self.sites {
+            site.set_observability(obs.clone());
+        }
+        self.obs = obs;
+    }
+
+    /// The observability handle installed by
+    /// [`SimNet::enable_observability`] (disabled by default).
+    pub fn observability(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// The per-destination payload conservation ledger.
+    pub fn ledger(&self) -> &NetLedger {
+        &self.ledger
     }
 
     /// Installs a chaos schedule: every subsequent payload leg samples its
@@ -148,6 +243,7 @@ impl<E: Element> SimNet<E> {
     /// should be paired with [`SimNet::enable_reliability`] when the run
     /// is expected to converge.
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.healed = vec![false; plan.partitions.len()];
         self.fault_plan = plan;
     }
 
@@ -239,17 +335,27 @@ impl<E: Element> SimNet<E> {
                 self.fault_stats.partitioned += 1;
                 if is_payload {
                     self.stats.sent += 1;
+                    self.ledger.sent[dest] += 1;
+                    self.ledger.partitioned[dest] += 1;
                 }
             }
             LegFate::Dropped => {
                 self.fault_stats.dropped += 1;
                 if is_payload {
                     self.stats.sent += 1;
+                    self.ledger.sent[dest] += 1;
+                    self.ledger.dropped[dest] += 1;
+                    let kind = EventKind::LegDropped { src: src as u32, dest: dest as u32 };
+                    self.obs.emit(src as u32, 0, kind);
                 }
             }
             LegFate::Delivered { copies, extra_delay } => {
                 if copies > 1 {
                     self.fault_stats.duplicated += u64::from(copies - 1);
+                    if is_payload {
+                        let kind = EventKind::LegDuplicated { src: src as u32, dest: dest as u32 };
+                        self.obs.emit(src as u32, 0, kind);
+                    }
                 }
                 if extra_delay > 0 {
                     self.fault_stats.reordered += 1;
@@ -260,6 +366,7 @@ impl<E: Element> SimNet<E> {
                     self.schedule(dest, at, wire.clone());
                     if is_payload {
                         self.stats.sent += 1;
+                        self.ledger.sent[dest] += 1;
                     }
                 }
             }
@@ -398,10 +505,12 @@ impl<E: Element> SimNet<E> {
 
     /// Appends a site plus its per-site bookkeeping (active flag, session
     /// endpoint, retry slot).
-    fn push_site(&mut self, site: Site<E>) {
+    fn push_site(&mut self, mut site: Site<E>) {
+        site.set_observability(self.obs.clone());
         self.sites.push(site);
         self.active.push(true);
         self.retry_pending.push(false);
+        self.ledger.grow();
         let idx = self.sites.len() - 1;
         let cfg = self.reliable_cfg;
         if let Some(eps) = self.endpoints.as_mut() {
@@ -432,6 +541,7 @@ impl<E: Element> SimNet<E> {
         self.active[idx] = false;
         self.fault_stats.crashes += 1;
         self.pause_streams_to(idx);
+        self.obs.emit(idx as u32, 0, EventKind::SiteCrashed { site: idx as u32 });
         Ok(())
     }
 
@@ -481,6 +591,7 @@ impl<E: Element> SimNet<E> {
         };
         self.sites[dest].receive(msg).expect("protocol errors are bugs in the simulation");
         self.stats.delivered += 1;
+        self.ledger.delivered[dest] += 1;
         for out in self.sites[dest].drain_outbox() {
             self.broadcast(dest, out);
         }
@@ -495,10 +606,13 @@ impl<E: Element> SimNet<E> {
         let wire = self.payloads.remove(&(at, seq, dest)).expect("payload stored");
         self.stats.now = self.stats.now.max(at);
         let now = self.stats.now;
+        self.note_healed_partitions();
         match wire {
             Wire::Raw(msg) => {
                 if self.active[dest] {
                     self.deliver(dest, &msg);
+                } else {
+                    self.ledger.dead[dest] += 1;
                 }
             }
             Wire::Data(pkt) => {
@@ -511,14 +625,30 @@ impl<E: Element> SimNet<E> {
                         eps[dest].on_ack(src, pkt.ack_epoch, pkt.ack, now);
                         if self.active[dest] {
                             let out = eps[dest].on_data(src, pkt.epoch, pkt.seq, pkt.msg);
+                            // Ledger: a newer epoch voids held packets;
+                            // the leg itself is suppressed, parked, or
+                            // delivered (releasing `len - 1` held ones).
+                            self.ledger.held[dest] -= out.discarded;
+                            self.ledger.suppressed[dest] += out.discarded;
+                            if out.duplicate || out.displaced {
+                                self.ledger.suppressed[dest] += 1;
+                            } else if out.deliverable.is_empty() {
+                                self.ledger.held[dest] += 1;
+                            } else {
+                                self.ledger.held[dest] -= out.deliverable.len() as u64 - 1;
+                            }
                             (out.deliverable, Some(eps[dest].ack_for(src)))
                         } else {
+                            self.ledger.dead[dest] += 1;
                             (Vec::new(), None)
                         }
                     }
                     // Reliability switched off mid-flight: degrade to raw.
                     None if self.active[dest] => (vec![pkt.msg], None),
-                    None => (Vec::new(), None),
+                    None => {
+                        self.ledger.dead[dest] += 1;
+                        (Vec::new(), None)
+                    }
                 };
                 for m in deliverable {
                     self.deliver(dest, &m);
@@ -541,6 +671,12 @@ impl<E: Element> SimNet<E> {
                 for (peer, pkt) in resends {
                     if self.active[peer] {
                         self.fault_stats.retransmitted += 1;
+                        let kind = EventKind::StreamRetransmit {
+                            src: src as u32,
+                            dest: peer as u32,
+                            stream_seq: pkt.seq,
+                        };
+                        self.obs.emit(src as u32, 0, kind);
                         self.transmit(src, peer, Wire::Data(pkt));
                     }
                 }
@@ -627,6 +763,80 @@ impl<E: Element> SimNet<E> {
             panic!("sites diverged: {why}; replay with seed {seed}");
         }
     }
+
+    /// Emits one `PartitionHealed` event per partition window whose
+    /// healing time the simulation clock has passed.
+    fn note_healed_partitions(&mut self) {
+        if !self.obs.enabled() || self.healed.iter().all(|&h| h) {
+            return;
+        }
+        let now = self.stats.now;
+        for (i, p) in self.fault_plan.partitions.iter().enumerate() {
+            if !self.healed[i] && now >= p.until_ms {
+                self.healed[i] = true;
+                self.obs.emit(0, 0, EventKind::PartitionHealed { at_ms: p.until_ms });
+            }
+        }
+    }
+
+    /// Panics unless the payload ledger balances: must be called at
+    /// quiescence (no events in flight). Per destination,
+    /// `sent == delivered + dropped + partitioned + dead + suppressed +
+    /// held`, `held == 0` for every active site, and the ledger totals
+    /// must agree with [`SimNet::stats`]. Failures name the seed that
+    /// replays them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any imbalance, or when called with events still queued.
+    pub fn assert_ledger_conserved(&self, seed: u64) {
+        assert!(
+            self.events.is_empty(),
+            "ledger checked before quiescence ({} events in flight); replay with seed {seed}",
+            self.events.len()
+        );
+        let l = &self.ledger;
+        for dest in 0..self.sites.len() {
+            let accounted = l.delivered[dest]
+                + l.dropped[dest]
+                + l.partitioned[dest]
+                + l.dead[dest]
+                + l.suppressed[dest]
+                + l.held[dest];
+            assert_eq!(
+                l.sent[dest],
+                accounted,
+                "payload ledger imbalance toward site {dest}: sent {} vs delivered {} + \
+                 dropped {} + partitioned {} + dead {} + suppressed {} + held {}; \
+                 replay with seed {seed}",
+                l.sent[dest],
+                l.delivered[dest],
+                l.dropped[dest],
+                l.partitioned[dest],
+                l.dead[dest],
+                l.suppressed[dest],
+                l.held[dest]
+            );
+            if self.active[dest] {
+                assert_eq!(
+                    l.held[dest], 0,
+                    "site {dest} still holds {} out-of-order packets at quiescence; \
+                     replay with seed {seed}",
+                    l.held[dest]
+                );
+            }
+        }
+        assert_eq!(
+            l.sent.iter().sum::<u64>(),
+            self.stats.sent,
+            "ledger sent total disagrees with SimStats; replay with seed {seed}"
+        );
+        assert_eq!(
+            l.delivered.iter().sum::<u64>(),
+            self.stats.delivered,
+            "ledger delivered total disagrees with SimStats; replay with seed {seed}"
+        );
+    }
 }
 
 impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
@@ -682,7 +892,9 @@ impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
         let site = crate::snapshot::decode_snapshot(bytes, user, admin_id)
             .map_err(|e| CoreError::Protocol(format!("snapshot transfer failed: {e}")))?;
         self.sites[idx] = site;
+        self.sites[idx].set_observability(self.obs.clone());
         self.active[idx] = true;
+        self.obs.emit(idx as u32, 0, EventKind::SiteRejoined { site: idx as u32 });
 
         let mut ghost_backlog = Vec::new();
         if let Some(eps) = self.endpoints.as_mut() {
@@ -690,12 +902,18 @@ impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
             // A fresh `Endpoint::new` would restart every epoch at 0 and
             // collide with stale pre-crash traffic still in flight;
             // `reset_after_rejoin` bumps the epochs past it instead.
-            eps[idx].reset_after_rejoin();
+            // Held packets thrown away with the receiver state move from
+            // `held` to `suppressed` in the ledger.
+            let discarded = eps[idx].reset_after_rejoin();
+            self.ledger.held[idx] -= discarded;
+            self.ledger.suppressed[idx] += discarded;
             let now = self.stats.now;
             for (i, ep) in eps.iter_mut().enumerate() {
                 if i != idx {
                     ep.restart_stream_to(idx, now);
-                    ep.reset_rx_from(idx);
+                    let discarded = ep.reset_rx_from(idx);
+                    self.ledger.held[i] -= discarded;
+                    self.ledger.suppressed[i] += discarded;
                 }
             }
             for i in 0..self.sites.len() {
@@ -1065,6 +1283,39 @@ mod tests {
         sim.run_to_quiescence();
         sim.assert_converged(71);
         assert_eq!(sim.site(2).document().to_string(), "qabc");
+    }
+
+    #[test]
+    fn ledger_balances_under_chaos() {
+        let mut sim = net(3, "abc", 97, Latency::Fixed(5));
+        sim.set_fault_plan(FaultPlan::none().with_drops(0.4).with_duplicates(0.3));
+        sim.enable_reliability();
+        for i in 0..5 {
+            sim.submit_coop(1, Op::ins(1, char::from(b'a' + i))).unwrap();
+        }
+        sim.run_to_quiescence();
+        sim.assert_converged(97);
+        sim.assert_ledger_conserved(97);
+        let l = sim.ledger();
+        assert!(l.dropped.iter().sum::<u64>() > 0, "the plan did fire");
+        assert_eq!(l.held.iter().sum::<u64>(), 0, "nothing parked at quiescence");
+    }
+
+    #[test]
+    fn transport_events_reach_the_journal() {
+        let obs = dce_obs::ObsHandle::recording(4096);
+        let mut sim = net(3, "abc", 13, Latency::Fixed(5));
+        sim.enable_observability(obs.clone());
+        sim.set_fault_plan(FaultPlan::none().with_drops(0.5));
+        sim.enable_reliability();
+        sim.submit_coop(1, Op::ins(1, 'x')).unwrap();
+        sim.run_to_quiescence();
+        sim.assert_converged(13);
+        let summary = dce_obs::summarize(&obs.events());
+        assert!(summary.total("leg_dropped") > 0, "drops were observed");
+        assert!(summary.total("stream_retransmit") > 0, "repairs were observed");
+        assert!(summary.total("req_generated") >= 1, "sites share the handle");
+        assert!(summary.total("req_executed") >= 2, "peers executed the edit");
     }
 
     #[test]

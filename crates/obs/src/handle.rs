@@ -1,0 +1,174 @@
+//! [`ObsHandle`] — the cheap, cloneable capability the stack threads
+//! through `Site`, `SimNet` and the editor sessions.
+//!
+//! The handle is an `Option<Arc<…>>`: disabled (the default), every
+//! emission is a single branch on `None` — no allocation, no atomics,
+//! no locks — which is what keeps the PR 2 bench numbers intact when
+//! nothing is observing. Enabled, all clones share one journal, one
+//! metrics registry and one lamport clock, so a whole simulated group
+//! writes a single merged, totally ordered trace.
+
+use crate::event::{Event, EventKind, SiteId};
+use crate::metrics::{Counter, Metrics, MetricsReport};
+use crate::record::{NoopRecorder, Recorder, RingRecorder};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct Obs {
+    recorder: Arc<dyn Recorder>,
+    metrics: Metrics,
+    /// Process-wide logical clock: one tick per recorded event.
+    lamport: AtomicU64,
+    /// Per-site emission sequence numbers.
+    site_seq: Mutex<HashMap<SiteId, u64>>,
+    /// Derived per-kind counters, resolved once so `emit` never touches
+    /// the registry lock.
+    kind_counters: Mutex<HashMap<&'static str, Counter>>,
+}
+
+/// Shared observability capability. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct ObsHandle {
+    inner: Option<Arc<Obs>>,
+}
+
+impl ObsHandle {
+    /// A disabled handle: every operation is a no-op costing one branch.
+    pub fn disabled() -> Self {
+        ObsHandle::default()
+    }
+
+    /// An enabled handle journaling the last `capacity` events into a
+    /// ring buffer, with a fresh metrics registry.
+    pub fn recording(capacity: usize) -> Self {
+        ObsHandle::with_recorder(Arc::new(RingRecorder::new(capacity)))
+    }
+
+    /// An enabled handle with metrics only (events are discarded).
+    pub fn metrics_only() -> Self {
+        ObsHandle::with_recorder(Arc::new(NoopRecorder))
+    }
+
+    /// An enabled handle over a caller-supplied sink.
+    pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
+        ObsHandle {
+            inner: Some(Arc::new(Obs {
+                recorder,
+                metrics: Metrics::new(),
+                lamport: AtomicU64::new(0),
+                site_seq: Mutex::new(HashMap::new()),
+                kind_counters: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Stamps and records one event, and bumps the per-kind derived
+    /// counter (`event.<name>`). No-op when disabled.
+    pub fn emit(&self, site: SiteId, version: u64, kind: EventKind) {
+        let Some(obs) = &self.inner else { return };
+        let lamport = obs.lamport.fetch_add(1, Ordering::AcqRel) + 1;
+        let seq = {
+            let mut map = obs.site_seq.lock().expect("site_seq poisoned");
+            let slot = map.entry(site).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        obs.recorder.record(Event { site, seq, version, lamport, kind });
+        let counter = {
+            let mut map = obs.kind_counters.lock().expect("kind_counters poisoned");
+            map.entry(kind.name())
+                .or_insert_with(|| obs.metrics.counter(&format!("event.{}", kind.name())))
+                .clone()
+        };
+        counter.inc();
+    }
+
+    /// The journal so far (oldest first). Empty when disabled.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner.as_ref().map(|o| o.recorder.events()).unwrap_or_default()
+    }
+
+    /// How many events the journal evicted. 0 when disabled.
+    pub fn overflowed(&self) -> u64 {
+        self.inner.as_ref().map(|o| o.recorder.overflowed()).unwrap_or(0)
+    }
+
+    /// Adds `n` to counter `name`. No-op when disabled.
+    pub fn add_counter(&self, name: &str, n: u64) {
+        if let Some(obs) = &self.inner {
+            obs.metrics.counter(name).add(n);
+        }
+    }
+
+    /// Sets gauge `name` to `v`. No-op when disabled.
+    pub fn set_gauge(&self, name: &str, v: u64) {
+        if let Some(obs) = &self.inner {
+            obs.metrics.gauge(name).set(v);
+        }
+    }
+
+    /// Records `v` into histogram `name`. No-op when disabled.
+    pub fn observe_hist(&self, name: &str, v: u64) {
+        if let Some(obs) = &self.inner {
+            obs.metrics.histogram(name).observe(v);
+        }
+    }
+
+    /// Snapshots the metrics registry. Empty report when disabled.
+    pub fn snapshot(&self) -> MetricsReport {
+        self.inner.as_ref().map(|o| o.metrics.snapshot()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ReqId;
+
+    #[test]
+    fn disabled_is_inert() {
+        let h = ObsHandle::disabled();
+        assert!(!h.enabled());
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        h.add_counter("x", 1);
+        h.set_gauge("y", 2);
+        h.observe_hist("z", 3);
+        assert!(h.events().is_empty());
+        assert_eq!(h.snapshot(), MetricsReport::default());
+    }
+
+    #[test]
+    fn clones_share_one_trace() {
+        let h = ObsHandle::recording(64);
+        let h2 = h.clone();
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        h2.emit(2, 0, EventKind::ReqReceived { id: ReqId::new(1, 1) });
+        let evs = h.events();
+        assert_eq!(evs.len(), 2);
+        // Lamport stamps are a total order across sites.
+        assert_eq!(evs[0].lamport, 1);
+        assert_eq!(evs[1].lamport, 2);
+        // Per-site sequence numbers are independent.
+        assert_eq!(evs[0].seq, 1);
+        assert_eq!(evs[1].seq, 1);
+        // Derived counters were bumped.
+        let snap = h2.snapshot();
+        assert_eq!(snap.counters["event.req_generated"], 1);
+        assert_eq!(snap.counters["event.req_received"], 1);
+    }
+
+    #[test]
+    fn metrics_only_discards_events() {
+        let h = ObsHandle::metrics_only();
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        assert!(h.events().is_empty());
+        assert_eq!(h.snapshot().counters["event.req_generated"], 1);
+    }
+}

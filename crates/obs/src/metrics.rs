@@ -1,0 +1,369 @@
+//! The metrics registry: counters, gauges and log-scale histograms,
+//! with a [`MetricsReport`] snapshot serialized by hand to JSON (the
+//! vendored serde stub's derives are inert, so `results/BENCH_obs.json`
+//! is written the same way the `hotpaths` bin writes its report).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` to the count.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins sampled value (queue depth, memo hit rate ×1000, …).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Records the latest sample.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    /// Latest sample.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistCore {
+    /// `buckets[i]` counts values whose bit length is `i` — i.e. bucket 0
+    /// holds 0, bucket `i` (i ≥ 1) holds `[2^(i−1), 2^i)`. Log₂ buckets
+    /// keep recording O(1) with bounded memory at ~2× worst-case
+    /// quantile error, plenty for latency-shape tracking.
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log₂-bucketed histogram (values are `u64`, typically nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Lower bound of bucket `i` (the value reported for quantiles).
+fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        let count = self.0.count.load(Ordering::Relaxed);
+        let sum = self.0.sum.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum,
+            p50: quantile(&buckets, count, 0.50),
+            p99: quantile(&buckets, count, 0.99),
+            max: buckets
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| if i == 0 { 0 } else { (1u64 << i) - 1 })
+                .unwrap_or(0),
+        }
+    }
+}
+
+fn quantile(buckets: &[u64; BUCKETS], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((count as f64) * q).ceil() as u64;
+    let mut seen = 0;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return bucket_floor(i);
+        }
+    }
+    bucket_floor(BUCKETS - 1)
+}
+
+/// Point-in-time histogram summary. Quantiles are bucket lower bounds
+/// (≤ true value, within 2×); `max` is the upper bound of the highest
+/// occupied bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Approximate median.
+    pub p50: u64,
+    /// Approximate 99th percentile.
+    pub p99: u64,
+    /// Upper bound on the largest observation.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A name→instrument registry. Instruments are registered on first use
+/// and handed out as cheap clones (all state is behind `Arc`s), so hot
+/// paths hold their instrument and never touch the registry lock.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Returns the counter named `name`, registering it if new.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Instrument::Counter(Counter::default()))
+        {
+            Instrument::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge named `name`, registering it if new.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert_with(|| Instrument::Gauge(Gauge::default())) {
+            Instrument::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram named `name`, registering it if new.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different instrument kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Histogram(Histogram::default()))
+        {
+            Instrument::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Takes a point-in-time snapshot of every registered instrument.
+    pub fn snapshot(&self) -> MetricsReport {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        let mut counters = BTreeMap::new();
+        let mut gauges = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        for (name, inst) in map.iter() {
+            match inst {
+                Instrument::Counter(c) => {
+                    counters.insert(name.clone(), c.get());
+                }
+                Instrument::Gauge(g) => {
+                    gauges.insert(name.clone(), g.get());
+                }
+                Instrument::Histogram(h) => {
+                    histograms.insert(name.clone(), h.snapshot());
+                }
+            }
+        }
+        MetricsReport { counters, gauges, histograms }
+    }
+}
+
+/// A frozen snapshot of a [`Metrics`] registry, serializable to JSON.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsReport {
+    /// Renders the report as pretty-printed JSON. Hand-rolled because the
+    /// vendored serde stub is inert; names come from `BTreeMap`s so the
+    /// output is deterministic.
+    pub fn to_json(&self) -> String {
+        let counters = json_map(self.counters.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+        let gauges = json_map(self.gauges.iter().map(|(k, v)| (k.as_str(), v.to_string())));
+        let histograms = json_map(self.histograms.iter().map(|(k, h)| {
+            (
+                k.as_str(),
+                format!(
+                    "{{ \"count\": {}, \"sum\": {}, \"mean\": {:.1}, \"p50\": {}, \"p99\": {}, \"max\": {} }}",
+                    h.count,
+                    h.sum,
+                    h.mean(),
+                    h.p50,
+                    h.p99,
+                    h.max
+                ),
+            )
+        }));
+        format!(
+            "{{\n  \"counters\": {counters},\n  \"gauges\": {gauges},\n  \"histograms\": {histograms}\n}}\n"
+        )
+    }
+}
+
+fn json_map<'a>(entries: impl Iterator<Item = (&'a str, String)>) -> String {
+    let body: Vec<String> = entries.map(|(k, v)| format!("    \"{k}\": {v}")).collect();
+    if body.is_empty() {
+        "{}".to_string()
+    } else {
+        format!("{{\n{}\n  }}", body.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge() {
+        let m = Metrics::new();
+        let c = m.counter("ops");
+        c.inc();
+        c.add(4);
+        let g = m.gauge("depth");
+        g.set(7);
+        let snap = m.snapshot();
+        assert_eq!(snap.counters["ops"], 5);
+        assert_eq!(snap.gauges["depth"], 7);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_instruments() {
+        let m = Metrics::new();
+        m.counter("x").inc();
+        m.counter("x").inc();
+        assert_eq!(m.snapshot().counters["x"], 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_floor(0), 0);
+        assert_eq!(bucket_floor(3), 4);
+
+        let m = Metrics::new();
+        let h = m.histogram("lat");
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.p50, 2); // 3rd of 5 sorted → bucket [2,4) floor
+        assert_eq!(s.p99, 512); // 1000 lives in [512, 1024)
+        assert!(s.max >= 1000);
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s, HistogramSnapshot { count: 0, sum: 0, p50: 0, p99: 0, max: 0 });
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let m = Metrics::new();
+        m.counter("x");
+        m.gauge("x");
+    }
+
+    #[test]
+    fn report_json_is_wellformed_enough() {
+        let m = Metrics::new();
+        m.counter("a").add(3);
+        m.gauge("b").set(9);
+        m.histogram("c").observe(5);
+        let json = m.snapshot().to_json();
+        assert!(json.contains("\"a\": 3"));
+        assert!(json.contains("\"b\": 9"));
+        assert!(json.contains("\"count\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn empty_report_json_balanced() {
+        let json = MetricsReport::default().to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

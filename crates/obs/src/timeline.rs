@@ -1,0 +1,69 @@
+//! Causal timeline rendering: the story of one request across the whole
+//! group, in lamport order. This is the `dce-obs` bin's output format.
+
+use crate::event::{Event, EventKind, ReqId};
+
+/// Renders every event about `id` — plus restrictive `AdminApplied`
+/// context lines, which explain any undo — as an aligned, lamport-sorted
+/// table. Returns a note when the journal never mentions the request.
+pub fn timeline_for(events: &[Event], id: ReqId) -> String {
+    let mut rows: Vec<&Event> = events
+        .iter()
+        .filter(|ev| {
+            ev.kind.req_id() == Some(id)
+                || matches!(ev.kind, EventKind::AdminApplied { restrictive: true, .. })
+        })
+        .collect();
+    rows.sort_by_key(|ev| ev.lamport);
+
+    if !rows.iter().any(|ev| ev.kind.req_id() == Some(id)) {
+        return format!("request {id}: no events in journal ({} entries)\n", events.len());
+    }
+
+    let mut out = format!("timeline for request {id}\n");
+    out.push_str("lamport  site  ver  event\n");
+    for ev in rows {
+        let marker = if ev.kind.req_id() == Some(id) { ' ' } else { '·' };
+        out.push_str(&format!(
+            "{:>7} {:>5} {:>4} {} {}\n",
+            ev.lamport, ev.site, ev.version, marker, ev.kind
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(site: u32, lamport: u64, kind: EventKind) -> Event {
+        Event { site, seq: lamport, version: 0, lamport, kind }
+    }
+
+    #[test]
+    fn renders_in_lamport_order_with_context() {
+        let id = ReqId::new(1, 1);
+        let trace = vec![
+            ev(2, 5, EventKind::ReqUndone { id }),
+            ev(1, 1, EventKind::ReqGenerated { id }),
+            ev(2, 4, EventKind::AdminApplied { version: 1, restrictive: true }),
+            ev(2, 2, EventKind::ReqExecuted { id }),
+            ev(3, 3, EventKind::ReqExecuted { id: ReqId::new(9, 9) }),
+        ];
+        let text = timeline_for(&trace, id);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6); // title + header + 4 rows
+        assert!(lines[2].contains("generated 1#1"));
+        assert!(lines[3].contains("executed 1#1"));
+        assert!(lines[4].contains("restrictive"));
+        assert!(lines[4].contains('·')); // context marker
+        assert!(lines[5].contains("undone 1#1"));
+        assert!(!text.contains("9#9"));
+    }
+
+    #[test]
+    fn unknown_request_reported() {
+        let text = timeline_for(&[], ReqId::new(4, 2));
+        assert!(text.contains("no events"));
+    }
+}

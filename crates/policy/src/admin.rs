@@ -240,6 +240,13 @@ impl AdminLog {
         self.entries.iter()
     }
 
+    /// Number of *restrictive* entries (the only ones `check_remote`
+    /// walks). O(1) — the restrictive index is maintained by `push`.
+    /// Observability scrapes this into its `admin_log.restrictive` gauge.
+    pub fn restrictive_count(&self) -> usize {
+        self.restrictive.len()
+    }
+
     /// Version of the last stored request (0 when empty).
     pub fn last_version(&self) -> PolicyVersion {
         self.entries.last().map(|r| r.version).unwrap_or(0)

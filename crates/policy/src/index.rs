@@ -53,6 +53,13 @@ pub(crate) struct PolicyIndex {
 struct IndexState {
     buckets: HashMap<(UserId, Right), Bucket>,
     decisions: HashMap<(UserId, Right, Option<Position>), Decision>,
+    /// Decision-memo hits/misses since this index was created. Counted
+    /// inside the already-held lock, so tracking adds no synchronization;
+    /// cleared neither by `invalidate` nor by memo recycling (they
+    /// describe the workload, not the cache contents). A cloned policy
+    /// starts a fresh index, hence fresh counts.
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 /// Positional coverage of one authorization entry, with groups and named
@@ -201,9 +208,11 @@ impl PolicyIndex {
     ) -> Decision {
         let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let key = (user, right, pos);
-        if let Some(d) = st.decisions.get(&key) {
-            return *d;
+        if let Some(d) = st.decisions.get(&key).copied() {
+            st.memo_hits += 1;
+            return d;
         }
+        st.memo_misses += 1;
         let decision = st
             .buckets
             .entry((user, right))
@@ -214,6 +223,12 @@ impl PolicyIndex {
         }
         st.decisions.insert(key, decision);
         decision
+    }
+
+    /// `(hits, misses)` of the decision memo since this index was created.
+    pub(crate) fn memo_stats(&self) -> (u64, u64) {
+        let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        (st.memo_hits, st.memo_misses)
     }
 }
 

@@ -297,6 +297,15 @@ impl Policy {
         self.index.decide(user, action.right, action.pos, &self.auths, &self.groups, &self.objects)
     }
 
+    /// `(hits, misses)` of the decision memo behind [`Policy::check`]
+    /// since this policy value was created (clones start from zero — the
+    /// index is per-value). Observability scrapes this into its
+    /// `policy.memo_*` gauges; the counts are not part of policy equality,
+    /// hashing or digests.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        self.index.memo_stats()
+    }
+
     /// The unindexed reference implementation of [`Policy::check`]: a
     /// literal transcription of the paper's first-match walk, kept as the
     /// differential-test oracle and the bench baseline. Not used on any

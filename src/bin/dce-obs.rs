@@ -1,0 +1,137 @@
+//! `dce-obs` — replay a journal and print the causal timeline of one
+//! request across the whole group.
+//!
+//! With no arguments the bin records a fresh run of the paper's Fig. 2
+//! revocation race (the canonical "illegal insert, undone everywhere"
+//! schedule) and renders the insert's timeline. A captured journal can
+//! be rendered instead, and a fresh capture saved for later:
+//!
+//! ```text
+//! dce-obs                        # replay Fig. 2, timeline of request 1#1
+//! dce-obs --save fig2.journal    # also write the binary journal
+//! dce-obs --journal fig2.journal --req 1#1   # render a saved capture
+//! ```
+
+use dce::core::{Message, Site};
+use dce::document::{Char, CharDocument, Op};
+use dce::obs::{decode_journal, encode_journal, summarize, timeline_for, Event, ObsHandle, ReqId};
+use dce::policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+use std::process::ExitCode;
+
+fn parse_req(arg: &str) -> Option<ReqId> {
+    let (site, seq) = arg.split_once('#')?;
+    Some(ReqId::new(site.parse().ok()?, seq.parse().ok()?))
+}
+
+/// Replays the Fig. 2 revocation race with the journal recording and
+/// returns the captured events: the admin revokes user 1's insertion
+/// right concurrently with user 1 inserting, and every delivery order
+/// still converges by retroactive undo.
+fn replay_fig2() -> Vec<Event> {
+    let obs = ObsHandle::recording(4096);
+    let d0 = CharDocument::from_str("abc");
+    let p = Policy::permissive([0, 1, 2]);
+    let mut adm: Site<Char> = Site::new_admin(0, d0.clone(), p.clone());
+    let mut s1 = Site::new_user(1, 0, d0.clone(), p.clone());
+    let mut s2 = Site::new_user(2, 0, d0, p);
+    for site in [&mut adm, &mut s1, &mut s2] {
+        site.set_observability(obs.clone());
+    }
+
+    let revoke = AdminOp::AddAuth {
+        pos: 0,
+        auth: Authorization::new(
+            Subject::User(1),
+            DocObject::Document,
+            [Right::Insert],
+            Sign::Minus,
+        ),
+    };
+    let r = adm.admin_generate(revoke).expect("admin revokes");
+    let q = s1.generate(Op::ins(1, 'x')).expect("concurrent insert");
+    adm.receive(Message::Coop(q.clone())).expect("adm sees the late insert");
+    s2.receive(Message::Coop(q)).expect("s2 applies the insert first");
+    s2.receive(Message::Admin(r.clone())).expect("s2 undoes on the revocation");
+    s1.receive(Message::Admin(r)).expect("s1 retracts its own insert");
+    obs.events()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: dce-obs [--req SITE#SEQ] [--journal FILE] [--save FILE]\n\
+         \n\
+         --req SITE#SEQ   request to render (default 1#1, Fig. 2's insert)\n\
+         --journal FILE   render a captured journal instead of replaying\n\
+         --save FILE      write the fresh capture as a binary journal"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut req = ReqId::new(1, 1);
+    let mut journal_path: Option<String> = None;
+    let mut save_path: Option<String> = None;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--req" => match argv.next().as_deref().and_then(parse_req) {
+                Some(id) => req = id,
+                None => return usage(),
+            },
+            "--journal" => match argv.next() {
+                Some(p) => journal_path = Some(p),
+                None => return usage(),
+            },
+            "--save" => match argv.next() {
+                Some(p) => save_path = Some(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let events = match &journal_path {
+        Some(path) => {
+            let raw = match std::fs::read(path) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    eprintln!("dce-obs: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match decode_journal(bytes::Bytes::from(raw)) {
+                Ok(events) => events,
+                Err(e) => {
+                    eprintln!("dce-obs: {path} is not a journal: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => replay_fig2(),
+    };
+
+    if let Some(path) = &save_path {
+        let encoded = encode_journal(&events);
+        if let Err(e) = std::fs::write(path, &encoded[..]) {
+            eprintln!("dce-obs: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("saved {} events ({} bytes) to {path}\n", events.len(), encoded.len());
+    }
+
+    print!("{}", timeline_for(&events, req));
+
+    let s = summarize(&events);
+    println!(
+        "\njournal: {} events across {} site(s); {} generated, {} executed, \
+         {} denied, {} undone",
+        events.len(),
+        s.sites().count(),
+        s.total("req_generated"),
+        s.total("req_executed"),
+        s.total("req_denied"),
+        s.total("req_undone"),
+    );
+    ExitCode::SUCCESS
+}

@@ -9,6 +9,7 @@
 //! * [`policy`] — the replicated, versioned authorization policy object;
 //! * [`core`] — the paper's concurrency-control algorithm combining both;
 //! * [`net`] — a deterministic simulated P2P broadcast network;
+//! * [`obs`] — structured event tracing, metrics, and trace oracles;
 //! * [`baselines`] — comparison algorithms (naive, central-server, SDT/ABT);
 //! * [`editor`] — high-level collaborative sessions (the p2pEdit analog).
 //!
@@ -19,5 +20,6 @@ pub use dce_core as core;
 pub use dce_document as document;
 pub use dce_editor as editor;
 pub use dce_net as net;
+pub use dce_obs as obs;
 pub use dce_ot as ot;
 pub use dce_policy as policy;

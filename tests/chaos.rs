@@ -111,6 +111,10 @@ fn chaos_session(seed: u64) -> (String, usize) {
     assert!(fs.retransmitted > 0, "the session layer repaired losses: {fs:?}");
     assert_eq!(fs.crashes, 1);
     sim.assert_converged(seed);
+    // Every payload leg must be accounted for: delivered, lost to a
+    // fault, dead at a downed site, suppressed as a duplicate, or (for
+    // inactive sites only) still held — nothing simply vanishes.
+    sim.assert_ledger_conserved(seed);
     // Quiescence means the scheduler has woken and processed everything —
     // a request parked forever (a wake list the refactor forgot to fire)
     // would show up here as a non-empty queue.
@@ -136,6 +140,107 @@ fn chaos_session_is_replayable_from_its_seed() {
     let seed = 0xBEE5;
     println!("chaos session seed: {seed:#x}");
     assert_eq!(chaos_session(seed), chaos_session(seed));
+}
+
+/// A chaos run with the journal recording: after quiescence the *trace*
+/// must balance, not just the final state. Every request generated
+/// anywhere resolves at every site (executed, inert, or denied); the
+/// surviving count agrees across sites; the metrics registry agrees with
+/// the journal; and the network's payload ledger is conserved.
+#[test]
+fn chaos_event_ledger_balances() {
+    let seed = 0x1ED6_E55E;
+    println!("chaos ledger seed: {seed:#x}");
+    let users: Vec<u32> = (0..4).collect();
+    let mut sim: SimNet<Char> = SimNet::group(
+        4,
+        CharDocument::from_str("ledger"),
+        Policy::permissive(users),
+        seed,
+        Latency::Uniform(1, 90),
+    );
+    let obs = dce::obs::ObsHandle::recording(1 << 16);
+    sim.enable_observability(obs.clone());
+    sim.set_fault_plan(
+        FaultPlan::none().with_drops(0.20).with_duplicates(0.10).with_reordering(0.10, 200),
+    );
+    sim.enable_reliability();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    for round in 0..10u32 {
+        for site in 0..4usize {
+            for _ in 0..2 {
+                let len = sim.site(site).document().len();
+                let op = if len == 0 || rng.gen_bool(0.5) {
+                    Op::ins(rng.gen_range(1..=len + 1), (b'a' + (round % 26) as u8) as char)
+                } else {
+                    let p = rng.gen_range(1..=len);
+                    Op::Del { pos: p, elem: *sim.site(site).document().get(p).unwrap() }
+                };
+                let _ = sim.submit_coop(site, op);
+            }
+        }
+        if rng.gen_bool(0.4) {
+            let user = rng.gen_range(1..4u32);
+            let right = [Right::Insert, Right::Delete, Right::Update][rng.gen_range(0..3)];
+            let sign = if rng.gen_bool(0.5) { Sign::Minus } else { Sign::Plus };
+            let _ = sim.submit_admin(
+                0,
+                AdminOp::AddAuth {
+                    pos: 0,
+                    auth: Authorization::new(
+                        Subject::User(user),
+                        DocObject::Document,
+                        [right],
+                        sign,
+                    ),
+                },
+            );
+        }
+        if round % 3 == 2 {
+            sim.gossip_heartbeats();
+        }
+        for _ in 0..50 {
+            sim.step();
+        }
+    }
+    sim.run_to_quiescence();
+    sim.assert_converged(seed);
+    sim.assert_ledger_conserved(seed);
+
+    let events = obs.events();
+    assert_eq!(obs.overflowed(), 0, "ring sized for the whole run");
+    dce::obs::assert_trace!(events);
+    let s = dce::obs::summarize(&events);
+
+    // Request conservation: every site resolves every request exactly
+    // once — its own generations execute locally, remote arrivals land
+    // executed, inert, or denied.
+    let generated = s.total("req_generated");
+    assert!(generated > 0, "the workload produced requests");
+    for site in 0..4u32 {
+        let resolved = s.count(site, "req_executed")
+            + s.count(site, "req_inert")
+            + s.count(site, "req_denied");
+        assert_eq!(
+            resolved, generated,
+            "site {site} resolved {resolved} of {generated} requests; \
+             replay with seed {seed:#x}"
+        );
+    }
+    // Survivor conservation: executed − undone agrees across sites (the
+    // flags converged, so the set of surviving requests did too).
+    let live0 = s.count(0, "req_executed") - s.count(0, "req_undone");
+    for site in 1..4u32 {
+        let live = s.count(site, "req_executed") - s.count(site, "req_undone");
+        assert_eq!(live, live0, "site {site} survivor count; replay with seed {seed:#x}");
+    }
+    // The metrics registry tallies the same journal it rode along with.
+    let report = obs.snapshot();
+    for kind in ["req_generated", "req_executed", "req_denied", "req_undone"] {
+        let counter = report.counters.get(&format!("event.{kind}")).copied().unwrap_or(0);
+        assert_eq!(counter, s.total(kind), "registry vs journal on {kind}");
+    }
 }
 
 /// Under the chaotic transport, every message additionally rides through
@@ -187,6 +292,7 @@ fn codec_chaos_session(seed: u64) {
     }
     sim.run_to_quiescence();
     sim.assert_converged(seed);
+    sim.assert_ledger_conserved(seed);
     assert!(sim.site(0).policy().has_user(77), "the proposal landed");
     for site in 0..4usize {
         assert_eq!(sim.site(site).queued(), 0, "site {site} still holds parked requests");

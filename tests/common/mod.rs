@@ -3,6 +3,7 @@
 
 use dce::core::Site;
 use dce::document::{Char, CharDocument};
+use dce::obs::ObsHandle;
 use dce::policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
 
 /// A three-participant group on `initial`: administrator (user 0) plus two
@@ -15,6 +16,17 @@ pub fn group(initial: &str) -> (Site<Char>, Site<Char>, Site<Char>) {
         Site::new_user(1, 0, d0.clone(), p.clone()),
         Site::new_user(2, 0, d0, p),
     )
+}
+
+/// [`group`], with every site journaling into one shared recording
+/// observability handle — for tests that assert on the trace itself.
+pub fn traced_group(initial: &str) -> (ObsHandle, Site<Char>, Site<Char>, Site<Char>) {
+    let obs = ObsHandle::recording(4096);
+    let (mut adm, mut s1, mut s2) = group(initial);
+    adm.set_observability(obs.clone());
+    s1.set_observability(obs.clone());
+    s2.set_observability(obs.clone());
+    (obs, adm, s1, s2)
 }
 
 /// `AddAuth(0, ⟨s_user, Doc, {right}, −⟩)` — the revocations of Figs. 2–5.

@@ -3,14 +3,15 @@
 
 mod common;
 
-use common::{group, revoke};
+use common::{revoke, traced_group};
 use dce::core::{Flag, Message};
 use dce::document::Op;
+use dce::obs::{assert_trace, summarize};
 use dce::policy::Right;
 
 #[test]
 fn naive_schedule_of_fig2_converges_with_enforcement() {
-    let (mut adm, mut s1, mut s2) = group("abc");
+    let (obs, mut adm, mut s1, mut s2) = traced_group("abc");
 
     // adm revokes s1's insertion right…
     let r = adm.admin_generate(revoke(Right::Insert, 1)).unwrap();
@@ -38,13 +39,24 @@ fn naive_schedule_of_fig2_converges_with_enforcement() {
         assert_eq!(site.document().to_string(), "abc", "{name}");
         assert_eq!(site.flag_of(q.ot.id), Some(Flag::Invalid), "{name}");
     }
+
+    // The journal tells the same story, path-wise: the admin denied the
+    // insert and never executed it; both undos follow the restriction.
+    let events = obs.events();
+    assert_trace!(events);
+    let s = summarize(&events);
+    assert_eq!(s.count(1, "req_generated"), 1);
+    assert_eq!(s.count(0, "req_denied"), 1, "adm integrated the insert inert");
+    assert_eq!(s.count(0, "req_executed"), 0, "the denied insert never ran at adm");
+    assert_eq!(s.total("req_undone"), 2, "s1 and s2 each retract the insert");
+    assert_eq!(s.total("admin_applied"), 3, "every site applied the revocation");
 }
 
 #[test]
 fn fig2_with_validation_first_protects_the_insert() {
     // Contrast case: if the admin saw (and validated) the insert *before*
     // revoking, the insert is legal and must survive everywhere.
-    let (mut adm, mut s1, mut s2) = group("abc");
+    let (obs, mut adm, mut s1, mut s2) = traced_group("abc");
     let q = s1.generate(Op::ins(1, 'x')).unwrap();
     adm.receive(Message::Coop(q.clone())).unwrap();
     let validation = adm.drain_outbox();
@@ -62,4 +74,14 @@ fn fig2_with_validation_first_protects_the_insert() {
         assert_eq!(site.document().to_string(), "xabc", "{name}");
         assert_eq!(site.flag_of(q.ot.id), Some(Flag::Valid), "{name}");
     }
+
+    // Trace view: one validation issued, consumed by every site, and the
+    // protected insert was never undone anywhere.
+    let events = obs.events();
+    assert_trace!(events);
+    let s = summarize(&events);
+    assert_eq!(s.total("validation_issued"), 1);
+    assert_eq!(s.total("validation_consumed"), 3, "one consumption per site");
+    assert_eq!(s.total("req_undone"), 0, "the validated insert survives");
+    assert_eq!(s.total("req_denied"), 0);
 }

@@ -4,14 +4,15 @@
 
 mod common;
 
-use common::{grant, group, revoke};
+use common::{grant, group, revoke, traced_group};
 use dce::core::{Flag, Message};
 use dce::document::Op;
+use dce::obs::{assert_trace, summarize};
 use dce::policy::Right;
 
 #[test]
 fn regrant_does_not_resurrect_a_concurrently_revoked_deletion() {
-    let (mut adm, mut s1, mut s2) = group("abc");
+    let (obs, mut adm, mut s1, mut s2) = traced_group("abc");
 
     let r1 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
     let q = s2.generate(Op::del(1, 'a')).unwrap();
@@ -41,6 +42,17 @@ fn regrant_does_not_resurrect_a_concurrently_revoked_deletion() {
         assert_eq!(site.document().to_string(), "abc", "{name}");
         assert_eq!(site.flag_of(q.ot.id), Some(Flag::Invalid), "{name}");
     }
+
+    // Path check: the late deletion was denied at adm and s1 (never
+    // executed there), and s2's lone undo follows the restrictive r1.
+    let events = obs.events();
+    assert_trace!(events);
+    let s = summarize(&events);
+    assert_eq!(s.count(0, "req_denied"), 1, "adm rejects against the admin log");
+    assert_eq!(s.count(1, "req_denied"), 1, "s1 rejects despite the regrant");
+    assert_eq!(s.count(1, "req_executed"), 0);
+    assert_eq!(s.count(2, "req_undone"), 1, "s2 retracts its own deletion");
+    assert_eq!(s.total("admin_applied"), 6, "two admin requests at three sites");
 }
 
 #[test]

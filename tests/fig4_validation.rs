@@ -4,14 +4,15 @@
 
 mod common;
 
-use common::{group, revoke};
+use common::{group, revoke, traced_group};
 use dce::core::{Flag, Message};
 use dce::document::Op;
+use dce::obs::{assert_trace, summarize};
 use dce::policy::Right;
 
 #[test]
 fn delayed_legal_insert_is_not_lost() {
-    let (mut adm, mut s1, mut s2) = group("abc");
+    let (obs, mut adm, mut s1, mut s2) = traced_group("abc");
 
     // s1 inserts; adm accepts and validates; only then adm revokes.
     let q = s1.generate(Op::ins(1, 'x')).unwrap();
@@ -43,6 +44,18 @@ fn delayed_legal_insert_is_not_lost() {
     s1.receive(Message::Admin(r)).unwrap();
     assert_eq!(s1.document().to_string(), "xabc");
     assert_eq!(adm.document().to_string(), "xabc");
+
+    // The adversarial schedule shows up as deferrals in s2's journal —
+    // and the oracles confirm nothing was denied or undone on the way.
+    let events = obs.events();
+    assert_trace!(events);
+    let s = summarize(&events);
+    assert_eq!(s.count(2, "admin_deferred"), 2, "revocation and validation both parked");
+    assert_eq!(s.count(2, "req_executed"), 1, "the delayed insert ran at s2");
+    assert_eq!(s.total("validation_issued"), 1);
+    assert_eq!(s.total("validation_consumed"), 3);
+    assert_eq!(s.total("req_denied"), 0);
+    assert_eq!(s.total("req_undone"), 0);
 }
 
 #[test]
