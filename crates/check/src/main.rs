@@ -7,9 +7,13 @@
 //! Exits 0 on `Verdict::Ok`, 1 with the shrunk counterexample (human
 //! summary plus a `Schedule::new(vec![...])` Rust literal ready for
 //! `crates/check/tests/regressions.rs`) on a violation, and 2 on usage
-//! errors.
+//! errors. On a violation the shrunk schedule is additionally replayed
+//! with the flight recorder armed, leaving a replayable
+//! `results/flight-<digest>.json` trace dump behind.
 
 use dce_check::{explore_with, Config, Scenario, Verdict};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
 const USAGE: &str = "usage: dce-check [options]
@@ -19,7 +23,8 @@ const USAGE: &str = "usage: dce-check [options]
   --dups <d>                              duplicate deliveries per message (default 0)
   --budget <n>                            distinct-state budget (default 1000000)
   --no-wire                               skip the wire-codec round-trip
-  --no-determinism                        skip the replay-determinism oracle";
+  --no-determinism                        skip the replay-determinism oracle
+  --flight-dir <dir>                      where violation trace dumps go (default results)";
 
 struct Args {
     scenario: String,
@@ -28,6 +33,7 @@ struct Args {
     dups: u8,
     cfg: Config,
     wire: bool,
+    flight_dir: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         dups: 0,
         cfg: Config::default(),
         wire: true,
+        flight_dir: "results".to_owned(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -50,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
             "--budget" => out.cfg.max_states = parse(&value("--budget")?)?,
             "--no-wire" => out.wire = false,
             "--no-determinism" => out.cfg.check_determinism = false,
+            "--flight-dir" => out.flight_dir = value("--flight-dir")?,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -120,6 +128,16 @@ fn main() {
                 "pin in crates/check/tests/regressions.rs:\n{}",
                 cx.schedule.to_rust_literal()
             );
+            // Replay the shrunk schedule with the flight recorder armed:
+            // the dump carries the full per-site trace of the violation.
+            let mut h = DefaultHasher::new();
+            (scenario.name.as_str(), &cx.schedule.steps).hash(&mut h);
+            let digest = h.finish();
+            let obs = dce_obs::ObsHandle::recording(1 << 16);
+            dce_trace::arm(&obs, digest, &args.flight_dir);
+            if cx.schedule.record(&scenario, &obs).is_none() {
+                eprintln!("note: shrunk schedule did not reproduce under recording");
+            }
             std::process::exit(1);
         }
     }

@@ -104,6 +104,38 @@ impl Schedule {
         (check_quiescent(&runner), executed)
     }
 
+    /// Lenient replay + canonical drain with observability attached to
+    /// every site: events land in `obs`'s journal, and any violation is
+    /// reported through `obs.failure(..)` *before* being returned — so
+    /// an armed flight recorder (`dce_trace::arm`) dumps the shrunk
+    /// counterexample's full trace the moment it reproduces.
+    pub fn record(&self, scenario: &Scenario, obs: &dce_obs::ObsHandle) -> Option<Violation> {
+        let mut runner = Runner::new(Arc::new(scenario.clone()));
+        for i in 0..scenario.sites() {
+            runner.net.site_mut(i).set_observability(obs.clone());
+        }
+        let mut executed = Vec::new();
+        let verdict = (|| {
+            for step in &self.steps {
+                let Some(choice) = runner.choice_of(*step) else { continue };
+                runner.apply(choice)?;
+                executed.push(*step);
+            }
+            drain(&mut runner, &mut executed)?;
+            match check_quiescent(&runner) {
+                Some(v) => Err(v),
+                None => Ok(()),
+            }
+        })();
+        match verdict {
+            Ok(()) => None,
+            Err(v) => {
+                obs.failure(&format!("schedule [{self}] violates: {v}"));
+                Some(v)
+            }
+        }
+    }
+
     /// The schedule as a Rust expression, for pinning a shrunk
     /// counterexample in `crates/check/tests/regressions.rs`.
     pub fn to_rust_literal(&self) -> String {

@@ -41,3 +41,29 @@ fn lenient_replay_of_a_racy_prefix_is_clean() {
     ]);
     assert_eq!(schedule.check(&scenario), None);
 }
+
+/// `Schedule::record` replays with observability attached: the journal
+/// carries the whole run, the verdict matches `check`, and a clean run
+/// never trips an armed failure hook.
+#[test]
+fn recorded_replay_journals_the_run() {
+    let scenario = Scenario::by_name("fig2", 3, 2).unwrap();
+    let schedule = Schedule::new(vec![Step::Gen { site: 1 }, Step::Gen { site: 0 }]);
+    let obs = dce_obs::ObsHandle::recording(1 << 12);
+    let fired = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let fired2 = fired.clone();
+    obs.set_failure_hook(Box::new(move |_, _, _| {
+        fired2.store(true, std::sync::atomic::Ordering::SeqCst);
+    }));
+    assert_eq!(schedule.record(&scenario, &obs), None);
+    assert!(!fired.load(std::sync::atomic::Ordering::SeqCst), "clean run, hook must not fire");
+
+    let events = obs.events();
+    assert!(!events.is_empty(), "the replay journals protocol events");
+    let s = dce_obs::summarize(&events);
+    assert!(s.total("req_generated") >= 1, "{events:?}");
+    // The recorded journal merges into a cycle-free causal DAG.
+    let trace = dce_trace::merge_events(&events);
+    assert!(trace.is_acyclic());
+    assert!(trace.warnings.is_empty(), "{:?}", trace.warnings);
+}

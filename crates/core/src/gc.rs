@@ -44,19 +44,29 @@ pub fn stability_horizon<'a>(clocks: impl IntoIterator<Item = &'a Clock>) -> Clo
     horizon
 }
 
-/// Compacts the cooperative log of `site`: drops the maximal log prefix
-/// whose entries are all below `horizon` and settled. Returns the number
-/// of entries removed.
-pub fn compact<E: Element>(site: &mut Site<E>, horizon: &Clock) -> usize {
-    let mut n = 0;
+/// The request ids of the maximal compactible log prefix of `site`: every
+/// entry below `horizon` and settled, stopping at the first entry that is
+/// not. These are exactly the requests [`compact`] would reclaim —
+/// observability emits a `ReqStable` event per id before the log forms
+/// are dropped.
+pub fn settled_prefix<E: Element>(site: &Site<E>, horizon: &Clock) -> Vec<dce_ot::ids::RequestId> {
+    let mut ids = Vec::new();
     for entry in site.engine().log().iter() {
         let settled = matches!(site.flag_of(entry.id), Some(Flag::Valid) | Some(Flag::Invalid));
         if settled && horizon.contains(entry.id) {
-            n += 1;
+            ids.push(entry.id);
         } else {
             break;
         }
     }
+    ids
+}
+
+/// Compacts the cooperative log of `site`: drops the maximal log prefix
+/// whose entries are all below `horizon` and settled. Returns the number
+/// of entries removed.
+pub fn compact<E: Element>(site: &mut Site<E>, horizon: &Clock) -> usize {
+    let n = settled_prefix(site, horizon).len();
     site.prune_log_prefix(n);
     n
 }

@@ -94,6 +94,17 @@ impl<E> Message<E> {
             Message::Heartbeat { .. } => "heartbeat",
         }
     }
+
+    /// The observability coordinates of the cooperative request this
+    /// message carries, if it carries one. Lets the transport layer
+    /// correlate retransmissions (and other per-packet events) with the
+    /// protocol-level spans `dce-trace` builds.
+    pub fn coop_req_id(&self) -> Option<dce_obs::ReqId> {
+        match self {
+            Message::Coop(q) => Some(dce_obs::ReqId::new(q.ot.id.site, q.ot.id.seq)),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -483,6 +483,13 @@ impl<E: Element> Site<E> {
         // Refused proposals never entered the causal order at all; once the
         // group has a horizon they are settled history.
         self.rejected_proposals.clear();
+        if self.obs.enabled() {
+            // The span-closing edge: these log entries are about to be
+            // reclaimed, so the requests are stable group-wide.
+            for id in crate::gc::settled_prefix(self, &horizon) {
+                self.emit(EventKind::ReqStable { id: obs_id(id) });
+            }
+        }
         crate::gc::compact(self, &horizon)
     }
 

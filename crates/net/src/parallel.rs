@@ -11,6 +11,7 @@
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use dce_core::{Message, Site};
 use dce_document::{Document, Element, Op};
+use dce_obs::ObsHandle;
 use dce_policy::{AdminOp, Policy};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -98,7 +99,22 @@ pub fn run_parallel_session<E: Element + Send + Sync + 'static>(
     policy: Policy,
     scripts: Vec<Vec<ScriptStep<E>>>,
 ) -> Vec<Site<E>> {
-    run_session_inner(d0, policy, scripts, None)
+    run_session_inner(d0, policy, scripts, None, ObsHandle::disabled())
+}
+
+/// [`run_parallel_session`] with a shared observability handle attached
+/// to every site. No simulated clock exists here, so the handle switches
+/// to wall-clock time: each event's `at` stamp is nanoseconds since the
+/// handle's creation, and span latencies built over the journal by
+/// `dce-trace` attribute real elapsed time under true parallelism.
+pub fn run_parallel_session_observed<E: Element + Send + Sync + 'static>(
+    d0: Document<E>,
+    policy: Policy,
+    scripts: Vec<Vec<ScriptStep<E>>>,
+    obs: ObsHandle,
+) -> Vec<Site<E>> {
+    obs.use_wall_time();
+    run_session_inner(d0, policy, scripts, None, obs)
 }
 
 /// [`run_parallel_session`] with sender-side chaos: each site duplicates
@@ -114,7 +130,13 @@ pub fn run_parallel_session_chaotic<E: Element + Send + Sync + 'static>(
     dup_prob: f64,
     reorder_prob: f64,
 ) -> Vec<Site<E>> {
-    run_session_inner(d0, policy, scripts, Some((seed, dup_prob, reorder_prob)))
+    run_session_inner(
+        d0,
+        policy,
+        scripts,
+        Some((seed, dup_prob, reorder_prob)),
+        ObsHandle::disabled(),
+    )
 }
 
 fn run_session_inner<E: Element + Send + Sync + 'static>(
@@ -122,6 +144,7 @@ fn run_session_inner<E: Element + Send + Sync + 'static>(
     policy: Policy,
     scripts: Vec<Vec<ScriptStep<E>>>,
     chaos: Option<(u64, f64, f64)>,
+    obs: ObsHandle,
 ) -> Vec<Site<E>> {
     let n = scripts.len();
     assert!(n > 0, "need at least the administrator");
@@ -152,6 +175,7 @@ fn run_session_inner<E: Element + Send + Sync + 'static>(
             dup_prob,
             reorder_prob,
         });
+        let obs = obs.clone();
 
         handles.push(thread::spawn(move || {
             let mut site: Site<E> = if i == 0 {
@@ -159,6 +183,7 @@ fn run_session_inner<E: Element + Send + Sync + 'static>(
             } else {
                 Site::new_user(i as u32, 0, d0, policy)
             };
+            site.set_observability(obs);
             let mut courier = Courier {
                 peers,
                 in_flight: in_flight.clone(),
@@ -243,6 +268,28 @@ mod tests {
         for s in &sites {
             assert_eq!(s.document().to_string(), doc0, "site {} diverged", s.user());
         }
+    }
+
+    #[test]
+    fn observed_parallel_session_records_wall_clock_trace() {
+        let d0 = CharDocument::from_str("shared");
+        let policy = Policy::permissive([0, 1, 2]);
+        let scripts: Vec<Vec<ScriptStep<Char>>> = vec![
+            vec![ScriptStep::Edit(Op::ins(1, 'A'))],
+            vec![ScriptStep::Edit(Op::ins(1, 'b'))],
+            vec![ScriptStep::Edit(Op::ins(2, 'c'))],
+        ];
+        let obs = ObsHandle::recording(4096);
+        let sites = run_parallel_session_observed(d0, policy, scripts, obs.clone());
+        let doc0 = sites[0].document().to_string();
+        for s in &sites {
+            assert_eq!(s.document().to_string(), doc0);
+        }
+        let events = obs.events();
+        let s = dce_obs::summarize(&events);
+        assert_eq!(s.total("req_generated"), 3);
+        assert_eq!(s.total("req_executed"), 9, "each request executes at every site");
+        assert!(events.iter().any(|e| e.at > 0), "wall-clock time source stamps the journal");
     }
 
     #[test]

@@ -217,8 +217,12 @@ impl<E: Element> SimNet<E> {
     /// events (generation, scheduling, execution, undo), the network adds
     /// transport events (retransmissions, dropped/duplicated legs,
     /// partition heals, crashes, rejoins). Sites added later inherit the
-    /// handle.
+    /// handle. The simulation clock becomes the handle's time source, so
+    /// every event is stamped with the simulated-net millisecond it
+    /// happened at.
     pub fn enable_observability(&mut self, obs: ObsHandle) {
+        obs.use_sim_time();
+        obs.set_now(self.stats.now);
         for site in &mut self.sites {
             site.set_observability(obs.clone());
         }
@@ -606,6 +610,7 @@ impl<E: Element> SimNet<E> {
         let wire = self.payloads.remove(&(at, seq, dest)).expect("payload stored");
         self.stats.now = self.stats.now.max(at);
         let now = self.stats.now;
+        self.obs.set_now(now);
         self.note_healed_partitions();
         match wire {
             Wire::Raw(msg) => {
@@ -675,6 +680,7 @@ impl<E: Element> SimNet<E> {
                             src: src as u32,
                             dest: peer as u32,
                             stream_seq: pkt.seq,
+                            req: pkt.msg.coop_req_id(),
                         };
                         self.obs.emit(src as u32, 0, kind);
                         self.transmit(src, peer, Wire::Data(pkt));
@@ -753,14 +759,17 @@ impl<E: Element> SimNet<E> {
         Ok(())
     }
 
-    /// Panics with the first divergence and the seed that replays it.
+    /// Panics with the first divergence and the seed that replays it. An
+    /// armed flight recorder (see `dce-trace`) dumps the journal first.
     ///
     /// # Panics
     ///
     /// Panics when [`SimNet::check_converged`] reports a divergence.
     pub fn assert_converged(&self, seed: u64) {
         if let Err(why) = self.check_converged() {
-            panic!("sites diverged: {why}; replay with seed {seed}");
+            let msg = format!("sites diverged: {why}; replay with seed {seed}");
+            self.obs.failure(&msg);
+            panic!("{msg}");
         }
     }
 
@@ -779,22 +788,19 @@ impl<E: Element> SimNet<E> {
         }
     }
 
-    /// Panics unless the payload ledger balances: must be called at
-    /// quiescence (no events in flight). Per destination,
+    /// The ledger conservation oracle: must be called at quiescence (no
+    /// events in flight). Per destination,
     /// `sent == delivered + dropped + partitioned + dead + suppressed +
     /// held`, `held == 0` for every active site, and the ledger totals
-    /// must agree with [`SimNet::stats`]. Failures name the seed that
-    /// replays them.
-    ///
-    /// # Panics
-    ///
-    /// Panics on any imbalance, or when called with events still queued.
-    pub fn assert_ledger_conserved(&self, seed: u64) {
-        assert!(
-            self.events.is_empty(),
-            "ledger checked before quiescence ({} events in flight); replay with seed {seed}",
-            self.events.len()
-        );
+    /// must agree with [`SimNet::stats`]. Returns the first imbalance,
+    /// naming the seed that replays it.
+    pub fn check_ledger_conserved(&self, seed: u64) -> Result<(), String> {
+        if !self.events.is_empty() {
+            return Err(format!(
+                "ledger checked before quiescence ({} events in flight); replay with seed {seed}",
+                self.events.len()
+            ));
+        }
         let l = &self.ledger;
         for dest in 0..self.sites.len() {
             let accounted = l.delivered[dest]
@@ -803,39 +809,53 @@ impl<E: Element> SimNet<E> {
                 + l.dead[dest]
                 + l.suppressed[dest]
                 + l.held[dest];
-            assert_eq!(
-                l.sent[dest],
-                accounted,
-                "payload ledger imbalance toward site {dest}: sent {} vs delivered {} + \
-                 dropped {} + partitioned {} + dead {} + suppressed {} + held {}; \
-                 replay with seed {seed}",
-                l.sent[dest],
-                l.delivered[dest],
-                l.dropped[dest],
-                l.partitioned[dest],
-                l.dead[dest],
-                l.suppressed[dest],
-                l.held[dest]
-            );
-            if self.active[dest] {
-                assert_eq!(
-                    l.held[dest], 0,
+            if l.sent[dest] != accounted {
+                return Err(format!(
+                    "payload ledger imbalance toward site {dest}: sent {} vs delivered {} + \
+                     dropped {} + partitioned {} + dead {} + suppressed {} + held {}; \
+                     replay with seed {seed}",
+                    l.sent[dest],
+                    l.delivered[dest],
+                    l.dropped[dest],
+                    l.partitioned[dest],
+                    l.dead[dest],
+                    l.suppressed[dest],
+                    l.held[dest]
+                ));
+            }
+            if self.active[dest] && l.held[dest] != 0 {
+                return Err(format!(
                     "site {dest} still holds {} out-of-order packets at quiescence; \
                      replay with seed {seed}",
                     l.held[dest]
-                );
+                ));
             }
         }
-        assert_eq!(
-            l.sent.iter().sum::<u64>(),
-            self.stats.sent,
-            "ledger sent total disagrees with SimStats; replay with seed {seed}"
-        );
-        assert_eq!(
-            l.delivered.iter().sum::<u64>(),
-            self.stats.delivered,
-            "ledger delivered total disagrees with SimStats; replay with seed {seed}"
-        );
+        if l.sent.iter().sum::<u64>() != self.stats.sent {
+            return Err(format!(
+                "ledger sent total disagrees with SimStats; replay with seed {seed}"
+            ));
+        }
+        if l.delivered.iter().sum::<u64>() != self.stats.delivered {
+            return Err(format!(
+                "ledger delivered total disagrees with SimStats; replay with seed {seed}"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Panics unless the payload ledger balances (see
+    /// [`SimNet::check_ledger_conserved`]). An armed flight recorder
+    /// dumps the journal first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any imbalance, or when called with events still queued.
+    pub fn assert_ledger_conserved(&self, seed: u64) {
+        if let Err(why) = self.check_ledger_conserved(seed) {
+            self.obs.failure(&why);
+            panic!("{why}");
+        }
     }
 }
 

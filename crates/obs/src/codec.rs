@@ -2,15 +2,19 @@
 //! versioned, length-explicit, little-endian, tag bytes for enums.
 //!
 //! ```text
-//! journal := u8 MAGIC (0xD1)  u8 VERSION (1)  u32 count  event*
-//! event   := u32 site  u64 seq  u64 version  u64 lamport  u8 tag  fields
+//! journal := u8 MAGIC (0xD1)  u8 VERSION (2)  u32 count  event*
+//! event   := u32 site  u64 seq  u64 version  u64 lamport  u64 at  u8 tag  fields
 //! ```
+//!
+//! Version 1 journals (no `at` stamp, tags 0–19, uncorrelated
+//! retransmits) still decode: `at` comes back 0 and retransmit events
+//! carry no request correlation, exactly what a V1 writer knew.
 
 use crate::event::{DeferReason, Event, EventKind, ReqId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u8 = 0xD1;
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Errors raised while decoding a journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,12 +94,14 @@ fn get_reason(buf: &mut Bytes) -> Result<DeferReason> {
     }
 }
 
-/// Appends one event's encoding (no header; see [`encode_journal`]).
+/// Appends one event's encoding in the current format version (no
+/// header; see [`encode_journal`]).
 pub fn encode_event(ev: &Event, out: &mut BytesMut) {
     out.put_u32_le(ev.site);
     out.put_u64_le(ev.seq);
     out.put_u64_le(ev.version);
     out.put_u64_le(ev.lamport);
+    out.put_u64_le(ev.at);
     match ev.kind {
         EventKind::ReqGenerated { id } => {
             out.put_u8(0);
@@ -158,11 +164,18 @@ pub fn encode_event(ev: &Event, out: &mut BytesMut) {
             put_req_id(out, id);
             out.put_u64_le(version);
         }
-        EventKind::StreamRetransmit { src, dest, stream_seq } => {
+        EventKind::StreamRetransmit { src, dest, stream_seq, req } => {
             out.put_u8(14);
             out.put_u32_le(src);
             out.put_u32_le(dest);
             out.put_u64_le(stream_seq);
+            match req {
+                Some(id) => {
+                    out.put_u8(1);
+                    put_req_id(out, id);
+                }
+                None => out.put_u8(0),
+            }
         }
         EventKind::LegDropped { src, dest } => {
             out.put_u8(15);
@@ -186,15 +199,24 @@ pub fn encode_event(ev: &Event, out: &mut BytesMut) {
             out.put_u8(19);
             out.put_u32_le(site);
         }
+        EventKind::ReqStable { id } => {
+            out.put_u8(20);
+            put_req_id(out, id);
+        }
     }
 }
 
-/// Decodes one event (no header; see [`decode_journal`]).
+/// Decodes one current-version event (no header; see [`decode_journal`]).
 pub fn decode_event(buf: &mut Bytes) -> Result<Event> {
+    decode_event_versioned(buf, VERSION)
+}
+
+fn decode_event_versioned(buf: &mut Bytes, format: u8) -> Result<Event> {
     let site = get_u32(buf)?;
     let seq = get_u64(buf)?;
     let version = get_u64(buf)?;
     let lamport = get_u64(buf)?;
+    let at = if format >= 2 { get_u64(buf)? } else { 0 };
     let kind = match get_u8(buf)? {
         0 => EventKind::ReqGenerated { id: get_req_id(buf)? },
         1 => EventKind::ReqReceived { id: get_req_id(buf)? },
@@ -214,20 +236,30 @@ pub fn decode_event(buf: &mut Bytes) -> Result<Event> {
             src: get_u32(buf)?,
             dest: get_u32(buf)?,
             stream_seq: get_u64(buf)?,
+            req: if format >= 2 {
+                match get_u8(buf)? {
+                    0 => None,
+                    1 => Some(get_req_id(buf)?),
+                    t => return Err(CodecError::BadTag(t)),
+                }
+            } else {
+                None
+            },
         },
         15 => EventKind::LegDropped { src: get_u32(buf)?, dest: get_u32(buf)? },
         16 => EventKind::LegDuplicated { src: get_u32(buf)?, dest: get_u32(buf)? },
         17 => EventKind::PartitionHealed { at_ms: get_u64(buf)? },
         18 => EventKind::SiteCrashed { site: get_u32(buf)? },
         19 => EventKind::SiteRejoined { site: get_u32(buf)? },
+        20 if format >= 2 => EventKind::ReqStable { id: get_req_id(buf)? },
         t => return Err(CodecError::BadTag(t)),
     };
-    Ok(Event { site, seq, version, lamport, kind })
+    Ok(Event { site, seq, version, lamport, at, kind })
 }
 
 /// Encodes a whole journal (header + count + events).
 pub fn encode_journal(events: &[Event]) -> Bytes {
-    let mut out = BytesMut::with_capacity(2 + 4 + events.len() * 40);
+    let mut out = BytesMut::with_capacity(2 + 4 + events.len() * 48);
     out.put_u8(MAGIC);
     out.put_u8(VERSION);
     out.put_u32_le(events.len() as u32);
@@ -237,16 +269,21 @@ pub fn encode_journal(events: &[Event]) -> Bytes {
     out.freeze()
 }
 
-/// Decodes a whole journal produced by [`encode_journal`].
+/// Decodes a whole journal produced by [`encode_journal`] — the current
+/// format, or a V1 journal written before events carried `at` stamps.
 pub fn decode_journal(mut buf: Bytes) -> Result<Vec<Event>> {
     need(&buf, 2)?;
-    if buf.get_u8() != MAGIC || buf.get_u8() != VERSION {
+    if buf.get_u8() != MAGIC {
+        return Err(CodecError::BadHeader);
+    }
+    let format = buf.get_u8();
+    if format == 0 || format > VERSION {
         return Err(CodecError::BadHeader);
     }
     let count = get_u32(&mut buf)? as usize;
     let mut events = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
-        events.push(decode_event(&mut buf)?);
+        events.push(decode_event_versioned(&mut buf, format)?);
     }
     Ok(events)
 }
@@ -263,6 +300,7 @@ mod tests {
                 seq: 1,
                 version: 0,
                 lamport: 1,
+                at: 17,
                 kind: EventKind::ReqGenerated { id: ReqId::new(1, 1) },
             },
             Event {
@@ -270,6 +308,7 @@ mod tests {
                 seq: 1,
                 version: 3,
                 lamport: 2,
+                at: 0,
                 kind: EventKind::ReqDeferred {
                     id: ReqId::new(1, 1),
                     reason: DeferReason::MissingVersion(3),
@@ -280,7 +319,29 @@ mod tests {
                 seq: 9,
                 version: 4,
                 lamport: 3,
+                at: 250,
                 kind: EventKind::AdminApplied { version: 4, restrictive: true },
+            },
+            Event {
+                site: 3,
+                seq: 2,
+                version: 4,
+                lamport: 4,
+                at: 300,
+                kind: EventKind::StreamRetransmit {
+                    src: 3,
+                    dest: 1,
+                    stream_seq: 8,
+                    req: Some(ReqId::new(1, 1)),
+                },
+            },
+            Event {
+                site: 1,
+                seq: 5,
+                version: 4,
+                lamport: 5,
+                at: 900,
+                kind: EventKind::ReqStable { id: ReqId::new(1, 1) },
             },
         ];
         let bytes = encode_journal(&events);
@@ -294,6 +355,12 @@ mod tests {
         out.put_u8(VERSION);
         out.put_u32_le(0);
         assert_eq!(decode_journal(out.freeze()), Err(CodecError::BadHeader));
+        // A format newer than this build is also rejected.
+        let mut out = BytesMut::new();
+        out.put_u8(MAGIC);
+        out.put_u8(VERSION + 1);
+        out.put_u32_le(0);
+        assert_eq!(decode_journal(out.freeze()), Err(CodecError::BadHeader));
     }
 
     #[test]
@@ -303,10 +370,78 @@ mod tests {
             seq: 1,
             version: 0,
             lamport: 1,
+            at: 0,
             kind: EventKind::PartitionHealed { at_ms: 500 },
         }];
         let bytes = encode_journal(&events);
         let cut = bytes.slice(0..bytes.len() - 1);
         assert_eq!(decode_journal(cut), Err(CodecError::Truncated));
+    }
+
+    /// Hand-assembles a version-1 journal (pre-`at`, pre-correlation) and
+    /// checks it still decodes, with `at = 0` and uncorrelated retransmits.
+    #[test]
+    fn v1_journal_still_decodes() {
+        let mut out = BytesMut::new();
+        out.put_u8(MAGIC);
+        out.put_u8(1); // format version 1
+        out.put_u32_le(2);
+        // Event 1: site 1, seq 1, version 0, lamport 1, ReqGenerated 1#1.
+        out.put_u32_le(1);
+        out.put_u64_le(1);
+        out.put_u64_le(0);
+        out.put_u64_le(1);
+        out.put_u8(0);
+        out.put_u32_le(1);
+        out.put_u64_le(1);
+        // Event 2: site 2, seq 1, version 0, lamport 2, retransmit 2→1 seq 7
+        // (V1 layout: no trailing request-correlation option).
+        out.put_u32_le(2);
+        out.put_u64_le(1);
+        out.put_u64_le(0);
+        out.put_u64_le(2);
+        out.put_u8(14);
+        out.put_u32_le(2);
+        out.put_u32_le(1);
+        out.put_u64_le(7);
+        let events = decode_journal(out.freeze()).unwrap();
+        assert_eq!(
+            events,
+            vec![
+                Event {
+                    site: 1,
+                    seq: 1,
+                    version: 0,
+                    lamport: 1,
+                    at: 0,
+                    kind: EventKind::ReqGenerated { id: ReqId::new(1, 1) },
+                },
+                Event {
+                    site: 2,
+                    seq: 1,
+                    version: 0,
+                    lamport: 2,
+                    at: 0,
+                    kind: EventKind::StreamRetransmit { src: 2, dest: 1, stream_seq: 7, req: None },
+                },
+            ]
+        );
+    }
+
+    /// A V1 journal cannot carry tag 20 (`ReqStable` did not exist).
+    #[test]
+    fn v1_rejects_v2_only_tags() {
+        let mut out = BytesMut::new();
+        out.put_u8(MAGIC);
+        out.put_u8(1);
+        out.put_u32_le(1);
+        out.put_u32_le(1);
+        out.put_u64_le(1);
+        out.put_u64_le(0);
+        out.put_u64_le(1);
+        out.put_u8(20);
+        out.put_u32_le(1);
+        out.put_u64_le(1);
+        assert_eq!(decode_journal(out.freeze()), Err(CodecError::BadTag(20)));
     }
 }

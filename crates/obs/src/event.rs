@@ -1,6 +1,6 @@
 //! The typed event taxonomy.
 //!
-//! Every event carries four coordinates:
+//! Every event carries five coordinates:
 //!
 //! * `site` — the site observing the event (its user id, or the site
 //!   index for network-layer events);
@@ -10,7 +10,12 @@
 //! * `lamport` — a process-wide logical timestamp: strictly increasing
 //!   across every event a shared [`crate::ObsHandle`] records, so a
 //!   journal merged from many sites still has a total order consistent
-//!   with each site's local order.
+//!   with each site's local order;
+//! * `at` — a timestamp from whatever time source the handle's owner
+//!   installed: simulated-net milliseconds when a `SimNet` drives the
+//!   clock, wall-clock nanoseconds since the handle's creation for the
+//!   threaded runner, 0 when no source is installed. `dce-trace` uses it
+//!   for per-phase latency attribution.
 //!
 //! The kinds mirror the protocol's observable transitions: the
 //! cooperative-request lifecycle (generated → received → deferred? →
@@ -164,6 +169,13 @@ pub enum EventKind {
         /// The validation's version.
         version: u64,
     },
+    /// A request settled below the group-wide stability horizon and its
+    /// log entry was reclaimed by compaction — the end of the request's
+    /// lifecycle, and the root span's closing edge in `dce-trace`.
+    ReqStable {
+        /// The reclaimed request.
+        id: ReqId,
+    },
     /// The session layer retransmitted a data packet.
     StreamRetransmit {
         /// Sending site index.
@@ -172,6 +184,9 @@ pub enum EventKind {
         dest: u32,
         /// Stream sequence number of the resent packet.
         stream_seq: u64,
+        /// The cooperative request the resent payload carries, when it
+        /// carries one — correlates transport repairs to protocol spans.
+        req: Option<ReqId>,
     },
     /// The fault plan dropped a payload leg.
     LegDropped {
@@ -217,7 +232,9 @@ impl EventKind {
             | EventKind::ReqDenied { id }
             | EventKind::ReqUndone { id }
             | EventKind::ValidationIssued { id, .. }
-            | EventKind::ValidationConsumed { id, .. } => Some(*id),
+            | EventKind::ValidationConsumed { id, .. }
+            | EventKind::ReqStable { id } => Some(*id),
+            EventKind::StreamRetransmit { req, .. } => *req,
             _ => None,
         }
     }
@@ -256,6 +273,7 @@ impl EventKind {
             EventKind::AdminApplied { .. } => "admin_applied",
             EventKind::ValidationIssued { .. } => "validation_issued",
             EventKind::ValidationConsumed { .. } => "validation_consumed",
+            EventKind::ReqStable { .. } => "req_stable",
             EventKind::StreamRetransmit { .. } => "stream_retransmit",
             EventKind::LegDropped { .. } => "leg_dropped",
             EventKind::LegDuplicated { .. } => "leg_duplicated",
@@ -295,8 +313,13 @@ impl fmt::Display for EventKind {
             EventKind::ValidationConsumed { id, version } => {
                 write!(f, "consumed validation of {id} (v{version})")
             }
-            EventKind::StreamRetransmit { src, dest, stream_seq } => {
-                write!(f, "retransmit {src}→{dest} seq {stream_seq}")
+            EventKind::ReqStable { id } => write!(f, "compacted {id} (stable)"),
+            EventKind::StreamRetransmit { src, dest, stream_seq, req } => {
+                write!(f, "retransmit {src}→{dest} seq {stream_seq}")?;
+                match req {
+                    Some(id) => write!(f, " (carrying {id})"),
+                    None => Ok(()),
+                }
             }
             EventKind::LegDropped { src, dest } => write!(f, "leg dropped {src}→{dest}"),
             EventKind::LegDuplicated { src, dest } => write!(f, "leg duplicated {src}→{dest}"),
@@ -318,6 +341,9 @@ pub struct Event {
     pub version: u64,
     /// Process-wide logical timestamp (total order over the journal).
     pub lamport: u64,
+    /// Timestamp from the handle's installed time source (simulated-net
+    /// ms, or wall-clock ns for threaded runs; 0 when none is installed).
+    pub at: u64,
     /// What happened.
     pub kind: EventKind,
 }

@@ -7,15 +7,37 @@
 //! nothing is observing. Enabled, all clones share one journal, one
 //! metrics registry and one lamport clock, so a whole simulated group
 //! writes a single merged, totally ordered trace.
+//!
+//! Two optional extras serve `dce-trace`:
+//!
+//! * a **time source** — the owner of the handle can install either the
+//!   simulated-network clock ([`ObsHandle::use_sim_time`] +
+//!   [`ObsHandle::set_now`]) or wall-clock time
+//!   ([`ObsHandle::use_wall_time`]); every event is then stamped with
+//!   `at`, the raw material for span latency attribution;
+//! * a **failure hook** — [`ObsHandle::set_failure_hook`] registers a
+//!   callback that [`ObsHandle::failure`] invokes with the journal and a
+//!   metrics snapshot. Oracles call `failure` just before panicking, so
+//!   an armed flight recorder dumps the evidence even when the process
+//!   is about to unwind.
 
 use crate::event::{Event, EventKind, SiteId};
 use crate::metrics::{Counter, Metrics, MetricsReport};
 use crate::record::{NoopRecorder, Recorder, RingRecorder};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
-#[derive(Debug)]
+/// A failure callback: `(reason, journal, metrics snapshot)`. The hook
+/// receives the data by reference so it never needs to hold the handle
+/// (which would create an `Arc` cycle).
+pub type FailureHook = Box<dyn Fn(&str, &[Event], &MetricsReport) + Send + Sync>;
+
+const TIME_NONE: u8 = 0;
+const TIME_SIM: u8 = 1;
+const TIME_WALL: u8 = 2;
+
 struct Obs {
     recorder: Arc<dyn Recorder>,
     metrics: Metrics,
@@ -26,6 +48,24 @@ struct Obs {
     /// Derived per-kind counters, resolved once so `emit` never touches
     /// the registry lock.
     kind_counters: Mutex<HashMap<&'static str, Counter>>,
+    /// Which time source stamps `Event::at` (none / sim / wall).
+    time_mode: AtomicU8,
+    /// The simulated clock, pushed by the driver via [`ObsHandle::set_now`].
+    sim_now: AtomicU64,
+    /// Wall-clock origin for [`ObsHandle::use_wall_time`] mode.
+    origin: Instant,
+    /// Callback for [`ObsHandle::failure`] (flight recorder arm point).
+    failure_hook: Mutex<Option<FailureHook>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("recorder", &self.recorder)
+            .field("lamport", &self.lamport)
+            .field("time_mode", &self.time_mode)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Shared observability capability. See the module docs.
@@ -60,6 +100,10 @@ impl ObsHandle {
                 lamport: AtomicU64::new(0),
                 site_seq: Mutex::new(HashMap::new()),
                 kind_counters: Mutex::new(HashMap::new()),
+                time_mode: AtomicU8::new(TIME_NONE),
+                sim_now: AtomicU64::new(0),
+                origin: Instant::now(),
+                failure_hook: Mutex::new(None),
             })),
         }
     }
@@ -69,18 +113,49 @@ impl ObsHandle {
         self.inner.is_some()
     }
 
+    /// Stamps events with the simulated clock: `Event::at` becomes the
+    /// last value pushed through [`ObsHandle::set_now`] (simulated-net
+    /// milliseconds). The driving simulation calls this on installation.
+    pub fn use_sim_time(&self) {
+        if let Some(obs) = &self.inner {
+            obs.time_mode.store(TIME_SIM, Ordering::Relaxed);
+        }
+    }
+
+    /// Stamps events with wall-clock nanoseconds since the handle's
+    /// creation — the right source for the threaded runner, where no
+    /// simulated clock exists.
+    pub fn use_wall_time(&self) {
+        if let Some(obs) = &self.inner {
+            obs.time_mode.store(TIME_WALL, Ordering::Relaxed);
+        }
+    }
+
+    /// Advances the simulated clock (used with [`ObsHandle::use_sim_time`];
+    /// one relaxed store). No-op when disabled.
+    pub fn set_now(&self, now: u64) {
+        if let Some(obs) = &self.inner {
+            obs.sim_now.store(now, Ordering::Relaxed);
+        }
+    }
+
     /// Stamps and records one event, and bumps the per-kind derived
     /// counter (`event.<name>`). No-op when disabled.
     pub fn emit(&self, site: SiteId, version: u64, kind: EventKind) {
         let Some(obs) = &self.inner else { return };
         let lamport = obs.lamport.fetch_add(1, Ordering::AcqRel) + 1;
+        let at = match obs.time_mode.load(Ordering::Relaxed) {
+            TIME_SIM => obs.sim_now.load(Ordering::Relaxed),
+            TIME_WALL => obs.origin.elapsed().as_nanos() as u64,
+            _ => 0,
+        };
         let seq = {
             let mut map = obs.site_seq.lock().expect("site_seq poisoned");
             let slot = map.entry(site).or_insert(0);
             *slot += 1;
             *slot
         };
-        obs.recorder.record(Event { site, seq, version, lamport, kind });
+        obs.recorder.record(Event { site, seq, version, lamport, at, kind });
         let counter = {
             let mut map = obs.kind_counters.lock().expect("kind_counters poisoned");
             map.entry(kind.name())
@@ -98,6 +173,29 @@ impl ObsHandle {
     /// How many events the journal evicted. 0 when disabled.
     pub fn overflowed(&self) -> u64 {
         self.inner.as_ref().map(|o| o.recorder.overflowed()).unwrap_or(0)
+    }
+
+    /// Registers the failure hook (replacing any previous one). No-op
+    /// when disabled — arming a flight recorder on a disabled handle
+    /// records nothing, matching every other operation.
+    pub fn set_failure_hook(&self, hook: FailureHook) {
+        if let Some(obs) = &self.inner {
+            *obs.failure_hook.lock().expect("failure hook poisoned") = Some(hook);
+        }
+    }
+
+    /// Reports an invariant failure: invokes the registered hook with
+    /// `reason`, the current journal and a metrics snapshot. Returns
+    /// `true` when a hook ran. Call this *before* panicking so the
+    /// flight recorder can dump state the unwind would otherwise lose.
+    pub fn failure(&self, reason: &str) -> bool {
+        let Some(obs) = &self.inner else { return false };
+        let guard = obs.failure_hook.lock().expect("failure hook poisoned");
+        let Some(hook) = guard.as_ref() else { return false };
+        let events = obs.recorder.events();
+        let report = self.snapshot();
+        hook(reason, &events, &report);
+        true
     }
 
     /// Adds `n` to counter `name`. No-op when disabled.
@@ -121,9 +219,21 @@ impl ObsHandle {
         }
     }
 
-    /// Snapshots the metrics registry. Empty report when disabled.
+    /// Snapshots the metrics registry, folding in the journal's overflow
+    /// accounting (`journal.overflowed` total plus a per-kind
+    /// `journal.overflow.<kind>` breakdown) when anything was evicted.
+    /// Empty report when disabled.
     pub fn snapshot(&self) -> MetricsReport {
-        self.inner.as_ref().map(|o| o.metrics.snapshot()).unwrap_or_default()
+        let Some(obs) = &self.inner else { return MetricsReport::default() };
+        let mut report = obs.metrics.snapshot();
+        let evicted = obs.recorder.overflowed();
+        if evicted > 0 {
+            report.counters.insert("journal.overflowed".to_string(), evicted);
+            for (kind, n) in obs.recorder.overflow_breakdown() {
+                report.counters.insert(format!("journal.overflow.{kind}"), n);
+            }
+        }
+        report
     }
 }
 
@@ -131,6 +241,7 @@ impl ObsHandle {
 mod tests {
     use super::*;
     use crate::event::ReqId;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn disabled_is_inert() {
@@ -140,6 +251,10 @@ mod tests {
         h.add_counter("x", 1);
         h.set_gauge("y", 2);
         h.observe_hist("z", 3);
+        h.use_sim_time();
+        h.set_now(99);
+        h.set_failure_hook(Box::new(|_, _, _| panic!("must never run")));
+        assert!(!h.failure("nothing to report"));
         assert!(h.events().is_empty());
         assert_eq!(h.snapshot(), MetricsReport::default());
     }
@@ -170,5 +285,61 @@ mod tests {
         h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
         assert!(h.events().is_empty());
         assert_eq!(h.snapshot().counters["event.req_generated"], 1);
+    }
+
+    #[test]
+    fn sim_time_stamps_events() {
+        let h = ObsHandle::recording(8);
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        h.use_sim_time();
+        h.set_now(42);
+        h.emit(1, 0, EventKind::ReqExecuted { id: ReqId::new(1, 1) });
+        h.set_now(99);
+        h.emit(2, 0, EventKind::ReqReceived { id: ReqId::new(1, 1) });
+        let evs = h.events();
+        assert_eq!(evs[0].at, 0, "before a source is installed, at stays 0");
+        assert_eq!(evs[1].at, 42);
+        assert_eq!(evs[2].at, 99);
+    }
+
+    #[test]
+    fn wall_time_is_monotone() {
+        let h = ObsHandle::recording(8);
+        h.use_wall_time();
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        h.emit(1, 0, EventKind::ReqExecuted { id: ReqId::new(1, 1) });
+        let evs = h.events();
+        assert!(evs[0].at <= evs[1].at);
+    }
+
+    #[test]
+    fn failure_hook_sees_journal_and_reason() {
+        let h = ObsHandle::recording(8);
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = calls.clone();
+        h.set_failure_hook(Box::new(move |reason, events, report| {
+            assert_eq!(reason, "sites diverged");
+            assert_eq!(events.len(), 1);
+            assert_eq!(report.counters["event.req_generated"], 1);
+            calls2.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert!(h.failure("sites diverged"));
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn snapshot_carries_overflow_breakdown() {
+        let h = ObsHandle::recording(2);
+        for n in 1..=5 {
+            h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, n) });
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counters["journal.overflowed"], 3);
+        assert_eq!(snap.counters["journal.overflow.req_generated"], 3);
+        // The un-overflowed handle reports no overflow keys at all.
+        let clean = ObsHandle::recording(64);
+        clean.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        assert!(!clean.snapshot().counters.contains_key("journal.overflowed"));
     }
 }

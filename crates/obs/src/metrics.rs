@@ -81,6 +81,19 @@ fn bucket_floor(i: usize) -> u64 {
     }
 }
 
+/// Inclusive upper bound of bucket `i`. The top bucket (`i = 64`, holding
+/// values with all 64 bits in play) is capped at `u64::MAX` — `1 << 64`
+/// would overflow the shift.
+fn bucket_ceiling(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
 impl Histogram {
     /// Records one observation.
     pub fn observe(&self, v: u64) {
@@ -102,11 +115,7 @@ impl Histogram {
             sum,
             p50: quantile(&buckets, count, 0.50),
             p99: quantile(&buckets, count, 0.99),
-            max: buckets
-                .iter()
-                .rposition(|&c| c > 0)
-                .map(|i| if i == 0 { 0 } else { (1u64 << i) - 1 })
-                .unwrap_or(0),
+            max: buckets.iter().rposition(|&c| c > 0).map(bucket_ceiling).unwrap_or(0),
         }
     }
 }
@@ -331,6 +340,51 @@ mod tests {
         assert_eq!(s.p50, 2); // 3rd of 5 sorted → bucket [2,4) floor
         assert_eq!(s.p99, 512); // 1000 lives in [512, 1024)
         assert!(s.max >= 1000);
+    }
+
+    #[test]
+    fn histogram_value_zero() {
+        let h = Histogram::default();
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot { count: 1, sum: 0, p50: 0, p99: 0, max: 0 });
+    }
+
+    #[test]
+    fn histogram_u64_max_does_not_overflow() {
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_ceiling(64), u64::MAX);
+        let h = Histogram::default();
+        h.observe(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.sum, u64::MAX);
+        assert_eq!(s.p50, 1u64 << 63, "top bucket's floor");
+        assert_eq!(s.max, u64::MAX);
+        // Wrapping `sum` on a second observation is documented behavior of
+        // the relaxed atomic add; the bucket counts stay exact.
+        h.observe(u64::MAX);
+        assert_eq!(h.snapshot().count, 2);
+    }
+
+    #[test]
+    fn histogram_power_of_two_boundaries() {
+        // An exact power of two 2^k starts bucket k+1: [2^k, 2^(k+1)).
+        for k in 0..63u32 {
+            let v = 1u64 << k;
+            assert_eq!(bucket_index(v), k as usize + 1, "2^{k} opens bucket {}", k + 1);
+            assert_eq!(bucket_floor(k as usize + 1), v);
+            if v > 1 {
+                assert_eq!(bucket_index(v - 1), k as usize, "2^{k}−1 closes bucket {k}");
+                assert_eq!(bucket_ceiling(k as usize), v - 1);
+            }
+        }
+        assert_eq!(bucket_index(1u64 << 63), 64);
+        let h = Histogram::default();
+        h.observe(1024); // exactly 2^10 → bucket 11, floor 1024
+        let s = h.snapshot();
+        assert_eq!(s.p50, 1024);
+        assert_eq!(s.max, 2047);
     }
 
     #[test]

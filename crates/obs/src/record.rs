@@ -2,6 +2,7 @@
 //! no-op default.
 
 use crate::event::Event;
+use std::collections::BTreeMap;
 use std::fmt::Debug;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -19,6 +20,12 @@ pub trait Recorder: Send + Sync + Debug {
     fn events(&self) -> Vec<Event>;
     /// How many events were evicted because the journal was full.
     fn overflowed(&self) -> u64;
+    /// Evicted-event counts broken down by [`crate::EventKind::name`], so
+    /// a flight-recorder dump can state exactly what kind of history was
+    /// lost. Sinks that never evict report nothing.
+    fn overflow_breakdown(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 /// Discards everything. Used when a caller wants metrics without a
@@ -48,6 +55,10 @@ impl Recorder for NoopRecorder {
 pub struct RingRecorder {
     slots: Vec<Mutex<Option<Event>>>,
     head: AtomicU64,
+    /// Displaced-event counts by kind name. Touched only when a write
+    /// actually evicts (the ring has lapped), so the common non-overflow
+    /// path never takes this lock.
+    evicted: Mutex<BTreeMap<&'static str, u64>>,
 }
 
 impl RingRecorder {
@@ -59,7 +70,7 @@ impl RingRecorder {
         for _ in 0..capacity {
             slots.push(Mutex::new(None));
         }
-        RingRecorder { slots, head: AtomicU64::new(0) }
+        RingRecorder { slots, head: AtomicU64::new(0), evicted: Mutex::new(BTreeMap::new()) }
     }
 
     /// The ring's capacity.
@@ -77,7 +88,15 @@ impl Recorder for RingRecorder {
     fn record(&self, ev: Event) {
         let idx = self.head.fetch_add(1, Ordering::AcqRel);
         let slot = &self.slots[(idx % self.slots.len() as u64) as usize];
-        *slot.lock().expect("ring slot poisoned") = Some(ev);
+        let displaced = slot.lock().expect("ring slot poisoned").replace(ev);
+        if let Some(old) = displaced {
+            *self
+                .evicted
+                .lock()
+                .expect("eviction map poisoned")
+                .entry(old.kind.name())
+                .or_insert(0) += 1;
+        }
     }
 
     fn events(&self) -> Vec<Event> {
@@ -97,6 +116,10 @@ impl Recorder for RingRecorder {
     fn overflowed(&self) -> u64 {
         self.head.load(Ordering::Acquire).saturating_sub(self.slots.len() as u64)
     }
+
+    fn overflow_breakdown(&self) -> Vec<(&'static str, u64)> {
+        self.evicted.lock().expect("eviction map poisoned").iter().map(|(&k, &n)| (k, n)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +133,7 @@ mod tests {
             seq: n,
             version: 0,
             lamport: n,
+            at: 0,
             kind: EventKind::ReqGenerated { id: ReqId::new(1, n) },
         }
     }
@@ -134,6 +158,26 @@ mod tests {
         }
         assert_eq!(ring.events().len(), 5);
         assert_eq!(ring.overflowed(), 0);
+        assert!(ring.overflow_breakdown().is_empty());
+    }
+
+    #[test]
+    fn overflow_breakdown_names_whats_lost() {
+        let ring = RingRecorder::new(2);
+        let id = ReqId::new(1, 1);
+        ring.record(ev(1)); // req_generated — will be evicted
+        ring.record(Event {
+            site: 1,
+            seq: 2,
+            version: 0,
+            lamport: 2,
+            at: 0,
+            kind: EventKind::ReqExecuted { id },
+        }); // req_executed — will be evicted
+        ring.record(ev(3));
+        ring.record(ev(4));
+        assert_eq!(ring.overflowed(), 2);
+        assert_eq!(ring.overflow_breakdown(), vec![("req_executed", 1), ("req_generated", 1)]);
     }
 
     #[test]
@@ -142,5 +186,6 @@ mod tests {
         noop.record(ev(1));
         assert!(noop.events().is_empty());
         assert_eq!(noop.overflowed(), 0);
+        assert!(noop.overflow_breakdown().is_empty());
     }
 }

@@ -39,20 +39,27 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
             .prop_map(|(id, version)| EventKind::ValidationIssued { id, version }),
         (arb_req_id(), any::<u64>())
             .prop_map(|(id, version)| EventKind::ValidationConsumed { id, version }),
-        (any::<u32>(), any::<u32>(), any::<u64>()).prop_map(|(src, dest, stream_seq)| {
-            EventKind::StreamRetransmit { src, dest, stream_seq }
-        }),
+        (any::<u32>(), any::<u32>(), any::<u64>(), proptest::option::of(arb_req_id())).prop_map(
+            |(src, dest, stream_seq, req)| EventKind::StreamRetransmit {
+                src,
+                dest,
+                stream_seq,
+                req,
+            },
+        ),
         (any::<u32>(), any::<u32>()).prop_map(|(src, dest)| EventKind::LegDropped { src, dest }),
         (any::<u32>(), any::<u32>()).prop_map(|(src, dest)| EventKind::LegDuplicated { src, dest }),
         any::<u64>().prop_map(|at_ms| EventKind::PartitionHealed { at_ms }),
         any::<u32>().prop_map(|site| EventKind::SiteCrashed { site }),
         any::<u32>().prop_map(|site| EventKind::SiteRejoined { site }),
+        arb_req_id().prop_map(|id| EventKind::ReqStable { id }),
     ]
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), arb_kind())
-        .prop_map(|(site, seq, version, lamport, kind)| Event { site, seq, version, lamport, kind })
+    (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), arb_kind()).prop_map(
+        |(site, seq, version, lamport, at, kind)| Event { site, seq, version, lamport, at, kind },
+    )
 }
 
 proptest! {

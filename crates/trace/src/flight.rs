@@ -1,0 +1,156 @@
+//! The failure flight recorder.
+//!
+//! [`arm`] installs a `dce-obs` failure hook that, when an oracle calls
+//! `ObsHandle::failure` (convergence assertion, ledger conservation,
+//! dce-check invariant, trace oracle), writes the full evidence to
+//! `results/flight-<seed>.json`: the failure reason, the merged trace's
+//! shape and warnings, the complete journal (replayable — the dump
+//! round-trips through [`read_flight`]), the rendered span tree, and
+//! the metrics snapshot at the moment of death. The recorder is cheap
+//! while armed — the hook is one `Option` behind a mutex, touched only
+//! on failure — so it can stay always-on in tests and chaos suites.
+
+use crate::json::{self, Value};
+use crate::merge::merge_events;
+use crate::render;
+use crate::span::build_spans;
+use dce_obs::{Event, MetricsReport, ObsHandle};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A parsed flight dump: everything needed to re-merge and re-render
+/// the failed run's trace offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightDump {
+    /// The failed run's seed.
+    pub seed: u64,
+    /// The oracle's failure message.
+    pub reason: String,
+    /// The journal at the moment of failure.
+    pub events: Vec<Event>,
+}
+
+/// Where [`arm`] writes the dump for `seed`.
+pub fn flight_path(dir: &Path, seed: u64) -> PathBuf {
+    dir.join(format!("flight-{seed}.json"))
+}
+
+/// Arms the flight recorder: on the next `obs.failure(..)`, a dump for
+/// `seed` lands in `dir` (created on demand). Errors while dumping are
+/// reported to stderr, never panicked — the process is already dying of
+/// something more interesting.
+pub fn arm(obs: &ObsHandle, seed: u64, dir: impl Into<PathBuf>) {
+    let dir = dir.into();
+    obs.set_failure_hook(Box::new(move |reason, events, report| {
+        match write_flight(&dir, seed, reason, events, report) {
+            Ok(path) => eprintln!("flight recorder: wrote {}", path.display()),
+            Err(e) => eprintln!("flight recorder: could not write dump: {e}"),
+        }
+    }));
+}
+
+/// Writes one flight dump and returns its path.
+pub fn write_flight(
+    dir: &Path,
+    seed: u64,
+    reason: &str,
+    events: &[Event],
+    report: &MetricsReport,
+) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = flight_path(dir, seed);
+    let trace = merge_events(events);
+    let spans = build_spans(&trace);
+    let warnings: Vec<String> =
+        trace.warnings.iter().map(|w| format!("    {}", json::quote(w))).collect();
+    let body = format!(
+        "{{\n  \"seed\": {seed},\n  \"reason\": {reason},\n  \"summary\": {summary},\n  \
+         \"acyclic\": {acyclic},\n  \"warnings\": [{warnings}],\n  \
+         \"span_tree\": {span_tree},\n  \"events\": {events},\n  \"report\": {report}}}\n",
+        reason = json::quote(reason),
+        summary = json::quote(&trace.summary()),
+        acyclic = trace.is_acyclic(),
+        warnings = if warnings.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n  ", warnings.join(",\n"))
+        },
+        span_tree = json::quote(&render::span_tree(&spans)),
+        events = json::events_to_json(events),
+        report = report.to_json().trim_end(),
+    );
+    std::fs::write(&path, body)?;
+    Ok(path)
+}
+
+/// Reads a dump back. The `events` array is decoded fully; the rendered
+/// sections are ignored (they can be regenerated from the events).
+pub fn read_flight(path: &Path) -> Result<FlightDump, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let root = json::parse(&text)?;
+    let seed = root.get("seed").and_then(Value::as_u64).ok_or("missing \"seed\"")?;
+    let reason =
+        root.get("reason").and_then(Value::as_str).ok_or("missing \"reason\"")?.to_string();
+    let events = root
+        .get("events")
+        .and_then(Value::as_arr)
+        .ok_or("missing \"events\"")?
+        .iter()
+        .map(json::event_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FlightDump { seed, reason, events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_obs::{EventKind, ReqId};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dce-trace-flight-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn armed_handle_dumps_on_failure() {
+        let dir = scratch_dir("arm");
+        let obs = ObsHandle::recording(64);
+        obs.use_sim_time();
+        obs.set_now(5);
+        obs.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        obs.emit(0, 0, EventKind::ReqReceived { id: ReqId::new(1, 1) });
+        arm(&obs, 0xDEAD, &dir);
+        assert!(obs.failure("site 0 and site 1 diverged"));
+
+        let dump = read_flight(&flight_path(&dir, 0xDEAD)).unwrap();
+        assert_eq!(dump.seed, 0xDEAD);
+        assert_eq!(dump.reason, "site 0 and site 1 diverged");
+        assert_eq!(dump.events.len(), 2);
+        assert_eq!(dump.events[0].at, 5, "time stamps survive the round trip");
+
+        // The dump's journal re-merges into the same DAG shape.
+        let trace = merge_events(&dump.events);
+        assert!(trace.is_acyclic());
+        assert_eq!(trace.events.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dump_survives_awkward_reasons_and_empty_journals() {
+        let dir = scratch_dir("awkward");
+        let reason = "diverged:\n\tsite 0 = \"abc\" \\ site 1 = \"abd\"";
+        let path = write_flight(&dir, 7, reason, &[], &MetricsReport::default()).unwrap();
+        let dump = read_flight(&path).unwrap();
+        assert_eq!(dump.reason, reason);
+        assert!(dump.events.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unarmed_failure_reports_false() {
+        let obs = ObsHandle::recording(8);
+        assert!(!obs.failure("nothing armed"));
+    }
+}

@@ -1,0 +1,549 @@
+//! The journal merger: per-site event journals in, a global
+//! happens-before DAG out.
+//!
+//! Sites journal independently (one `ObsHandle` each, or one shared
+//! handle whose journal is split per site); the merger reconstructs the
+//! causal structure the protocol induced across them:
+//!
+//! * **program edges** — consecutive events of one site, in `seq` order;
+//! * **delivery edges** — a cooperative request's generation happens
+//!   before the first event mentioning that request at every other site
+//!   (reception, deferral, execution, denial, validation consumption —
+//!   all are downstream of the generation reaching the wire);
+//! * **validation edges** — the administrator's `ValidationIssued`
+//!   happens before every other site's matching `ValidationConsumed`;
+//! * **admin edges** — an administrative request's application at its
+//!   origin (the site that applied version `v` without ever receiving
+//!   it) happens before every `AdminReceived` of `v` elsewhere.
+//!
+//! The merger is forensics-grade: journals may be truncated (ring
+//! overflow), partial (crashed site) or duplicated (the same journal
+//! passed twice). It never panics on such input — it degrades to a
+//! partial DAG and explains what it could not stitch in
+//! [`MergedTrace::warnings`]. Lamport stamps are *not* used to build
+//! edges; they are an independent cross-check
+//! ([`MergedTrace::lamport_inversions`]): when all journals share one
+//! handle, every reconstructed edge must point up the lamport order.
+
+use dce_obs::{Event, EventKind, ReqId, SiteId};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Why an edge exists. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Same-site program order (consecutive `seq`).
+    Program,
+    /// Cooperative request generation → first mention at another site.
+    Delivery,
+    /// Validation issued at the administrator → consumed elsewhere.
+    Validation,
+    /// Administrative request applied at its origin → received elsewhere.
+    Admin,
+}
+
+/// One happens-before edge between two journal entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Index of the earlier event in [`MergedTrace::events`].
+    pub from: usize,
+    /// Index of the later event.
+    pub to: usize,
+    /// Why the earlier one happens before the later one.
+    pub kind: EdgeKind,
+}
+
+/// The merged journal: deduplicated events (sorted by site, then by
+/// per-site sequence) plus the reconstructed happens-before edges.
+#[derive(Debug, Clone, Default)]
+pub struct MergedTrace {
+    /// All distinct events, sorted by `(site, seq)`.
+    pub events: Vec<Event>,
+    /// Happens-before edges between indices into `events`.
+    pub edges: Vec<Edge>,
+    /// What the merger could not stitch (gaps, missing generations,
+    /// conflicting duplicates). Empty for a complete, consistent trace.
+    pub warnings: Vec<String>,
+}
+
+impl MergedTrace {
+    /// The distinct site ids appearing in the trace, ascending.
+    pub fn sites(&self) -> Vec<SiteId> {
+        let set: BTreeSet<SiteId> = self.events.iter().map(|e| e.site).collect();
+        set.into_iter().collect()
+    }
+
+    /// A topological order of the DAG (Kahn's algorithm), or the indices
+    /// of the events stuck in a cycle. A cycle means the reconstructed
+    /// causality is inconsistent — it cannot arise from journals of one
+    /// correct run.
+    pub fn topo_order(&self) -> Result<Vec<usize>, Vec<usize>> {
+        let n = self.events.len();
+        let mut indegree = vec![0usize; n];
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for e in &self.edges {
+            out[e.from].push(e.to);
+            indegree[e.to] += 1;
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &j in &out[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    ready.push(j);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err((0..n).filter(|&i| indegree[i] > 0).collect())
+        }
+    }
+
+    /// Whether the reconstructed happens-before relation is cycle-free.
+    pub fn is_acyclic(&self) -> bool {
+        self.topo_order().is_ok()
+    }
+
+    /// Edges that point *down* the lamport order — impossible when all
+    /// journals were recorded through one shared handle, expected noise
+    /// when each site kept an independent clock. A consistency
+    /// cross-check, deliberately separate from DAG construction.
+    pub fn lamport_inversions(&self) -> Vec<Edge> {
+        self.edges
+            .iter()
+            .filter(|e| self.events[e.from].lamport >= self.events[e.to].lamport)
+            .copied()
+            .collect()
+    }
+
+    /// One-line shape summary for logs and bin output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} events across {} sites, {} edges, {} warning(s), {}",
+            self.events.len(),
+            self.sites().len(),
+            self.edges.len(),
+            self.warnings.len(),
+            if self.is_acyclic() { "acyclic" } else { "CYCLIC" }
+        )
+    }
+}
+
+/// Merges per-site journals into one happens-before DAG. Accepts any
+/// partition of the events — one journal per site, one shared journal,
+/// or overlapping fragments (exact duplicates are dropped; conflicting
+/// ones keep the first copy and warn).
+pub fn merge_journals(journals: &[Vec<Event>]) -> MergedTrace {
+    let mut warnings = Vec::new();
+
+    // Flatten, deduplicating on the per-site emission coordinate.
+    let mut seen: HashMap<(SiteId, u64), Event> = HashMap::new();
+    let mut events: Vec<Event> = Vec::new();
+    for journal in journals {
+        for ev in journal {
+            match seen.entry((ev.site, ev.seq)) {
+                Entry::Vacant(slot) => {
+                    slot.insert(*ev);
+                    events.push(*ev);
+                }
+                Entry::Occupied(slot) => {
+                    if slot.get() != ev {
+                        warnings.push(format!(
+                            "conflicting copies of site {} seq {}: keeping the first",
+                            ev.site, ev.seq
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.site, e.seq));
+
+    let mut edges = Vec::new();
+
+    // Program order, warning on truncation gaps but still chaining the
+    // surviving prefix/suffix — a partial program order is still sound.
+    for i in 1..events.len() {
+        let (a, b) = (events[i - 1], events[i]);
+        if a.site != b.site {
+            continue;
+        }
+        if b.seq != a.seq + 1 {
+            warnings.push(format!(
+                "site {} journal gap: seq {} follows seq {} (ring overflow or truncation)",
+                b.site, b.seq, a.seq
+            ));
+        }
+        edges.push(Edge { from: i - 1, to: i, kind: EdgeKind::Program });
+    }
+
+    // Delivery: generation → first non-transport mention per other site.
+    // A request id generated more than once (journals from *different*
+    // runs merged together) is ambiguous — no edge can be anchored
+    // safely, so such ids are excluded rather than guessed at.
+    let mut generated: HashMap<ReqId, usize> = HashMap::new();
+    let mut ambiguous: BTreeSet<ReqId> = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let EventKind::ReqGenerated { id } = ev.kind {
+            if generated.insert(id, i).is_some() {
+                ambiguous.insert(id);
+            }
+        }
+    }
+    for id in &ambiguous {
+        generated.remove(id);
+        warnings.push(format!(
+            "request {id} generated more than once — journals of distinct runs merged? \
+             skipping its causal edges"
+        ));
+    }
+    let mut first_mention: HashMap<(ReqId, SiteId), usize> = HashMap::new();
+    let mut orphaned: BTreeSet<ReqId> = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        if ev.kind.is_transport() {
+            continue;
+        }
+        let Some(id) = ev.kind.req_id() else { continue };
+        if ev.site == id.site {
+            continue;
+        }
+        first_mention.entry((id, ev.site)).or_insert(i);
+        if !generated.contains_key(&id) && !ambiguous.contains(&id) {
+            orphaned.insert(id);
+        }
+    }
+    for (&(id, _site), &to) in &first_mention {
+        if let Some(&from) = generated.get(&id) {
+            edges.push(Edge { from, to, kind: EdgeKind::Delivery });
+        }
+    }
+    for id in orphaned {
+        warnings.push(format!(
+            "request {id} is mentioned remotely but its generation event is missing \
+             (origin journal truncated or lost)"
+        ));
+    }
+
+    // Validation handshake: issue → every remote consumption of the same
+    // (request, version) pair.
+    let mut issued: HashMap<(ReqId, u64), usize> = HashMap::new();
+    let mut issued_twice: BTreeSet<(ReqId, u64)> = BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let EventKind::ValidationIssued { id, version } = ev.kind {
+            if issued.insert((id, version), i).is_some() {
+                issued_twice.insert((id, version));
+            }
+        }
+    }
+    for &(id, version) in &issued_twice {
+        issued.remove(&(id, version));
+        warnings.push(format!(
+            "validation of {id} (v{version}) issued more than once — skipping its edges"
+        ));
+    }
+    for (i, ev) in events.iter().enumerate() {
+        let EventKind::ValidationConsumed { id, version } = ev.kind else { continue };
+        match issued.get(&(id, version)) {
+            Some(&from) if events[from].site != ev.site => {
+                edges.push(Edge { from, to: i, kind: EdgeKind::Validation });
+            }
+            Some(_) => {} // the administrator's own consumption: program order covers it
+            None if issued_twice.contains(&(id, version)) => {}
+            None => warnings.push(format!(
+                "validation of {id} (v{version}) consumed at site {} but never issued \
+                 in the merged journals",
+                ev.site
+            )),
+        }
+    }
+
+    // Administrative total order: the origin of version v is the site
+    // that applied v without ever receiving it (it generated v locally).
+    let mut applied: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    let mut received_sites: HashMap<u64, BTreeSet<SiteId>> = HashMap::new();
+    let mut received_nodes: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev.kind {
+            EventKind::AdminApplied { version, .. } => applied.entry(version).or_default().push(i),
+            EventKind::ValidationIssued { version, .. } => {
+                // The issue is the version's birth at the administrator;
+                // use it as the admin-order anchor so the edge exists
+                // even if the admin's own AdminApplied was evicted.
+                applied.entry(version).or_default().insert(0, i);
+            }
+            EventKind::AdminReceived { version } => {
+                received_sites.entry(version).or_default().insert(ev.site);
+                received_nodes.entry(version).or_default().push(i);
+            }
+            _ => {}
+        }
+    }
+    for (version, nodes) in &applied {
+        let recv = received_sites.get(version);
+        let origins: Vec<usize> = nodes
+            .iter()
+            .copied()
+            .filter(|&i| recv.is_none_or(|s| !s.contains(&events[i].site)))
+            .collect();
+        let Some(&origin) = origins.first() else {
+            if received_nodes.contains_key(version) {
+                warnings.push(format!(
+                    "admin v{version} was received remotely but its origin's application \
+                     is missing (administrator journal truncated?)"
+                ));
+            }
+            continue;
+        };
+        let origin_site = events[origin].site;
+        if origins.iter().any(|&i| events[i].site != origin_site) {
+            warnings.push(format!(
+                "admin v{version} has more than one apparent origin site — journals \
+                 disagree about the version total order"
+            ));
+        }
+        for &to in received_nodes.get(version).into_iter().flatten() {
+            edges.push(Edge { from: origin, to, kind: EdgeKind::Admin });
+        }
+    }
+
+    let trace = MergedTrace { events, edges, warnings };
+    finish_with_lamport_check(trace)
+}
+
+/// Merges a single already-combined journal (e.g. the shared-handle
+/// journal a `SimNet` run produces) by splitting it per site first.
+pub fn merge_events(events: &[Event]) -> MergedTrace {
+    merge_journals(std::slice::from_ref(&events.to_vec()))
+}
+
+fn finish_with_lamport_check(mut trace: MergedTrace) -> MergedTrace {
+    let inversions = trace.lamport_inversions().len();
+    if inversions > 0 {
+        trace.warnings.push(format!(
+            "{inversions} edge(s) invert the lamport order — journals were stamped by \
+             independent clocks, or the trace is inconsistent"
+        ));
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(site: u32, seq: u64, lamport: u64, kind: EventKind) -> Event {
+        Event { site, seq, version: 0, lamport, at: lamport, kind }
+    }
+
+    fn rid(site: u32, seq: u64) -> ReqId {
+        ReqId::new(site, seq)
+    }
+
+    /// One request travelling 1 → {0, 2}: the smallest full lifecycle.
+    fn tiny_journal() -> Vec<Event> {
+        vec![
+            ev(1, 1, 1, EventKind::ReqGenerated { id: rid(1, 1) }),
+            ev(1, 2, 2, EventKind::ReqExecuted { id: rid(1, 1) }),
+            ev(0, 1, 3, EventKind::ReqReceived { id: rid(1, 1) }),
+            ev(0, 2, 4, EventKind::ReqExecuted { id: rid(1, 1) }),
+            ev(2, 1, 5, EventKind::ReqReceived { id: rid(1, 1) }),
+            ev(2, 2, 6, EventKind::ReqExecuted { id: rid(1, 1) }),
+        ]
+    }
+
+    #[test]
+    fn program_and_delivery_edges() {
+        let t = merge_events(&tiny_journal());
+        assert_eq!(t.events.len(), 6);
+        assert!(t.warnings.is_empty(), "{:?}", t.warnings);
+        assert!(t.is_acyclic());
+        assert!(t.lamport_inversions().is_empty());
+        let programs = t.edges.iter().filter(|e| e.kind == EdgeKind::Program).count();
+        let deliveries = t.edges.iter().filter(|e| e.kind == EdgeKind::Delivery).count();
+        assert_eq!(programs, 3, "one per consecutive same-site pair");
+        assert_eq!(deliveries, 2, "generation reaches two remote sites");
+        // Every delivery edge starts at the generation event.
+        for e in t.edges.iter().filter(|e| e.kind == EdgeKind::Delivery) {
+            assert!(matches!(t.events[e.from].kind, EventKind::ReqGenerated { .. }));
+        }
+    }
+
+    #[test]
+    fn validation_and_admin_edges() {
+        // Site 0 is the administrator: issues v1 validating 1#1; sites 1
+        // and 2 receive the admin request and consume the validation.
+        let journal = vec![
+            ev(1, 1, 1, EventKind::ReqGenerated { id: rid(1, 1) }),
+            ev(0, 1, 2, EventKind::ReqReceived { id: rid(1, 1) }),
+            ev(0, 2, 3, EventKind::ReqExecuted { id: rid(1, 1) }),
+            ev(0, 3, 4, EventKind::ValidationIssued { id: rid(1, 1), version: 1 }),
+            ev(0, 4, 5, EventKind::ValidationConsumed { id: rid(1, 1), version: 1 }),
+            ev(0, 5, 6, EventKind::AdminApplied { version: 1, restrictive: false }),
+            ev(1, 2, 7, EventKind::AdminReceived { version: 1 }),
+            ev(1, 3, 8, EventKind::ValidationConsumed { id: rid(1, 1), version: 1 }),
+            ev(1, 4, 9, EventKind::AdminApplied { version: 1, restrictive: false }),
+            ev(2, 1, 10, EventKind::AdminReceived { version: 1 }),
+            ev(
+                2,
+                2,
+                11,
+                EventKind::ReqDeferred {
+                    id: rid(1, 1),
+                    reason: dce_obs::DeferReason::MissingRequest(rid(1, 1)),
+                },
+            ),
+        ];
+        let t = merge_events(&journal);
+        assert!(t.warnings.is_empty(), "{:?}", t.warnings);
+        assert!(t.is_acyclic());
+        let validations: Vec<_> =
+            t.edges.iter().filter(|e| e.kind == EdgeKind::Validation).collect();
+        assert_eq!(validations.len(), 1, "only the remote consumption gets an edge");
+        assert_eq!(t.events[validations[0].to].site, 1);
+        let admins: Vec<_> = t.edges.iter().filter(|e| e.kind == EdgeKind::Admin).collect();
+        assert_eq!(admins.len(), 2, "v1 travelled to two remote sites");
+        for e in &admins {
+            assert_eq!(t.events[e.from].site, 0, "the administrator is the origin of v1");
+        }
+        assert!(t.lamport_inversions().is_empty());
+    }
+
+    #[test]
+    fn split_journals_equal_shared_journal() {
+        let shared = tiny_journal();
+        let mut per_site: Vec<Vec<Event>> = vec![Vec::new(); 3];
+        for e in &shared {
+            per_site[e.site as usize].push(*e);
+        }
+        let a = merge_events(&shared);
+        let b = merge_journals(&per_site);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.edges.len(), b.edges.len());
+    }
+
+    #[test]
+    fn truncated_journal_degrades_without_panicking() {
+        // Drop the generation event (ring overflow at the origin site).
+        let mut journal = tiny_journal();
+        journal.remove(0);
+        let t = merge_events(&journal);
+        assert!(t.is_acyclic());
+        assert!(
+            t.warnings.iter().any(|w| w.contains("generation event is missing")),
+            "{:?}",
+            t.warnings
+        );
+        // No delivery edges can be anchored, but program order survives.
+        assert_eq!(t.edges.iter().filter(|e| e.kind == EdgeKind::Delivery).count(), 0);
+        assert!(t.edges.iter().any(|e| e.kind == EdgeKind::Program));
+    }
+
+    #[test]
+    fn seq_gaps_are_reported_but_bridged() {
+        let journal = vec![
+            ev(1, 1, 1, EventKind::ReqGenerated { id: rid(1, 1) }),
+            // seq 2..=9 evicted by the ring
+            ev(1, 10, 20, EventKind::ReqExecuted { id: rid(1, 5) }),
+        ];
+        let t = merge_events(&journal);
+        assert!(t.warnings.iter().any(|w| w.contains("journal gap")), "{:?}", t.warnings);
+        assert_eq!(t.edges.len(), 1, "the gap is bridged by a program edge");
+        assert!(t.is_acyclic());
+    }
+
+    #[test]
+    fn duplicate_and_conflicting_copies() {
+        let shared = tiny_journal();
+        // The same journal twice: exact duplicates vanish silently.
+        let t = merge_journals(&[shared.clone(), shared.clone()]);
+        assert_eq!(t.events.len(), 6);
+        assert!(t.warnings.is_empty(), "{:?}", t.warnings);
+        // A conflicting copy of (site 1, seq 1) warns and keeps the first.
+        let mut forged = shared.clone();
+        forged[0].kind = EventKind::ReqGenerated { id: rid(1, 9) };
+        let t = merge_journals(&[shared, forged]);
+        assert_eq!(t.events.len(), 6);
+        assert!(t.warnings.iter().any(|w| w.contains("conflicting copies")), "{:?}", t.warnings);
+        assert!(matches!(
+            t.events.iter().find(|e| e.site == 1 && e.seq == 1).unwrap().kind,
+            EventKind::ReqGenerated { id } if id == rid(1, 1)
+        ));
+    }
+
+    #[test]
+    fn independent_clocks_flag_lamport_inversions() {
+        // Two sites with their own lamport clocks: the remote mention
+        // carries a *smaller* stamp than the generation.
+        let journal = vec![
+            ev(1, 1, 10, EventKind::ReqGenerated { id: rid(1, 1) }),
+            ev(0, 1, 2, EventKind::ReqReceived { id: rid(1, 1) }),
+        ];
+        let t = merge_events(&journal);
+        assert!(t.is_acyclic(), "lamport noise must not manufacture cycles");
+        assert_eq!(t.lamport_inversions().len(), 1);
+        assert!(t.warnings.iter().any(|w| w.contains("lamport")), "{:?}", t.warnings);
+    }
+
+    #[test]
+    fn colliding_runs_stay_acyclic() {
+        // Two *different runs* recorded through one handle (seqs keep
+        // counting, request ids and admin versions restart): ids become
+        // ambiguous. The merger must refuse to anchor edges for them
+        // instead of stitching run 2's issue to run 1's consumption.
+        let run = |seq0: u64, lam0: u64| {
+            vec![
+                ev(1, seq0 + 1, lam0 + 1, EventKind::ReqGenerated { id: rid(1, 1) }),
+                ev(0, seq0 + 1, lam0 + 2, EventKind::ReqReceived { id: rid(1, 1) }),
+                ev(
+                    0,
+                    seq0 + 2,
+                    lam0 + 3,
+                    EventKind::ValidationIssued { id: rid(1, 1), version: 1 },
+                ),
+                ev(
+                    1,
+                    seq0 + 2,
+                    lam0 + 4,
+                    EventKind::ValidationConsumed { id: rid(1, 1), version: 1 },
+                ),
+            ]
+        };
+        let mut journal = run(0, 0);
+        journal.extend(run(2, 10));
+        let t = merge_events(&journal);
+        assert!(t.is_acyclic(), "ambiguous ids must not manufacture cycles");
+        assert!(t.warnings.iter().any(|w| w.contains("generated more than once")));
+        assert!(t.warnings.iter().any(|w| w.contains("issued more than once")));
+        assert_eq!(t.edges.iter().filter(|e| e.kind != EdgeKind::Program).count(), 0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let t = merge_journals(&[]);
+        assert!(t.events.is_empty());
+        assert!(t.is_acyclic());
+        assert_eq!(t.summary(), "0 events across 0 sites, 0 edges, 0 warning(s), acyclic");
+    }
+
+    #[test]
+    fn a_real_cycle_is_detected() {
+        // Hand-forged inconsistency: 1#1's generation claims to be *after*
+        // site 0 received it in site 0's own program order… achieved by
+        // making each site's first mention of the other's request precede
+        // its own generation. (Cannot arise from one correct run.)
+        let journal = vec![
+            ev(1, 1, 1, EventKind::ReqReceived { id: rid(0, 1) }),
+            ev(1, 2, 2, EventKind::ReqGenerated { id: rid(1, 1) }),
+            ev(0, 1, 3, EventKind::ReqReceived { id: rid(1, 1) }),
+            ev(0, 2, 4, EventKind::ReqGenerated { id: rid(0, 1) }),
+        ];
+        let t = merge_events(&journal);
+        assert!(!t.is_acyclic());
+        let stuck = t.topo_order().unwrap_err();
+        assert_eq!(stuck.len(), 4, "all four events participate in the cycle");
+    }
+}

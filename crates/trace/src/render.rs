@@ -1,0 +1,313 @@
+//! Text and SVG rendering: span trees, per-site swimlanes.
+//!
+//! All output is deterministic (sorted request / site order), so bin
+//! output can be diffed and tests can pin excerpts. Times render as
+//! `+N` deltas against the span's generation in whatever unit the run's
+//! time source used (simulated-net ms or wall ns); when no time source
+//! was installed, lamport stamps stand in.
+
+use crate::merge::{EdgeKind, MergedTrace};
+use crate::span::{Moment, RemoteSpan, RequestSpan, SpanReport};
+use dce_obs::Event;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Whether any moment in the report carries a real timestamp; when not,
+/// renderers fall back to lamport stamps.
+fn has_time(report: &SpanReport) -> bool {
+    report.spans.iter().any(|s| {
+        s.generated.is_some_and(|m| m.at > 0)
+            || s.remotes.iter().any(|r| r.received.is_some_and(|m| m.at > 0))
+    })
+}
+
+fn stamp(m: Moment, use_at: bool) -> u64 {
+    if use_at {
+        m.at
+    } else {
+        m.lamport
+    }
+}
+
+fn delta(m: Moment, base: Option<Moment>, use_at: bool) -> String {
+    match base {
+        Some(b) => format!("+{}", stamp(m, use_at).saturating_sub(stamp(b, use_at))),
+        None => format!("t={}", stamp(m, use_at)),
+    }
+}
+
+/// Renders every request span as a tree: the root line carries the
+/// origin-side milestones, one child line per remote site.
+pub fn span_tree(report: &SpanReport) -> String {
+    let use_at = has_time(report);
+    let mut out = format!(
+        "span tree · {} request(s) · times are {} deltas from generation\n",
+        report.spans.len(),
+        if use_at { "time-source" } else { "lamport" }
+    );
+    for s in &report.spans {
+        out.push('\n');
+        out.push_str(&root_line(s, use_at));
+        out.push('\n');
+        for (i, r) in s.remotes.iter().enumerate() {
+            let tee = if i + 1 == s.remotes.len() { "└─" } else { "├─" };
+            let _ = writeln!(out, "{tee} {}", remote_line(r, s.generated, use_at));
+        }
+    }
+    out
+}
+
+fn root_line(s: &RequestSpan, use_at: bool) -> String {
+    let mut line = format!("{} · origin site {}", s.id, s.id.site);
+    match s.generated {
+        Some(g) => {
+            let _ = write!(line, " · generated v{} t={}", s.origin_version, stamp(g, use_at));
+        }
+        None => line.push_str(" · generation missing from journals"),
+    }
+    if let Some((version, m)) = s.validation {
+        let _ = write!(line, " · validated as v{version} {}", delta(m, s.generated, use_at));
+    }
+    if let Some(m) = s.validated_at_origin {
+        let _ = write!(line, " · origin consumed {}", delta(m, s.generated, use_at));
+    }
+    if let Some(m) = s.undone_at_origin {
+        let _ = write!(line, " · undone {}", delta(m, s.generated, use_at));
+    }
+    if s.retransmits > 0 {
+        let _ = write!(line, " · {} retransmit(s)", s.retransmits);
+    }
+    if s.stable_at_origin.is_some() {
+        line.push_str(" · stable");
+    }
+    line
+}
+
+fn remote_line(r: &RemoteSpan, base: Option<Moment>, use_at: bool) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(m) = r.received {
+        parts.push(format!("received {}", delta(m, base, use_at)));
+    }
+    if let Some((reason, m)) = r.deferred {
+        parts.push(format!("deferred {} ({reason})", delta(m, base, use_at)));
+    }
+    if let Some((outcome, m)) = r.outcome {
+        parts.push(format!("{} {}", outcome.label(), delta(m, base, use_at)));
+    }
+    if let Some(m) = r.validated {
+        parts.push(format!("validated {}", delta(m, base, use_at)));
+    }
+    if let Some(m) = r.undone {
+        parts.push(format!("undone {}", delta(m, base, use_at)));
+    }
+    if r.duplicates > 0 {
+        parts.push(format!("{} duplicate(s)", r.duplicates));
+    }
+    if r.stable.is_some() {
+        parts.push("stable".to_string());
+    }
+    if parts.is_empty() {
+        parts.push("(no protocol events)".to_string());
+    }
+    format!("site {}: {}", r.site, parts.join(" · "))
+}
+
+/// Renders the journal as a per-site swimlane: one column per site,
+/// one row per event in lamport order.
+pub fn swimlane(events: &[Event]) -> String {
+    const COL: usize = 26;
+    let mut sites: Vec<u32> = {
+        let set: std::collections::BTreeSet<u32> = events.iter().map(|e| e.site).collect();
+        set.into_iter().collect()
+    };
+    if sites.is_empty() {
+        sites.push(0);
+    }
+    let col_of: BTreeMap<u32, usize> = sites.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let mut sorted: Vec<&Event> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.lamport, e.site, e.seq));
+
+    let mut out = format!("{:>8} ", "lamport");
+    for s in &sites {
+        let _ = write!(out, "│ {:<width$}", format!("site {s}"), width = COL);
+    }
+    out.push('\n');
+    let _ = write!(out, "{:->8}-", "");
+    for _ in &sites {
+        let _ = write!(out, "┼-{:-<width$}", "", width = COL);
+    }
+    out.push('\n');
+    for ev in sorted {
+        let _ = write!(out, "{:>8} ", ev.lamport);
+        let col = col_of[&ev.site];
+        for (i, _) in sites.iter().enumerate() {
+            if i == col {
+                let mut text = ev.kind.to_string();
+                if text.len() > COL {
+                    text.truncate(COL - 1);
+                    text.push('…');
+                }
+                let _ = write!(out, "│ {text:<COL$}");
+            } else {
+                let _ = write!(out, "│ {:<COL$}", "");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the merged trace as an SVG swimlane: one horizontal lane per
+/// site, a dot per event (colored by family), and a line per cross-site
+/// happens-before edge. X is the installed time source when present,
+/// lamport otherwise.
+pub fn svg(trace: &MergedTrace) -> String {
+    const WIDTH: f64 = 1160.0;
+    const LANE_H: f64 = 56.0;
+    const LEFT: f64 = 90.0;
+    const TOP: f64 = 30.0;
+    const R: f64 = 4.0;
+
+    let sites = trace.sites();
+    let use_at = trace.events.iter().any(|e| e.at > 0);
+    let t = |e: &Event| if use_at { e.at } else { e.lamport };
+    let tmin = trace.events.iter().map(t).min().unwrap_or(0);
+    let tmax = trace.events.iter().map(t).max().unwrap_or(0).max(tmin + 1);
+    let scale = (WIDTH - LEFT - 30.0) / (tmax - tmin) as f64;
+    let lane_y: BTreeMap<u32, f64> =
+        sites.iter().enumerate().map(|(i, &s)| (s, TOP + LANE_H * (i as f64 + 0.5))).collect();
+    let height = TOP * 2.0 + LANE_H * sites.len().max(1) as f64;
+
+    let x_of = |e: &Event| LEFT + (t(e) - tmin) as f64 * scale;
+    let color = |e: &Event| match e.kind.name() {
+        n if n.starts_with("req_") || n == "check_local_denied" => "#4c78a8",
+        n if n.starts_with("admin_") => "#f58518",
+        n if n.starts_with("validation_") => "#54a24b",
+        _ => "#e45756",
+    };
+
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height}\" \
+         font-family=\"monospace\" font-size=\"11\">\n"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"8\" y=\"16\" fill=\"#333\">{} · x = {}</text>",
+        xml_escape(&trace.summary()),
+        if use_at { "time source" } else { "lamport" }
+    );
+    for (&site, &y) in &lane_y {
+        let _ = writeln!(
+            out,
+            "<line x1=\"{LEFT}\" y1=\"{y}\" x2=\"{}\" y2=\"{y}\" stroke=\"#ddd\"/>\
+             <text x=\"8\" y=\"{}\" fill=\"#333\">site {site}</text>",
+            WIDTH - 20.0,
+            y + 4.0
+        );
+    }
+    // Cross-site edges under the dots.
+    for e in &trace.edges {
+        if e.kind == EdgeKind::Program {
+            continue;
+        }
+        let (a, b) = (&trace.events[e.from], &trace.events[e.to]);
+        let stroke = match e.kind {
+            EdgeKind::Delivery => "#4c78a8",
+            EdgeKind::Validation => "#54a24b",
+            _ => "#f58518",
+        };
+        let _ = writeln!(
+            out,
+            "<line x1=\"{:.1}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" \
+             stroke=\"{stroke}\" stroke-opacity=\"0.35\"/>",
+            x_of(a),
+            lane_y[&a.site],
+            x_of(b),
+            lane_y[&b.site]
+        );
+    }
+    for ev in &trace.events {
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{R}\" fill=\"{}\">\
+             <title>{}</title></circle>",
+            x_of(ev),
+            lane_y[&ev.site],
+            color(ev),
+            xml_escape(&ev.to_string())
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_events;
+    use crate::span::build_spans;
+    use dce_obs::{DeferReason, EventKind, ReqId};
+
+    fn ev(site: u32, seq: u64, at: u64, kind: EventKind) -> Event {
+        Event { site, seq, version: 0, lamport: at, at, kind }
+    }
+
+    fn journal() -> Vec<Event> {
+        let id = ReqId::new(1, 1);
+        vec![
+            ev(1, 1, 10, EventKind::ReqGenerated { id }),
+            ev(0, 1, 14, EventKind::ReqReceived { id }),
+            ev(0, 2, 14, EventKind::ReqExecuted { id }),
+            ev(2, 1, 18, EventKind::ReqDeferred { id, reason: DeferReason::MissingVersion(1) }),
+            ev(2, 2, 25, EventKind::ReqExecuted { id }),
+        ]
+    }
+
+    #[test]
+    fn span_tree_shows_the_lifecycle() {
+        let tree = span_tree(&build_spans(&merge_events(&journal())));
+        assert!(tree.contains("1#1 · origin site 1 · generated v0 t=10"), "{tree}");
+        assert!(tree.contains("├─ site 0: received +4 · executed +4"), "{tree}");
+        assert!(
+            tree.contains("└─ site 2: deferred +8 (awaiting policy v1) · executed +15"),
+            "{tree}"
+        );
+    }
+
+    #[test]
+    fn lamport_fallback_without_time_source() {
+        let mut j = journal();
+        for e in &mut j {
+            e.at = 0;
+        }
+        let tree = span_tree(&build_spans(&merge_events(&j)));
+        assert!(tree.contains("lamport deltas"), "{tree}");
+        assert!(tree.contains("generated v0 t=10"), "lamport stamp stands in: {tree}");
+    }
+
+    #[test]
+    fn swimlane_has_one_column_per_site() {
+        let lane = swimlane(&journal());
+        let header = lane.lines().next().unwrap();
+        assert!(
+            header.contains("site 0") && header.contains("site 1") && header.contains("site 2")
+        );
+        assert!(lane.contains("generated 1#1"), "{lane}");
+        assert!(swimlane(&[]).contains("lamport"), "empty journal still renders a header");
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let t = merge_events(&journal());
+        let img = svg(&t);
+        assert!(img.starts_with("<svg"));
+        assert!(img.ends_with("</svg>\n"));
+        assert_eq!(img.matches("<circle").count(), 5);
+        assert!(img.contains("site 2"));
+        assert!(svg(&merge_events(&[])).contains("</svg>"), "empty trace renders");
+    }
+}

@@ -1,0 +1,423 @@
+//! Span-based latency attribution over a merged trace.
+//!
+//! Every cooperative request becomes one [`RequestSpan`] — a root
+//! anchored at its generation, a validation annotation from the
+//! administrator's handshake, and one [`RemoteSpan`] child per other
+//! site tracking the request's life there: reception, optional deferral
+//! (and why), the outcome (executed / inert / denied), optional
+//! retroactive undo, and stability (compaction). Each phase keeps the
+//! [`Moment`] it happened — lamport stamp plus the `at` timestamp, so
+//! latencies come out in simulated-net milliseconds or wall-clock
+//! nanoseconds depending on which time source the run installed.
+//!
+//! [`publish`] folds the spans into derived metrics in a `dce-obs`
+//! registry: `trace.convergence_lag`, `trace.defer_residency`,
+//! `trace.validation_rtt` and `trace.retransmit_amplification`
+//! histograms, plus summary gauges.
+
+use crate::merge::MergedTrace;
+use dce_obs::{DeferReason, EventKind, ObsHandle, ReqId, SiteId};
+use std::collections::BTreeMap;
+
+/// When something happened: the event's lamport stamp and its `at`
+/// timestamp (0 when the run installed no time source).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Moment {
+    /// Process-wide logical stamp.
+    pub lamport: u64,
+    /// Installed-time-source stamp (sim ms / wall ns / 0).
+    pub at: u64,
+}
+
+/// How a request ended at a remote site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Integrated with document effect.
+    Executed,
+    /// Integrated without effect (an ancestor was inert there).
+    Inert,
+    /// Rejected by `Check_Remote` against the administrative log.
+    Denied,
+}
+
+impl Outcome {
+    /// Lower-case label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Outcome::Executed => "executed",
+            Outcome::Inert => "inert",
+            Outcome::Denied => "denied",
+        }
+    }
+}
+
+/// A request's life at one site other than its origin.
+#[derive(Debug, Clone)]
+pub struct RemoteSpan {
+    /// The observing site.
+    pub site: SiteId,
+    /// Admission into the reception queue.
+    pub received: Option<Moment>,
+    /// Parked instead of processed, and why.
+    pub deferred: Option<(DeferReason, Moment)>,
+    /// How (and when) integration settled.
+    pub outcome: Option<(Outcome, Moment)>,
+    /// Validation consumption here (promotes a tentative copy).
+    pub validated: Option<Moment>,
+    /// Retroactive enforcement undid it here.
+    pub undone: Option<Moment>,
+    /// Compaction reclaimed it here (fully stable).
+    pub stable: Option<Moment>,
+    /// Duplicate copies the reception queue absorbed.
+    pub duplicates: u64,
+}
+
+impl RemoteSpan {
+    fn new(site: SiteId) -> Self {
+        RemoteSpan {
+            site,
+            received: None,
+            deferred: None,
+            outcome: None,
+            validated: None,
+            undone: None,
+            stable: None,
+            duplicates: 0,
+        }
+    }
+}
+
+/// The root span of one cooperative request.
+#[derive(Debug, Clone)]
+pub struct RequestSpan {
+    /// The request.
+    pub id: ReqId,
+    /// Generation at the origin site (`None` when that journal entry was
+    /// evicted — the span is then partial but still useful).
+    pub generated: Option<Moment>,
+    /// Policy version at the origin when generated.
+    pub origin_version: u64,
+    /// The administrator's validation: `(version, issue moment)`.
+    pub validation: Option<(u64, Moment)>,
+    /// When the *origin* site consumed the validation — closing the
+    /// validation round trip.
+    pub validated_at_origin: Option<Moment>,
+    /// Undone at the origin by retroactive enforcement.
+    pub undone_at_origin: Option<Moment>,
+    /// Compacted at the origin.
+    pub stable_at_origin: Option<Moment>,
+    /// Per-remote-site child spans, ascending site id.
+    pub remotes: Vec<RemoteSpan>,
+    /// Transport retransmissions that carried this request.
+    pub retransmits: u64,
+}
+
+impl RequestSpan {
+    fn new(id: ReqId) -> Self {
+        RequestSpan {
+            id,
+            generated: None,
+            origin_version: 0,
+            validation: None,
+            validated_at_origin: None,
+            undone_at_origin: None,
+            stable_at_origin: None,
+            remotes: Vec::new(),
+            retransmits: 0,
+        }
+    }
+
+    fn remote_mut(&mut self, site: SiteId) -> &mut RemoteSpan {
+        let pos = match self.remotes.binary_search_by_key(&site, |r| r.site) {
+            Ok(p) => p,
+            Err(p) => {
+                self.remotes.insert(p, RemoteSpan::new(site));
+                p
+            }
+        };
+        &mut self.remotes[pos]
+    }
+
+    /// `at`-clock delay from generation until the *last* remote site
+    /// settled an outcome — the request's convergence lag. `None` until
+    /// every remote that heard of the request settled it, or when no
+    /// time source stamped the run.
+    pub fn convergence_lag(&self) -> Option<u64> {
+        let gen = self.generated?;
+        if self.remotes.is_empty() {
+            return None;
+        }
+        let mut last = 0u64;
+        for r in &self.remotes {
+            let (_, m) = r.outcome?;
+            last = last.max(m.at);
+        }
+        Some(last.saturating_sub(gen.at))
+    }
+
+    /// `at`-clock delay from generation to the origin consuming its own
+    /// request's validation — the validation round trip.
+    pub fn validation_rtt(&self) -> Option<u64> {
+        Some(self.validated_at_origin?.at.saturating_sub(self.generated?.at))
+    }
+
+    /// Whether the request settled (validated or undone) everywhere it
+    /// was seen.
+    pub fn settled_everywhere(&self) -> bool {
+        self.remotes.iter().all(|r| r.outcome.is_some())
+    }
+}
+
+/// All request spans of a trace, ascending request id.
+#[derive(Debug, Clone, Default)]
+pub struct SpanReport {
+    /// One span per request mentioned anywhere in the trace.
+    pub spans: Vec<RequestSpan>,
+}
+
+impl SpanReport {
+    /// Looks up one request's span.
+    pub fn span(&self, id: ReqId) -> Option<&RequestSpan> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+}
+
+/// Builds the span report from a merged trace. Total: every request
+/// mentioned by any event gets a span, however partial the journals.
+pub fn build_spans(trace: &MergedTrace) -> SpanReport {
+    fn span(spans: &mut BTreeMap<ReqId, RequestSpan>, id: ReqId) -> &mut RequestSpan {
+        spans.entry(id).or_insert_with(|| RequestSpan::new(id))
+    }
+    let mut spans: BTreeMap<ReqId, RequestSpan> = BTreeMap::new();
+    for ev in &trace.events {
+        let m = Moment { lamport: ev.lamport, at: ev.at };
+        match ev.kind {
+            EventKind::ReqGenerated { id } => {
+                let s = span(&mut spans, id);
+                s.generated.get_or_insert(m);
+                s.origin_version = ev.version;
+            }
+            EventKind::ReqReceived { id } if ev.site != id.site => {
+                span(&mut spans, id).remote_mut(ev.site).received.get_or_insert(m);
+            }
+            EventKind::ReqDuplicate { id } if ev.site != id.site => {
+                span(&mut spans, id).remote_mut(ev.site).duplicates += 1;
+            }
+            EventKind::ReqDeferred { id, reason } if ev.site != id.site => {
+                let r = span(&mut spans, id).remote_mut(ev.site);
+                if r.deferred.is_none() {
+                    r.deferred = Some((reason, m));
+                }
+            }
+            EventKind::ReqExecuted { id } if ev.site != id.site => {
+                span(&mut spans, id)
+                    .remote_mut(ev.site)
+                    .outcome
+                    .get_or_insert((Outcome::Executed, m));
+            }
+            EventKind::ReqInert { id } if ev.site != id.site => {
+                span(&mut spans, id).remote_mut(ev.site).outcome.get_or_insert((Outcome::Inert, m));
+            }
+            EventKind::ReqDenied { id } if ev.site != id.site => {
+                span(&mut spans, id)
+                    .remote_mut(ev.site)
+                    .outcome
+                    .get_or_insert((Outcome::Denied, m));
+            }
+            EventKind::ReqUndone { id } => {
+                if ev.site == id.site {
+                    span(&mut spans, id).undone_at_origin.get_or_insert(m);
+                } else {
+                    span(&mut spans, id).remote_mut(ev.site).undone.get_or_insert(m);
+                }
+            }
+            EventKind::ReqStable { id } => {
+                if ev.site == id.site {
+                    span(&mut spans, id).stable_at_origin.get_or_insert(m);
+                } else {
+                    span(&mut spans, id).remote_mut(ev.site).stable.get_or_insert(m);
+                }
+            }
+            EventKind::ValidationIssued { id, version } => {
+                span(&mut spans, id).validation.get_or_insert((version, m));
+            }
+            EventKind::ValidationConsumed { id, .. } => {
+                if ev.site == id.site {
+                    span(&mut spans, id).validated_at_origin.get_or_insert(m);
+                } else {
+                    span(&mut spans, id).remote_mut(ev.site).validated.get_or_insert(m);
+                }
+            }
+            EventKind::StreamRetransmit { req: Some(id), .. } => {
+                span(&mut spans, id).retransmits += 1;
+            }
+            _ => {}
+        }
+    }
+    SpanReport { spans: spans.into_values().collect() }
+}
+
+/// Publishes the span report's derived metrics into `obs`:
+///
+/// * `trace.convergence_lag` — histogram of per-request lag from
+///   generation to the last remote outcome;
+/// * `trace.defer_residency` — histogram of time each deferred copy
+///   spent parked before settling;
+/// * `trace.validation_rtt` — histogram of generation → origin's
+///   validation consumption;
+/// * `trace.retransmit_amplification` — histogram of retransmissions
+///   carrying each request;
+/// * gauges `trace.requests`, `trace.requests_settled`,
+///   `trace.requests_undone`, `trace.requests_stable`.
+pub fn publish(report: &SpanReport, obs: &ObsHandle) {
+    let mut settled = 0u64;
+    let mut undone = 0u64;
+    let mut stable = 0u64;
+    for s in &report.spans {
+        if let Some(lag) = s.convergence_lag() {
+            obs.observe_hist("trace.convergence_lag", lag);
+        }
+        if let Some(rtt) = s.validation_rtt() {
+            obs.observe_hist("trace.validation_rtt", rtt);
+        }
+        obs.observe_hist("trace.retransmit_amplification", s.retransmits);
+        for r in &s.remotes {
+            if let (Some((_, parked)), Some((_, out))) = (r.deferred, r.outcome) {
+                obs.observe_hist("trace.defer_residency", out.at.saturating_sub(parked.at));
+            }
+        }
+        if s.settled_everywhere() {
+            settled += 1;
+        }
+        if s.undone_at_origin.is_some() || s.remotes.iter().any(|r| r.undone.is_some()) {
+            undone += 1;
+        }
+        if s.stable_at_origin.is_some() {
+            stable += 1;
+        }
+    }
+    obs.set_gauge("trace.requests", report.spans.len() as u64);
+    obs.set_gauge("trace.requests_settled", settled);
+    obs.set_gauge("trace.requests_undone", undone);
+    obs.set_gauge("trace.requests_stable", stable);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_events;
+    use dce_obs::Event;
+
+    fn ev(site: u32, seq: u64, at: u64, kind: EventKind) -> Event {
+        Event { site, seq, version: 0, lamport: at, at, kind }
+    }
+
+    fn rid(site: u32, seq: u64) -> ReqId {
+        ReqId::new(site, seq)
+    }
+
+    fn lifecycle_journal() -> Vec<Event> {
+        vec![
+            ev(1, 1, 10, EventKind::ReqGenerated { id: rid(1, 1) }),
+            ev(1, 2, 10, EventKind::ReqExecuted { id: rid(1, 1) }),
+            ev(0, 1, 14, EventKind::ReqReceived { id: rid(1, 1) }),
+            ev(0, 2, 14, EventKind::ReqExecuted { id: rid(1, 1) }),
+            ev(0, 3, 15, EventKind::ValidationIssued { id: rid(1, 1), version: 1 }),
+            ev(0, 4, 15, EventKind::ValidationConsumed { id: rid(1, 1), version: 1 }),
+            ev(2, 1, 18, EventKind::ReqReceived { id: rid(1, 1) }),
+            ev(
+                2,
+                2,
+                18,
+                EventKind::ReqDeferred { id: rid(1, 1), reason: DeferReason::MissingVersion(1) },
+            ),
+            ev(2, 3, 25, EventKind::ReqExecuted { id: rid(1, 1) }),
+            ev(1, 3, 20, EventKind::ValidationConsumed { id: rid(1, 1), version: 1 }),
+            ev(
+                1,
+                4,
+                0,
+                EventKind::StreamRetransmit {
+                    src: 1,
+                    dest: 2,
+                    stream_seq: 3,
+                    req: Some(rid(1, 1)),
+                },
+            ),
+            ev(1, 5, 40, EventKind::ReqStable { id: rid(1, 1) }),
+        ]
+    }
+
+    #[test]
+    fn one_request_full_lifecycle() {
+        let report = build_spans(&merge_events(&lifecycle_journal()));
+        assert_eq!(report.spans.len(), 1);
+        let s = report.span(rid(1, 1)).unwrap();
+        assert_eq!(s.generated.unwrap().at, 10);
+        assert_eq!(s.validation.unwrap().0, 1);
+        assert_eq!(s.validated_at_origin.unwrap().at, 20);
+        assert_eq!(s.validation_rtt(), Some(10));
+        assert_eq!(s.retransmits, 1);
+        assert!(s.stable_at_origin.is_some());
+        assert_eq!(s.remotes.len(), 2);
+        let r0 = &s.remotes[0];
+        assert_eq!(r0.site, 0);
+        assert_eq!(r0.outcome.unwrap().0, Outcome::Executed);
+        assert!(r0.deferred.is_none());
+        let r2 = &s.remotes[1];
+        assert_eq!(r2.site, 2);
+        assert!(matches!(r2.deferred.unwrap().0, DeferReason::MissingVersion(1)));
+        assert_eq!(r2.outcome.unwrap().1.at, 25);
+        // Convergence lag: last remote outcome (25) − generation (10).
+        assert_eq!(s.convergence_lag(), Some(15));
+        assert!(s.settled_everywhere());
+    }
+
+    #[test]
+    fn unsettled_remote_blocks_convergence_lag() {
+        let mut journal = lifecycle_journal();
+        journal.retain(|e| !(e.site == 2 && e.seq == 3)); // site 2 never executes
+        let report = build_spans(&merge_events(&journal));
+        let s = report.span(rid(1, 1)).unwrap();
+        assert_eq!(s.convergence_lag(), None);
+        assert!(!s.settled_everywhere());
+    }
+
+    #[test]
+    fn truncated_origin_yields_partial_span() {
+        let mut journal = lifecycle_journal();
+        journal.retain(|e| e.site != 1); // the origin's journal is gone
+        let report = build_spans(&merge_events(&journal));
+        let s = report.span(rid(1, 1)).unwrap();
+        assert!(s.generated.is_none());
+        assert_eq!(s.remotes.len(), 2, "remote evidence still builds children");
+        assert_eq!(s.validation_rtt(), None);
+        assert_eq!(s.convergence_lag(), None, "no anchor, no lag");
+    }
+
+    #[test]
+    fn publish_fills_the_registry() {
+        let obs = ObsHandle::metrics_only();
+        let report = build_spans(&merge_events(&lifecycle_journal()));
+        publish(&report, &obs);
+        let snap = obs.snapshot();
+        assert_eq!(snap.gauges["trace.requests"], 1);
+        assert_eq!(snap.gauges["trace.requests_settled"], 1);
+        assert_eq!(snap.gauges["trace.requests_stable"], 1);
+        assert_eq!(snap.gauges["trace.requests_undone"], 0);
+        assert_eq!(snap.histograms["trace.convergence_lag"].count, 1);
+        assert_eq!(snap.histograms["trace.convergence_lag"].sum, 15);
+        assert_eq!(snap.histograms["trace.validation_rtt"].sum, 10);
+        assert_eq!(snap.histograms["trace.defer_residency"].sum, 7); // 25 − 18
+        assert_eq!(snap.histograms["trace.retransmit_amplification"].sum, 1);
+    }
+
+    #[test]
+    fn undone_requests_are_counted() {
+        let mut journal = lifecycle_journal();
+        journal.push(ev(2, 4, 30, EventKind::ReqUndone { id: rid(1, 1) }));
+        let obs = ObsHandle::metrics_only();
+        publish(&build_spans(&merge_events(&journal)), &obs);
+        assert_eq!(obs.snapshot().gauges["trace.requests_undone"], 1);
+    }
+}

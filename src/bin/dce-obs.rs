@@ -10,6 +10,7 @@
 //! dce-obs                        # replay Fig. 2, timeline of request 1#1
 //! dce-obs --save fig2.journal    # also write the binary journal
 //! dce-obs --journal fig2.journal --req 1#1   # render a saved capture
+//! dce-obs --json fig2.json       # export the timeline as JSON events
 //! ```
 
 use dce::core::{Message, Site};
@@ -58,11 +59,12 @@ fn replay_fig2() -> Vec<Event> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: dce-obs [--req SITE#SEQ] [--journal FILE] [--save FILE]\n\
+        "usage: dce-obs [--req SITE#SEQ] [--journal FILE] [--save FILE] [--json FILE]\n\
          \n\
          --req SITE#SEQ   request to render (default 1#1, Fig. 2's insert)\n\
          --journal FILE   render a captured journal instead of replaying\n\
-         --save FILE      write the fresh capture as a binary journal"
+         --save FILE      write the fresh capture as a binary journal\n\
+         --json FILE      export the rendered journal as a JSON event array"
     );
     ExitCode::FAILURE
 }
@@ -71,6 +73,7 @@ fn main() -> ExitCode {
     let mut req = ReqId::new(1, 1);
     let mut journal_path: Option<String> = None;
     let mut save_path: Option<String> = None;
+    let mut json_path: Option<String> = None;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -85,6 +88,10 @@ fn main() -> ExitCode {
             },
             "--save" => match argv.next() {
                 Some(p) => save_path = Some(p),
+                None => return usage(),
+            },
+            "--json" => match argv.next() {
+                Some(p) => json_path = Some(p),
                 None => return usage(),
             },
             _ => return usage(),
@@ -118,6 +125,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("saved {} events ({} bytes) to {path}\n", events.len(), encoded.len());
+    }
+
+    if let Some(path) = &json_path {
+        let json = dce::trace::json::events_to_json(&events);
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("dce-obs: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("exported {} events as JSON to {path}\n", events.len());
     }
 
     print!("{}", timeline_for(&events, req));

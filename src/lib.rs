@@ -10,6 +10,7 @@
 //! * [`core`] — the paper's concurrency-control algorithm combining both;
 //! * [`net`] — a deterministic simulated P2P broadcast network;
 //! * [`obs`] — structured event tracing, metrics, and trace oracles;
+//! * [`trace`] — causal trace correlation, spans, and the flight recorder;
 //! * [`baselines`] — comparison algorithms (naive, central-server, SDT/ABT);
 //! * [`editor`] — high-level collaborative sessions (the p2pEdit analog).
 //!
@@ -23,3 +24,4 @@ pub use dce_net as net;
 pub use dce_obs as obs;
 pub use dce_ot as ot;
 pub use dce_policy as policy;
+pub use dce_trace as trace;
