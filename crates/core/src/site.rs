@@ -24,6 +24,13 @@ pub struct Site<E> {
     policy: Policy,
     admin_log: AdminLog,
     flags: HashMap<RequestId, Flag>,
+    /// Policy version each still-tentative request was generated under
+    /// (`q.v` on the wire). Retroactive enforcement replays the receivers'
+    /// `Check_Remote` — "does a restrictive administrative request
+    /// *concurrent* with `q` revoke its access?" — and that question needs
+    /// `q.v` after the request itself has long been integrated. Entries
+    /// are dropped the moment a request settles `Valid` or `Invalid`.
+    tentative_v: HashMap<RequestId, PolicyVersion>,
     /// The reception queues `F` (cooperative) and `Q` (administrative),
     /// indexed by what each queued request is waiting for.
     sched: Scheduler<E>,
@@ -94,6 +101,7 @@ impl<E: Element> Site<E> {
             policy,
             admin_log: AdminLog::new(),
             flags: HashMap::new(),
+            tentative_v: HashMap::new(),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -215,8 +223,8 @@ impl<E: Element> Site<E> {
 
     /// Captures the replicated state for transfer to a joining site:
     /// `(buffer cells, log, clock, pruned-inert set, pruned count, policy,
-    /// admin log, flags)`. Queues, outbox and local diagnostics are
-    /// deliberately not part of a snapshot.
+    /// admin log, flags, tentative generation versions)`. Queues, outbox
+    /// and local diagnostics are deliberately not part of a snapshot.
     #[allow(clippy::type_complexity)]
     pub fn snapshot_parts(
         &self,
@@ -229,6 +237,7 @@ impl<E: Element> Site<E> {
         Policy,
         AdminLog,
         Vec<(RequestId, Flag)>,
+        Vec<(RequestId, PolicyVersion)>,
     ) {
         (
             self.engine.buffer().cells().to_vec(),
@@ -239,6 +248,7 @@ impl<E: Element> Site<E> {
             self.policy.clone(),
             self.admin_log.clone(),
             self.flags.iter().map(|(k, v)| (*k, *v)).collect(),
+            self.tentative_v.iter().map(|(k, v)| (*k, *v)).collect(),
         )
     }
 
@@ -256,6 +266,7 @@ impl<E: Element> Site<E> {
         policy: Policy,
         admin_log: AdminLog,
         flags: Vec<(RequestId, Flag)>,
+        tentative_v: Vec<(RequestId, PolicyVersion)>,
     ) -> Self {
         Site {
             user,
@@ -271,6 +282,7 @@ impl<E: Element> Site<E> {
             policy,
             admin_log,
             flags: flags.into_iter().collect(),
+            tentative_v: tentative_v.into_iter().collect(),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -296,6 +308,7 @@ impl<E: Element> Site<E> {
             policy: self.policy.clone(),
             admin_log: self.admin_log.clone(),
             flags: self.flags.clone(),
+            tentative_v: self.tentative_v.clone(),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -346,6 +359,10 @@ impl<E: Element> Site<E> {
         let mut flags: Vec<(RequestId, Flag)> = self.flags.iter().map(|(k, v)| (*k, *v)).collect();
         flags.sort_unstable_by_key(|(id, _)| *id);
         flags.hash(h);
+        let mut tentative: Vec<(RequestId, PolicyVersion)> =
+            self.tentative_v.iter().map(|(k, v)| (*k, *v)).collect();
+        tentative.sort_unstable_by_key(|(id, _)| *id);
+        tentative.hash(h);
         self.sched.digest_into(h);
         self.outbox.hash(h);
         self.denials.hash(h);
@@ -365,6 +382,46 @@ impl<E: Element> Site<E> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         self.digest_into(&mut h);
         std::hash::Hasher::finish(&h)
+    }
+
+    /// Digest of the *replicated* state only: document content, policy,
+    /// policy version, administrative log and the (sorted) request flag
+    /// table. Unlike [`Site::state_digest`] it excludes everything that
+    /// legitimately differs between replicas — identity, outbox, defer
+    /// queue, diagnostics, peer clocks, OT log order — so two *different
+    /// sites* of one converged session produce the *same* value. This is
+    /// the cross-process convergence check of the socket deployment:
+    /// `DefaultHasher` is keyed with constants, so server and load
+    /// generator compute comparable digests in separate processes.
+    pub fn replica_digest(&self) -> u64
+    where
+        E: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.replica_digest_parts().hash(&mut h);
+        std::hash::Hasher::finish(&h)
+    }
+
+    /// The component hashes behind [`Site::replica_digest`]: document,
+    /// policy, administrative log, flag table — in that order. When two
+    /// replicas disagree, comparing parts pinpoints *which* layer
+    /// diverged; the load generator prints these in its divergence
+    /// report.
+    pub fn replica_digest_parts(&self) -> [u64; 4]
+    where
+        E: std::hash::Hash,
+    {
+        use std::hash::{Hash, Hasher};
+        fn part<T: Hash + ?Sized>(value: &T) -> u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            value.hash(&mut h);
+            h.finish()
+        }
+        let doc = self.engine.document();
+        let mut flags: Vec<(RequestId, Flag)> = self.flags.iter().map(|(k, v)| (*k, *v)).collect();
+        flags.sort_unstable_by_key(|(id, _)| *id);
+        [part(doc.as_slice()), part(&self.policy), part(&self.admin_log), part(&flags)]
     }
 
     /// Drops the first `n` entries of the cooperative log (used by
@@ -402,6 +459,9 @@ impl<E: Element> Site<E> {
         let ot = self.engine.generate(op)?;
         let flag = if self.is_admin() { Flag::Valid } else { Flag::Tentative };
         self.flags.insert(ot.id, flag);
+        if flag == Flag::Tentative {
+            self.tentative_v.insert(ot.id, self.policy.version());
+        }
         self.emit(EventKind::ReqGenerated { id: obs_id(ot.id) });
         self.emit(EventKind::ReqExecuted { id: obs_id(ot.id) });
         // A queued remote request can, after a snapshot rejoin, be parked
@@ -781,6 +841,7 @@ impl<E: Element> Site<E> {
                     self.outbox.push(Message::Admin(validation));
                 } else {
                     self.flags.insert(id, Flag::Tentative);
+                    self.tentative_v.insert(id, q.v);
                 }
             }
         }
@@ -804,6 +865,7 @@ impl<E: Element> Site<E> {
                 if self.flag_of(target) == Some(Flag::Tentative) {
                     self.flags.insert(target, Flag::Valid);
                 }
+                self.tentative_v.remove(&target);
                 let version = self.policy.bump_version();
                 self.admin_log.push(r);
                 self.emit(EventKind::ValidationConsumed { id: obs_id(target), version });
@@ -830,6 +892,21 @@ impl<E: Element> Site<E> {
     /// request the new policy no longer grants is undone — together with
     /// the requests that semantically depend on it, whose target element
     /// disappears with it.
+    ///
+    /// The verdict for each tentative request is computed with the *same*
+    /// canonical decision every receiver uses in `Check_Remote`: "is there
+    /// a restrictive administrative request concurrent with `q` (version
+    /// `> q.v`) whose scope covers `q`'s access?" — answered by
+    /// [`AdminLog::check_remote`] against the generation version recorded
+    /// in `tentative_v`. Re-checking against the full *current* policy
+    /// would be wrong: non-restrictive drift (e.g. a `SetGroup` shrinking
+    /// a group whose grant shadowed an old revoke) can flip a first-match
+    /// walk of the authorization list without any restrictive entry
+    /// targeting the request, making the origin undo an operation that
+    /// every other site — and the administrator, who decides validation —
+    /// still grants. Because administrative requests apply in version
+    /// order everywhere, the log-window decision is identical at every
+    /// site, so a request is undone either everywhere or nowhere.
     fn enforce_policy(&mut self) {
         let victims: Vec<RequestId> = self
             .engine
@@ -838,7 +915,10 @@ impl<E: Element> Site<E> {
             .filter(|e| !e.inert)
             .filter(|e| self.flag_of(e.id) == Some(Flag::Tentative))
             .filter(|e| match Action::for_op(&e.base) {
-                Some(action) => !self.policy.check(e.id.site, &action).granted(),
+                Some(action) => {
+                    let v = self.tentative_v.get(&e.id).copied().unwrap_or(0);
+                    self.admin_log.check_remote(e.id.site, &action, v, &self.policy).is_some()
+                }
                 None => false,
             })
             .map(|e| e.id)
@@ -853,6 +933,7 @@ impl<E: Element> Site<E> {
             let cascade = self.engine.undo(victim).expect("tentative live request is undoable");
             for id in cascade {
                 self.flags.insert(id, Flag::Invalid);
+                self.tentative_v.remove(&id);
                 self.undone.push(id);
                 self.emit(EventKind::ReqUndone { id: obs_id(id) });
             }
@@ -998,6 +1079,29 @@ mod tests {
             Site::new_user(1, 0, doc(initial), p.clone()),
             Site::new_user(2, 0, doc(initial), p),
         )
+    }
+
+    #[test]
+    fn replica_digest_agrees_across_converged_sites() {
+        let (mut adm, mut s1, mut s2) = group("abc");
+        let q1 = s1.generate(Op::ins(1, 'x')).unwrap();
+        adm.receive(Message::Coop(q1.clone())).unwrap();
+        s2.receive(Message::Coop(q1)).unwrap();
+        // Mid-flight: s2 has not seen the validation yet, so the flag
+        // tables (and hence the replica digests) disagree.
+        let validations = adm.drain_outbox();
+        assert!(!validations.is_empty());
+        assert_ne!(adm.replica_digest(), s2.replica_digest());
+        for m in validations {
+            s1.receive(m.clone()).unwrap();
+            s2.receive(m).unwrap();
+        }
+        // Converged: the *replicated* state digests collide across all
+        // three sites even though their behavioral digests cannot (each
+        // hashes its own identity, outbox and diagnostics).
+        assert_eq!(adm.replica_digest(), s1.replica_digest());
+        assert_eq!(s1.replica_digest(), s2.replica_digest());
+        assert_ne!(s1.state_digest(), s2.state_digest());
     }
 
     #[test]
@@ -1161,6 +1265,101 @@ mod tests {
         // All three sites converge.
         assert_eq!(adm.document(), s1.document());
         assert_eq!(s1.document(), s2.document());
+    }
+
+    #[test]
+    fn group_drift_does_not_undo_what_the_admin_validates() {
+        // Regression: retroactive enforcement must replay Check_Remote —
+        // "does a restrictive request concurrent with `q` revoke its
+        // access?" — not re-check the full current policy. Otherwise
+        // non-restrictive drift (here a SetGroup shrinking a group whose
+        // grant shadowed an old revoke) makes the origin undo a tentative
+        // operation that the administrator still grants and validates:
+        // permanent flag and document divergence.
+        let (mut adm, mut s1, mut s2) = group("abc");
+
+        // v1: an old revoke of s1's insert right on a narrow range (s1
+        // has nothing tentative yet, so nothing is undone anywhere).
+        let r1 = adm
+            .admin_generate(AdminOp::AddAuth {
+                pos: 0,
+                auth: Authorization::new(
+                    Subject::User(1),
+                    DocObject::Range { from: 1, to: 1 },
+                    [Right::Insert],
+                    Sign::Minus,
+                ),
+            })
+            .unwrap();
+        // v2: a group containing s1; v3: a grant to that group, inserted
+        // above the revoke — shadowing it in the first-match walk.
+        let r2 = adm
+            .admin_generate(AdminOp::SetGroup {
+                name: "eds".into(),
+                members: [1].into_iter().collect(),
+            })
+            .unwrap();
+        let r3 = adm
+            .admin_generate(AdminOp::AddAuth {
+                pos: 0,
+                auth: Authorization::new(
+                    Subject::Group("eds".into()),
+                    DocObject::Document,
+                    [Right::Insert],
+                    Sign::Plus,
+                ),
+            })
+            .unwrap();
+        for m in [&r1, &r2, &r3] {
+            s1.receive(Message::Admin(m.clone())).unwrap();
+            s2.receive(Message::Admin(m.clone())).unwrap();
+        }
+
+        // s1 inserts under v3 — granted via the group grant.
+        let q = s1.generate(Op::ins(1, 'x')).unwrap();
+        assert_eq!(q.v, 3);
+        assert_eq!(s1.document().to_string(), "xabc");
+
+        // v4 (non-restrictive) empties the group, unshadowing the old
+        // revoke. v5, restrictive but aimed at a *different* user,
+        // reaches s1 before s1's own edit reaches the administrator —
+        // triggering retroactive enforcement at the origin.
+        let r4 = adm
+            .admin_generate(AdminOp::SetGroup { name: "eds".into(), members: Default::default() })
+            .unwrap();
+        let r5 = adm.admin_generate(revoke(Right::Delete, 2)).unwrap();
+        for m in [&r4, &r5] {
+            s1.receive(Message::Admin(m.clone())).unwrap();
+            s2.receive(Message::Admin(m.clone())).unwrap();
+        }
+
+        // No restrictive request concurrent with q covers its access, so
+        // the insert must stay tentative. (The buggy full-policy re-check
+        // found the unshadowed v1 revoke and undid it here — and only
+        // here, since every receiver decides via Check_Remote.)
+        assert_eq!(s1.flag_of(q.ot.id), Some(Flag::Tentative));
+        assert_eq!(s1.document().to_string(), "xabc");
+        assert!(s1.undone().is_empty());
+
+        // The administrator receives the edit, grants it by the same
+        // decision, and validates it.
+        adm.receive(Message::Coop(q.clone())).unwrap();
+        assert_eq!(adm.flag_of(q.ot.id), Some(Flag::Valid));
+        let validations = adm.drain_outbox();
+        assert_eq!(validations.len(), 1);
+        s2.receive(Message::Coop(q.clone())).unwrap();
+        for m in validations {
+            s1.receive(m.clone()).unwrap();
+            s2.receive(m).unwrap();
+        }
+
+        // Everyone settles on the same verdict and the same document.
+        for site in [&adm, &s1, &s2] {
+            assert_eq!(site.flag_of(q.ot.id), Some(Flag::Valid));
+            assert_eq!(site.document().to_string(), "xabc");
+        }
+        assert_eq!(adm.replica_digest(), s1.replica_digest());
+        assert_eq!(adm.replica_digest(), s2.replica_digest());
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! # dce-loadgen — open-loop load generator for `dce-server`
+//!
+//! Drives N concurrent client connections against a running
+//! [`dce_server::Server`], each one a full collaborator replica: a
+//! [`dce_core::Site`] behind its own [`dce_net::reliable::Endpoint`],
+//! speaking [`dce_net::frame`] frames over real TCP. Each client issues
+//! a configurable mix of document edits (insert/delete/update) and
+//! delegated administrative proposals on an **open-loop** schedule —
+//! ops fire on their think-time clock regardless of how many earlier
+//! ops are still unresolved — and measures the wall-clock round trip
+//! from generation to the request's flag settling (`Valid` via the
+//! administrator's validation, `Invalid` via a retroactive undo).
+//!
+//! At quiescence (every client drained, the server's endpoint holding
+//! no unacked data) the coordinator compares [`dce_core::Site::replica_digest`]
+//! across every client replica *and* the server's administrator replica;
+//! convergence requires all of them equal on two consecutive polls.
+//! Divergence or timeout trips the armed `dce-trace` flight recorder,
+//! so a failed run leaves `results/flight-<seed>.json` behind exactly
+//! like the in-process chaos suites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dce_core::{CoreError, Flag, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_net::frame::{encode_frame, Frame, FrameDecoder};
+use dce_net::reliable::{Endpoint, ReliableConfig};
+use dce_obs::ObsHandle;
+use dce_ot::ids::RequestId;
+use dce_policy::{AdminOp, Authorization, DocObject, Right, Subject};
+use dce_server::initial_policy;
+use dce_trace::{build_spans, merge_events};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+/// Relative weights of the op mix (need not sum to 100).
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    /// Insertions.
+    pub ins: u32,
+    /// Deletions.
+    pub del: u32,
+    /// Updates.
+    pub up: u32,
+    /// Delegated administrative proposals.
+    pub admin: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Mix { ins: 50, del: 25, up: 15, admin: 10 }
+    }
+}
+
+impl Mix {
+    /// Parses `ins:del:up:admin`, e.g. `50:25:15:10`.
+    pub fn parse(s: &str) -> Option<Mix> {
+        let parts: Vec<u32> = s.split(':').map(str::parse).collect::<Result<_, _>>().ok()?;
+        match parts[..] {
+            [ins, del, up, admin] if ins + del + up + admin > 0 => {
+                Some(Mix { ins, del, up, admin })
+            }
+            _ => None,
+        }
+    }
+
+    fn total(&self) -> u32 {
+        self.ins + self.del + self.up + self.admin
+    }
+}
+
+/// A load run's knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7461`.
+    pub addr: String,
+    /// Session id to join.
+    pub session: u32,
+    /// Concurrent client connections (users `1..=clients`). The server
+    /// must be configured for at least this many collaborators.
+    pub clients: u32,
+    /// Total operations across all clients.
+    pub ops: u64,
+    /// Op mix.
+    pub mix: Mix,
+    /// Percent of administrative proposals that are *restrictive*
+    /// (a negative authorization on a narrow range — exercises the
+    /// retroactive-undo path).
+    pub restrictive_pct: u32,
+    /// Mean think time between one client's ops (ms); 0 = flat out.
+    pub think_ms: u64,
+    /// RNG seed (op choices, positions, think-time jitter).
+    pub seed: u64,
+    /// Initial document (must match the server's `--doc`).
+    pub doc: String,
+    /// Initial retransmission timeout of the client endpoints (ms).
+    pub rto_ms: u64,
+    /// Give up (and dump flight evidence) after this many seconds.
+    pub timeout_s: u64,
+    /// Where flight dumps land on divergence.
+    pub results_dir: PathBuf,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7461".into(),
+            session: 1,
+            clients: 4,
+            ops: 1_000,
+            mix: Mix::default(),
+            restrictive_pct: 25,
+            think_ms: 0,
+            seed: 0xD15E_ED17,
+            doc: "the quick brown fox".into(),
+            rto_ms: 100,
+            timeout_s: 120,
+            results_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Latency percentiles over resolved cooperative requests (ms).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyReport {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+/// What one run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Client connections driven.
+    pub clients: u32,
+    /// Cooperative requests put on the wire.
+    pub coop_sent: u64,
+    /// Administrative proposals put on the wire.
+    pub proposals_sent: u64,
+    /// Ops refused by `Check_Local` before sending.
+    pub denied_local: u64,
+    /// Requests whose flag settled `Valid`.
+    pub resolved_valid: u64,
+    /// Requests whose flag settled `Invalid` (retroactively undone).
+    pub resolved_invalid: u64,
+    /// Wall-clock from first op to confirmed convergence (ms).
+    pub duration_ms: u64,
+    /// Resolved cooperative requests per second.
+    pub throughput_ops_s: f64,
+    /// Round-trip latency percentiles (ms).
+    pub latency: LatencyReport,
+    /// `true` when every replica digest agreed at quiescence.
+    pub converged: bool,
+    /// The agreed replica digest (0 when not converged).
+    pub replica_digest: u64,
+    /// Events captured in the shared journal.
+    pub events_recorded: usize,
+    /// Events lost to ring overflow (0 = complete journal).
+    pub events_overflowed: u64,
+    /// Request spans `dce-trace` built from the journal.
+    pub request_spans: usize,
+    /// `true` when the merged happens-before trace is acyclic.
+    pub trace_acyclic: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Progress {
+    sent: u64,
+    outstanding: usize,
+    unacked: bool,
+    idle: bool,
+    digest: u64,
+    /// Component hashes (doc, policy, admin log, flags) backing `digest`,
+    /// printed in the divergence report to pinpoint the layer at fault.
+    parts: [u64; 4],
+}
+
+struct ClientShared {
+    progress: Mutex<Progress>,
+    error: Mutex<Option<String>>,
+}
+
+#[derive(Debug, Default)]
+struct ClientOut {
+    latencies_ms: Vec<f64>,
+    coop_sent: u64,
+    proposals_sent: u64,
+    denied_local: u64,
+    resolved_valid: u64,
+    resolved_invalid: u64,
+    /// Final (sorted) request-flag table, compared across clients in the
+    /// divergence report — the usual culprit when digests disagree.
+    flags: Vec<(RequestId, Flag)>,
+}
+
+/// A frame-speaking TCP connection with non-blocking reads and a
+/// buffered, retrying writer.
+struct FrameConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+}
+
+impl FrameConn {
+    fn connect(addr: &str, wait: Duration) -> Result<FrameConn, String> {
+        let deadline = Instant::now() + wait;
+        loop {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream.set_nonblocking(true).map_err(|e| e.to_string())?;
+                    return Ok(FrameConn { stream, decoder: FrameDecoder::new(), out: Vec::new() });
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(format!("connect {addr}: {e}"));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn queue(&mut self, frame: &Frame<Char>) {
+        self.out.extend_from_slice(&encode_frame(frame));
+    }
+
+    fn flush(&mut self) -> Result<(), String> {
+        while !self.out.is_empty() {
+            match self.stream.write(&self.out) {
+                Ok(0) => return Err("server closed the connection".into()),
+                Ok(n) => {
+                    self.out.drain(..n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(format!("write: {e}")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Drains readable bytes into complete frames. `Ok(false)` when the
+    /// peer closed the connection cleanly.
+    fn read_frames(&mut self, into: &mut Vec<Frame<Char>>) -> Result<bool, String> {
+        let mut buf = [0u8; 64 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Ok(false),
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+        loop {
+            match self.decoder.next::<Char>() {
+                Ok(Some(f)) => into.push(f),
+                Ok(None) => break,
+                Err(e) => return Err(format!("bad frame from server: {e}")),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Sends `request` and waits (bounded) for a frame `want` accepts.
+    fn round_trip<T>(
+        &mut self,
+        request: &Frame<Char>,
+        wait: Duration,
+        want: impl Fn(&Frame<Char>) -> Option<T>,
+    ) -> Result<T, String> {
+        self.queue(request);
+        let deadline = Instant::now() + wait;
+        let mut frames = Vec::new();
+        loop {
+            self.flush()?;
+            if !self.read_frames(&mut frames)? {
+                return Err("server closed the control connection".into());
+            }
+            for f in frames.drain(..) {
+                if let Some(t) = want(&f) {
+                    return Ok(t);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err("control request timed out".into());
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+    }
+}
+
+struct Client {
+    user: u32,
+    quota: u64,
+    cfg: LoadgenConfig,
+    obs: ObsHandle,
+    shared: Arc<ClientShared>,
+    stop: Arc<AtomicBool>,
+    start: Arc<Barrier>,
+}
+
+fn client_main(c: Client) -> Result<ClientOut, String> {
+    let mut conn = FrameConn::connect(&c.cfg.addr, Duration::from_secs(10))?;
+    conn.round_trip(
+        &Frame::Hello { session: c.cfg.session, user: c.user },
+        Duration::from_secs(10),
+        |f| matches!(f, Frame::Welcome { .. }).then_some(()),
+    )?;
+
+    let mut site: Site<Char> = Site::new_user(
+        c.user,
+        0,
+        CharDocument::from_str(&c.cfg.doc),
+        initial_policy(c.cfg.clients),
+    )
+    .with_observability(c.obs.clone());
+    let mut endpoint: Endpoint<Char> = Endpoint::new(
+        c.user as usize,
+        ReliableConfig { initial_rto_ms: c.cfg.rto_ms, max_rto_ms: c.cfg.rto_ms * 16 },
+    );
+    let mut rng = StdRng::seed_from_u64(c.cfg.seed ^ (0x9E37_79B9 * u64::from(c.user)));
+    let mut out = ClientOut::default();
+    let mut outstanding: HashMap<RequestId, Instant> = HashMap::new();
+    let origin = Instant::now();
+
+    // Everyone is welcomed before anyone edits: the server relays only
+    // to members it has seen, so the fan-out set must be complete first.
+    c.start.wait();
+
+    let mut next_op = Instant::now();
+    let mut frames = Vec::new();
+    while !c.stop.load(Ordering::Relaxed) {
+        let mut worked = false;
+        let now_ms = origin.elapsed().as_millis() as u64;
+
+        if out.coop_sent + out.proposals_sent + out.denied_local < c.quota
+            && Instant::now() >= next_op
+        {
+            generate_one(
+                &mut site,
+                &mut endpoint,
+                &mut conn,
+                &mut rng,
+                &c.cfg,
+                &mut out,
+                &mut outstanding,
+                now_ms,
+            )?;
+            next_op = Instant::now() + think_gap(&mut rng, c.cfg.think_ms);
+            worked = true;
+        }
+
+        if !conn.read_frames(&mut frames)? {
+            return Err("server closed the connection mid-run".into());
+        }
+        for frame in frames.drain(..) {
+            worked = true;
+            match frame {
+                Frame::Data { src: _, epoch, seq, ack_epoch, ack, msg } => {
+                    endpoint.on_ack(0, ack_epoch, ack, now_ms);
+                    let outcome = endpoint.on_data(0, epoch, seq, msg);
+                    for m in outcome.deliverable {
+                        site.receive((*m).clone())
+                            .map_err(|e| format!("user {}: receive: {e}", c.user))?;
+                    }
+                    let (ack_epoch, cum) = endpoint.ack_for(0);
+                    conn.queue(&Frame::Ack { from: c.user, epoch: ack_epoch, cum });
+                }
+                Frame::Ack { epoch, cum, .. } => endpoint.on_ack(0, epoch, cum, now_ms),
+                Frame::Welcome { .. } => {}
+                other => return Err(format!("unexpected frame for a client: {other:?}")),
+            }
+        }
+
+        // Resolve finished requests: a flag that left `Tentative` ends
+        // the round-trip measurement for that op.
+        if !outstanding.is_empty() {
+            let ids: Vec<RequestId> = outstanding.keys().copied().collect();
+            for id in ids {
+                let resolved = match site.flag_of(id) {
+                    Some(dce_core::Flag::Valid) => {
+                        out.resolved_valid += 1;
+                        true
+                    }
+                    Some(dce_core::Flag::Invalid) => {
+                        out.resolved_invalid += 1;
+                        true
+                    }
+                    _ => false,
+                };
+                if resolved {
+                    let started = outstanding.remove(&id).expect("tracked");
+                    out.latencies_ms.push(started.elapsed().as_secs_f64() * 1_000.0);
+                    worked = true;
+                }
+            }
+        }
+
+        if matches!(endpoint.next_deadline(), Some(d) if d <= now_ms) {
+            for (_, pkt) in endpoint.due_retransmissions(now_ms) {
+                conn.queue(&Frame::from_packet(pkt));
+                worked = true;
+            }
+        }
+        conn.flush()?;
+
+        let done_sending = out.coop_sent + out.proposals_sent + out.denied_local >= c.quota;
+        let idle = done_sending && outstanding.is_empty() && !endpoint.has_unacked();
+        {
+            let mut p = c.shared.progress.lock().expect("progress lock");
+            p.sent = out.coop_sent + out.proposals_sent;
+            p.outstanding = outstanding.len();
+            p.unacked = endpoint.has_unacked();
+            p.idle = idle;
+            if idle {
+                p.digest = site.replica_digest();
+                p.parts = site.replica_digest_parts();
+            }
+        }
+        if !worked {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+    out.flags = site.flags().collect();
+    out.flags.sort_unstable_by_key(|(id, _)| *id);
+    conn.queue(&Frame::Bye { user: c.user });
+    let _ = conn.flush();
+    Ok(out)
+}
+
+fn think_gap(rng: &mut StdRng, think_ms: u64) -> Duration {
+    if think_ms == 0 {
+        return Duration::ZERO;
+    }
+    Duration::from_millis(rng.gen_range(think_ms / 2..=think_ms + think_ms / 2))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn generate_one(
+    site: &mut Site<Char>,
+    endpoint: &mut Endpoint<Char>,
+    conn: &mut FrameConn,
+    rng: &mut StdRng,
+    cfg: &LoadgenConfig,
+    out: &mut ClientOut,
+    outstanding: &mut HashMap<RequestId, Instant>,
+    now_ms: u64,
+) -> Result<(), String> {
+    let mix = cfg.mix;
+    let roll = rng.gen_range(0..mix.total());
+    if roll >= mix.ins + mix.del + mix.up {
+        let op = random_admin_op(rng, cfg);
+        match site.propose_admin(op) {
+            Ok(p) => {
+                let pkt = endpoint.send(0, Arc::new(Message::Proposal(p)), now_ms);
+                conn.queue(&Frame::from_packet(pkt));
+                out.proposals_sent += 1;
+            }
+            Err(e) => return Err(format!("propose_admin: {e}")),
+        }
+        return Ok(());
+    }
+    let doc = site.document();
+    let len = doc.len();
+    let letter = char::from(b'a' + rng.gen_range(0..26) as u8);
+    let op = if len == 0 || roll < mix.ins {
+        Op::ins(rng.gen_range(1..=len + 1), letter)
+    } else if roll < mix.ins + mix.del {
+        let pos = rng.gen_range(1..=len);
+        Op::del(pos, *doc.get(pos).expect("in range"))
+    } else {
+        let pos = rng.gen_range(1..=len);
+        Op::up(pos, *doc.get(pos).expect("in range"), letter)
+    };
+    match site.generate(op) {
+        Ok(q) => {
+            outstanding.insert(q.ot.id, Instant::now());
+            let pkt = endpoint.send(0, Arc::new(Message::Coop(q)), now_ms);
+            conn.queue(&Frame::from_packet(pkt));
+            out.coop_sent += 1;
+        }
+        Err(CoreError::AccessDenied { .. }) => out.denied_local += 1,
+        Err(e) => return Err(format!("generate: {e}")),
+    }
+    Ok(())
+}
+
+/// A benign or (with probability `restrictive_pct`) restrictive
+/// administrative proposal. Restrictive ones revoke a single dynamic
+/// right from one user on a narrow position range — enough to trigger
+/// `Check_Remote` denials and retroactive undo without starving the
+/// whole run of grants.
+fn random_admin_op(rng: &mut StdRng, cfg: &LoadgenConfig) -> AdminOp {
+    if rng.gen_range(0..100) < cfg.restrictive_pct {
+        let user = rng.gen_range(1..=cfg.clients);
+        let right = Right::DYNAMIC[rng.gen_range(0..Right::DYNAMIC.len())];
+        let from = rng.gen_range(1..=64usize);
+        let to = from + rng.gen_range(0..3usize);
+        AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::revoke(
+                Subject::User(user),
+                DocObject::Range { from, to },
+                [right],
+            ),
+        }
+    } else if rng.gen_range(0..2) == 0 {
+        let user = rng.gen_range(1..=cfg.clients);
+        let right = Right::DYNAMIC[rng.gen_range(0..Right::DYNAMIC.len())];
+        // Appending a grant at position 0 shadows nothing harmful: the
+        // policy is first-match and already permissive.
+        AdminOp::AddAuth {
+            pos: 0,
+            auth: Authorization::grant(Subject::User(user), DocObject::Document, [right]),
+        }
+    } else {
+        let members = (1..=cfg.clients).filter(|_| rng.gen_range(0..2) == 0).collect();
+        AdminOp::SetGroup { name: format!("g{}", rng.gen_range(0..4u32)), members }
+    }
+}
+
+/// Runs one load session against a server at `cfg.addr`. The server
+/// must already be listening and configured for at least `cfg.clients`
+/// collaborators with the same `doc`.
+pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
+    let obs = ObsHandle::recording(1 << 17);
+    obs.use_wall_time();
+    dce_trace::flight::arm(&obs, cfg.seed, cfg.results_dir.clone());
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(cfg.clients as usize));
+    let mut shareds = Vec::new();
+    let mut handles = Vec::new();
+    let per_client = cfg.ops / u64::from(cfg.clients.max(1));
+    let remainder = cfg.ops % u64::from(cfg.clients.max(1));
+    for user in 1..=cfg.clients {
+        let shared = Arc::new(ClientShared {
+            progress: Mutex::new(Progress::default()),
+            error: Mutex::new(None),
+        });
+        shareds.push(Arc::clone(&shared));
+        let client = Client {
+            user,
+            quota: per_client + u64::from(u64::from(user) <= remainder),
+            cfg: cfg.clone(),
+            obs: obs.clone(),
+            shared,
+            stop: Arc::clone(&stop),
+            start: Arc::clone(&start),
+        };
+        let errs = Arc::clone(&shareds[user as usize - 1]);
+        handles.push(std::thread::spawn(move || {
+            let result = client_main(client);
+            if let Err(e) = &result {
+                *errs.error.lock().expect("error lock") = Some(e.clone());
+            }
+            result
+        }));
+    }
+
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(cfg.timeout_s);
+    let mut control = FrameConn::connect(&cfg.addr, Duration::from_secs(10))
+        .map_err(|e| format!("control connection: {e}"))?;
+    let mut stable_polls = 0u32;
+    let mut agreed_digest = 0u64;
+    let converged = loop {
+        std::thread::sleep(Duration::from_millis(50));
+        for shared in &shareds {
+            if let Some(e) = shared.error.lock().expect("error lock").clone() {
+                stop.store(true, Ordering::Relaxed);
+                for h in handles {
+                    let _ = h.join();
+                }
+                return Err(format!("client failed: {e}"));
+            }
+        }
+        let progress: Vec<Progress> =
+            shareds.iter().map(|s| *s.progress.lock().expect("progress lock")).collect();
+        let all_idle = progress.iter().all(|p| p.idle);
+        if !all_idle {
+            stable_polls = 0;
+            if Instant::now() >= deadline {
+                break false;
+            }
+            continue;
+        }
+        let server = match control.round_trip(
+            &Frame::DigestRequest { session: cfg.session },
+            Duration::from_secs(5),
+            |f| match f {
+                Frame::DigestReply { digest, idle, .. } => Some((*digest, *idle)),
+                _ => None,
+            },
+        ) {
+            Ok(reply) => reply,
+            Err(e) => {
+                stop.store(true, Ordering::Relaxed);
+                for h in handles {
+                    let _ = h.join();
+                }
+                return Err(format!("digest poll: {e}"));
+            }
+        };
+        let digests: Vec<u64> = progress.iter().map(|p| p.digest).collect();
+        let agree = server.1 && digests.iter().all(|&d| d == server.0);
+        if agree {
+            stable_polls += 1;
+            agreed_digest = server.0;
+            if stable_polls >= 2 {
+                break true;
+            }
+        } else {
+            stable_polls = 0;
+        }
+        if Instant::now() >= deadline {
+            if !agree {
+                let parts: Vec<[u64; 4]> = progress.iter().map(|p| p.parts).collect();
+                let reason = format!(
+                    "socket session diverged or stalled after {}s: server digest {} (idle {}), \
+                     client digests {:?}, client [doc, policy, admin_log, flags] parts {:?}",
+                    cfg.timeout_s, server.0, server.1, digests, parts
+                );
+                eprintln!("dce-loadgen: {reason}");
+                obs.failure(&reason);
+            }
+            break false;
+        }
+    };
+    let duration_ms = started.elapsed().as_millis() as u64;
+
+    stop.store(true, Ordering::Relaxed);
+    let mut outs = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(Ok(out)) => outs.push(out),
+            Ok(Err(e)) => return Err(format!("client failed: {e}")),
+            Err(_) => return Err("client thread panicked".into()),
+        }
+    }
+    if !converged {
+        report_flag_divergence(&outs);
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut report = RunReport {
+        clients: cfg.clients,
+        coop_sent: 0,
+        proposals_sent: 0,
+        denied_local: 0,
+        resolved_valid: 0,
+        resolved_invalid: 0,
+        duration_ms,
+        throughput_ops_s: 0.0,
+        latency: LatencyReport::default(),
+        converged,
+        replica_digest: if converged { agreed_digest } else { 0 },
+        events_recorded: 0,
+        events_overflowed: obs.overflowed(),
+        request_spans: 0,
+        trace_acyclic: true,
+    };
+    for out in outs {
+        report.coop_sent += out.coop_sent;
+        report.proposals_sent += out.proposals_sent;
+        report.denied_local += out.denied_local;
+        report.resolved_valid += out.resolved_valid;
+        report.resolved_invalid += out.resolved_invalid;
+        latencies.extend(out.latencies_ms);
+    }
+    let resolved = report.resolved_valid + report.resolved_invalid;
+    if duration_ms > 0 {
+        report.throughput_ops_s = resolved as f64 / (duration_ms as f64 / 1_000.0);
+    }
+    report.latency = LatencyReport {
+        p50: dce_bench::percentile(&latencies, 50.0).unwrap_or(0.0),
+        p95: dce_bench::percentile(&latencies, 95.0).unwrap_or(0.0),
+        p99: dce_bench::percentile(&latencies, 99.0).unwrap_or(0.0),
+        max: latencies.iter().copied().fold(0.0, f64::max),
+    };
+
+    // The journal and trace pipeline run unchanged over the socket
+    // path: merge the shared wall-clock journal and roll it into spans.
+    let events = obs.events();
+    report.events_recorded = events.len();
+    let trace = merge_events(&events);
+    report.trace_acyclic = trace.is_acyclic();
+    report.request_spans = build_spans(&trace).spans.len();
+    Ok(report)
+}
+
+/// On divergence, prints where the clients' flag tables disagree —
+/// entries present at one replica but not another, or flagged
+/// differently. This is the layer that diverges when anything does (the
+/// document, policy and admin log are totally ordered through the
+/// admin), so the diff usually names the exact request at fault.
+fn report_flag_divergence(outs: &[ClientOut]) {
+    let Some(reference) = outs.first() else { return };
+    let base: HashMap<RequestId, Flag> = reference.flags.iter().copied().collect();
+    for (i, out) in outs.iter().enumerate().skip(1) {
+        let theirs: HashMap<RequestId, Flag> = out.flags.iter().copied().collect();
+        for (id, flag) in &theirs {
+            match base.get(id) {
+                None => eprintln!("dce-loadgen: flag diff: {id:?} = {flag:?} only at client {i}"),
+                Some(b) if b != flag => eprintln!(
+                    "dce-loadgen: flag diff: {id:?} is {b:?} at client 0 but {flag:?} at client {i}"
+                ),
+                Some(_) => {}
+            }
+        }
+        for (id, flag) in &base {
+            if !theirs.contains_key(id) {
+                eprintln!("dce-loadgen: flag diff: {id:?} = {flag:?} only at client 0, missing at client {i}");
+            }
+        }
+    }
+}
+
+/// Writes `report` as `BENCH_server.json`-style JSON.
+pub fn write_bench_json(path: &Path, cfg: &LoadgenConfig, report: &RunReport) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let body = format!(
+        "{{\n  \"bench\": \"server\",\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \
+         \"ops\": {ops},\n  \"mix\": \"{ins}:{del}:{up}:{admin}\",\n  \
+         \"restrictive_pct\": {rp},\n  \"think_ms\": {think},\n  \"seed\": {seed},\n  \
+         \"coop_sent\": {coop},\n  \"proposals_sent\": {props},\n  \
+         \"denied_local\": {denied},\n  \"resolved_valid\": {valid},\n  \
+         \"resolved_invalid\": {invalid},\n  \"duration_ms\": {dur},\n  \
+         \"throughput_ops_per_s\": {thr:.1},\n  \"latency_ms\": {{\n    \
+         \"p50\": {p50:.3},\n    \"p95\": {p95:.3},\n    \"p99\": {p99:.3},\n    \
+         \"max\": {max:.3}\n  }},\n  \"converged\": {conv},\n  \
+         \"replica_digest\": {digest},\n  \"events_recorded\": {events},\n  \
+         \"events_overflowed\": {overflow},\n  \"request_spans\": {spans},\n  \
+         \"trace_acyclic\": {acyclic}\n}}\n",
+        addr = cfg.addr,
+        clients = report.clients,
+        ops = cfg.ops,
+        ins = cfg.mix.ins,
+        del = cfg.mix.del,
+        up = cfg.mix.up,
+        admin = cfg.mix.admin,
+        rp = cfg.restrictive_pct,
+        think = cfg.think_ms,
+        seed = cfg.seed,
+        coop = report.coop_sent,
+        props = report.proposals_sent,
+        denied = report.denied_local,
+        valid = report.resolved_valid,
+        invalid = report.resolved_invalid,
+        dur = report.duration_ms,
+        thr = report.throughput_ops_s,
+        p50 = report.latency.p50,
+        p95 = report.latency.p95,
+        p99 = report.latency.p99,
+        max = report.latency.max,
+        conv = report.converged,
+        digest = report.replica_digest,
+        events = report.events_recorded,
+        overflow = report.events_overflowed,
+        spans = report.request_spans,
+        acyclic = report.trace_acyclic,
+    );
+    std::fs::write(path, body)
+}

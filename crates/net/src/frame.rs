@@ -1,0 +1,437 @@
+//! Length-prefixed framing for shipping the wire codec over byte
+//! streams.
+//!
+//! [`crate::wire`] encodes one [`Message`] as one self-contained byte
+//! string, but a TCP connection is an undelimited byte pipe: reads
+//! return arbitrary prefixes, concatenations and splits of whatever the
+//! peer wrote. This module puts frame boundaries back:
+//!
+//! * every frame is `u32-le length ‖ body`, with the length covering
+//!   the body only and capped at [`MAX_FRAME_LEN`] so a corrupted or
+//!   hostile length prefix cannot drive an unbounded allocation;
+//! * the body is `tag ‖ fields`; the [`Frame`] enum covers the session
+//!   handshake (`Hello`/`Welcome`), the reliable layer's traffic
+//!   (`Data` wraps a [`Packet`], `Ack` is the standalone cumulative
+//!   ack), and the out-of-band control queries the load generator uses
+//!   to detect quiescence (`Status*`, `Digest*`);
+//! * [`FrameDecoder`] is an incremental parser: feed it whatever the
+//!   socket produced, pull zero or more complete frames out. Split
+//!   frames wait for more bytes; garbage fails loudly with a
+//!   [`WireError`] so the connection can be dropped instead of
+//!   desynchronizing.
+//!
+//! The `Data` body embeds a [`crate::wire::encode_message`] payload
+//! with its own inner length, so the protocol message round-trips
+//! through the exact codec the rest of the stack already tests.
+
+use crate::reliable::Packet;
+use crate::wire::{decode_message, encode_message, WireElement, WireError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dce_core::Message;
+use std::sync::Arc;
+
+/// Hard ceiling on one frame's body length. Far above any legitimate
+/// message (a full-document snapshot is shipped elsewhere), far below
+/// anything that would hurt to allocate.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+type Result<T> = std::result::Result<T, WireError>;
+
+/// One frame of the server protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame<E> {
+    /// Client → server: join `session` as `user`. Re-sent on reconnect;
+    /// the server restarts its stream toward the user in response.
+    Hello {
+        /// Session identifier (one server hosts several).
+        session: u32,
+        /// The joining user/site id.
+        user: u32,
+    },
+    /// Server → client: the join was accepted.
+    Welcome {
+        /// Echoed session id.
+        session: u32,
+        /// Echoed user id.
+        user: u32,
+        /// Collaborator sites the session is configured for.
+        peers: u32,
+    },
+    /// A reliable-layer data packet: [`Packet`] flattened onto the wire
+    /// with its protocol message in [`crate::wire`] encoding.
+    Data {
+        /// Sending site.
+        src: u32,
+        /// Stream restart epoch.
+        epoch: u64,
+        /// Sequence number within the epoch (1-based).
+        seq: u64,
+        /// Epoch of the reverse stream the piggybacked ack refers to.
+        ack_epoch: u64,
+        /// Cumulative ack for the reverse stream.
+        ack: u64,
+        /// The protocol message.
+        msg: Arc<Message<E>>,
+    },
+    /// A standalone cumulative ack (sent on every data arrival so a
+    /// one-directional flow still completes).
+    Ack {
+        /// Acking site.
+        from: u32,
+        /// Epoch of the acked stream.
+        epoch: u64,
+        /// Cumulative ack point.
+        cum: u64,
+    },
+    /// Control: ask the server for its replica digest of `session`.
+    DigestRequest {
+        /// Queried session.
+        session: u32,
+    },
+    /// Control: a replica digest (server's answer, `user` = 0).
+    DigestReply {
+        /// Queried session.
+        session: u32,
+        /// The site whose replica was digested.
+        user: u32,
+        /// [`dce_core::Site::replica_digest`] of that replica.
+        digest: u64,
+        /// `true` when the server's endpoint holds no unacked data for
+        /// the session.
+        idle: bool,
+    },
+    /// Control: ask the server for session liveness counters.
+    StatusRequest {
+        /// Queried session.
+        session: u32,
+    },
+    /// Control: session liveness counters.
+    StatusReply {
+        /// Queried session.
+        session: u32,
+        /// Currently connected collaborator sites.
+        connected: u32,
+        /// `true` while the server's endpoint holds unacked data.
+        unacked: bool,
+        /// Messages delivered to the server's admin site so far.
+        delivered: u64,
+    },
+    /// Either direction: orderly departure of `user`.
+    Bye {
+        /// The departing user.
+        user: u32,
+    },
+}
+
+impl<E> Frame<E> {
+    /// Wraps a reliable-layer packet for the wire.
+    pub fn from_packet(p: Packet<E>) -> Self {
+        Frame::Data {
+            src: p.src as u32,
+            epoch: p.epoch,
+            seq: p.seq,
+            ack_epoch: p.ack_epoch,
+            ack: p.ack,
+            msg: p.msg,
+        }
+    }
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_WELCOME: u8 = 1;
+const TAG_DATA: u8 = 2;
+const TAG_ACK: u8 = 3;
+const TAG_DIGEST_REQUEST: u8 = 4;
+const TAG_DIGEST_REPLY: u8 = 5;
+const TAG_STATUS_REQUEST: u8 = 6;
+const TAG_STATUS_REPLY: u8 = 7;
+const TAG_BYE: u8 = 8;
+
+/// Encodes one frame, length prefix included.
+pub fn encode_frame<E: WireElement>(frame: &Frame<E>) -> Bytes {
+    let mut body = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Hello { session, user } => {
+            body.put_u8(TAG_HELLO);
+            body.put_u32_le(*session);
+            body.put_u32_le(*user);
+        }
+        Frame::Welcome { session, user, peers } => {
+            body.put_u8(TAG_WELCOME);
+            body.put_u32_le(*session);
+            body.put_u32_le(*user);
+            body.put_u32_le(*peers);
+        }
+        Frame::Data { src, epoch, seq, ack_epoch, ack, msg } => {
+            body.put_u8(TAG_DATA);
+            body.put_u32_le(*src);
+            body.put_u64_le(*epoch);
+            body.put_u64_le(*seq);
+            body.put_u64_le(*ack_epoch);
+            body.put_u64_le(*ack);
+            let payload = encode_message(msg);
+            body.put_u32_le(payload.len() as u32);
+            body.put_slice(&payload);
+        }
+        Frame::Ack { from, epoch, cum } => {
+            body.put_u8(TAG_ACK);
+            body.put_u32_le(*from);
+            body.put_u64_le(*epoch);
+            body.put_u64_le(*cum);
+        }
+        Frame::DigestRequest { session } => {
+            body.put_u8(TAG_DIGEST_REQUEST);
+            body.put_u32_le(*session);
+        }
+        Frame::DigestReply { session, user, digest, idle } => {
+            body.put_u8(TAG_DIGEST_REPLY);
+            body.put_u32_le(*session);
+            body.put_u32_le(*user);
+            body.put_u64_le(*digest);
+            body.put_u8(u8::from(*idle));
+        }
+        Frame::StatusRequest { session } => {
+            body.put_u8(TAG_STATUS_REQUEST);
+            body.put_u32_le(*session);
+        }
+        Frame::StatusReply { session, connected, unacked, delivered } => {
+            body.put_u8(TAG_STATUS_REPLY);
+            body.put_u32_le(*session);
+            body.put_u32_le(*connected);
+            body.put_u8(u8::from(*unacked));
+            body.put_u64_le(*delivered);
+        }
+        Frame::Bye { user } => {
+            body.put_u8(TAG_BYE);
+            body.put_u32_le(*user);
+        }
+    }
+    let mut out = BytesMut::with_capacity(body.len() + 4);
+    out.put_u32_le(body.len() as u32);
+    out.put_slice(&body.freeze());
+    out.freeze()
+}
+
+fn decode_body<E: WireElement>(mut buf: Bytes) -> Result<Frame<E>> {
+    let frame = match get_u8(&mut buf)? {
+        TAG_HELLO => Frame::Hello { session: get_u32(&mut buf)?, user: get_u32(&mut buf)? },
+        TAG_WELCOME => Frame::Welcome {
+            session: get_u32(&mut buf)?,
+            user: get_u32(&mut buf)?,
+            peers: get_u32(&mut buf)?,
+        },
+        TAG_DATA => {
+            let src = get_u32(&mut buf)?;
+            let epoch = get_u64(&mut buf)?;
+            let seq = get_u64(&mut buf)?;
+            let ack_epoch = get_u64(&mut buf)?;
+            let ack = get_u64(&mut buf)?;
+            let len = get_u32(&mut buf)? as usize;
+            if buf.remaining() < len {
+                return Err(WireError::Truncated);
+            }
+            let msg = decode_message(buf.copy_to_bytes(len))?;
+            Frame::Data { src, epoch, seq, ack_epoch, ack, msg: Arc::new(msg) }
+        }
+        TAG_ACK => Frame::Ack {
+            from: get_u32(&mut buf)?,
+            epoch: get_u64(&mut buf)?,
+            cum: get_u64(&mut buf)?,
+        },
+        TAG_DIGEST_REQUEST => Frame::DigestRequest { session: get_u32(&mut buf)? },
+        TAG_DIGEST_REPLY => Frame::DigestReply {
+            session: get_u32(&mut buf)?,
+            user: get_u32(&mut buf)?,
+            digest: get_u64(&mut buf)?,
+            idle: get_u8(&mut buf)? != 0,
+        },
+        TAG_STATUS_REQUEST => Frame::StatusRequest { session: get_u32(&mut buf)? },
+        TAG_STATUS_REPLY => Frame::StatusReply {
+            session: get_u32(&mut buf)?,
+            connected: get_u32(&mut buf)?,
+            unacked: get_u8(&mut buf)? != 0,
+            delivered: get_u64(&mut buf)?,
+        },
+        TAG_BYE => Frame::Bye { user: get_u32(&mut buf)? },
+        t => return Err(WireError::BadTag(t)),
+    };
+    // A frame body is exactly its fields: leftover bytes mean the length
+    // prefix and the content disagree, i.e. the stream is desynchronized
+    // or corrupt. Failing here drops the connection before the confusion
+    // spreads.
+    if buf.remaining() != 0 {
+        return Err(WireError::BadHeader);
+    }
+    Ok(frame)
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    Ok(Buf::get_u8(buf))
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(WireError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+/// Incremental frame parser over an undelimited byte stream.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pulls the next complete frame out, `Ok(None)` when more bytes are
+    /// needed. After an `Err` the stream is beyond repair — the caller
+    /// should drop the connection.
+    ///
+    /// Not an `Iterator`: the element type is chosen per call and errors
+    /// are terminal rather than items.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next<E: WireElement>(&mut self) -> Result<Option<Frame<E>>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::BadHeader);
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = Bytes::from(self.buf[4..4 + len].to_vec());
+        self.buf.drain(..4 + len);
+        decode_body(body).map(Some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_document::Char;
+    use dce_ot::ids::Clock;
+
+    fn heartbeat(n: u64) -> Frame<Char> {
+        let mut clock = Clock::new();
+        clock.set(2, n);
+        Frame::Data {
+            src: 2,
+            epoch: 1,
+            seq: n,
+            ack_epoch: 0,
+            ack: 3,
+            msg: Arc::new(Message::Heartbeat { from: 2, clock }),
+        }
+    }
+
+    fn roundtrip(frame: &Frame<Char>) -> Frame<Char> {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&encode_frame(frame));
+        let out = dec.next().expect("decodes").expect("complete");
+        assert_eq!(dec.buffered(), 0);
+        out
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        for frame in [
+            Frame::<Char>::Hello { session: 7, user: 3 },
+            Frame::Welcome { session: 7, user: 3, peers: 4 },
+            Frame::Ack { from: 3, epoch: 2, cum: 99 },
+            Frame::DigestRequest { session: 7 },
+            Frame::DigestReply { session: 7, user: 0, digest: u64::MAX, idle: true },
+            Frame::StatusRequest { session: 7 },
+            Frame::StatusReply { session: 7, connected: 4, unacked: false, delivered: 1_000 },
+            Frame::Bye { user: 3 },
+        ] {
+            assert_eq!(roundtrip(&frame), frame);
+        }
+    }
+
+    #[test]
+    fn data_frames_roundtrip_through_the_wire_codec() {
+        let frame = heartbeat(5);
+        assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn split_and_concatenated_reads_reassemble() {
+        let bytes: Vec<u8> = [encode_frame(&heartbeat(1)), encode_frame(&heartbeat(2))]
+            .iter()
+            .fold(Vec::new(), |mut acc, b| {
+                acc.extend_from_slice(b);
+                acc
+            });
+        let mut dec = FrameDecoder::new();
+        let mut out: Vec<Frame<Char>> = Vec::new();
+        // Dribble one byte at a time: every prefix is a legal partial read.
+        for byte in bytes {
+            dec.extend(&[byte]);
+            while let Some(f) = dec.next().expect("clean stream") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, vec![heartbeat(1), heartbeat(2)]);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert_eq!(dec.next::<Char>(), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn truncated_body_and_unknown_tag_are_rejected() {
+        // Length says 9 bytes, tag says Ack (needs 20): truncated.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&9u32.to_le_bytes());
+        dec.extend(&[TAG_ACK, 1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(dec.next::<Char>(), Err(WireError::Truncated));
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&1u32.to_le_bytes());
+        dec.extend(&[0xEE]);
+        assert_eq!(dec.next::<Char>(), Err(WireError::BadTag(0xEE)));
+    }
+
+    #[test]
+    fn trailing_garbage_inside_a_frame_is_rejected() {
+        let mut bytes = encode_frame(&Frame::<Char>::Bye { user: 1 }).to_vec();
+        // Grow the body by one byte and patch the length prefix to match:
+        // the frame is self-consistent but longer than its content.
+        bytes.push(0xAB);
+        let len = (bytes.len() - 4) as u32;
+        bytes[..4].copy_from_slice(&len.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next::<Char>(), Err(WireError::BadHeader));
+    }
+}

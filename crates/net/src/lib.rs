@@ -24,6 +24,9 @@
 //!   exhaustive schedule-space exploration.
 //! * [`wire`] — the binary wire codec a real deployment would ship
 //!   messages with (length-explicit, versioned, zero-reflection).
+//! * [`frame`] — length-prefixed framing over undelimited byte streams
+//!   (TCP): the wire codec plus handshake/ack/control frames, with an
+//!   incremental decoder that survives split and concatenated reads.
 //! * [`snapshot`] — wire-encodable full-replica snapshots, the state
 //!   transfer a joining participant bootstraps from.
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod frame;
 pub mod parallel;
 pub mod reliable;
 pub mod scripted;
@@ -53,6 +57,7 @@ pub mod snapshot;
 pub mod wire;
 
 pub use fault::{FaultPlan, FaultStats, LegFate, Partition};
+pub use frame::{encode_frame, Frame, FrameDecoder, MAX_FRAME_LEN};
 pub use reliable::{Endpoint, Packet, ReliableConfig};
 pub use scripted::{Flight, ScriptedNet};
 pub use sim::{Latency, SimNet, SimStats};

@@ -33,7 +33,7 @@
 
 use dce_core::Message;
 use dce_document::Element;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// Tuning knobs for the session layer.
@@ -89,11 +89,18 @@ struct TxStream<E> {
     /// When the pending retransmission timer fires (simulated ms);
     /// `None` while nothing is outstanding or the stream is paused.
     deadline: Option<u64>,
+    /// `true` while the peer is crashed/departed: new sends keep
+    /// buffering but must not arm the timer — `deadline: None` alone
+    /// cannot distinguish "idle" from "paused", and a send re-arming a
+    /// paused stream would retransmit into a dead site forever,
+    /// defeating the quiescence guarantee. Cleared only by
+    /// [`Endpoint::restart_stream_to`] / [`Endpoint::reset_after_rejoin`].
+    paused: bool,
 }
 
 impl<E> TxStream<E> {
     fn new(rto: u64) -> Self {
-        TxStream { epoch: 0, next_seq: 0, unacked: Vec::new(), rto, deadline: None }
+        TxStream { epoch: 0, next_seq: 0, unacked: Vec::new(), rto, deadline: None, paused: false }
     }
 }
 
@@ -165,7 +172,7 @@ impl<E: Element> Endpoint<E> {
         let stream = self.tx.entry(dest).or_insert_with(|| TxStream::new(rto));
         stream.next_seq += 1;
         stream.unacked.push((stream.next_seq, Arc::clone(&msg)));
-        if stream.deadline.is_none() {
+        if !stream.paused && stream.deadline.is_none() {
             stream.deadline = Some(now + stream.rto);
         }
         Packet { src: self.site, epoch: stream.epoch, seq: stream.next_seq, ack_epoch, ack, msg }
@@ -187,7 +194,11 @@ impl<E: Element> Endpoint<E> {
         stream.unacked.retain(|(seq, _)| *seq > cum);
         if stream.unacked.len() < before {
             stream.rto = self.cfg.initial_rto_ms;
-            stream.deadline = if stream.unacked.is_empty() { None } else { Some(now + stream.rto) };
+            stream.deadline = if stream.unacked.is_empty() || stream.paused {
+                None
+            } else {
+                Some(now + stream.rto)
+            };
         }
     }
 
@@ -298,12 +309,15 @@ impl<E: Element> Endpoint<E> {
     }
 
     /// Suspends the retransmission timer of the `self → peer` stream.
-    /// Outstanding data stays in the send buffer; nothing is resent until
-    /// the stream is restarted. Used while `peer` is crashed or departed —
-    /// retransmitting into a dead site can never make progress, and an
-    /// unkillable timer would keep the simulation from quiescing.
+    /// Outstanding data stays in the send buffer; nothing is resent —
+    /// and later sends keep buffering without re-arming the timer —
+    /// until the stream is restarted. Used while `peer` is crashed or
+    /// departed: retransmitting into a dead site can never make
+    /// progress, and an unkillable timer would keep the simulation (or a
+    /// real server's reactor) from quiescing.
     pub fn pause_stream_to(&mut self, peer: usize) {
         if let Some(stream) = self.tx.get_mut(&peer) {
+            stream.paused = true;
             stream.deadline = None;
         }
     }
@@ -323,13 +337,17 @@ impl<E: Element> Endpoint<E> {
     /// void.
     pub fn restart_stream_to(&mut self, peer: usize, now: u64) {
         let mut refill: Vec<Arc<Message<E>>> = Vec::new();
+        let mut seen: HashSet<*const Message<E>> = HashSet::new();
         let mut peers: Vec<usize> = self.tx.keys().copied().collect();
         peers.sort_unstable(); // deterministic refill order
         for p in peers {
             for (_, msg) in &self.tx[&p].unacked {
-                // `Arc` equality compares the payloads (pointer fast path
-                // first), so cross-stream copies of one broadcast dedup.
-                if !refill.contains(msg) {
+                // Dedup by *allocation identity*: cross-stream copies of
+                // one broadcast share an `Arc` and collapse, while two
+                // distinct messages that happen to be byte-identical
+                // (e.g. the same op re-issued) are both kept. Payload
+                // equality would conflate them — and cost O(n²).
+                if seen.insert(Arc::as_ptr(msg)) {
                     refill.push(Arc::clone(msg));
                 }
             }
@@ -340,6 +358,7 @@ impl<E: Element> Endpoint<E> {
         stream.unacked = refill.into_iter().enumerate().map(|(i, m)| ((i + 1) as u64, m)).collect();
         stream.next_seq = stream.unacked.len() as u64;
         stream.rto = self.cfg.initial_rto_ms;
+        stream.paused = false;
         stream.deadline = if stream.unacked.is_empty() { None } else { Some(now) };
     }
 
@@ -365,6 +384,7 @@ impl<E: Element> Endpoint<E> {
             stream.next_seq = 0;
             stream.unacked.clear();
             stream.rto = self.cfg.initial_rto_ms;
+            stream.paused = false;
             stream.deadline = None;
         }
         discarded
@@ -552,6 +572,58 @@ mod tests {
         // Stale epoch-0 data is now void.
         let stale = b.on_data(0, 0, 2, hb(2));
         assert!(stale.duplicate);
+    }
+
+    #[test]
+    fn send_to_paused_stream_does_not_rearm_the_timer() {
+        let mut a = ep(0);
+        a.send(1, hb(1), 0);
+        a.pause_stream_to(1);
+        assert_eq!(a.next_deadline(), None);
+        // Peer 1 is crashed/departed; a broadcast leg keeps buffering
+        // but must not resurrect the retransmission timer.
+        a.send(1, hb(2), 10);
+        assert_eq!(a.next_deadline(), None, "send re-armed a paused stream");
+        assert!(a.due_retransmissions(10_000).is_empty(), "paused stream retransmitted");
+        // A pre-pause ack still in flight settles data without re-arming.
+        a.on_ack(1, 0, 1, 20);
+        assert_eq!(a.next_deadline(), None, "ack re-armed a paused stream");
+        assert!(a.has_unacked(), "hb(2) stays buffered for the restart");
+        // Restarting the stream is the only way back to a live timer.
+        a.restart_stream_to(1, 100);
+        assert_eq!(a.next_deadline(), Some(100));
+        let resent = a.due_retransmissions(100);
+        assert_eq!(resent.len(), 1, "the surviving message rides the new epoch");
+    }
+
+    #[test]
+    fn restart_refill_keeps_equal_payload_distinct_messages() {
+        let mut a = ep(0);
+        // Two *distinct allocations* with byte-identical payloads: the
+        // same heartbeat re-issued on two different streams. Identity
+        // dedup must keep both; payload dedup silently drops one.
+        let m1 = hb(1);
+        let m2 = hb(1);
+        assert!(!Arc::ptr_eq(&m1, &m2));
+        assert_eq!(m1, m2);
+        a.send(1, m1, 0);
+        a.send(2, m2, 0);
+        a.restart_stream_to(3, 50);
+        let to_3 = a.due_retransmissions(50).len();
+        assert_eq!(to_3, 2, "equal-payload distinct messages were conflated");
+        // True cross-stream copies of one broadcast still collapse: the
+        // shared Arc counts once even though three streams now hold it.
+        let shared = hb(9);
+        a.send(1, Arc::clone(&shared), 60);
+        a.send(2, Arc::clone(&shared), 60);
+        a.restart_stream_to(4, 70);
+        let to_4: Vec<u64> = a
+            .due_retransmissions(70)
+            .into_iter()
+            .filter(|(p, _)| *p == 4)
+            .map(|(_, p)| p.seq)
+            .collect();
+        assert_eq!(to_4, vec![1, 2, 3], "union = m1 + m2 + shared, shared deduped");
     }
 
     #[test]

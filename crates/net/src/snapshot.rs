@@ -19,13 +19,13 @@ use dce_policy::{AdminLog, UserId};
 use std::collections::HashSet;
 
 const MAGIC: u8 = 0xD5; // distinct from message frames
-const VERSION: u8 = 1;
+const VERSION: u8 = 2; // v2: carries tentative generation versions
 
 type Result<T> = std::result::Result<T, WireError>;
 
 /// Encodes a full snapshot of `site`'s replicated state.
 pub fn encode_snapshot<E: Element + WireElement>(site: &Site<E>) -> Bytes {
-    let (cells, log, clock, pruned_inert, pruned_count, policy, admin_log, flags) =
+    let (cells, log, clock, pruned_inert, pruned_count, policy, admin_log, flags, tentative_v) =
         site.snapshot_parts();
 
     let mut out = BytesMut::with_capacity(1024);
@@ -89,6 +89,14 @@ pub fn encode_snapshot<E: Element + WireElement>(site: &Site<E>) -> Bytes {
             Flag::Valid => 1,
             Flag::Invalid => 2,
         });
+    }
+
+    // Generation versions of still-tentative requests (retroactive
+    // enforcement replays Check_Remote against these).
+    out.put_u64_le(tentative_v.len() as u64);
+    for (id, v) in &tentative_v {
+        wire::encode_id(*id, &mut out);
+        out.put_u64_le(*v);
     }
 
     out.freeze()
@@ -167,6 +175,14 @@ pub fn decode_snapshot<E: Element + WireElement>(
         flags.push((id, flag));
     }
 
+    let n_tentative = wire::get_u64_pub(&mut buf)? as usize;
+    let mut tentative_v = Vec::with_capacity(n_tentative.min(1 << 20));
+    for _ in 0..n_tentative {
+        let id = wire::decode_id(&mut buf)?;
+        let v = wire::get_u64_pub(&mut buf)?;
+        tentative_v.push((id, v));
+    }
+
     Ok(Site::from_snapshot_parts(
         new_user,
         admin_id,
@@ -178,6 +194,7 @@ pub fn decode_snapshot<E: Element + WireElement>(
         policy,
         admin_log,
         flags,
+        tentative_v,
     ))
 }
 

@@ -178,6 +178,11 @@ impl Policy {
         self.users.contains(&user)
     }
 
+    /// The ordered authorization list (first match decides).
+    pub fn auths(&self) -> &[Authorization] {
+        &self.auths
+    }
+
     /// Registered named objects.
     pub fn objects(&self) -> &BTreeMap<String, DocObject> {
         &self.objects

@@ -1,0 +1,470 @@
+//! # dce-server — real-socket session server
+//!
+//! The paper deploys its prototype on a live network (§6); until now
+//! every "site" in this repository lived inside one process behind
+//! `SimNet`. This crate puts the same stack on real TCP sockets: a
+//! hand-rolled **non-blocking reactor** over `std::net::TcpListener`
+//! (the build environment is offline — no tokio/mio) hosting one or
+//! more editor **sessions** per process. Each session is the
+//! administrator's replica ([`dce_core::Site`] for user 0) plus the
+//! connection roster of its collaborator sites; clients connect with
+//! [`dce_net::frame`] frames and the whole exchange runs through the
+//! *same* [`dce_net::reliable::Endpoint`] session layer the simulator
+//! chaos suites exercise — sequence numbers, cumulative acks and
+//! timeout retransmission now driven by wall-clock milliseconds instead
+//! of simulated time.
+//!
+//! Topology is a star: clients talk to the server only. The server
+//! *re-originates* every relayed message on its own per-client streams,
+//! so each client observes one FIFO stream whose order is the order the
+//! administrator processed the group's traffic — a valid causal order
+//! (anything a client's op depends on was relayed to it, and therefore
+//! processed here, before the op came back). Messages for a member that
+//! is currently disconnected are buffered on a **paused** stream
+//! (timer off — see the pause/send fix in `reliable.rs`) and flow again
+//! when the member re-`Hello`s and the stream restarts in a new epoch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dce_core::{Message, Site};
+use dce_document::{Char, CharDocument};
+use dce_net::frame::{encode_frame, Frame, FrameDecoder};
+use dce_net::reliable::{Endpoint, ReliableConfig};
+use dce_obs::ObsHandle;
+use dce_policy::Policy;
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Tuning knobs for a server process.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7461` (`:0` picks a free port).
+    pub addr: String,
+    /// Collaborator sites per session (users `1..=users`; user 0 is the
+    /// administrator, hosted here).
+    pub users: u32,
+    /// Initial document content, shared by every replica.
+    pub doc: String,
+    /// Initial retransmission timeout of the reliable layer (wall ms).
+    pub rto_ms: u64,
+    /// Observability journal capacity (ring entries); 0 disables.
+    pub journal: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7461".into(),
+            users: 4,
+            doc: "the quick brown fox".into(),
+            rto_ms: 100,
+            journal: 1 << 16,
+        }
+    }
+}
+
+/// The deterministic initial policy of a session with `users`
+/// collaborators: permissive over `{0, …, users}`, with every
+/// collaborator holding an administrative delegation so the load
+/// generator can exercise the proposal path. Server and clients build
+/// this *identically* at version 0 — no bootstrap admin traffic needed.
+pub fn initial_policy(users: u32) -> Policy {
+    let mut p = Policy::permissive(0..=users);
+    for u in 1..=users {
+        p.add_delegate(u);
+    }
+    p
+}
+
+/// One connected socket.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    /// `(session, user)` once the `Hello` arrived.
+    identity: Option<(u32, u32)>,
+    closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            identity: None,
+            closed: false,
+        }
+    }
+}
+
+/// One hosted editor session: the administrator's replica plus the
+/// session-layer endpoint and connection roster for its collaborators.
+struct Session {
+    admin: Site<Char>,
+    endpoint: Endpoint<Char>,
+    /// user → connection slot, for currently connected members.
+    conn_of: HashMap<u32, usize>,
+    /// Every user that has connected at least once: disconnected members
+    /// keep accumulating traffic on a paused stream until they return.
+    seen: HashSet<u32>,
+    delivered: u64,
+}
+
+/// The server: a non-blocking accept/read/timer/write loop. Drive it
+/// with [`Server::poll`] from your own loop, or hand it a shutdown flag
+/// via [`Server::run`].
+pub struct Server {
+    cfg: ServerConfig,
+    listener: TcpListener,
+    conns: Vec<Option<Conn>>,
+    sessions: HashMap<u32, Session>,
+    origin: Instant,
+    obs: ObsHandle,
+}
+
+impl Server {
+    /// Binds the listen socket (non-blocking) and prepares the reactor.
+    pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let obs = if cfg.journal > 0 {
+            let obs = ObsHandle::recording(cfg.journal);
+            obs.use_wall_time();
+            obs
+        } else {
+            ObsHandle::disabled()
+        };
+        Ok(Server {
+            cfg,
+            listener,
+            conns: Vec::new(),
+            sessions: HashMap::new(),
+            origin: Instant::now(),
+            obs,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's observability handle (journal + metrics). Arm a
+    /// flight recorder on it to capture protocol failures.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
+    }
+
+    /// Milliseconds since the server started — the reliable layer's
+    /// clock on this transport.
+    fn now_ms(&self) -> u64 {
+        self.origin.elapsed().as_millis() as u64
+    }
+
+    /// Runs the reactor until `shutdown` goes true. Sleeps briefly when
+    /// a pass finds no work, so an idle server does not spin a core.
+    pub fn run(&mut self, shutdown: Arc<AtomicBool>) -> io::Result<()> {
+        while !shutdown.load(Ordering::Relaxed) {
+            if !self.poll()? {
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        }
+        Ok(())
+    }
+
+    /// One reactor pass: accept, read/handle, fire retransmission
+    /// timers, flush writes, reap dead connections. Returns `true` when
+    /// any work happened.
+    pub fn poll(&mut self) -> io::Result<bool> {
+        let mut worked = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(true)?;
+                    let _ = stream.set_nodelay(true);
+                    let conn = Some(Conn::new(stream));
+                    match self.conns.iter().position(Option::is_none) {
+                        Some(slot) => self.conns[slot] = conn,
+                        None => self.conns.push(conn),
+                    }
+                    worked = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => return Err(e),
+            }
+        }
+
+        let now = self.now_ms();
+        let mut buf = [0u8; 64 * 1024];
+        for ci in 0..self.conns.len() {
+            let mut frames = Vec::new();
+            {
+                let Some(conn) = self.conns[ci].as_mut() else { continue };
+                loop {
+                    match conn.stream.read(&mut buf) {
+                        Ok(0) => {
+                            conn.closed = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            conn.decoder.extend(&buf[..n]);
+                            worked = true;
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => {
+                            conn.closed = true;
+                            break;
+                        }
+                    }
+                }
+                loop {
+                    match conn.decoder.next::<Char>() {
+                        Ok(Some(frame)) => frames.push(frame),
+                        Ok(None) => break,
+                        Err(e) => {
+                            // The byte stream is beyond repair: drop the
+                            // connection rather than guess at framing.
+                            eprintln!("dce-server: conn {ci}: bad frame: {e}");
+                            conn.closed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            for frame in frames {
+                self.handle_frame(ci, frame, now);
+                worked = true;
+            }
+        }
+
+        // Retransmission timers, driven by wall-clock time.
+        let session_ids: Vec<u32> = self.sessions.keys().copied().collect();
+        for sid in session_ids {
+            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            if !matches!(sess.endpoint.next_deadline(), Some(d) if d <= now) {
+                continue;
+            }
+            for (peer, pkt) in sess.endpoint.due_retransmissions(now) {
+                if let Some(&ci) = sess.conn_of.get(&(peer as u32)) {
+                    push_out(&mut self.conns, ci, &encode_frame(&Frame::from_packet(pkt)));
+                    worked = true;
+                }
+            }
+        }
+
+        for conn in self.conns.iter_mut().flatten() {
+            while !conn.out.is_empty() {
+                match conn.stream.write(&conn.out) {
+                    Ok(0) => {
+                        conn.closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.out.drain(..n);
+                        worked = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => {
+                        conn.closed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        for ci in 0..self.conns.len() {
+            let closed = matches!(&self.conns[ci], Some(c) if c.closed);
+            if !closed {
+                continue;
+            }
+            if let Some((sid, user)) = self.conns[ci].as_ref().and_then(|c| c.identity) {
+                if let Some(sess) = self.sessions.get_mut(&sid) {
+                    sess.conn_of.remove(&user);
+                    // The member is gone: keep buffering for it, timer off.
+                    sess.endpoint.pause_stream_to(user as usize);
+                }
+            }
+            self.conns[ci] = None;
+            worked = true;
+        }
+        Ok(worked)
+    }
+
+    fn close_conn(&mut self, ci: usize, why: &str) {
+        if let Some(conn) = self.conns[ci].as_mut() {
+            eprintln!("dce-server: closing conn {ci}: {why}");
+            conn.closed = true;
+        }
+    }
+
+    fn handle_frame(&mut self, ci: usize, frame: Frame<Char>, now: u64) {
+        match frame {
+            Frame::Hello { session, user } => {
+                if user == 0 || user > self.cfg.users {
+                    self.close_conn(ci, "hello for an out-of-range user");
+                    return;
+                }
+                let (users, doc, rto, obs) =
+                    (self.cfg.users, self.cfg.doc.clone(), self.cfg.rto_ms, self.obs.clone());
+                let sess = self.sessions.entry(session).or_insert_with(|| Session {
+                    admin: Site::new_admin(0, CharDocument::from_str(&doc), initial_policy(users))
+                        .with_observability(obs),
+                    endpoint: Endpoint::new(
+                        0,
+                        ReliableConfig { initial_rto_ms: rto, max_rto_ms: rto * 16 },
+                    ),
+                    conn_of: HashMap::new(),
+                    seen: HashSet::new(),
+                    delivered: 0,
+                });
+                let rejoin = !sess.seen.insert(user);
+                let old = sess.conn_of.insert(user, ci);
+                if rejoin {
+                    // The member returned: new epoch, refill from the
+                    // union of unacked buffers, timer due immediately.
+                    sess.endpoint.restart_stream_to(user as usize, now);
+                }
+                if let Some(old) = old.filter(|&old| old != ci) {
+                    if let Some(c) = self.conns[old].as_mut() {
+                        c.closed = true;
+                    }
+                }
+                if let Some(conn) = self.conns[ci].as_mut() {
+                    conn.identity = Some((session, user));
+                }
+                push_out(
+                    &mut self.conns,
+                    ci,
+                    &encode_frame(&Frame::<Char>::Welcome { session, user, peers: users }),
+                );
+            }
+            Frame::Data { src, epoch, seq, ack_epoch, ack, msg } => {
+                let Some((sid, user)) = self.conns[ci].as_ref().and_then(|c| c.identity) else {
+                    self.close_conn(ci, "data before hello");
+                    return;
+                };
+                if src != user {
+                    self.close_conn(ci, "data with a forged source");
+                    return;
+                }
+                let sess = self.sessions.get_mut(&sid).expect("identity implies session");
+                sess.endpoint.on_ack(user as usize, ack_epoch, ack, now);
+                let outcome = sess.endpoint.on_data(user as usize, epoch, seq, msg);
+                for m in outcome.deliverable {
+                    self.deliver(sid, user, m, now);
+                }
+                let sess = self.sessions.get_mut(&sid).expect("session exists");
+                let (ack_epoch, cum) = sess.endpoint.ack_for(user as usize);
+                push_out(
+                    &mut self.conns,
+                    ci,
+                    &encode_frame(&Frame::<Char>::Ack { from: 0, epoch: ack_epoch, cum }),
+                );
+            }
+            Frame::Ack { from: _, epoch, cum } => {
+                let Some((sid, user)) = self.conns[ci].as_ref().and_then(|c| c.identity) else {
+                    self.close_conn(ci, "ack before hello");
+                    return;
+                };
+                let sess = self.sessions.get_mut(&sid).expect("identity implies session");
+                sess.endpoint.on_ack(user as usize, epoch, cum, now);
+            }
+            Frame::DigestRequest { session } => {
+                let reply = match self.sessions.get(&session) {
+                    Some(sess) => Frame::<Char>::DigestReply {
+                        session,
+                        user: 0,
+                        digest: sess.admin.replica_digest(),
+                        idle: !sess.endpoint.has_unacked(),
+                    },
+                    None => Frame::DigestReply { session, user: 0, digest: 0, idle: true },
+                };
+                push_out(&mut self.conns, ci, &encode_frame(&reply));
+            }
+            Frame::StatusRequest { session } => {
+                let reply = match self.sessions.get(&session) {
+                    Some(sess) => Frame::<Char>::StatusReply {
+                        session,
+                        connected: sess.conn_of.len() as u32,
+                        unacked: sess.endpoint.has_unacked(),
+                        delivered: sess.delivered,
+                    },
+                    None => {
+                        Frame::StatusReply { session, connected: 0, unacked: false, delivered: 0 }
+                    }
+                };
+                push_out(&mut self.conns, ci, &encode_frame(&reply));
+            }
+            Frame::Bye { .. } => {
+                self.close_conn(ci, "bye");
+            }
+            Frame::Welcome { .. } | Frame::DigestReply { .. } | Frame::StatusReply { .. } => {
+                self.close_conn(ci, "client sent a server-only frame");
+            }
+        }
+    }
+
+    /// Hands one in-order message to the administrator's replica and
+    /// fans out: the message itself to every other member, then whatever
+    /// the administrator emitted in response (validations, sequenced
+    /// proposals). Members currently offline accumulate on paused
+    /// streams; `Proposal`s are addressed to the administrator and are
+    /// not relayed.
+    fn deliver(&mut self, sid: u32, from_user: u32, msg: Arc<Message<Char>>, now: u64) {
+        let sess = self.sessions.get_mut(&sid).expect("session exists");
+        if let Err(e) = sess.admin.receive((*msg).clone()) {
+            let reason =
+                format!("session {sid}: admin rejected {} from {from_user}: {e}", msg.kind());
+            eprintln!("dce-server: {reason}");
+            self.obs.failure(&reason);
+            return;
+        }
+        sess.delivered += 1;
+        let members: Vec<u32> = {
+            let mut m: Vec<u32> = sess.seen.iter().copied().collect();
+            m.sort_unstable();
+            m
+        };
+        if !matches!(&*msg, Message::Proposal(_)) {
+            for &u in members.iter().filter(|&&u| u != from_user) {
+                Self::send_to(sess, &mut self.conns, u, Arc::clone(&msg), now);
+            }
+        }
+        for reaction in sess.admin.drain_outbox() {
+            let reaction = Arc::new(reaction);
+            for &u in &members {
+                Self::send_to(sess, &mut self.conns, u, Arc::clone(&reaction), now);
+            }
+        }
+    }
+
+    /// Queues `msg` on the reliable stream toward `user` and, when the
+    /// user is connected, writes the packet frame to its socket. For an
+    /// offline member the packet only enters the (paused) send buffer —
+    /// the restart on re-`Hello` will carry it over.
+    fn send_to(
+        sess: &mut Session,
+        conns: &mut [Option<Conn>],
+        user: u32,
+        msg: Arc<Message<Char>>,
+        now: u64,
+    ) {
+        let pkt = sess.endpoint.send(user as usize, msg, now);
+        match sess.conn_of.get(&user) {
+            Some(&ci) => push_out(conns, ci, &encode_frame(&Frame::from_packet(pkt))),
+            None => sess.endpoint.pause_stream_to(user as usize),
+        }
+    }
+}
+
+fn push_out(conns: &mut [Option<Conn>], ci: usize, bytes: &[u8]) {
+    if let Some(conn) = conns.get_mut(ci).and_then(Option::as_mut) {
+        conn.out.extend_from_slice(bytes);
+    }
+}

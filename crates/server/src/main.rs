@@ -1,0 +1,61 @@
+//! `dce-server` — host editor sessions on a real TCP socket.
+//!
+//! ```text
+//! cargo run --release -p dce-server -- --addr 127.0.0.1:7461 --clients 4
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (scripts can
+//! wait for that line), then serves until killed. Each distinct session
+//! id a client `Hello`s with gets its own administrator replica.
+
+use dce_server::{Server, ServerConfig};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dce-server [--addr HOST:PORT] [--clients N] [--doc TEXT] \
+         [--rto-ms MS] [--journal N] [--flight-seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServerConfig::default();
+    let mut flight_seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => cfg.addr = val(),
+            "--clients" => cfg.users = val().parse().unwrap_or_else(|_| usage()),
+            "--doc" => cfg.doc = val(),
+            "--rto-ms" => cfg.rto_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--journal" => cfg.journal = val().parse().unwrap_or_else(|_| usage()),
+            "--flight-seed" => flight_seed = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let mut server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dce-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(seed) = flight_seed {
+        // A protocol failure (admin rejecting a message) dumps the
+        // server-side journal for post-mortem, like the chaos suites.
+        dce_trace::flight::arm(server.obs(), seed, "results");
+    }
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => eprintln!("dce-server: local_addr: {e}"),
+    }
+    let shutdown = Arc::new(AtomicBool::new(false));
+    if let Err(e) = server.run(shutdown) {
+        eprintln!("dce-server: reactor error: {e}");
+        std::process::exit(1);
+    }
+}
