@@ -1,0 +1,207 @@
+//! Sharded-engine scaling gate: per-operation cost must stay flat as the
+//! process hosts 1 → 10 000 documents.
+//!
+//! For each shard count `D` the harness builds one [`dce_core::Engine`]
+//! hosting `D` documents and measures two per-document hot paths:
+//!
+//! * **check_local** — the lock-free [`Engine::check_local`] read:
+//!   route-map lookup + CoW policy snapshot check, no shard lock;
+//! * **drain** — a remote cooperative request delivered through
+//!   [`Engine::receive`] followed by [`Engine::drain_outbox`]: the full
+//!   shard-locked integration path.
+//!
+//! The **gated** measurement routes over a fixed-size hot working set
+//! (min(D, 8) documents, round-robin, matched ops per document), so the
+//! only thing that varies with `D` is the engine — route-map size and
+//! shard count — not the workload's own cache footprint. The gate
+//! asserts per-op cost at the largest `D` stays within 2× of the
+//! single-document baseline: routing is O(1) and hosting 10 000 idle
+//! shards does not tax the per-document protocol.
+//!
+//! A second, ungated `check_local_uniform` column routes uniformly over
+//! all `D` documents. It grows with `D` — that is the workload touching
+//! `D` cold policies, i.e. memory-hierarchy cost any per-document design
+//! pays — and is recorded for the scaling writeup, not the gate.
+//!
+//! Run with `cargo run --release -p dce-bench --bin shard`; writes
+//! `results/BENCH_shard.json` at the repository root. Pass
+//! `--max-docs N` to truncate the sweep (CI runs a reduced sweep).
+
+use dce_core::{DocumentId, Engine, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::{Action, Policy, Right};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Documents in the gated hot working set (capped by the shard count).
+const WORKING_SET: u64 = 8;
+/// Ops delivered per working-set document in the drain bench, so every
+/// sweep point integrates against the same per-shard log depth.
+const OPS_PER_DOC: u32 = 1_000;
+
+/// Deterministic xorshift; no clocks, no global RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Mean ns per call of `f`, with a warmup pass.
+fn time_ns<F: FnMut() -> u64>(iters: u32, mut f: F) -> f64 {
+    let mut sink = 0u64;
+    for _ in 0..iters.min(32) {
+        sink = sink.wrapping_add(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    std::hint::black_box(sink);
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+fn engine_with(docs: u64) -> Engine<Char> {
+    let engine = Engine::new_admin(0);
+    let d0 = CharDocument::from_str("shard bench seed");
+    engine
+        .create_documents(
+            (0..docs).map(|i| (DocumentId::new(i), d0.clone(), Policy::permissive([0, 1, 2]))),
+        )
+        .expect("fresh engine hosts the sweep's documents");
+    engine
+}
+
+/// Gated: `check_local` round-robin over the hot working set.
+fn bench_check_local(engine: &Engine<Char>, docs: u64) -> f64 {
+    let action = Action::new(Right::Insert, Some(1));
+    let working = docs.min(WORKING_SET);
+    let mut i = 0u64;
+    time_ns(200_000, || {
+        let doc = DocumentId::new(i % working);
+        i += 1;
+        u64::from(engine.check_local(doc, &action).expect("hosted document").granted())
+    })
+}
+
+/// Ungated: `check_local` over a uniformly random document — the whole
+/// shard population is the working set, so this column grows with `D`.
+fn bench_check_local_uniform(engine: &Engine<Char>, docs: u64) -> f64 {
+    let action = Action::new(Right::Insert, Some(1));
+    let mut rng = Rng(0x5eed_0001);
+    time_ns(200_000, || {
+        let doc = DocumentId::new(rng.below(docs));
+        u64::from(engine.check_local(doc, &action).expect("hosted document").granted())
+    })
+}
+
+/// Gated: one remote coop request received + outbox drained, round-robin
+/// over the hot working set with `OPS_PER_DOC` ops per document. The
+/// schedule — document choice plus a causally-ready message from that
+/// document's producer replica — is precomputed, so the timed loop is
+/// pure engine work.
+fn bench_drain(engine: &Engine<Char>, docs: u64) -> f64 {
+    let d0 = CharDocument::from_str("shard bench seed");
+    let policy = Policy::permissive([0, 1, 2]);
+    let working = docs.min(WORKING_SET);
+    let iters = OPS_PER_DOC * working as u32;
+    let mut producers: Vec<Site<Char>> =
+        (0..working).map(|_| Site::new_user(1, 0, d0.clone(), policy.clone())).collect();
+    let total = iters as usize + 32; // time_ns warms up with up to 32 calls
+    let schedule: Vec<(DocumentId, Message<Char>)> = (0..total)
+        .map(|i| {
+            let doc = i as u64 % working;
+            let msg = Message::Coop(producers[doc as usize].generate(Op::ins(1, 'x')).unwrap());
+            (DocumentId::new(doc), msg)
+        })
+        .collect();
+    let mut next = 0usize;
+    time_ns(iters, || {
+        let (doc, ref msg) = schedule[next];
+        next += 1;
+        engine.receive(doc, msg.clone()).expect("hosted document accepts the op");
+        engine.drain_outbox(doc).len() as u64
+    })
+}
+
+fn main() {
+    let mut max_docs = 10_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-docs" => {
+                max_docs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--max-docs takes a positive integer");
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: shard [--max-docs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let sweep: Vec<u64> =
+        [1u64, 10, 100, 1_000, 10_000].into_iter().filter(|&d| d <= max_docs).collect();
+    let mut rows = Vec::new();
+    for &docs in &sweep {
+        let engine = engine_with(docs);
+        let check_ns = bench_check_local(&engine, docs);
+        let uniform_ns = bench_check_local_uniform(&engine, docs);
+        let drain_ns = bench_drain(&engine, docs);
+        println!(
+            "docs={docs:>6}  check_local={check_ns:>7.1} ns/op  \
+             uniform={uniform_ns:>7.1} ns/op  drain={drain_ns:>8.0} ns/op"
+        );
+        rows.push((docs, check_ns, uniform_ns, drain_ns));
+    }
+
+    let (base_check, base_drain) = (rows[0].1, rows[0].3);
+    let &(top_docs, top_check, _, top_drain) = rows.last().unwrap();
+    let check_ratio = top_check / base_check;
+    let drain_ratio = top_drain / base_drain;
+    let flat = check_ratio <= 2.0 && drain_ratio <= 2.0;
+
+    let mut json = String::from("{\n  \"sweep\": [\n");
+    for (i, (docs, check_ns, uniform_ns, drain_ns)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"docs\": {docs}, \"check_local_ns_per_op\": {check_ns:.1}, \
+             \"check_local_uniform_ns_per_op\": {uniform_ns:.1}, \
+             \"drain_ns_per_op\": {drain_ns:.0} }}{}\n",
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"gate\": {{\n    \"baseline_docs\": {},\n    \"top_docs\": {top_docs},\n    \
+         \"check_local_ratio\": {check_ratio:.2},\n    \"drain_ratio\": {drain_ratio:.2},\n    \
+         \"limit\": 2.0,\n    \"flat\": {flat}\n  }}\n}}\n",
+        rows[0].0
+    ));
+    print!("{json}");
+
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    out.push("BENCH_shard.json");
+    std::fs::write(&out, &json).expect("write BENCH_shard.json");
+    eprintln!("wrote {}", out.display());
+
+    assert!(
+        flat,
+        "per-op cost is not flat across the shard sweep: \
+         check_local {check_ratio:.2}x, drain {drain_ratio:.2}x (limit 2.0x)"
+    );
+}

@@ -115,6 +115,7 @@ fn synthetic_journal(sites: u32, requests: u64) -> Vec<Event> {
         *lamport += 1;
         events.push(Event {
             site,
+            doc: 0,
             seq: seqs[site as usize],
             version: 0,
             lamport: *lamport,

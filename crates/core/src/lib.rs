@@ -44,15 +44,19 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod engine;
 pub mod error;
 pub mod gc;
 pub mod reference;
 pub mod request;
 mod scheduler;
+pub mod shard;
 pub mod site;
 
 pub use audit::{audit, metrics, AuditRecord, SiteMetrics};
+pub use engine::Engine;
 pub use error::CoreError;
 pub use reference::ScanSite;
 pub use request::{AdminProposal, CoopRequest, Flag, Message};
+pub use shard::{DocumentId, FlagTable};
 pub use site::{Checkpoint, Site};

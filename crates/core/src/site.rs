@@ -3,6 +3,7 @@
 use crate::error::CoreError;
 use crate::request::{AdminProposal, CoopRequest, Flag, Message};
 use crate::scheduler::{Pending, Scheduler, Slot};
+use crate::shard::{DocumentId, FlagTable};
 use dce_document::{Document, Element, Op};
 use dce_obs::{DeferReason, EventKind, ObsHandle, ReqId};
 use dce_ot::engine::{Engine, Integration};
@@ -10,6 +11,7 @@ use dce_ot::ids::Clock;
 use dce_ot::{Buffer, Cell, Log, RequestId};
 use dce_policy::{Action, AdminLog, AdminOp, AdminRequest, Policy, PolicyVersion, UserId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// One collaborating site: a user (or the administrator), their document
 /// replica with its OT log `H`, their policy copy with its administrative
@@ -20,17 +22,23 @@ use std::collections::{HashMap, HashSet};
 pub struct Site<E> {
     user: UserId,
     admin_id: UserId,
+    /// The shard key: which shared document this site replicates. `ROOT`
+    /// (`0`) for single-document sessions; the multi-document
+    /// [`crate::engine::Engine`] assigns real ids.
+    doc: DocumentId,
     engine: Engine<E>,
-    policy: Policy,
+    /// The policy copy, shared copy-on-write: `check` reads go through the
+    /// `Arc` with no clone or lock, administrative mutations go through
+    /// `Arc::make_mut` — cloning only while an external snapshot (taken
+    /// via [`Site::policy_snapshot`]) is still alive, then publishing the
+    /// new version with a pointer swap. `PolicyIndex::clone` yields an
+    /// empty index, so a copied policy starts with a private memo table
+    /// and invalidation stays per-shard.
+    policy: Arc<Policy>,
     admin_log: AdminLog,
-    flags: HashMap<RequestId, Flag>,
-    /// Policy version each still-tentative request was generated under
-    /// (`q.v` on the wire). Retroactive enforcement replays the receivers'
-    /// `Check_Remote` — "does a restrictive administrative request
-    /// *concurrent* with `q` revoke its access?" — and that question needs
-    /// `q.v` after the request itself has long been integrated. Entries
-    /// are dropped the moment a request settles `Valid` or `Invalid`.
-    tentative_v: HashMap<RequestId, PolicyVersion>,
+    /// Per-request flags plus the tentative-generation-version side table
+    /// (see [`FlagTable`]).
+    flags: FlagTable,
     /// The reception queues `F` (cooperative) and `Q` (administrative),
     /// indexed by what each queued request is waiting for.
     sched: Scheduler<E>,
@@ -97,11 +105,11 @@ impl<E: Element> Site<E> {
         Site {
             user,
             admin_id,
+            doc: DocumentId::ROOT,
             engine: Engine::new(user, d0),
-            policy,
+            policy: Arc::new(policy),
             admin_log: AdminLog::new(),
-            flags: HashMap::new(),
-            tentative_v: HashMap::new(),
+            flags: FlagTable::new(),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -110,6 +118,24 @@ impl<E: Element> Site<E> {
             peer_clocks: HashMap::new(),
             obs: ObsHandle::default(),
         }
+    }
+
+    /// Re-keys this site onto document `doc` (builder-style). Constructors
+    /// default to [`DocumentId::ROOT`]; the multi-document engine and the
+    /// socket stack assign real shard keys.
+    pub fn with_document(mut self, doc: DocumentId) -> Self {
+        self.doc = doc;
+        self
+    }
+
+    /// Re-keys this site onto document `doc` in place.
+    pub fn set_document(&mut self, doc: DocumentId) {
+        self.doc = doc;
+    }
+
+    /// The document (shard) this site replicates.
+    pub fn doc(&self) -> DocumentId {
+        self.doc
     }
 
     /// Attaches an observability handle (builder-style). All sites of a
@@ -157,6 +183,14 @@ impl<E: Element> Site<E> {
         &self.policy
     }
 
+    /// A copy-on-write snapshot of the policy copy: one refcount bump, no
+    /// clone, no lock. Checks against the snapshot stay consistent while
+    /// administrative mutations publish new versions concurrently — the
+    /// read-mostly `Check_Local` path of the multi-document engine.
+    pub fn policy_snapshot(&self) -> dce_policy::SharedPolicy {
+        self.policy.clone()
+    }
+
     /// Current policy version of this copy.
     pub fn version(&self) -> PolicyVersion {
         self.policy.version()
@@ -174,13 +208,18 @@ impl<E: Element> Site<E> {
 
     /// Flag of a cooperative request, if known at this site.
     pub fn flag_of(&self, id: RequestId) -> Option<Flag> {
-        self.flags.get(&id).copied()
+        self.flags.flag_of(id)
     }
 
     /// All request flags known at this site (order unspecified). Used by
     /// the convergence oracle to compare flag tables across replicas.
     pub fn flags(&self) -> impl Iterator<Item = (RequestId, Flag)> + '_ {
-        self.flags.iter().map(|(id, f)| (*id, *f))
+        self.flags.iter()
+    }
+
+    /// The per-request flag table of this shard.
+    pub fn flag_table(&self) -> &FlagTable {
+        &self.flags
     }
 
     /// Requests rejected by `Check_Remote` at this site.
@@ -245,10 +284,10 @@ impl<E: Element> Site<E> {
             self.engine.clock().clone(),
             self.engine.pruned_inert().clone(),
             self.engine.pruned_count(),
-            self.policy.clone(),
+            Policy::clone(&self.policy),
             self.admin_log.clone(),
-            self.flags.iter().map(|(k, v)| (*k, *v)).collect(),
-            self.tentative_v.iter().map(|(k, v)| (*k, *v)).collect(),
+            self.flags.flags_sorted(),
+            self.flags.tentative_sorted(),
         )
     }
 
@@ -271,6 +310,7 @@ impl<E: Element> Site<E> {
         Site {
             user,
             admin_id,
+            doc: DocumentId::ROOT,
             engine: Engine::from_parts(
                 user,
                 Buffer::from_cells(cells),
@@ -279,10 +319,9 @@ impl<E: Element> Site<E> {
                 pruned_inert,
                 pruned_count,
             ),
-            policy,
+            policy: Arc::new(policy),
             admin_log,
-            flags: flags.into_iter().collect(),
-            tentative_v: tentative_v.into_iter().collect(),
+            flags: FlagTable::from_parts(flags, tentative_v),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -304,11 +343,13 @@ impl<E: Element> Site<E> {
         Site {
             user,
             admin_id: self.admin_id,
+            doc: self.doc,
             engine,
+            // An Arc clone: the donor and the newcomer share the snapshot
+            // until the next administrative mutation copies-on-write.
             policy: self.policy.clone(),
             admin_log: self.admin_log.clone(),
             flags: self.flags.clone(),
-            tentative_v: self.tentative_v.clone(),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -353,16 +394,11 @@ impl<E: Element> Site<E> {
         use std::hash::Hash;
         self.user.hash(h);
         self.admin_id.hash(h);
+        self.doc.hash(h);
         self.engine.digest_into(h);
         self.policy.hash(h);
         self.admin_log.hash(h);
-        let mut flags: Vec<(RequestId, Flag)> = self.flags.iter().map(|(k, v)| (*k, *v)).collect();
-        flags.sort_unstable_by_key(|(id, _)| *id);
-        flags.hash(h);
-        let mut tentative: Vec<(RequestId, PolicyVersion)> =
-            self.tentative_v.iter().map(|(k, v)| (*k, *v)).collect();
-        tentative.sort_unstable_by_key(|(id, _)| *id);
-        tentative.hash(h);
+        self.flags.digest_into(h);
         self.sched.digest_into(h);
         self.outbox.hash(h);
         self.denials.hash(h);
@@ -419,9 +455,8 @@ impl<E: Element> Site<E> {
             h.finish()
         }
         let doc = self.engine.document();
-        let mut flags: Vec<(RequestId, Flag)> = self.flags.iter().map(|(k, v)| (*k, *v)).collect();
-        flags.sort_unstable_by_key(|(id, _)| *id);
-        [part(doc.as_slice()), part(&self.policy), part(&self.admin_log), part(&flags)]
+        let flags = self.flags.flags_sorted();
+        [part(doc.as_slice()), part(&*self.policy), part(&self.admin_log), part(&flags)]
     }
 
     /// Drops the first `n` entries of the cooperative log (used by
@@ -457,10 +492,10 @@ impl<E: Element> Site<E> {
             }
         }
         let ot = self.engine.generate(op)?;
-        let flag = if self.is_admin() { Flag::Valid } else { Flag::Tentative };
-        self.flags.insert(ot.id, flag);
-        if flag == Flag::Tentative {
-            self.tentative_v.insert(ot.id, self.policy.version());
+        if self.is_admin() {
+            self.flags.set_flag(ot.id, Flag::Valid);
+        } else {
+            self.flags.mark_tentative(ot.id, self.policy.version());
         }
         self.emit(EventKind::ReqGenerated { id: obs_id(ot.id) });
         self.emit(EventKind::ReqExecuted { id: obs_id(ot.id) });
@@ -483,8 +518,11 @@ impl<E: Element> Site<E> {
         if !self.is_admin() {
             return Err(CoreError::NotAdministrator { user: self.user });
         }
-        op.apply_to(&mut self.policy)?;
-        let version = self.policy.bump_version();
+        // Copy-on-write: clones the policy only if an external snapshot is
+        // still alive, then publishes the mutated version in place.
+        let policy = Arc::make_mut(&mut self.policy);
+        op.apply_to(policy)?;
+        let version = policy.bump_version();
         let request = AdminRequest { admin: self.user, version, op };
         self.admin_log.push(request.clone());
         let restrictive = request.is_restrictive();
@@ -810,7 +848,7 @@ impl<E: Element> Site<E> {
 
         if denied {
             self.engine.integrate_inert(&q.ot).map_err(|e| CoreError::Protocol(e.to_string()))?;
-            self.flags.insert(id, Flag::Invalid);
+            self.flags.settle(id, Flag::Invalid);
             self.denials.push(id);
             self.emit(EventKind::ReqDenied { id: obs_id(id) });
             return Ok(());
@@ -824,24 +862,23 @@ impl<E: Element> Site<E> {
                 // An ancestor of the request is inert here: the element it
                 // operates on does not exist, so the request is stored
                 // invalid.
-                self.flags.insert(id, Flag::Invalid);
+                self.flags.settle(id, Flag::Invalid);
                 self.emit(EventKind::ReqInert { id: obs_id(id) });
             }
             Integration::Executed(_) => {
                 self.emit(EventKind::ReqExecuted { id: obs_id(id) });
                 if q.user() == self.admin_id {
                     // The administrator's own edits are valid everywhere.
-                    self.flags.insert(id, Flag::Valid);
+                    self.flags.settle(id, Flag::Valid);
                 } else if self.is_admin() {
                     // Algorithm 3, administrator side: validate the request
                     // and broadcast the validation.
-                    self.flags.insert(id, Flag::Valid);
+                    self.flags.settle(id, Flag::Valid);
                     let validation =
                         self.admin_generate(AdminOp::Validate { site: id.site, seq: id.seq })?;
                     self.outbox.push(Message::Admin(validation));
                 } else {
-                    self.flags.insert(id, Flag::Tentative);
-                    self.tentative_v.insert(id, q.v);
+                    self.flags.mark_tentative(id, q.v);
                 }
             }
         }
@@ -863,17 +900,19 @@ impl<E: Element> Site<E> {
                 // version ordering — or the target depends on an element
                 // that never existed here).
                 if self.flag_of(target) == Some(Flag::Tentative) {
-                    self.flags.insert(target, Flag::Valid);
+                    self.flags.settle(target, Flag::Valid);
+                } else {
+                    self.flags.clear_tentative(target);
                 }
-                self.tentative_v.remove(&target);
-                let version = self.policy.bump_version();
+                let version = Arc::make_mut(&mut self.policy).bump_version();
                 self.admin_log.push(r);
                 self.emit(EventKind::ValidationConsumed { id: obs_id(target), version });
                 self.emit(EventKind::AdminApplied { version, restrictive: false });
             }
             _ => {
-                r.op.apply_to(&mut self.policy)?;
-                let version = self.policy.bump_version();
+                let policy = Arc::make_mut(&mut self.policy);
+                r.op.apply_to(policy)?;
+                let version = policy.bump_version();
                 debug_assert_eq!(version, r.version);
                 let restrictive = r.is_restrictive();
                 self.admin_log.push(r);
@@ -916,7 +955,7 @@ impl<E: Element> Site<E> {
             .filter(|e| self.flag_of(e.id) == Some(Flag::Tentative))
             .filter(|e| match Action::for_op(&e.base) {
                 Some(action) => {
-                    let v = self.tentative_v.get(&e.id).copied().unwrap_or(0);
+                    let v = self.flags.tentative_version(e.id);
                     self.admin_log.check_remote(e.id.site, &action, v, &self.policy).is_some()
                 }
                 None => false,
@@ -932,8 +971,7 @@ impl<E: Element> Site<E> {
             }
             let cascade = self.engine.undo(victim).expect("tentative live request is undoable");
             for id in cascade {
-                self.flags.insert(id, Flag::Invalid);
-                self.tentative_v.remove(&id);
+                self.flags.settle(id, Flag::Invalid);
                 self.undone.push(id);
                 self.emit(EventKind::ReqUndone { id: obs_id(id) });
             }

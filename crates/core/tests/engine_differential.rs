@@ -1,0 +1,200 @@
+//! Differential testing of the sharded [`Engine`] against independent
+//! per-document [`Site`]s.
+//!
+//! For each of `M` documents, a small producer session (one
+//! administrator, one user) generates a pool of protocol messages —
+//! cooperative edits, administrative policy changes, and the validations
+//! the administrator emits. All pools are then tagged with their
+//! [`DocumentId`], merged, shuffled *across documents*, partially
+//! duplicated, and replayed into two observers of the same initial
+//! state:
+//!
+//! * one [`Engine`] hosting all `M` documents (routing every delivery
+//!   by its document id), and
+//! * `M` plain [`Site`]s, one per document, each receiving only its own
+//!   document's subsequence.
+//!
+//! After every delivery the engine's shard must agree with the
+//! free-standing site on queue depth; at the end, on the document, the
+//! replica digest, the policy version, and the request flags — for
+//! every document. Any divergence (a delivery routed to the wrong
+//! shard, shard state bleeding across documents, a policy snapshot
+//! refreshed at the wrong time) fails the property.
+
+use dce_core::{DocumentId, Engine, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::{AdminOp, Authorization, DocObject, Policy, Right, Sign, Subject};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One scripted action in a document's producer session.
+#[derive(Debug, Clone)]
+enum Step {
+    /// User inserts at a position derived from the seed.
+    Ins(usize, char),
+    /// User deletes at a derived position (skipped on empty documents).
+    Del(usize),
+    /// The administrator prepends a signed document-wide authorization
+    /// for the user on one right.
+    Auth(u8, bool),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        ((0usize..24), prop_oneof![Just('x'), Just('y'), Just('z')])
+            .prop_map(|(i, c)| Step::Ins(i, c)),
+        (0usize..24).prop_map(Step::Del),
+        ((0u8..4), any::<bool>()).prop_map(|(r, p)| Step::Auth(r, p)),
+    ]
+}
+
+/// Deterministic splitmix-style generator for the replay schedule.
+fn next(state: &mut u64) -> usize {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (*state >> 33) as usize
+}
+
+/// Runs one document's producer session (admin 0, user 1, prompt
+/// delivery) and returns every message that crossed the wire —
+/// including the admin's validations — in generation order.
+fn produce(d0: &CharDocument, policy: &Policy, script: &[Step]) -> Vec<Message<Char>> {
+    let mut adm: Site<Char> = Site::new_admin(0, d0.clone(), policy.clone());
+    let mut user: Site<Char> = Site::new_user(1, 0, d0.clone(), policy.clone());
+    let mut pool: Vec<Message<Char>> = Vec::new();
+
+    for step in script {
+        match step {
+            Step::Ins(seed, c) => {
+                let len = user.document().len();
+                let pos = 1 + seed % (len + 1);
+                if let Ok(q) = user.generate(Op::ins(pos, *c)) {
+                    let msg = Message::Coop(q);
+                    adm.receive(msg.clone()).unwrap();
+                    pool.push(msg);
+                }
+            }
+            Step::Del(seed) => {
+                let len = user.document().len();
+                if len == 0 {
+                    continue;
+                }
+                let pos = 1 + seed % len;
+                let cur = *user.document().get(pos).unwrap();
+                if let Ok(q) = user.generate(Op::del(pos, cur)) {
+                    let msg = Message::Coop(q);
+                    adm.receive(msg.clone()).unwrap();
+                    pool.push(msg);
+                }
+            }
+            Step::Auth(right_tag, plus) => {
+                let auth = Authorization::new(
+                    Subject::User(1),
+                    DocObject::Document,
+                    [Right::ALL[*right_tag as usize]],
+                    if *plus { Sign::Plus } else { Sign::Minus },
+                );
+                if let Ok(r) = adm.admin_generate(AdminOp::AddAuth { pos: 0, auth }) {
+                    pool.push(Message::Admin(r));
+                }
+            }
+        }
+        // Validations (and the admin's own requests) flow back to the
+        // user promptly, and into the pool for the observers.
+        for out in adm.drain_outbox() {
+            user.receive(out.clone()).unwrap();
+            pool.push(out);
+        }
+    }
+    pool
+}
+
+const DOCS: u64 = 3;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn sharded_engine_matches_single_site(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(arb_step(), 1..12),
+            DOCS as usize..DOCS as usize + 1,
+        ),
+        replay_seed in any::<u64>(),
+    ) {
+        let d0 = CharDocument::from_str("seed");
+        let policy = Policy::permissive([0, 1, 3]);
+
+        // ---- Produce: one independent session per document. ----
+        let mut deliveries: Vec<(DocumentId, Message<Char>)> = Vec::new();
+        for (i, script) in scripts.iter().enumerate() {
+            let doc = DocumentId::new(i as u64);
+            for msg in produce(&d0, &policy, script) {
+                deliveries.push((doc, msg));
+            }
+        }
+
+        // ---- Shuffle across documents, duplicate a quarter. ----
+        let mut lcg = replay_seed;
+        let dups: Vec<(DocumentId, Message<Char>)> = deliveries
+            .iter()
+            .filter(|_| next(&mut lcg).is_multiple_of(4))
+            .cloned()
+            .collect();
+        deliveries.extend(dups);
+        for i in (1..deliveries.len()).rev() {
+            let j = next(&mut lcg) % (i + 1);
+            deliveries.swap(i, j);
+        }
+
+        // ---- Two observers of the same initial state. ----
+        let engine: Engine<Char> = Engine::new_user(3, 0);
+        engine
+            .create_documents(
+                (0..DOCS).map(|i| (DocumentId::new(i), d0.clone(), policy.clone())),
+            )
+            .unwrap();
+        let mut singles: Vec<Site<Char>> = (0..DOCS)
+            .map(|_| Site::new_user(3, 0, d0.clone(), policy.clone()))
+            .collect();
+
+        for (n, (doc, msg)) in deliveries.into_iter().enumerate() {
+            engine.receive(doc, msg.clone()).unwrap();
+            let single = &mut singles[doc.as_u64() as usize];
+            single.receive(msg).unwrap();
+            prop_assert_eq!(
+                engine.with(doc, |s| s.queued()).unwrap(),
+                single.queued(),
+                "queue depth diverged on {} after delivery {}", doc, n
+            );
+        }
+
+        // ---- End state: every document's shard matches its site. ----
+        for i in 0..DOCS {
+            let doc = DocumentId::new(i);
+            let single = &mut singles[i as usize];
+            prop_assert_eq!(
+                engine.replica_digest(doc).unwrap(),
+                single.replica_digest(),
+                "replica digest diverged on {}", doc
+            );
+            prop_assert_eq!(
+                engine.document(doc).unwrap(),
+                single.document().clone(),
+                "document diverged on {}", doc
+            );
+            prop_assert_eq!(
+                engine.with(doc, |s| s.version()).unwrap(),
+                single.version(),
+                "policy version diverged on {}", doc
+            );
+            let ef: HashMap<_, _> = engine.with(doc, |s| s.flags().collect()).unwrap();
+            let sf: HashMap<_, _> = single.flags().collect();
+            prop_assert_eq!(ef, sf, "request flags diverged on {}", doc);
+            prop_assert_eq!(
+                engine.drain_outbox(doc),
+                single.drain_outbox(),
+                "emitted messages diverged on {}", doc
+            );
+        }
+    }
+}

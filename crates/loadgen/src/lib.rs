@@ -1,9 +1,10 @@
 //! # dce-loadgen — open-loop load generator for `dce-server`
 //!
 //! Drives N concurrent client connections against a running
-//! [`dce_server::Server`], each one a full collaborator replica: a
-//! [`dce_core::Site`] behind its own [`dce_net::reliable::Endpoint`],
-//! speaking [`dce_net::frame`] frames over real TCP. Each client issues
+//! [`dce_server::Server`], each one a full collaborator replica set: a
+//! [`dce_core::Engine`] (one `Site` shard per hosted document) behind
+//! per-document [`dce_net::reliable::Endpoint`]s, all multiplexed over
+//! one TCP connection speaking [`dce_net::frame`] frames. Each client issues
 //! a configurable mix of document edits (insert/delete/update) and
 //! delegated administrative proposals on an **open-loop** schedule —
 //! ops fire on their think-time clock regardless of how many earlier
@@ -11,10 +12,13 @@
 //! from generation to the request's flag settling (`Valid` via the
 //! administrator's validation, `Invalid` via a retroactive undo).
 //!
-//! At quiescence (every client drained, the server's endpoint holding
-//! no unacked data) the coordinator compares [`dce_core::Site::replica_digest`]
-//! across every client replica *and* the server's administrator replica;
-//! convergence requires all of them equal on two consecutive polls.
+//! Documents are chosen per op with a skew toward low ids (min of two
+//! uniform draws), so a multi-document run exercises both hot and cold
+//! shards. At quiescence (every client drained, the server's endpoints
+//! holding no unacked data) the coordinator compares
+//! [`dce_core::Site::replica_digest`] across every client replica *and*
+//! the server's administrator replica **per document**; convergence
+//! requires every document's digests equal on two consecutive polls.
 //! Divergence or timeout trips the armed `dce-trace` flight recorder,
 //! so a failed run leaves `results/flight-<seed>.json` behind exactly
 //! like the in-process chaos suites.
@@ -22,7 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dce_core::{CoreError, Flag, Message, Site};
+use dce_core::{CoreError, DocumentId, Engine, Flag, Message};
 use dce_document::{Char, CharDocument, Op};
 use dce_net::frame::{encode_frame, Frame, FrameDecoder};
 use dce_net::reliable::{Endpoint, ReliableConfig};
@@ -87,6 +91,9 @@ pub struct LoadgenConfig {
     /// Concurrent client connections (users `1..=clients`). The server
     /// must be configured for at least this many collaborators.
     pub clients: u32,
+    /// Documents per session (ids `0..docs`; must match the server's
+    /// `--docs`). Each op picks a document with a skew toward low ids.
+    pub docs: u32,
     /// Total operations across all clients.
     pub ops: u64,
     /// Op mix.
@@ -115,6 +122,7 @@ impl Default for LoadgenConfig {
             addr: "127.0.0.1:7461".into(),
             session: 1,
             clients: 4,
+            docs: 1,
             ops: 1_000,
             mix: Mix::default(),
             restrictive_pct: 25,
@@ -146,6 +154,11 @@ pub struct LatencyReport {
 pub struct RunReport {
     /// Client connections driven.
     pub clients: u32,
+    /// Documents multiplexed per connection.
+    pub docs: u32,
+    /// Per-document agreed digests at convergence (empty otherwise),
+    /// indexed by document id.
+    pub doc_digests: Vec<u64>,
     /// Cooperative requests put on the wire.
     pub coop_sent: u64,
     /// Administrative proposals put on the wire.
@@ -176,16 +189,18 @@ pub struct RunReport {
     pub trace_acyclic: bool,
 }
 
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct Progress {
     sent: u64,
     outstanding: usize,
     unacked: bool,
     idle: bool,
-    digest: u64,
-    /// Component hashes (doc, policy, admin log, flags) backing `digest`,
-    /// printed in the divergence report to pinpoint the layer at fault.
-    parts: [u64; 4],
+    /// Per-document replica digests, indexed by document id.
+    digests: Vec<u64>,
+    /// Component hashes (doc, policy, admin log, flags) backing each
+    /// digest, printed in the divergence report to pinpoint the layer
+    /// at fault.
+    parts: Vec<[u64; 4]>,
 }
 
 struct ClientShared {
@@ -201,9 +216,10 @@ struct ClientOut {
     denied_local: u64,
     resolved_valid: u64,
     resolved_invalid: u64,
-    /// Final (sorted) request-flag table, compared across clients in the
-    /// divergence report — the usual culprit when digests disagree.
-    flags: Vec<(RequestId, Flag)>,
+    /// Final (sorted) per-document request-flag tables, compared across
+    /// clients in the divergence report — the usual culprit when digests
+    /// disagree.
+    flags: Vec<(u64, RequestId, Flag)>,
 }
 
 /// A frame-speaking TCP connection with non-blocking reads and a
@@ -320,20 +336,27 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
         |f| matches!(f, Frame::Welcome { .. }).then_some(()),
     )?;
 
-    let mut site: Site<Char> = Site::new_user(
-        c.user,
-        0,
-        CharDocument::from_str(&c.cfg.doc),
-        initial_policy(c.cfg.clients),
-    )
-    .with_observability(c.obs.clone());
-    let mut endpoint: Endpoint<Char> = Endpoint::new(
-        c.user as usize,
-        ReliableConfig { initial_rto_ms: c.cfg.rto_ms, max_rto_ms: c.cfg.rto_ms * 16 },
-    );
+    let docs = u64::from(c.cfg.docs.max(1));
+    let engine: Engine<Char> = Engine::new_user(c.user, 0).with_observability(c.obs.clone());
+    engine
+        .create_documents((0..docs).map(|d| {
+            (DocumentId::new(d), CharDocument::from_str(&c.cfg.doc), initial_policy(c.cfg.clients))
+        }))
+        .expect("fresh engine hosts no documents yet");
+    let mut endpoints: HashMap<DocumentId, Endpoint<Char>> = (0..docs)
+        .map(|d| {
+            (
+                DocumentId::new(d),
+                Endpoint::new(
+                    c.user as usize,
+                    ReliableConfig { initial_rto_ms: c.cfg.rto_ms, max_rto_ms: c.cfg.rto_ms * 16 },
+                ),
+            )
+        })
+        .collect();
     let mut rng = StdRng::seed_from_u64(c.cfg.seed ^ (0x9E37_79B9 * u64::from(c.user)));
     let mut out = ClientOut::default();
-    let mut outstanding: HashMap<RequestId, Instant> = HashMap::new();
+    let mut outstanding: HashMap<(DocumentId, RequestId), Instant> = HashMap::new();
     let origin = Instant::now();
 
     // Everyone is welcomed before anyone edits: the server relays only
@@ -350,8 +373,8 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
             && Instant::now() >= next_op
         {
             generate_one(
-                &mut site,
-                &mut endpoint,
+                &engine,
+                &mut endpoints,
                 &mut conn,
                 &mut rng,
                 &c.cfg,
@@ -369,17 +392,26 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
         for frame in frames.drain(..) {
             worked = true;
             match frame {
-                Frame::Data { src: _, epoch, seq, ack_epoch, ack, msg } => {
+                Frame::Data { doc, src: _, epoch, seq, ack_epoch, ack, msg } => {
+                    let endpoint = endpoints
+                        .get_mut(&doc)
+                        .ok_or_else(|| format!("server sent data for unknown {doc}"))?;
                     endpoint.on_ack(0, ack_epoch, ack, now_ms);
                     let outcome = endpoint.on_data(0, epoch, seq, msg);
                     for m in outcome.deliverable {
-                        site.receive((*m).clone())
-                            .map_err(|e| format!("user {}: receive: {e}", c.user))?;
+                        engine
+                            .receive(doc, (*m).clone())
+                            .map_err(|e| format!("user {}: {doc}: receive: {e}", c.user))?;
                     }
                     let (ack_epoch, cum) = endpoint.ack_for(0);
-                    conn.queue(&Frame::Ack { from: c.user, epoch: ack_epoch, cum });
+                    conn.queue(&Frame::Ack { doc, from: c.user, epoch: ack_epoch, cum });
                 }
-                Frame::Ack { epoch, cum, .. } => endpoint.on_ack(0, epoch, cum, now_ms),
+                Frame::Ack { doc, epoch, cum, .. } => {
+                    endpoints
+                        .get_mut(&doc)
+                        .ok_or_else(|| format!("server acked unknown {doc}"))?
+                        .on_ack(0, epoch, cum, now_ms);
+                }
                 Frame::Welcome { .. } => {}
                 other => return Err(format!("unexpected frame for a client: {other:?}")),
             }
@@ -388,9 +420,9 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
         // Resolve finished requests: a flag that left `Tentative` ends
         // the round-trip measurement for that op.
         if !outstanding.is_empty() {
-            let ids: Vec<RequestId> = outstanding.keys().copied().collect();
-            for id in ids {
-                let resolved = match site.flag_of(id) {
+            let ids: Vec<(DocumentId, RequestId)> = outstanding.keys().copied().collect();
+            for (doc, id) in ids {
+                let resolved = match engine.with(doc, |site| site.flag_of(id)).flatten() {
                     Some(dce_core::Flag::Valid) => {
                         out.resolved_valid += 1;
                         true
@@ -402,40 +434,60 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
                     _ => false,
                 };
                 if resolved {
-                    let started = outstanding.remove(&id).expect("tracked");
+                    let started = outstanding.remove(&(doc, id)).expect("tracked");
                     out.latencies_ms.push(started.elapsed().as_secs_f64() * 1_000.0);
                     worked = true;
                 }
             }
         }
 
-        if matches!(endpoint.next_deadline(), Some(d) if d <= now_ms) {
-            for (_, pkt) in endpoint.due_retransmissions(now_ms) {
-                conn.queue(&Frame::from_packet(pkt));
-                worked = true;
+        for (&doc, endpoint) in endpoints.iter_mut() {
+            if matches!(endpoint.next_deadline(), Some(d) if d <= now_ms) {
+                for (_, pkt) in endpoint.due_retransmissions(now_ms) {
+                    conn.queue(&Frame::from_packet(doc, pkt));
+                    worked = true;
+                }
             }
         }
         conn.flush()?;
 
         let done_sending = out.coop_sent + out.proposals_sent + out.denied_local >= c.quota;
-        let idle = done_sending && outstanding.is_empty() && !endpoint.has_unacked();
+        let unacked = endpoints.values().any(Endpoint::has_unacked);
+        let idle = done_sending && outstanding.is_empty() && !unacked;
         {
             let mut p = c.shared.progress.lock().expect("progress lock");
             p.sent = out.coop_sent + out.proposals_sent;
             p.outstanding = outstanding.len();
-            p.unacked = endpoint.has_unacked();
+            p.unacked = unacked;
             p.idle = idle;
             if idle {
-                p.digest = site.replica_digest();
-                p.parts = site.replica_digest_parts();
+                p.digests = (0..docs)
+                    .map(|d| engine.replica_digest(DocumentId::new(d)).expect("doc hosted"))
+                    .collect();
+                p.parts = (0..docs)
+                    .map(|d| {
+                        engine
+                            .with(DocumentId::new(d), |site| site.replica_digest_parts())
+                            .expect("doc hosted")
+                    })
+                    .collect();
             }
         }
         if !worked {
             std::thread::sleep(Duration::from_micros(200));
         }
     }
-    out.flags = site.flags().collect();
-    out.flags.sort_unstable_by_key(|(id, _)| *id);
+    for d in 0..docs {
+        let doc = DocumentId::new(d);
+        let mut flags: Vec<(u64, RequestId, Flag)> = engine
+            .with(doc, |site| site.flags().collect::<Vec<_>>())
+            .expect("doc hosted")
+            .into_iter()
+            .map(|(id, flag)| (d, id, flag))
+            .collect();
+        flags.sort_unstable_by_key(|(_, id, _)| *id);
+        out.flags.extend(flags);
+    }
     conn.queue(&Frame::Bye { user: c.user });
     let _ = conn.flush();
     Ok(out)
@@ -448,48 +500,60 @@ fn think_gap(rng: &mut StdRng, think_ms: u64) -> Duration {
     Duration::from_millis(rng.gen_range(think_ms / 2..=think_ms + think_ms / 2))
 }
 
+/// Skewed document choice: the minimum of two uniform draws, linearly
+/// biased toward low ids — document 0 is the hot shard, the tail stays
+/// warm. Degenerates to 0 for single-document runs.
+fn pick_doc(rng: &mut StdRng, docs: u32) -> DocumentId {
+    let docs = u64::from(docs.max(1));
+    let a = rng.gen_range(0..docs);
+    let b = rng.gen_range(0..docs);
+    DocumentId::new(a.min(b))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn generate_one(
-    site: &mut Site<Char>,
-    endpoint: &mut Endpoint<Char>,
+    engine: &Engine<Char>,
+    endpoints: &mut HashMap<DocumentId, Endpoint<Char>>,
     conn: &mut FrameConn,
     rng: &mut StdRng,
     cfg: &LoadgenConfig,
     out: &mut ClientOut,
-    outstanding: &mut HashMap<RequestId, Instant>,
+    outstanding: &mut HashMap<(DocumentId, RequestId), Instant>,
     now_ms: u64,
 ) -> Result<(), String> {
     let mix = cfg.mix;
+    let doc = pick_doc(rng, cfg.docs);
+    let endpoint = endpoints.get_mut(&doc).expect("picked a hosted doc");
     let roll = rng.gen_range(0..mix.total());
     if roll >= mix.ins + mix.del + mix.up {
         let op = random_admin_op(rng, cfg);
-        match site.propose_admin(op) {
+        match engine.with(doc, |site| site.propose_admin(op)).expect("doc hosted") {
             Ok(p) => {
                 let pkt = endpoint.send(0, Arc::new(Message::Proposal(p)), now_ms);
-                conn.queue(&Frame::from_packet(pkt));
+                conn.queue(&Frame::from_packet(doc, pkt));
                 out.proposals_sent += 1;
             }
             Err(e) => return Err(format!("propose_admin: {e}")),
         }
         return Ok(());
     }
-    let doc = site.document();
-    let len = doc.len();
+    let content = engine.document(doc).expect("doc hosted");
+    let len = content.len();
     let letter = char::from(b'a' + rng.gen_range(0..26) as u8);
     let op = if len == 0 || roll < mix.ins {
         Op::ins(rng.gen_range(1..=len + 1), letter)
     } else if roll < mix.ins + mix.del {
         let pos = rng.gen_range(1..=len);
-        Op::del(pos, *doc.get(pos).expect("in range"))
+        Op::del(pos, *content.get(pos).expect("in range"))
     } else {
         let pos = rng.gen_range(1..=len);
-        Op::up(pos, *doc.get(pos).expect("in range"), letter)
+        Op::up(pos, *content.get(pos).expect("in range"), letter)
     };
-    match site.generate(op) {
+    match engine.with(doc, |site| site.generate(op)).expect("doc hosted") {
         Ok(q) => {
-            outstanding.insert(q.ot.id, Instant::now());
+            outstanding.insert((doc, q.ot.id), Instant::now());
             let pkt = endpoint.send(0, Arc::new(Message::Coop(q)), now_ms);
-            conn.queue(&Frame::from_packet(pkt));
+            conn.queue(&Frame::from_packet(doc, pkt));
             out.coop_sent += 1;
         }
         Err(CoreError::AccessDenied { .. }) => out.denied_local += 1,
@@ -575,8 +639,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
     let deadline = started + Duration::from_secs(cfg.timeout_s);
     let mut control = FrameConn::connect(&cfg.addr, Duration::from_secs(10))
         .map_err(|e| format!("control connection: {e}"))?;
+    let docs = cfg.docs.max(1);
     let mut stable_polls = 0u32;
-    let mut agreed_digest = 0u64;
+    let mut agreed_digests: Vec<u64> = Vec::new();
     let converged = loop {
         std::thread::sleep(Duration::from_millis(50));
         for shared in &shareds {
@@ -589,7 +654,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
             }
         }
         let progress: Vec<Progress> =
-            shareds.iter().map(|s| *s.progress.lock().expect("progress lock")).collect();
+            shareds.iter().map(|s| s.progress.lock().expect("progress lock").clone()).collect();
         let all_idle = progress.iter().all(|p| p.idle);
         if !all_idle {
             stable_polls = 0;
@@ -598,28 +663,41 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
             }
             continue;
         }
-        let server = match control.round_trip(
-            &Frame::DigestRequest { session: cfg.session },
-            Duration::from_secs(5),
-            |f| match f {
-                Frame::DigestReply { digest, idle, .. } => Some((*digest, *idle)),
-                _ => None,
-            },
-        ) {
-            Ok(reply) => reply,
-            Err(e) => {
-                stop.store(true, Ordering::Relaxed);
-                for h in handles {
-                    let _ = h.join();
+        // Poll the server's digest for every document: convergence is a
+        // per-document property, asserted across all of them.
+        let mut server: Vec<(u64, bool)> = Vec::with_capacity(docs as usize);
+        for d in 0..u64::from(docs) {
+            let want_doc = DocumentId::new(d);
+            let reply = control.round_trip(
+                &Frame::DigestRequest { session: cfg.session, doc: want_doc },
+                Duration::from_secs(5),
+                |f| match f {
+                    Frame::DigestReply { doc, digest, idle, .. } if *doc == want_doc => {
+                        Some((*digest, *idle))
+                    }
+                    _ => None,
+                },
+            );
+            match reply {
+                Ok(r) => server.push(r),
+                Err(e) => {
+                    stop.store(true, Ordering::Relaxed);
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                    return Err(format!("digest poll ({want_doc}): {e}"));
                 }
-                return Err(format!("digest poll: {e}"));
             }
-        };
-        let digests: Vec<u64> = progress.iter().map(|p| p.digest).collect();
-        let agree = server.1 && digests.iter().all(|&d| d == server.0);
+        }
+        let server_idle = server.iter().all(|&(_, idle)| idle);
+        let agree = server_idle
+            && progress.iter().all(|p| {
+                p.digests.len() == server.len()
+                    && p.digests.iter().zip(server.iter()).all(|(&c, &(s, _))| c == s)
+            });
         if agree {
             stable_polls += 1;
-            agreed_digest = server.0;
+            agreed_digests = server.iter().map(|&(d, _)| d).collect();
             if stable_polls >= 2 {
                 break true;
             }
@@ -628,11 +706,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
         }
         if Instant::now() >= deadline {
             if !agree {
-                let parts: Vec<[u64; 4]> = progress.iter().map(|p| p.parts).collect();
+                let digests: Vec<Vec<u64>> = progress.iter().map(|p| p.digests.clone()).collect();
+                let parts: Vec<Vec<[u64; 4]>> = progress.iter().map(|p| p.parts.clone()).collect();
                 let reason = format!(
-                    "socket session diverged or stalled after {}s: server digest {} (idle {}), \
-                     client digests {:?}, client [doc, policy, admin_log, flags] parts {:?}",
-                    cfg.timeout_s, server.0, server.1, digests, parts
+                    "socket session diverged or stalled after {}s: per-doc server digests {:?} \
+                     (idle {}), per-doc client digests {:?}, client [doc, policy, admin_log, \
+                     flags] parts {:?}",
+                    cfg.timeout_s, server, server_idle, digests, parts
                 );
                 eprintln!("dce-loadgen: {reason}");
                 obs.failure(&reason);
@@ -658,6 +738,8 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
     let mut latencies: Vec<f64> = Vec::new();
     let mut report = RunReport {
         clients: cfg.clients,
+        docs,
+        doc_digests: if converged { agreed_digests.clone() } else { Vec::new() },
         coop_sent: 0,
         proposals_sent: 0,
         denied_local: 0,
@@ -667,7 +749,14 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
         throughput_ops_s: 0.0,
         latency: LatencyReport::default(),
         converged,
-        replica_digest: if converged { agreed_digest } else { 0 },
+        // A whole-run digest: per-document digests folded in id order.
+        replica_digest: if converged {
+            agreed_digests
+                .iter()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, &d| (h ^ d).wrapping_mul(0x0000_0100_0000_01B3))
+        } else {
+            0
+        },
         events_recorded: 0,
         events_overflowed: obs.overflowed(),
         request_spans: 0,
@@ -709,21 +798,27 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
 /// admin), so the diff usually names the exact request at fault.
 fn report_flag_divergence(outs: &[ClientOut]) {
     let Some(reference) = outs.first() else { return };
-    let base: HashMap<RequestId, Flag> = reference.flags.iter().copied().collect();
+    let base: HashMap<(u64, RequestId), Flag> =
+        reference.flags.iter().map(|&(d, id, f)| ((d, id), f)).collect();
     for (i, out) in outs.iter().enumerate().skip(1) {
-        let theirs: HashMap<RequestId, Flag> = out.flags.iter().copied().collect();
-        for (id, flag) in &theirs {
-            match base.get(id) {
-                None => eprintln!("dce-loadgen: flag diff: {id:?} = {flag:?} only at client {i}"),
+        let theirs: HashMap<(u64, RequestId), Flag> =
+            out.flags.iter().map(|&(d, id, f)| ((d, id), f)).collect();
+        for ((d, id), flag) in &theirs {
+            match base.get(&(*d, *id)) {
+                None => eprintln!(
+                    "dce-loadgen: flag diff: doc{d} {id:?} = {flag:?} only at client {i}"
+                ),
                 Some(b) if b != flag => eprintln!(
-                    "dce-loadgen: flag diff: {id:?} is {b:?} at client 0 but {flag:?} at client {i}"
+                    "dce-loadgen: flag diff: doc{d} {id:?} is {b:?} at client 0 but {flag:?} at client {i}"
                 ),
                 Some(_) => {}
             }
         }
-        for (id, flag) in &base {
-            if !theirs.contains_key(id) {
-                eprintln!("dce-loadgen: flag diff: {id:?} = {flag:?} only at client 0, missing at client {i}");
+        for ((d, id), flag) in &base {
+            if !theirs.contains_key(&(*d, *id)) {
+                eprintln!(
+                    "dce-loadgen: flag diff: doc{d} {id:?} = {flag:?} only at client 0, missing at client {i}"
+                );
             }
         }
     }
@@ -736,6 +831,7 @@ pub fn write_bench_json(path: &Path, cfg: &LoadgenConfig, report: &RunReport) ->
     }
     let body = format!(
         "{{\n  \"bench\": \"server\",\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \
+         \"docs\": {docs},\n  \
          \"ops\": {ops},\n  \"mix\": \"{ins}:{del}:{up}:{admin}\",\n  \
          \"restrictive_pct\": {rp},\n  \"think_ms\": {think},\n  \"seed\": {seed},\n  \
          \"coop_sent\": {coop},\n  \"proposals_sent\": {props},\n  \
@@ -749,6 +845,7 @@ pub fn write_bench_json(path: &Path, cfg: &LoadgenConfig, report: &RunReport) ->
          \"trace_acyclic\": {acyclic}\n}}\n",
         addr = cfg.addr,
         clients = report.clients,
+        docs = report.docs,
         ops = cfg.ops,
         ins = cfg.mix.ins,
         del = cfg.mix.del,

@@ -14,7 +14,7 @@ use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dce-loadgen [--addr HOST:PORT] [--session N] [--clients N] [--ops N]\n\
+        "usage: dce-loadgen [--addr HOST:PORT] [--session N] [--clients N] [--docs N] [--ops N]\n\
          \x20                  [--mix I:D:U:A] [--restrictive-pct N] [--think-ms MS]\n\
          \x20                  [--seed N] [--doc TEXT] [--rto-ms MS] [--timeout-s S] [--out PATH]"
     );
@@ -42,6 +42,7 @@ fn main() {
             "--addr" => cfg.addr = val(),
             "--session" => cfg.session = val().parse().unwrap_or_else(|_| usage()),
             "--clients" => cfg.clients = val().parse().unwrap_or_else(|_| usage()),
+            "--docs" => cfg.docs = val().parse().unwrap_or_else(|_| usage()),
             "--ops" => cfg.ops = val().parse().unwrap_or_else(|_| usage()),
             "--mix" => cfg.mix = Mix::parse(&val()).unwrap_or_else(|| usage()),
             "--restrictive-pct" => cfg.restrictive_pct = val().parse().unwrap_or_else(|_| usage()),
@@ -63,10 +64,11 @@ fn main() {
                 println!("wrote {}", out.display());
             }
             println!(
-                "{} clients, {} coop + {} proposals ({} denied locally): \
+                "{} clients × {} docs, {} coop + {} proposals ({} denied locally): \
                  {} valid / {} invalid in {} ms — {:.1} ops/s, \
                  p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms — converged: {}",
                 report.clients,
+                report.docs,
                 report.coop_sent,
                 report.proposals_sent,
                 report.denied_local,

@@ -9,9 +9,18 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn boot_server(users: u32, doc: &str) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    boot_server_docs(users, doc, 1)
+}
+
+fn boot_server_docs(
+    users: u32,
+    doc: &str,
+    docs: u32,
+) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
     let mut server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         users,
+        docs,
         doc: doc.into(),
         rto_ms: 60,
         journal: 1 << 14,
@@ -71,6 +80,50 @@ fn four_clients_converge_over_loopback_tcp() {
     if report.events_overflowed == 0 {
         assert_eq!(report.request_spans as u64, report.coop_sent);
     }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn three_clients_converge_across_five_documents_on_one_connection() {
+    // The sharded engine: every client multiplexes five documents over a
+    // single TCP connection, picks documents with a skewed distribution,
+    // and the run only converges when every document's digest agrees
+    // across all replicas.
+    let doc = "shared seed text";
+    let (addr, shutdown, server) = boot_server_docs(3, doc, 5);
+    let scratch = std::env::temp_dir().join(format!("dce-loadgen-multidoc-{}", std::process::id()));
+    let cfg = LoadgenConfig {
+        addr,
+        clients: 3,
+        docs: 5,
+        ops: 180,
+        mix: Mix { ins: 55, del: 25, up: 15, admin: 5 },
+        restrictive_pct: 20,
+        think_ms: 0,
+        seed: 99,
+        doc: doc.into(),
+        rto_ms: 60,
+        timeout_s: 60,
+        results_dir: scratch.clone(),
+        ..LoadgenConfig::default()
+    };
+    let report = run(&cfg).expect("multi-document load run completes");
+    shutdown.store(true, Ordering::Relaxed);
+    server.join().expect("server thread");
+
+    assert!(report.converged, "per-document replica digests disagreed at quiescence");
+    assert_eq!(report.docs, 5);
+    assert_eq!(report.doc_digests.len(), 5, "one agreed digest per document");
+    assert!(
+        report.doc_digests.iter().any(|&d| d != 0),
+        "at least one document saw traffic and reports a digest"
+    );
+    assert_eq!(
+        report.coop_sent + report.proposals_sent + report.denied_local,
+        cfg.ops,
+        "open loop issues exactly the configured number of ops"
+    );
+    assert_eq!(report.resolved_valid + report.resolved_invalid, report.coop_sent);
     let _ = std::fs::remove_dir_all(&scratch);
 }
 

@@ -27,13 +27,19 @@
 use crate::reliable::Packet;
 use crate::wire::{decode_message, encode_message, WireElement, WireError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dce_core::Message;
+use dce_core::{DocumentId, Message};
 use std::sync::Arc;
 
 /// Hard ceiling on one frame's body length. Far above any legitimate
 /// message (a full-document snapshot is shipped elsewhere), far below
 /// anything that would hurt to allocate.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// Hard ceiling on a wire document id (codec v3). Ids above this are
+/// rejected as [`WireError::BadDocument`]: no deployment hosts 2^48
+/// documents, so a larger value is a corrupted or hostile frame, caught
+/// before it can key unbounded server-side state.
+pub const MAX_DOC_ID: u64 = (1 << 48) - 1;
 
 type Result<T> = std::result::Result<T, WireError>;
 
@@ -60,6 +66,9 @@ pub enum Frame<E> {
     /// A reliable-layer data packet: [`Packet`] flattened onto the wire
     /// with its protocol message in [`crate::wire`] encoding.
     Data {
+        /// Document the packet's stream belongs to ([`DocumentId::ROOT`]
+        /// for v2 peers — the connection's default document).
+        doc: DocumentId,
         /// Sending site.
         src: u32,
         /// Stream restart epoch.
@@ -76,6 +85,8 @@ pub enum Frame<E> {
     /// A standalone cumulative ack (sent on every data arrival so a
     /// one-directional flow still completes).
     Ack {
+        /// Document whose stream is being acked.
+        doc: DocumentId,
         /// Acking site.
         from: u32,
         /// Epoch of the acked stream.
@@ -83,15 +94,20 @@ pub enum Frame<E> {
         /// Cumulative ack point.
         cum: u64,
     },
-    /// Control: ask the server for its replica digest of `session`.
+    /// Control: ask the server for its replica digest of one of
+    /// `session`'s documents.
     DigestRequest {
         /// Queried session.
         session: u32,
+        /// Queried document within the session.
+        doc: DocumentId,
     },
     /// Control: a replica digest (server's answer, `user` = 0).
     DigestReply {
         /// Queried session.
         session: u32,
+        /// Queried document within the session.
+        doc: DocumentId,
         /// The site whose replica was digested.
         user: u32,
         /// [`dce_core::Site::replica_digest`] of that replica.
@@ -104,11 +120,15 @@ pub enum Frame<E> {
     StatusRequest {
         /// Queried session.
         session: u32,
+        /// Queried document within the session.
+        doc: DocumentId,
     },
     /// Control: session liveness counters.
     StatusReply {
         /// Queried session.
         session: u32,
+        /// Queried document within the session.
+        doc: DocumentId,
         /// Currently connected collaborator sites.
         connected: u32,
         /// `true` while the server's endpoint holds unacked data.
@@ -124,15 +144,31 @@ pub enum Frame<E> {
 }
 
 impl<E> Frame<E> {
-    /// Wraps a reliable-layer packet for the wire.
-    pub fn from_packet(p: Packet<E>) -> Self {
+    /// Wraps a reliable-layer packet for the wire, tagged with the
+    /// document whose stream carries it.
+    pub fn from_packet(doc: DocumentId, p: Packet<E>) -> Self {
         Frame::Data {
+            doc,
             src: p.src as u32,
             epoch: p.epoch,
             seq: p.seq,
             ack_epoch: p.ack_epoch,
             ack: p.ack,
             msg: p.msg,
+        }
+    }
+
+    /// The document this frame addresses ([`DocumentId::ROOT`] for
+    /// session-scoped frames such as `Hello`).
+    pub fn doc(&self) -> DocumentId {
+        match self {
+            Frame::Data { doc, .. }
+            | Frame::Ack { doc, .. }
+            | Frame::DigestRequest { doc, .. }
+            | Frame::DigestReply { doc, .. }
+            | Frame::StatusRequest { doc, .. }
+            | Frame::StatusReply { doc, .. } => *doc,
+            Frame::Hello { .. } | Frame::Welcome { .. } | Frame::Bye { .. } => DocumentId::ROOT,
         }
     }
 }
@@ -146,6 +182,37 @@ const TAG_DIGEST_REPLY: u8 = 5;
 const TAG_STATUS_REQUEST: u8 = 6;
 const TAG_STATUS_REPLY: u8 = 7;
 const TAG_BYE: u8 = 8;
+// Codec v3: identical bodies prefixed by a u64 document id right after
+// the tag. Frames addressing the default document ([`DocumentId::ROOT`])
+// keep the v2 tags, so a single-document exchange is byte-identical to
+// the pre-sharding codec and v2 peers interoperate unchanged.
+const TAG_DATA_V3: u8 = 9;
+const TAG_ACK_V3: u8 = 10;
+const TAG_DIGEST_REQUEST_V3: u8 = 11;
+const TAG_DIGEST_REPLY_V3: u8 = 12;
+const TAG_STATUS_REQUEST_V3: u8 = 13;
+const TAG_STATUS_REPLY_V3: u8 = 14;
+
+/// Emits `tag` (v2 flavor) when `doc` is the root document, else the v3
+/// flavor followed by the document id.
+fn put_tag_doc(body: &mut BytesMut, v2: u8, v3: u8, doc: DocumentId) {
+    if doc.is_root() {
+        body.put_u8(v2);
+    } else {
+        body.put_u8(v3);
+        body.put_u64_le(doc.as_u64());
+    }
+}
+
+/// Reads and validates a v3 document id: zero must have used the v2
+/// encoding, and ids above [`MAX_DOC_ID`] are corrupt.
+fn get_doc(buf: &mut Bytes) -> Result<DocumentId> {
+    let doc = get_u64(buf)?;
+    if doc == 0 || doc > MAX_DOC_ID {
+        return Err(WireError::BadDocument(doc));
+    }
+    Ok(DocumentId::new(doc))
+}
 
 /// Encodes one frame, length prefix included.
 pub fn encode_frame<E: WireElement>(frame: &Frame<E>) -> Bytes {
@@ -162,8 +229,8 @@ pub fn encode_frame<E: WireElement>(frame: &Frame<E>) -> Bytes {
             body.put_u32_le(*user);
             body.put_u32_le(*peers);
         }
-        Frame::Data { src, epoch, seq, ack_epoch, ack, msg } => {
-            body.put_u8(TAG_DATA);
+        Frame::Data { doc, src, epoch, seq, ack_epoch, ack, msg } => {
+            put_tag_doc(&mut body, TAG_DATA, TAG_DATA_V3, *doc);
             body.put_u32_le(*src);
             body.put_u64_le(*epoch);
             body.put_u64_le(*seq);
@@ -173,29 +240,29 @@ pub fn encode_frame<E: WireElement>(frame: &Frame<E>) -> Bytes {
             body.put_u32_le(payload.len() as u32);
             body.put_slice(&payload);
         }
-        Frame::Ack { from, epoch, cum } => {
-            body.put_u8(TAG_ACK);
+        Frame::Ack { doc, from, epoch, cum } => {
+            put_tag_doc(&mut body, TAG_ACK, TAG_ACK_V3, *doc);
             body.put_u32_le(*from);
             body.put_u64_le(*epoch);
             body.put_u64_le(*cum);
         }
-        Frame::DigestRequest { session } => {
-            body.put_u8(TAG_DIGEST_REQUEST);
+        Frame::DigestRequest { session, doc } => {
+            put_tag_doc(&mut body, TAG_DIGEST_REQUEST, TAG_DIGEST_REQUEST_V3, *doc);
             body.put_u32_le(*session);
         }
-        Frame::DigestReply { session, user, digest, idle } => {
-            body.put_u8(TAG_DIGEST_REPLY);
+        Frame::DigestReply { session, doc, user, digest, idle } => {
+            put_tag_doc(&mut body, TAG_DIGEST_REPLY, TAG_DIGEST_REPLY_V3, *doc);
             body.put_u32_le(*session);
             body.put_u32_le(*user);
             body.put_u64_le(*digest);
             body.put_u8(u8::from(*idle));
         }
-        Frame::StatusRequest { session } => {
-            body.put_u8(TAG_STATUS_REQUEST);
+        Frame::StatusRequest { session, doc } => {
+            put_tag_doc(&mut body, TAG_STATUS_REQUEST, TAG_STATUS_REQUEST_V3, *doc);
             body.put_u32_le(*session);
         }
-        Frame::StatusReply { session, connected, unacked, delivered } => {
-            body.put_u8(TAG_STATUS_REPLY);
+        Frame::StatusReply { session, doc, connected, unacked, delivered } => {
+            put_tag_doc(&mut body, TAG_STATUS_REPLY, TAG_STATUS_REPLY_V3, *doc);
             body.put_u32_le(*session);
             body.put_u32_le(*connected);
             body.put_u8(u8::from(*unacked));
@@ -213,14 +280,25 @@ pub fn encode_frame<E: WireElement>(frame: &Frame<E>) -> Bytes {
 }
 
 fn decode_body<E: WireElement>(mut buf: Bytes) -> Result<Frame<E>> {
-    let frame = match get_u8(&mut buf)? {
+    let tag = get_u8(&mut buf)?;
+    // v3 tags carry the document id first; v2 tags address the root.
+    let doc = match tag {
+        TAG_DATA_V3
+        | TAG_ACK_V3
+        | TAG_DIGEST_REQUEST_V3
+        | TAG_DIGEST_REPLY_V3
+        | TAG_STATUS_REQUEST_V3
+        | TAG_STATUS_REPLY_V3 => get_doc(&mut buf)?,
+        _ => DocumentId::ROOT,
+    };
+    let frame = match tag {
         TAG_HELLO => Frame::Hello { session: get_u32(&mut buf)?, user: get_u32(&mut buf)? },
         TAG_WELCOME => Frame::Welcome {
             session: get_u32(&mut buf)?,
             user: get_u32(&mut buf)?,
             peers: get_u32(&mut buf)?,
         },
-        TAG_DATA => {
+        TAG_DATA | TAG_DATA_V3 => {
             let src = get_u32(&mut buf)?;
             let epoch = get_u64(&mut buf)?;
             let seq = get_u64(&mut buf)?;
@@ -231,23 +309,30 @@ fn decode_body<E: WireElement>(mut buf: Bytes) -> Result<Frame<E>> {
                 return Err(WireError::Truncated);
             }
             let msg = decode_message(buf.copy_to_bytes(len))?;
-            Frame::Data { src, epoch, seq, ack_epoch, ack, msg: Arc::new(msg) }
+            Frame::Data { doc, src, epoch, seq, ack_epoch, ack, msg: Arc::new(msg) }
         }
-        TAG_ACK => Frame::Ack {
+        TAG_ACK | TAG_ACK_V3 => Frame::Ack {
+            doc,
             from: get_u32(&mut buf)?,
             epoch: get_u64(&mut buf)?,
             cum: get_u64(&mut buf)?,
         },
-        TAG_DIGEST_REQUEST => Frame::DigestRequest { session: get_u32(&mut buf)? },
-        TAG_DIGEST_REPLY => Frame::DigestReply {
+        TAG_DIGEST_REQUEST | TAG_DIGEST_REQUEST_V3 => {
+            Frame::DigestRequest { session: get_u32(&mut buf)?, doc }
+        }
+        TAG_DIGEST_REPLY | TAG_DIGEST_REPLY_V3 => Frame::DigestReply {
             session: get_u32(&mut buf)?,
+            doc,
             user: get_u32(&mut buf)?,
             digest: get_u64(&mut buf)?,
             idle: get_u8(&mut buf)? != 0,
         },
-        TAG_STATUS_REQUEST => Frame::StatusRequest { session: get_u32(&mut buf)? },
-        TAG_STATUS_REPLY => Frame::StatusReply {
+        TAG_STATUS_REQUEST | TAG_STATUS_REQUEST_V3 => {
+            Frame::StatusRequest { session: get_u32(&mut buf)?, doc }
+        }
+        TAG_STATUS_REPLY | TAG_STATUS_REPLY_V3 => Frame::StatusReply {
             session: get_u32(&mut buf)?,
+            doc,
             connected: get_u32(&mut buf)?,
             unacked: get_u8(&mut buf)? != 0,
             delivered: get_u64(&mut buf)?,
@@ -342,12 +427,22 @@ mod tests {
         let mut clock = Clock::new();
         clock.set(2, n);
         Frame::Data {
+            doc: DocumentId::ROOT,
             src: 2,
             epoch: 1,
             seq: n,
             ack_epoch: 0,
             ack: 3,
             msg: Arc::new(Message::Heartbeat { from: 2, clock }),
+        }
+    }
+
+    fn doc_heartbeat(doc: u64, n: u64) -> Frame<Char> {
+        match heartbeat(n) {
+            Frame::Data { src, epoch, seq, ack_epoch, ack, msg, .. } => {
+                Frame::Data { doc: DocumentId::new(doc), src, epoch, seq, ack_epoch, ack, msg }
+            }
+            _ => unreachable!(),
         }
     }
 
@@ -364,11 +459,23 @@ mod tests {
         for frame in [
             Frame::<Char>::Hello { session: 7, user: 3 },
             Frame::Welcome { session: 7, user: 3, peers: 4 },
-            Frame::Ack { from: 3, epoch: 2, cum: 99 },
-            Frame::DigestRequest { session: 7 },
-            Frame::DigestReply { session: 7, user: 0, digest: u64::MAX, idle: true },
-            Frame::StatusRequest { session: 7 },
-            Frame::StatusReply { session: 7, connected: 4, unacked: false, delivered: 1_000 },
+            Frame::Ack { doc: DocumentId::ROOT, from: 3, epoch: 2, cum: 99 },
+            Frame::DigestRequest { session: 7, doc: DocumentId::ROOT },
+            Frame::DigestReply {
+                session: 7,
+                doc: DocumentId::ROOT,
+                user: 0,
+                digest: u64::MAX,
+                idle: true,
+            },
+            Frame::StatusRequest { session: 7, doc: DocumentId::ROOT },
+            Frame::StatusReply {
+                session: 7,
+                doc: DocumentId::ROOT,
+                connected: 4,
+                unacked: false,
+                delivered: 1_000,
+            },
             Frame::Bye { user: 3 },
         ] {
             assert_eq!(roundtrip(&frame), frame);
@@ -379,6 +486,18 @@ mod tests {
     fn data_frames_roundtrip_through_the_wire_codec() {
         let frame = heartbeat(5);
         assert_eq!(roundtrip(&frame), frame);
+    }
+
+    #[test]
+    fn nonroot_documents_ride_the_v3_tags() {
+        for doc in [1, 42, MAX_DOC_ID] {
+            let frame = doc_heartbeat(doc, 5);
+            assert_eq!(encode_frame(&frame)[4], TAG_DATA_V3);
+            assert_eq!(roundtrip(&frame), frame);
+        }
+        // The root document stays on the v2 tag — byte-identical to the
+        // pre-sharding codec.
+        assert_eq!(encode_frame(&heartbeat(5))[4], TAG_DATA);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub mod snapshot;
 pub mod wire;
 
 pub use fault::{FaultPlan, FaultStats, LegFate, Partition};
-pub use frame::{encode_frame, Frame, FrameDecoder, MAX_FRAME_LEN};
+pub use frame::{encode_frame, Frame, FrameDecoder, MAX_DOC_ID, MAX_FRAME_LEN};
 pub use reliable::{Endpoint, Packet, ReliableConfig};
 pub use scripted::{Flight, ScriptedNet};
 pub use sim::{Latency, SimNet, SimStats};

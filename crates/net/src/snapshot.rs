@@ -10,7 +10,7 @@
 
 use crate::wire::{self, WireElement, WireError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dce_core::{Flag, Site};
+use dce_core::{DocumentId, Flag, Site};
 use dce_document::Element;
 use dce_ot::ids::RequestId;
 use dce_ot::log::Log;
@@ -19,7 +19,7 @@ use dce_policy::{AdminLog, UserId};
 use std::collections::HashSet;
 
 const MAGIC: u8 = 0xD5; // distinct from message frames
-const VERSION: u8 = 2; // v2: carries tentative generation versions
+const VERSION: u8 = 3; // v3: names the document; v2 decodes as the root doc
 
 type Result<T> = std::result::Result<T, WireError>;
 
@@ -32,6 +32,7 @@ pub fn encode_snapshot<E: Element + WireElement>(site: &Site<E>) -> Bytes {
     out.put_u8(MAGIC);
     out.put_u8(VERSION);
     out.put_u32_le(site.user());
+    out.put_u64_le(site.doc().as_u64());
 
     // Buffer cells.
     out.put_u64_le(cells.len() as u64);
@@ -109,13 +110,20 @@ pub fn decode_snapshot<E: Element + WireElement>(
     new_user: UserId,
     admin_id: UserId,
 ) -> Result<Site<E>> {
-    if buf.remaining() < 2 || buf.get_u8() != MAGIC || buf.get_u8() != VERSION {
+    if buf.remaining() < 2 || buf.get_u8() != MAGIC {
+        return Err(WireError::BadHeader);
+    }
+    let version = buf.get_u8();
+    if version != 2 && version != VERSION {
         return Err(WireError::BadHeader);
     }
     if buf.remaining() < 4 {
         return Err(WireError::Truncated);
     }
     let _source_user = buf.get_u32_le();
+    // v2 snapshots predate sharding: they describe the root document.
+    let doc =
+        if version >= 3 { DocumentId::new(wire::get_u64_pub(&mut buf)?) } else { DocumentId::ROOT };
 
     let n_cells = wire::get_u64_pub(&mut buf)? as usize;
     let mut cells: Vec<Cell<E>> = Vec::with_capacity(n_cells.min(1 << 20));
@@ -195,7 +203,8 @@ pub fn decode_snapshot<E: Element + WireElement>(
         admin_log,
         flags,
         tentative_v,
-    ))
+    )
+    .with_document(doc))
 }
 
 /// Convenience: snapshot `donor` and rebuild it as a replica for
@@ -288,6 +297,31 @@ mod tests {
         s9.receive(Message::Coop(q_old.clone())).unwrap();
         adm.receive(Message::Coop(q_old)).unwrap();
         assert_eq!(adm.document().to_string(), s9.document().to_string());
+    }
+
+    #[test]
+    fn snapshot_carries_the_document_id() {
+        let (adm, _) = busy_site();
+        let tagged = adm.rejoin_as(0).with_document(DocumentId::new(77));
+        let restored = transfer(&tagged, 9, 0).unwrap();
+        assert_eq!(restored.doc(), DocumentId::new(77));
+        assert_eq!(restored.document(), tagged.document());
+    }
+
+    #[test]
+    fn v2_snapshots_decode_as_the_root_document() {
+        let (adm, _) = busy_site();
+        // Re-assemble the v3 bytes as a v2 snapshot: version byte back to
+        // 2 and the document id field removed.
+        let v3 = encode_snapshot(&adm);
+        let mut v2 = Vec::with_capacity(v3.len() - 8);
+        v2.extend_from_slice(&v3[..6]); // magic, version, user
+        v2[1] = 2;
+        v2.extend_from_slice(&v3[14..]); // skip the u64 doc id
+        let restored = decode_snapshot::<Char>(Bytes::from(v2), 9, 0).unwrap();
+        assert_eq!(restored.doc(), DocumentId::ROOT);
+        assert_eq!(restored.document(), adm.document());
+        assert_eq!(restored.policy(), adm.policy());
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub enum WireError {
     BadTag(u8),
     /// A string was not valid UTF-8.
     BadUtf8,
+    /// A v3 frame named a document id outside the legal range
+    /// (`0` — which must use the v2 encoding — or above
+    /// [`crate::frame::MAX_DOC_ID`]).
+    BadDocument(u64),
 }
 
 impl std::fmt::Display for WireError {
@@ -49,6 +53,7 @@ impl std::fmt::Display for WireError {
             WireError::BadHeader => write!(f, "bad magic/version header"),
             WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             WireError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            WireError::BadDocument(doc) => write!(f, "document id {doc} out of range"),
         }
     }
 }

@@ -10,10 +10,10 @@
 //! Also covered: the decoder's rejection behaviour for truncated,
 //! oversized and corrupt frames arriving over the same socket.
 
-use dce_core::{AdminProposal, Message, Site};
+use dce_core::{AdminProposal, DocumentId, Message, Site};
 use dce_document::{Char, CharDocument, Op};
 use dce_net::wire::WireError;
-use dce_net::{encode_frame, Frame, FrameDecoder, MAX_FRAME_LEN};
+use dce_net::{encode_frame, Frame, FrameDecoder, MAX_DOC_ID, MAX_FRAME_LEN};
 use dce_ot::ids::Clock;
 use dce_policy::{AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Sign, Subject};
 use proptest::prelude::*;
@@ -96,16 +96,31 @@ fn message_pool() -> &'static [Arc<Message<Char>>] {
 /// every message kind alongside the control frames.
 fn frame_for(kind: u8, a: u32, b: u64) -> Frame<Char> {
     let pool = message_pool();
+    // Cycle the document id so generated sequences interleave v2 (root)
+    // and v3 (doc-tagged) encodings of the same frame kinds, including
+    // the extreme legal id.
+    let doc = match b % 3 {
+        0 => DocumentId::ROOT,
+        1 => DocumentId::new(u64::from(a) + 1),
+        _ => DocumentId::new(MAX_DOC_ID),
+    };
     match kind {
         0 => Frame::Hello { session: a, user: a % 5 },
         1 => Frame::Welcome { session: a, user: a % 5, peers: 4 },
-        2 => Frame::Ack { from: a % 5, epoch: b % 7, cum: b },
-        3 => Frame::DigestRequest { session: a },
-        4 => Frame::DigestReply { session: a, user: 0, digest: b, idle: b.is_multiple_of(2) },
-        5 => Frame::StatusRequest { session: a },
-        6 => Frame::StatusReply { session: a, connected: a % 5, unacked: b % 2 == 1, delivered: b },
+        2 => Frame::Ack { doc, from: a % 5, epoch: b % 7, cum: b },
+        3 => Frame::DigestRequest { session: a, doc },
+        4 => Frame::DigestReply { session: a, doc, user: 0, digest: b, idle: b.is_multiple_of(2) },
+        5 => Frame::StatusRequest { session: a, doc },
+        6 => Frame::StatusReply {
+            session: a,
+            doc,
+            connected: a % 5,
+            unacked: b % 2 == 1,
+            delivered: b,
+        },
         7 => Frame::Bye { user: a % 5 },
         k => Frame::Data {
+            doc,
             src: a % 5,
             epoch: b % 3,
             seq: b,
@@ -200,6 +215,81 @@ proptest! {
 }
 
 #[test]
+fn v2_frames_decode_with_the_default_document() {
+    // Hand-assembled pre-sharding (codec v2) bytes: an Ack frame is
+    // tag 3 ‖ u32 from ‖ u64 epoch ‖ u64 cum, length-prefixed.
+    let mut body = vec![3u8];
+    body.extend_from_slice(&7u32.to_le_bytes());
+    body.extend_from_slice(&2u64.to_le_bytes());
+    body.extend_from_slice(&99u64.to_le_bytes());
+    let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    let (out, leftover) = round_trip_bytes(&bytes, 5);
+    assert_eq!(out, vec![Ok(Frame::Ack { doc: DocumentId::ROOT, from: 7, epoch: 2, cum: 99 })]);
+    assert_eq!(leftover, 0);
+
+    // And the encoder keeps emitting exactly those bytes for root-doc
+    // frames: the first body byte is the v2 tag, with no document field.
+    let enc =
+        encode_frame(&Frame::<Char>::Ack { doc: DocumentId::ROOT, from: 7, epoch: 2, cum: 99 });
+    assert_eq!(enc.to_vec(), bytes, "root-document frames stay v2 byte-identical");
+}
+
+#[test]
+fn mixed_document_frames_share_one_decoder() {
+    // One connection multiplexing three documents (plus v2 root-doc
+    // traffic) through a single FrameDecoder, dribbled byte by byte.
+    let frames: Vec<Frame<Char>> = vec![
+        frame_for(9, 1, 3), // root doc (v2 Data)
+        frame_for(9, 1, 1), // doc 2 (v3 Data)
+        Frame::Ack { doc: DocumentId::new(5), from: 1, epoch: 1, cum: 4 },
+        Frame::DigestRequest { session: 1, doc: DocumentId::new(9) },
+        frame_for(10, 2, 4), // doc 3 (v3 Data)
+        Frame::Bye { user: 1 },
+    ];
+    let mut bytes = Vec::new();
+    for f in &frames {
+        bytes.extend_from_slice(&encode_frame(f));
+    }
+    let mut dec = FrameDecoder::new();
+    let mut out: Vec<Frame<Char>> = Vec::new();
+    for byte in bytes {
+        dec.extend(&[byte]);
+        while let Some(f) = dec.next().expect("clean stream") {
+            out.push(f);
+        }
+    }
+    assert_eq!(out, frames);
+    let docs: Vec<u64> = out.iter().map(|f| f.doc().as_u64()).collect();
+    assert_eq!(docs, vec![0, 2, 5, 9, 3, 0]);
+}
+
+#[test]
+fn bad_document_ids_are_rejected_over_tcp() {
+    // A v3 Ack (tag 10) must not name the root document — that encoding
+    // is reserved for the v2 tag.
+    let mut body = vec![10u8];
+    body.extend_from_slice(&0u64.to_le_bytes());
+    body.extend_from_slice(&7u32.to_le_bytes());
+    body.extend_from_slice(&2u64.to_le_bytes());
+    body.extend_from_slice(&99u64.to_le_bytes());
+    let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    let (out, _) = round_trip_bytes(&bytes, 4);
+    assert_eq!(out, vec![Err(WireError::BadDocument(0))]);
+
+    // …and ids above MAX_DOC_ID are corrupt, whatever the frame kind.
+    let huge = MAX_DOC_ID + 1;
+    let mut body = vec![11u8]; // v3 DigestRequest
+    body.extend_from_slice(&huge.to_le_bytes());
+    body.extend_from_slice(&1u32.to_le_bytes());
+    let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    let (out, _) = round_trip_bytes(&bytes, 4);
+    assert_eq!(out, vec![Err(WireError::BadDocument(huge))]);
+}
+
+#[test]
 fn an_oversized_length_prefix_is_rejected_over_tcp() {
     let mut bytes = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
     bytes.extend_from_slice(&[0u8; 16]);
@@ -230,8 +320,9 @@ fn a_length_and_body_disagreement_is_rejected_over_tcp() {
 
 #[test]
 fn garbage_inside_a_data_payload_is_rejected_over_tcp() {
-    // A Data frame whose embedded wire message has a corrupt magic byte.
-    let good = encode_frame(&frame_for(9, 1, 1));
+    // A root-document (v2 layout) Data frame whose embedded wire message
+    // has a corrupt magic byte.
+    let good = encode_frame(&frame_for(9, 1, 3));
     let mut bytes = good.to_vec();
     // Layout: u32 len ‖ tag ‖ u32 src ‖ 4×u64 ‖ u32 payload len ‖ payload.
     let payload_at = 4 + 1 + 4 + 32 + 4;

@@ -2,19 +2,20 @@
 //! versioned, length-explicit, little-endian, tag bytes for enums.
 //!
 //! ```text
-//! journal := u8 MAGIC (0xD1)  u8 VERSION (2)  u32 count  event*
-//! event   := u32 site  u64 seq  u64 version  u64 lamport  u64 at  u8 tag  fields
+//! journal := u8 MAGIC (0xD1)  u8 VERSION (3)  u32 count  event*
+//! event   := u32 site  u64 seq  u64 version  u64 lamport  u64 at  u64 doc  u8 tag  fields
 //! ```
 //!
-//! Version 1 journals (no `at` stamp, tags 0–19, uncorrelated
-//! retransmits) still decode: `at` comes back 0 and retransmit events
-//! carry no request correlation, exactly what a V1 writer knew.
+//! Older journals still decode: version 1 (no `at` stamp, tags 0–19,
+//! uncorrelated retransmits) comes back with `at = 0` and no request
+//! correlation; version 2 (no document tag) comes back with `doc = 0`,
+//! the single-document default — exactly what those writers knew.
 
 use crate::event::{DeferReason, Event, EventKind, ReqId};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 const MAGIC: u8 = 0xD1;
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 
 /// Errors raised while decoding a journal.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,6 +103,7 @@ pub fn encode_event(ev: &Event, out: &mut BytesMut) {
     out.put_u64_le(ev.version);
     out.put_u64_le(ev.lamport);
     out.put_u64_le(ev.at);
+    out.put_u64_le(ev.doc);
     match ev.kind {
         EventKind::ReqGenerated { id } => {
             out.put_u8(0);
@@ -217,6 +219,7 @@ fn decode_event_versioned(buf: &mut Bytes, format: u8) -> Result<Event> {
     let version = get_u64(buf)?;
     let lamport = get_u64(buf)?;
     let at = if format >= 2 { get_u64(buf)? } else { 0 };
+    let doc = if format >= 3 { get_u64(buf)? } else { 0 };
     let kind = match get_u8(buf)? {
         0 => EventKind::ReqGenerated { id: get_req_id(buf)? },
         1 => EventKind::ReqReceived { id: get_req_id(buf)? },
@@ -254,7 +257,7 @@ fn decode_event_versioned(buf: &mut Bytes, format: u8) -> Result<Event> {
         20 if format >= 2 => EventKind::ReqStable { id: get_req_id(buf)? },
         t => return Err(CodecError::BadTag(t)),
     };
-    Ok(Event { site, seq, version, lamport, at, kind })
+    Ok(Event { site, doc, seq, version, lamport, at, kind })
 }
 
 /// Encodes a whole journal (header + count + events).
@@ -297,6 +300,7 @@ mod tests {
         let events = vec![
             Event {
                 site: 1,
+                doc: 0,
                 seq: 1,
                 version: 0,
                 lamport: 1,
@@ -305,6 +309,7 @@ mod tests {
             },
             Event {
                 site: 2,
+                doc: 7,
                 seq: 1,
                 version: 3,
                 lamport: 2,
@@ -316,6 +321,7 @@ mod tests {
             },
             Event {
                 site: 0,
+                doc: u64::MAX,
                 seq: 9,
                 version: 4,
                 lamport: 3,
@@ -324,6 +330,7 @@ mod tests {
             },
             Event {
                 site: 3,
+                doc: 7,
                 seq: 2,
                 version: 4,
                 lamport: 4,
@@ -337,6 +344,7 @@ mod tests {
             },
             Event {
                 site: 1,
+                doc: 0,
                 seq: 5,
                 version: 4,
                 lamport: 5,
@@ -367,6 +375,7 @@ mod tests {
     fn truncation_rejected() {
         let events = vec![Event {
             site: 1,
+            doc: 0,
             seq: 1,
             version: 0,
             lamport: 1,
@@ -410,6 +419,7 @@ mod tests {
             vec![
                 Event {
                     site: 1,
+                    doc: 0,
                     seq: 1,
                     version: 0,
                     lamport: 1,
@@ -418,6 +428,7 @@ mod tests {
                 },
                 Event {
                     site: 2,
+                    doc: 0,
                     seq: 1,
                     version: 0,
                     lamport: 2,
@@ -425,6 +436,39 @@ mod tests {
                     kind: EventKind::StreamRetransmit { src: 2, dest: 1, stream_seq: 7, req: None },
                 },
             ]
+        );
+    }
+
+    /// Hand-assembles a version-2 journal (pre-document-tag) and checks
+    /// it still decodes, with `doc = 0` — the single-document default.
+    #[test]
+    fn v2_journal_still_decodes() {
+        let mut out = BytesMut::new();
+        out.put_u8(MAGIC);
+        out.put_u8(2); // format version 2
+        out.put_u32_le(1);
+        // site 4, seq 2, version 1, lamport 9, at 33, ReqExecuted 4#2 —
+        // V2 layout: no doc word between `at` and the tag byte.
+        out.put_u32_le(4);
+        out.put_u64_le(2);
+        out.put_u64_le(1);
+        out.put_u64_le(9);
+        out.put_u64_le(33);
+        out.put_u8(4);
+        out.put_u32_le(4);
+        out.put_u64_le(2);
+        let events = decode_journal(out.freeze()).unwrap();
+        assert_eq!(
+            events,
+            vec![Event {
+                site: 4,
+                doc: 0,
+                seq: 2,
+                version: 1,
+                lamport: 9,
+                at: 33,
+                kind: EventKind::ReqExecuted { id: ReqId::new(4, 2) },
+            }]
         );
     }
 

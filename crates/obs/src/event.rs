@@ -31,6 +31,13 @@ use std::fmt;
 /// widened to `u32` for network-layer events).
 pub type SiteId = u32;
 
+/// Document (shard) identifier in an event. Mirrors
+/// `dce_core::DocumentId` without depending on it — this crate sits
+/// *below* the stack it instruments. `0` is the single-document default:
+/// every handle not re-keyed with [`crate::ObsHandle::for_doc`] stamps it,
+/// and journals written before events carried a document decode to it.
+pub type DocId = u64;
+
 /// A cooperative request identity: `(issuing site, per-site sequence)`.
 /// Mirrors `dce_ot::RequestId` without depending on it — this crate sits
 /// *below* the stack it instruments.
@@ -335,6 +342,9 @@ impl fmt::Display for EventKind {
 pub struct Event {
     /// Observing site.
     pub site: SiteId,
+    /// The document (shard) the event belongs to (`0` = the
+    /// single-document default; see [`DocId`]).
+    pub doc: DocId,
     /// Per-site emission sequence number (1-based).
     pub seq: u64,
     /// The site's policy version when the event was emitted.
@@ -350,6 +360,14 @@ pub struct Event {
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>6}] site {} (v{}) {}", self.lamport, self.site, self.version, self.kind)
+        if self.doc != 0 {
+            write!(
+                f,
+                "[{:>6}] doc{} site {} (v{}) {}",
+                self.lamport, self.doc, self.site, self.version, self.kind
+            )
+        } else {
+            write!(f, "[{:>6}] site {} (v{}) {}", self.lamport, self.site, self.version, self.kind)
+        }
     }
 }

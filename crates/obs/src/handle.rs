@@ -69,9 +69,19 @@ impl std::fmt::Debug for Obs {
 }
 
 /// Shared observability capability. See the module docs.
+///
+/// A handle optionally carries a **document tag** ([`ObsHandle::for_doc`]):
+/// a re-keyed clone sharing the same journal/registry/clock whose events
+/// are stamped with the document id and whose histogram/counter writes go
+/// to both the process-wide rollup name and a per-shard `…·docN` series.
+/// The tag lives outside the shared `Arc`, so one process-wide `Obs` can
+/// serve thousands of shards with one cheap clone per shard.
 #[derive(Debug, Clone, Default)]
 pub struct ObsHandle {
     inner: Option<Arc<Obs>>,
+    /// Document (shard) tag stamped onto events and scoped metric names.
+    /// `0` = untagged (the single-document default).
+    doc: u64,
 }
 
 impl ObsHandle {
@@ -94,6 +104,7 @@ impl ObsHandle {
     /// An enabled handle over a caller-supplied sink.
     pub fn with_recorder(recorder: Arc<dyn Recorder>) -> Self {
         ObsHandle {
+            doc: 0,
             inner: Some(Arc::new(Obs {
                 recorder,
                 metrics: Metrics::new(),
@@ -111,6 +122,25 @@ impl ObsHandle {
     /// Whether this handle records anything.
     pub fn enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// A clone of this handle re-keyed onto document `doc`: same journal,
+    /// registry and lamport clock, but events are stamped with `doc` and
+    /// histogram/counter writes also feed a per-shard `…·docN` series.
+    /// `for_doc(0)` returns an untagged handle.
+    pub fn for_doc(&self, doc: u64) -> ObsHandle {
+        ObsHandle { inner: self.inner.clone(), doc }
+    }
+
+    /// The document tag this handle stamps (`0` = untagged).
+    pub fn doc(&self) -> u64 {
+        self.doc
+    }
+
+    /// The per-shard metric name for `name` under this handle's tag
+    /// (`None` when untagged).
+    fn scoped(&self, name: &str) -> Option<String> {
+        (self.doc != 0).then(|| format!("{name}.doc{}", self.doc))
     }
 
     /// Stamps events with the simulated clock: `Event::at` becomes the
@@ -155,7 +185,7 @@ impl ObsHandle {
             *slot += 1;
             *slot
         };
-        obs.recorder.record(Event { site, seq, version, lamport, at, kind });
+        obs.recorder.record(Event { site, doc: self.doc, seq, version, lamport, at, kind });
         let counter = {
             let mut map = obs.kind_counters.lock().expect("kind_counters poisoned");
             map.entry(kind.name())
@@ -198,24 +228,41 @@ impl ObsHandle {
         true
     }
 
-    /// Adds `n` to counter `name`. No-op when disabled.
+    /// Adds `n` to counter `name` — and, on a document-tagged handle, to
+    /// the per-shard `name.docN` counter as well (per-shard series plus
+    /// process rollup). No-op when disabled.
     pub fn add_counter(&self, name: &str, n: u64) {
         if let Some(obs) = &self.inner {
             obs.metrics.counter(name).add(n);
+            if let Some(scoped) = self.scoped(name) {
+                obs.metrics.counter(&scoped).add(n);
+            }
         }
     }
 
-    /// Sets gauge `name` to `v`. No-op when disabled.
+    /// Sets gauge `name` to `v`. On a document-tagged handle the write
+    /// goes to the per-shard `name.docN` gauge *only*: a process-wide
+    /// rollup of a level metric would just be whichever shard wrote last.
+    /// No-op when disabled.
     pub fn set_gauge(&self, name: &str, v: u64) {
         if let Some(obs) = &self.inner {
-            obs.metrics.gauge(name).set(v);
+            match self.scoped(name) {
+                Some(scoped) => obs.metrics.gauge(&scoped).set(v),
+                None => obs.metrics.gauge(name).set(v),
+            }
         }
     }
 
-    /// Records `v` into histogram `name`. No-op when disabled.
+    /// Records `v` into histogram `name` — and, on a document-tagged
+    /// handle, into the per-shard `name.docN` histogram as well (e.g.
+    /// `site.drain_ns` rollup plus `site.drain_ns.doc7`). No-op when
+    /// disabled.
     pub fn observe_hist(&self, name: &str, v: u64) {
         if let Some(obs) = &self.inner {
             obs.metrics.histogram(name).observe(v);
+            if let Some(scoped) = self.scoped(name) {
+                obs.metrics.histogram(&scoped).observe(v);
+            }
         }
     }
 
@@ -277,6 +324,44 @@ mod tests {
         let snap = h2.snapshot();
         assert_eq!(snap.counters["event.req_generated"], 1);
         assert_eq!(snap.counters["event.req_received"], 1);
+    }
+
+    #[test]
+    fn doc_tagged_handles_stamp_events_and_scope_metrics() {
+        let h = ObsHandle::recording(64);
+        let d7 = h.for_doc(7);
+        let d9 = h.for_doc(9);
+        assert_eq!((h.doc(), d7.doc(), d9.doc()), (0, 7, 9));
+
+        h.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
+        d7.emit(1, 0, EventKind::ReqReceived { id: ReqId::new(1, 1) });
+        d9.emit(2, 0, EventKind::ReqReceived { id: ReqId::new(1, 1) });
+        let evs = h.events();
+        assert_eq!(evs.iter().map(|e| e.doc).collect::<Vec<_>>(), vec![0, 7, 9]);
+        // Tagged clones share the journal and the lamport clock.
+        assert_eq!(evs[2].lamport, 3);
+
+        // Histograms and counters: per-shard series plus process rollup.
+        d7.observe_hist("site.drain_ns", 100);
+        d9.observe_hist("site.drain_ns", 200);
+        h.observe_hist("site.drain_ns", 300);
+        d7.add_counter("site.delivered", 2);
+        h.add_counter("site.delivered", 1);
+        // Gauges: a tagged write goes to the per-shard series only.
+        d7.set_gauge("site.queue_depth_ready", 5);
+        h.set_gauge("site.queue_depth_ready", 1);
+        let snap = h.snapshot();
+        assert_eq!(snap.histograms["site.drain_ns"].count, 3);
+        assert_eq!(snap.histograms["site.drain_ns.doc7"].count, 1);
+        assert_eq!(snap.histograms["site.drain_ns.doc9"].count, 1);
+        assert_eq!(snap.counters["site.delivered"], 3);
+        assert_eq!(snap.counters["site.delivered.doc7"], 2);
+        assert_eq!(snap.gauges["site.queue_depth_ready.doc7"], 5);
+        assert_eq!(snap.gauges["site.queue_depth_ready"], 1);
+
+        // Untagging via for_doc(0) restores rollup-only behavior.
+        let untagged = d7.for_doc(0);
+        assert_eq!(untagged.doc(), 0);
     }
 
     #[test]

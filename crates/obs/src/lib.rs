@@ -44,7 +44,7 @@ pub mod record;
 pub mod timeline;
 
 pub use codec::{decode_event, decode_journal, encode_event, encode_journal, CodecError};
-pub use event::{DeferReason, Event, EventKind, ReqId, SiteId};
+pub use event::{DeferReason, DocId, Event, EventKind, ReqId, SiteId};
 pub use handle::{FailureHook, ObsHandle};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsReport};
 pub use oracle::{summarize, TraceSummary, TraceViolation};

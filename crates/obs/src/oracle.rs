@@ -209,7 +209,7 @@ mod tests {
     use crate::event::ReqId;
 
     fn ev(site: SiteId, lamport: u64, kind: EventKind) -> Event {
-        Event { site, seq: lamport, version: 0, lamport, at: 0, kind }
+        Event { site, doc: 0, seq: lamport, version: 0, lamport, at: 0, kind }
     }
 
     #[test]

@@ -130,6 +130,7 @@ mod tests {
     fn ev(n: u64) -> Event {
         Event {
             site: 1,
+            doc: 0,
             seq: n,
             version: 0,
             lamport: n,
@@ -168,6 +169,7 @@ mod tests {
         ring.record(ev(1)); // req_generated — will be evicted
         ring.record(Event {
             site: 1,
+            doc: 0,
             seq: 2,
             version: 0,
             lamport: 2,

@@ -37,7 +37,7 @@ mod tests {
     use super::*;
 
     fn ev(site: u32, lamport: u64, kind: EventKind) -> Event {
-        Event { site, seq: lamport, version: 0, lamport, at: 0, kind }
+        Event { site, doc: 0, seq: lamport, version: 0, lamport, at: 0, kind }
     }
 
     #[test]

@@ -57,9 +57,23 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
 }
 
 fn arb_event() -> impl Strategy<Value = Event> {
-    (any::<u32>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), arb_kind()).prop_map(
-        |(site, seq, version, lamport, at, kind)| Event { site, seq, version, lamport, at, kind },
+    (
+        (any::<u32>(), any::<u64>()),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        arb_kind(),
     )
+        .prop_map(|((site, doc), seq, version, lamport, at, kind)| Event {
+            site,
+            doc,
+            seq,
+            version,
+            lamport,
+            at,
+            kind,
+        })
 }
 
 proptest! {

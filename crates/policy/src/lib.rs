@@ -40,6 +40,7 @@ pub mod normalize;
 pub mod object;
 pub mod policy;
 pub mod right;
+pub mod snapshot;
 pub mod subject;
 
 pub use admin::{AdminLog, AdminOp, AdminRequest};
@@ -49,4 +50,5 @@ pub use normalize::{dead_entries, normalize};
 pub use object::DocObject;
 pub use policy::{Action, Decision, Policy, PolicyVersion};
 pub use right::Right;
+pub use snapshot::{PolicyCell, SharedPolicy};
 pub use subject::{Subject, UserId};

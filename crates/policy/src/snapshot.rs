@@ -1,0 +1,196 @@
+//! Copy-on-write sharing of policy replicas.
+//!
+//! A multi-document engine hosts thousands of policy copies per process,
+//! and the access pattern is heavily read-mostly: `Check_Local` /
+//! `Check_Remote` run on every cooperative request, while administrative
+//! mutations are comparatively rare. Cloning the whole `⟨P, S, O⟩` state
+//! per check (or serialising every check behind a mutex that writers also
+//! take) would dominate the request hot path.
+//!
+//! The shape used here is the classic read-copy-update compromise that is
+//! expressible without `unsafe`:
+//!
+//! * readers obtain an [`Arc<Policy>`] snapshot ([`SharedPolicy`]) and
+//!   check against it with no further locking — `Policy::check` only uses
+//!   the policy's internal memo index, which has interior mutability of
+//!   its own;
+//! * writers mutate through [`Arc::make_mut`], which clones the policy
+//!   **only when a reader still holds the previous snapshot** and then
+//!   publishes the new version with a single pointer swap.
+//!
+//! Memo/index isolation is structural: `PolicyIndex::clone` deliberately
+//! returns an *empty* index, so a copied-on-write policy starts with a
+//! fresh memo table and never shares (or invalidates) another shard's
+//! cached decisions.
+
+use crate::policy::{Action, Decision, Policy};
+use crate::subject::UserId;
+use std::sync::{Arc, RwLock};
+
+/// An immutable, cheaply clonable policy snapshot.
+///
+/// Cloning is one atomic refcount increment; the underlying `⟨P, S, O⟩`
+/// state is shared. Checks run against the snapshot without any lock.
+pub type SharedPolicy = Arc<Policy>;
+
+/// Publishes the latest policy snapshot of one shard.
+///
+/// `load` is the read path: it holds the internal lock only long enough to
+/// clone the `Arc` (a refcount bump), so readers never wait on a policy
+/// mutation in progress — they simply keep checking against the previous
+/// snapshot until the writer's `store`/`update` swaps the pointer.
+#[derive(Debug, Default)]
+pub struct PolicyCell {
+    slot: RwLock<SharedPolicy>,
+}
+
+impl PolicyCell {
+    /// Creates a cell publishing `policy` as the initial snapshot.
+    pub fn new(policy: Policy) -> Self {
+        PolicyCell { slot: RwLock::new(Arc::new(policy)) }
+    }
+
+    /// Creates a cell from an existing shared snapshot.
+    pub fn from_shared(policy: SharedPolicy) -> Self {
+        PolicyCell { slot: RwLock::new(policy) }
+    }
+
+    /// Returns the current snapshot (one refcount bump, no policy clone).
+    pub fn load(&self) -> SharedPolicy {
+        self.slot.read().expect("policy cell poisoned").clone()
+    }
+
+    /// Publishes a new snapshot, replacing the previous one. Readers that
+    /// already loaded the old snapshot keep it alive until they drop it.
+    pub fn store(&self, policy: SharedPolicy) {
+        *self.slot.write().expect("policy cell poisoned") = policy;
+    }
+
+    /// Copy-on-write mutation: applies `f` to a private copy (cloned only
+    /// if readers still hold the current snapshot) and publishes it.
+    pub fn update<R>(&self, f: impl FnOnce(&mut Policy) -> R) -> R {
+        let mut slot = self.slot.write().expect("policy cell poisoned");
+        // Take the snapshot out of the slot so the cell itself doesn't hold
+        // a second strong reference: with no outstanding readers the strong
+        // count is 1 and `make_mut` mutates in place instead of cloning.
+        let mut next = std::mem::take(&mut *slot);
+        let out = f(Arc::make_mut(&mut next));
+        *slot = next;
+        out
+    }
+
+    /// Checks `user`/`action` against the current snapshot.
+    pub fn check(&self, user: UserId, action: &Action) -> Decision {
+        self.load().check(user, action)
+    }
+}
+
+impl Clone for PolicyCell {
+    fn clone(&self) -> Self {
+        PolicyCell::from_shared(self.load())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{Authorization, Sign};
+    use crate::object::DocObject;
+    use crate::right::Right;
+    use crate::subject::Subject;
+
+    fn act(right: Right) -> Action {
+        Action::new(right, Some(0))
+    }
+
+    #[test]
+    fn old_snapshot_is_stable_under_mutation() {
+        let cell = PolicyCell::new(Policy::permissive([1, 2]));
+        let before = cell.load();
+        assert!(before.check(2, &act(Right::Insert)).granted());
+
+        cell.update(|p| {
+            p.add_auth_at(
+                0,
+                Authorization::new(
+                    Subject::User(2),
+                    DocObject::Document,
+                    [Right::Insert],
+                    Sign::Minus,
+                ),
+            )
+            .unwrap();
+            p.bump_version();
+        });
+
+        // The pre-mutation snapshot still grants; the published one denies.
+        assert!(before.check(2, &act(Right::Insert)).granted());
+        assert!(!cell.check(2, &act(Right::Insert)).granted());
+        assert_eq!(cell.load().version(), before.version() + 1);
+    }
+
+    #[test]
+    fn update_without_readers_does_not_clone() {
+        let cell = PolicyCell::new(Policy::permissive([1]));
+        // No outstanding snapshot: Arc::make_mut mutates in place.
+        let before = Arc::as_ptr(&cell.load()) as usize;
+        cell.update(|p| {
+            p.add_user(9);
+        });
+        let after = Arc::as_ptr(&cell.load()) as usize;
+        assert_eq!(before, after, "uncontended update should mutate in place");
+    }
+
+    #[test]
+    fn cow_clone_gets_a_fresh_memo_index() {
+        let cell = PolicyCell::new(Policy::permissive([1]));
+        // Warm the memo on the published snapshot.
+        assert!(cell.check(1, &act(Right::Insert)).granted());
+        let (_, misses_before) = cell.load().memo_stats();
+        assert!(misses_before > 0);
+
+        let held = cell.load(); // keep the old snapshot alive → forces a real clone
+        cell.update(|p| {
+            p.add_user(7);
+        });
+        drop(held);
+
+        // The copied policy starts with an empty memo table of its own.
+        let (hits, misses) = cell.load().memo_stats();
+        assert_eq!((hits, misses), (0, 0), "CoW copy must not inherit memo state");
+        assert!(cell.check(1, &act(Right::Insert)).granted());
+    }
+
+    #[test]
+    fn concurrent_readers_see_a_consistent_snapshot() {
+        let cell = std::sync::Arc::new(PolicyCell::new(Policy::permissive([1, 2, 3])));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cell = cell.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let snap = cell.load();
+                    // A snapshot is internally consistent: version and user
+                    // set move together, never a torn mix.
+                    let v = snap.version();
+                    if v > 0 {
+                        assert!(snap.has_user(100 + v as u32 - 1));
+                    }
+                }
+            }));
+        }
+        for i in 0..200u64 {
+            cell.update(|p| {
+                p.add_user(100 + i as u32);
+                p.bump_version();
+            });
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(cell.load().version(), 200);
+    }
+}

@@ -6,7 +6,8 @@
 //! hand-rolled **non-blocking reactor** over `std::net::TcpListener`
 //! (the build environment is offline — no tokio/mio) hosting one or
 //! more editor **sessions** per process. Each session is the
-//! administrator's replica ([`dce_core::Site`] for user 0) plus the
+//! administrator's sharded engine ([`dce_core::Engine`] for user 0,
+//! one replica per hosted document) plus the
 //! connection roster of its collaborator sites; clients connect with
 //! [`dce_net::frame`] frames and the whole exchange runs through the
 //! *same* [`dce_net::reliable::Endpoint`] session layer the simulator
@@ -27,7 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dce_core::{Message, Site};
+use dce_core::{DocumentId, Engine, Message};
 use dce_document::{Char, CharDocument};
 use dce_net::frame::{encode_frame, Frame, FrameDecoder};
 use dce_net::reliable::{Endpoint, ReliableConfig};
@@ -48,6 +49,9 @@ pub struct ServerConfig {
     /// Collaborator sites per session (users `1..=users`; user 0 is the
     /// administrator, hosted here).
     pub users: u32,
+    /// Documents hosted per session (ids `0..docs`; document 0 is the
+    /// default that pre-sharding clients address implicitly).
+    pub docs: u32,
     /// Initial document content, shared by every replica.
     pub doc: String,
     /// Initial retransmission timeout of the reliable layer (wall ms).
@@ -61,6 +65,7 @@ impl Default for ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:7461".into(),
             users: 4,
+            docs: 1,
             doc: "the quick brown fox".into(),
             rto_ms: 100,
             journal: 1 << 16,
@@ -103,17 +108,29 @@ impl Conn {
     }
 }
 
-/// One hosted editor session: the administrator's replica plus the
-/// session-layer endpoint and connection roster for its collaborators.
+/// One hosted editor session: the administrator's sharded engine (one
+/// replica per document) plus per-document session-layer endpoints and
+/// the connection roster for its collaborators. One TCP connection per
+/// member multiplexes every document.
 struct Session {
-    admin: Site<Char>,
-    endpoint: Endpoint<Char>,
+    admin: Engine<Char>,
+    /// Reliable streams are per document: each document's traffic is an
+    /// independent FIFO with its own epochs, acks and retransmissions,
+    /// so faults on one document never stall another.
+    endpoints: HashMap<DocumentId, Endpoint<Char>>,
     /// user → connection slot, for currently connected members.
     conn_of: HashMap<u32, usize>,
     /// Every user that has connected at least once: disconnected members
     /// keep accumulating traffic on a paused stream until they return.
     seen: HashSet<u32>,
-    delivered: u64,
+    /// Messages delivered to each document's administrator replica.
+    delivered: HashMap<DocumentId, u64>,
+}
+
+impl Session {
+    fn has_unacked(&self) -> bool {
+        self.endpoints.values().any(Endpoint::has_unacked)
+    }
 }
 
 /// The server: a non-blocking accept/read/timer/write loop. Drive it
@@ -243,17 +260,20 @@ impl Server {
             }
         }
 
-        // Retransmission timers, driven by wall-clock time.
+        // Retransmission timers, driven by wall-clock time — one pass
+        // per document stream.
         let session_ids: Vec<u32> = self.sessions.keys().copied().collect();
         for sid in session_ids {
             let sess = self.sessions.get_mut(&sid).expect("session exists");
-            if !matches!(sess.endpoint.next_deadline(), Some(d) if d <= now) {
-                continue;
-            }
-            for (peer, pkt) in sess.endpoint.due_retransmissions(now) {
-                if let Some(&ci) = sess.conn_of.get(&(peer as u32)) {
-                    push_out(&mut self.conns, ci, &encode_frame(&Frame::from_packet(pkt)));
-                    worked = true;
+            for (&doc, endpoint) in sess.endpoints.iter_mut() {
+                if !matches!(endpoint.next_deadline(), Some(d) if d <= now) {
+                    continue;
+                }
+                for (peer, pkt) in endpoint.due_retransmissions(now) {
+                    if let Some(&ci) = sess.conn_of.get(&(peer as u32)) {
+                        push_out(&mut self.conns, ci, &encode_frame(&Frame::from_packet(doc, pkt)));
+                        worked = true;
+                    }
                 }
             }
         }
@@ -286,8 +306,11 @@ impl Server {
             if let Some((sid, user)) = self.conns[ci].as_ref().and_then(|c| c.identity) {
                 if let Some(sess) = self.sessions.get_mut(&sid) {
                     sess.conn_of.remove(&user);
-                    // The member is gone: keep buffering for it, timer off.
-                    sess.endpoint.pause_stream_to(user as usize);
+                    // The member is gone: keep buffering for it on every
+                    // document stream, timers off.
+                    for endpoint in sess.endpoints.values_mut() {
+                        endpoint.pause_stream_to(user as usize);
+                    }
                 }
             }
             self.conns[ci] = None;
@@ -310,25 +333,52 @@ impl Server {
                     self.close_conn(ci, "hello for an out-of-range user");
                     return;
                 }
-                let (users, doc, rto, obs) =
-                    (self.cfg.users, self.cfg.doc.clone(), self.cfg.rto_ms, self.obs.clone());
-                let sess = self.sessions.entry(session).or_insert_with(|| Session {
-                    admin: Site::new_admin(0, CharDocument::from_str(&doc), initial_policy(users))
-                        .with_observability(obs),
-                    endpoint: Endpoint::new(
-                        0,
-                        ReliableConfig { initial_rto_ms: rto, max_rto_ms: rto * 16 },
-                    ),
-                    conn_of: HashMap::new(),
-                    seen: HashSet::new(),
-                    delivered: 0,
+                let (users, docs, doc, rto, obs) = (
+                    self.cfg.users,
+                    self.cfg.docs.max(1),
+                    self.cfg.doc.clone(),
+                    self.cfg.rto_ms,
+                    self.obs.clone(),
+                );
+                let sess = self.sessions.entry(session).or_insert_with(|| {
+                    let admin = Engine::new_admin(0).with_observability(obs);
+                    admin
+                        .create_documents((0..u64::from(docs)).map(|d| {
+                            (
+                                DocumentId::new(d),
+                                CharDocument::from_str(&doc),
+                                initial_policy(users),
+                            )
+                        }))
+                        .expect("fresh engine hosts no documents yet");
+                    let endpoints = (0..u64::from(docs))
+                        .map(|d| {
+                            (
+                                DocumentId::new(d),
+                                Endpoint::new(
+                                    0,
+                                    ReliableConfig { initial_rto_ms: rto, max_rto_ms: rto * 16 },
+                                ),
+                            )
+                        })
+                        .collect();
+                    Session {
+                        admin,
+                        endpoints,
+                        conn_of: HashMap::new(),
+                        seen: HashSet::new(),
+                        delivered: HashMap::new(),
+                    }
                 });
                 let rejoin = !sess.seen.insert(user);
                 let old = sess.conn_of.insert(user, ci);
                 if rejoin {
-                    // The member returned: new epoch, refill from the
-                    // union of unacked buffers, timer due immediately.
-                    sess.endpoint.restart_stream_to(user as usize, now);
+                    // The member returned: new epoch on every document
+                    // stream, refill from the union of unacked buffers,
+                    // timer due immediately.
+                    for endpoint in sess.endpoints.values_mut() {
+                        endpoint.restart_stream_to(user as usize, now);
+                    }
                 }
                 if let Some(old) = old.filter(|&old| old != ci) {
                     if let Some(c) = self.conns[old].as_mut() {
@@ -344,7 +394,7 @@ impl Server {
                     &encode_frame(&Frame::<Char>::Welcome { session, user, peers: users }),
                 );
             }
-            Frame::Data { src, epoch, seq, ack_epoch, ack, msg } => {
+            Frame::Data { doc, src, epoch, seq, ack_epoch, ack, msg } => {
                 let Some((sid, user)) = self.conns[ci].as_ref().and_then(|c| c.identity) else {
                     self.close_conn(ci, "data before hello");
                     return;
@@ -354,50 +404,65 @@ impl Server {
                     return;
                 }
                 let sess = self.sessions.get_mut(&sid).expect("identity implies session");
-                sess.endpoint.on_ack(user as usize, ack_epoch, ack, now);
-                let outcome = sess.endpoint.on_data(user as usize, epoch, seq, msg);
+                let Some(endpoint) = sess.endpoints.get_mut(&doc) else {
+                    self.close_conn(ci, "data for a document this session does not host");
+                    return;
+                };
+                endpoint.on_ack(user as usize, ack_epoch, ack, now);
+                let outcome = endpoint.on_data(user as usize, epoch, seq, msg);
                 for m in outcome.deliverable {
-                    self.deliver(sid, user, m, now);
+                    self.deliver(sid, doc, user, m, now);
                 }
                 let sess = self.sessions.get_mut(&sid).expect("session exists");
-                let (ack_epoch, cum) = sess.endpoint.ack_for(user as usize);
+                let endpoint = sess.endpoints.get_mut(&doc).expect("checked above");
+                let (ack_epoch, cum) = endpoint.ack_for(user as usize);
                 push_out(
                     &mut self.conns,
                     ci,
-                    &encode_frame(&Frame::<Char>::Ack { from: 0, epoch: ack_epoch, cum }),
+                    &encode_frame(&Frame::<Char>::Ack { doc, from: 0, epoch: ack_epoch, cum }),
                 );
             }
-            Frame::Ack { from: _, epoch, cum } => {
+            Frame::Ack { doc, from: _, epoch, cum } => {
                 let Some((sid, user)) = self.conns[ci].as_ref().and_then(|c| c.identity) else {
                     self.close_conn(ci, "ack before hello");
                     return;
                 };
                 let sess = self.sessions.get_mut(&sid).expect("identity implies session");
-                sess.endpoint.on_ack(user as usize, epoch, cum, now);
+                let Some(endpoint) = sess.endpoints.get_mut(&doc) else {
+                    self.close_conn(ci, "ack for a document this session does not host");
+                    return;
+                };
+                endpoint.on_ack(user as usize, epoch, cum, now);
             }
-            Frame::DigestRequest { session } => {
+            Frame::DigestRequest { session, doc } => {
                 let reply = match self.sessions.get(&session) {
                     Some(sess) => Frame::<Char>::DigestReply {
                         session,
+                        doc,
                         user: 0,
-                        digest: sess.admin.replica_digest(),
-                        idle: !sess.endpoint.has_unacked(),
+                        digest: sess.admin.replica_digest(doc).unwrap_or(0),
+                        idle: !sess.has_unacked(),
                     },
-                    None => Frame::DigestReply { session, user: 0, digest: 0, idle: true },
+                    None => Frame::DigestReply { session, doc, user: 0, digest: 0, idle: true },
                 };
                 push_out(&mut self.conns, ci, &encode_frame(&reply));
             }
-            Frame::StatusRequest { session } => {
+            Frame::StatusRequest { session, doc } => {
                 let reply = match self.sessions.get(&session) {
                     Some(sess) => Frame::<Char>::StatusReply {
                         session,
+                        doc,
                         connected: sess.conn_of.len() as u32,
-                        unacked: sess.endpoint.has_unacked(),
-                        delivered: sess.delivered,
+                        unacked: sess.has_unacked(),
+                        delivered: sess.delivered.get(&doc).copied().unwrap_or(0),
                     },
-                    None => {
-                        Frame::StatusReply { session, connected: 0, unacked: false, delivered: 0 }
-                    }
+                    None => Frame::StatusReply {
+                        session,
+                        doc,
+                        connected: 0,
+                        unacked: false,
+                        delivered: 0,
+                    },
                 };
                 push_out(&mut self.conns, ci, &encode_frame(&reply));
             }
@@ -410,22 +475,31 @@ impl Server {
         }
     }
 
-    /// Hands one in-order message to the administrator's replica and
-    /// fans out: the message itself to every other member, then whatever
-    /// the administrator emitted in response (validations, sequenced
-    /// proposals). Members currently offline accumulate on paused
-    /// streams; `Proposal`s are addressed to the administrator and are
-    /// not relayed.
-    fn deliver(&mut self, sid: u32, from_user: u32, msg: Arc<Message<Char>>, now: u64) {
+    /// Hands one in-order message to the document's administrator
+    /// replica and fans out on that document's streams: the message
+    /// itself to every other member, then whatever the administrator
+    /// emitted in response (validations, sequenced proposals). Members
+    /// currently offline accumulate on paused streams; `Proposal`s are
+    /// addressed to the administrator and are not relayed.
+    fn deliver(
+        &mut self,
+        sid: u32,
+        doc: DocumentId,
+        from_user: u32,
+        msg: Arc<Message<Char>>,
+        now: u64,
+    ) {
         let sess = self.sessions.get_mut(&sid).expect("session exists");
-        if let Err(e) = sess.admin.receive((*msg).clone()) {
-            let reason =
-                format!("session {sid}: admin rejected {} from {from_user}: {e}", msg.kind());
+        if let Err(e) = sess.admin.receive(doc, (*msg).clone()) {
+            let reason = format!(
+                "session {sid}: {doc}: admin rejected {} from {from_user}: {e}",
+                msg.kind()
+            );
             eprintln!("dce-server: {reason}");
             self.obs.failure(&reason);
             return;
         }
-        sess.delivered += 1;
+        *sess.delivered.entry(doc).or_insert(0) += 1;
         let members: Vec<u32> = {
             let mut m: Vec<u32> = sess.seen.iter().copied().collect();
             m.sort_unstable();
@@ -433,32 +507,34 @@ impl Server {
         };
         if !matches!(&*msg, Message::Proposal(_)) {
             for &u in members.iter().filter(|&&u| u != from_user) {
-                Self::send_to(sess, &mut self.conns, u, Arc::clone(&msg), now);
+                Self::send_to(sess, &mut self.conns, doc, u, Arc::clone(&msg), now);
             }
         }
-        for reaction in sess.admin.drain_outbox() {
+        for reaction in sess.admin.drain_outbox(doc) {
             let reaction = Arc::new(reaction);
             for &u in &members {
-                Self::send_to(sess, &mut self.conns, u, Arc::clone(&reaction), now);
+                Self::send_to(sess, &mut self.conns, doc, u, Arc::clone(&reaction), now);
             }
         }
     }
 
-    /// Queues `msg` on the reliable stream toward `user` and, when the
-    /// user is connected, writes the packet frame to its socket. For an
-    /// offline member the packet only enters the (paused) send buffer —
-    /// the restart on re-`Hello` will carry it over.
+    /// Queues `msg` on `doc`'s reliable stream toward `user` and, when
+    /// the user is connected, writes the packet frame to its socket. For
+    /// an offline member the packet only enters the (paused) send buffer
+    /// — the restart on re-`Hello` will carry it over.
     fn send_to(
         sess: &mut Session,
         conns: &mut [Option<Conn>],
+        doc: DocumentId,
         user: u32,
         msg: Arc<Message<Char>>,
         now: u64,
     ) {
-        let pkt = sess.endpoint.send(user as usize, msg, now);
+        let endpoint = sess.endpoints.get_mut(&doc).expect("deliver implies hosted doc");
+        let pkt = endpoint.send(user as usize, msg, now);
         match sess.conn_of.get(&user) {
-            Some(&ci) => push_out(conns, ci, &encode_frame(&Frame::from_packet(pkt))),
-            None => sess.endpoint.pause_stream_to(user as usize),
+            Some(&ci) => push_out(conns, ci, &encode_frame(&Frame::from_packet(doc, pkt))),
+            None => endpoint.pause_stream_to(user as usize),
         }
     }
 }

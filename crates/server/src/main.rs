@@ -6,7 +6,9 @@
 //!
 //! Prints `listening on <addr>` once the socket is bound (scripts can
 //! wait for that line), then serves until killed. Each distinct session
-//! id a client `Hello`s with gets its own administrator replica.
+//! id a client `Hello`s with gets its own sharded administrator engine
+//! hosting `--docs` documents (ids `0..N`), all multiplexed over each
+//! member's single connection.
 
 use dce_server::{Server, ServerConfig};
 use std::sync::atomic::AtomicBool;
@@ -14,7 +16,7 @@ use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: dce-server [--addr HOST:PORT] [--clients N] [--doc TEXT] \
+        "usage: dce-server [--addr HOST:PORT] [--clients N] [--docs N] [--doc TEXT] \
          [--rto-ms MS] [--journal N] [--flight-seed N]"
     );
     std::process::exit(2);
@@ -29,6 +31,7 @@ fn main() {
         match arg.as_str() {
             "--addr" => cfg.addr = val(),
             "--clients" => cfg.users = val().parse().unwrap_or_else(|_| usage()),
+            "--docs" => cfg.docs = val().parse().unwrap_or_else(|_| usage()),
             "--doc" => cfg.doc = val(),
             "--rto-ms" => cfg.rto_ms = val().parse().unwrap_or_else(|_| usage()),
             "--journal" => cfg.journal = val().parse().unwrap_or_else(|_| usage()),

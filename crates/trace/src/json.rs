@@ -266,6 +266,12 @@ fn event_to_json(ev: &Event) -> String {
         ev.at,
         quote(ev.kind.name())
     );
+    // The document tag is written only when set, so single-document
+    // journals keep their pre-sharding shape (and old readers keep
+    // working); absent on read means doc 0.
+    if ev.doc != 0 {
+        let _ = write!(f, ", \"doc\": {}", ev.doc);
+    }
     let req = |f: &mut String, id: ReqId| {
         let _ = write!(f, ", \"req_site\": {}, \"req_seq\": {}", id.site, id.seq);
     };
@@ -403,6 +409,7 @@ pub fn event_from_value(v: &Value) -> Result<Event, String> {
     };
     Ok(Event {
         site: field("site")? as u32,
+        doc: v.get("doc").and_then(Value::as_u64).unwrap_or(0),
         seq: field("seq")?,
         version: field("version")?,
         lamport: field("lamport")?,
@@ -455,6 +462,7 @@ mod tests {
             .enumerate()
             .map(|(i, kind)| Event {
                 site: (i % 3) as u32,
+                doc: (i % 2) as u64 * 11,
                 seq: i as u64 + 1,
                 version: 2,
                 lamport: i as u64 + 1,
@@ -476,6 +484,7 @@ mod tests {
     fn u64_extremes_stay_exact() {
         let events = vec![Event {
             site: u32::MAX,
+            doc: u64::MAX,
             seq: u64::MAX,
             version: u64::MAX,
             lamport: u64::MAX,

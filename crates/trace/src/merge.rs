@@ -336,7 +336,7 @@ mod tests {
     use super::*;
 
     fn ev(site: u32, seq: u64, lamport: u64, kind: EventKind) -> Event {
-        Event { site, seq, version: 0, lamport, at: lamport, kind }
+        Event { site, doc: 0, seq, version: 0, lamport, at: lamport, kind }
     }
 
     fn rid(site: u32, seq: u64) -> ReqId {

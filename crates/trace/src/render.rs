@@ -59,6 +59,9 @@ pub fn span_tree(report: &SpanReport) -> String {
 
 fn root_line(s: &RequestSpan, use_at: bool) -> String {
     let mut line = format!("{} · origin site {}", s.id, s.id.site);
+    if s.doc != 0 {
+        let _ = write!(line, " · doc{}", s.doc);
+    }
     match s.generated {
         Some(g) => {
             let _ = write!(line, " · generated v{} t={}", s.origin_version, stamp(g, use_at));
@@ -253,7 +256,7 @@ mod tests {
     use dce_obs::{DeferReason, EventKind, ReqId};
 
     fn ev(site: u32, seq: u64, at: u64, kind: EventKind) -> Event {
-        Event { site, seq, version: 0, lamport: at, at, kind }
+        Event { site, doc: 0, seq, version: 0, lamport: at, at, kind }
     }
 
     fn journal() -> Vec<Event> {

@@ -92,6 +92,9 @@ impl RemoteSpan {
 pub struct RequestSpan {
     /// The request.
     pub id: ReqId,
+    /// Document the request belongs to (0 = the single-document
+    /// default), taken from the first event that mentions the request.
+    pub doc: u64,
     /// Generation at the origin site (`None` when that journal entry was
     /// evicted — the span is then partial but still useful).
     pub generated: Option<Moment>,
@@ -116,6 +119,7 @@ impl RequestSpan {
     fn new(id: ReqId) -> Self {
         RequestSpan {
             id,
+            doc: 0,
             generated: None,
             origin_version: 0,
             validation: None,
@@ -191,6 +195,14 @@ pub fn build_spans(trace: &MergedTrace) -> SpanReport {
     let mut spans: BTreeMap<ReqId, RequestSpan> = BTreeMap::new();
     for ev in &trace.events {
         let m = Moment { lamport: ev.lamport, at: ev.at };
+        if ev.doc != 0 {
+            if let Some(id) = ev.kind.req_id() {
+                let s = span(&mut spans, id);
+                if s.doc == 0 {
+                    s.doc = ev.doc;
+                }
+            }
+        }
         match ev.kind {
             EventKind::ReqGenerated { id } => {
                 let s = span(&mut spans, id);
@@ -309,7 +321,7 @@ mod tests {
     use dce_obs::Event;
 
     fn ev(site: u32, seq: u64, at: u64, kind: EventKind) -> Event {
-        Event { site, seq, version: 0, lamport: at, at, kind }
+        Event { site, doc: 0, seq, version: 0, lamport: at, at, kind }
     }
 
     fn rid(site: u32, seq: u64) -> ReqId {
@@ -371,6 +383,23 @@ mod tests {
         // Convergence lag: last remote outcome (25) − generation (10).
         assert_eq!(s.convergence_lag(), Some(15));
         assert!(s.settled_everywhere());
+    }
+
+    #[test]
+    fn spans_inherit_the_events_document_tag() {
+        let mut journal = lifecycle_journal();
+        for e in &mut journal {
+            e.doc = 42;
+        }
+        // A second request in a different document on the same journal.
+        let mut other = ev(1, 6, 50, EventKind::ReqGenerated { id: rid(1, 2) });
+        other.doc = 7;
+        journal.push(other);
+        let report = build_spans(&merge_events(&journal));
+        assert_eq!(report.span(rid(1, 1)).unwrap().doc, 42);
+        assert_eq!(report.span(rid(1, 2)).unwrap().doc, 7);
+        // Untagged journals keep the single-document default.
+        assert_eq!(build_spans(&merge_events(&lifecycle_journal())).spans[0].doc, 0);
     }
 
     #[test]

@@ -315,3 +315,241 @@ proptest! {
         codec_chaos_session(seed);
     }
 }
+
+// ---------------------------------------------------------------------
+// Cross-shard isolation: faults on one document leave a sibling
+// document in the *same* engines byte-for-byte untouched.
+// ---------------------------------------------------------------------
+
+mod shard_isolation {
+    use super::*;
+    use dce::core::{DocumentId, Engine, Message};
+
+    const PARTICIPANTS: usize = 3;
+    /// The participant cut off by the partition window (doc A only).
+    const CUT: usize = 2;
+    const ROUNDS: u64 = 20;
+    const PARTITION: std::ops::Range<u64> = 5..12;
+
+    const DOC_A: DocumentId = DocumentId::new(1);
+    const DOC_B: DocumentId = DocumentId::new(2);
+
+    /// A faulty per-document mail queue: drops become delayed
+    /// redeliveries (retransmission semantics), every leg takes reorder
+    /// jitter, and the partition window holds anything to or from the
+    /// cut participant until it heals.
+    struct ChaosMail {
+        inflight: Vec<(u64, usize, Message<Char>)>,
+        rng: StdRng,
+        dropped: u64,
+        partitioned: u64,
+    }
+
+    impl ChaosMail {
+        fn new(seed: u64) -> Self {
+            ChaosMail {
+                inflight: Vec::new(),
+                rng: StdRng::seed_from_u64(seed ^ 0x5AAD_FA17),
+                dropped: 0,
+                partitioned: 0,
+            }
+        }
+
+        fn post(&mut self, now: u64, from: usize, to: usize, msg: Message<Char>) {
+            let mut at = now + self.rng.gen_range(0..3u64);
+            if self.rng.gen_bool(0.20) {
+                // A drop: the session layer would retransmit, so the
+                // leg lands anyway — later.
+                self.dropped += 1;
+                at += 4;
+            }
+            if PARTITION.contains(&now) && (from == CUT || to == CUT) {
+                self.partitioned += 1;
+                at = at.max(PARTITION.end + self.rng.gen_range(0..2u64));
+            }
+            self.inflight.push((at, to, msg));
+        }
+
+        /// Messages due at `now`, in posting order (jitter already
+        /// scrambled the rounds).
+        fn due(&mut self, now: u64) -> Vec<(usize, Message<Char>)> {
+            let mut out = Vec::new();
+            self.inflight.retain(|(at, to, msg)| {
+                if *at <= now {
+                    out.push((*to, msg.clone()));
+                    false
+                } else {
+                    true
+                }
+            });
+            out
+        }
+    }
+
+    /// Clean FIFO fanout on doc B: deliver `msg` everywhere, then keep
+    /// draining per-engine outboxes (validations) until quiescent.
+    fn deliver_b(engines: &[Engine<Char>], from: usize, msg: &Message<Char>) {
+        for (i, e) in engines.iter().enumerate() {
+            if i != from {
+                e.receive(DOC_B, msg.clone()).unwrap();
+            }
+        }
+        loop {
+            let mut moved = false;
+            for (i, e) in engines.iter().enumerate() {
+                for m in e.drain_outbox(DOC_B) {
+                    moved = true;
+                    for (j, peer) in engines.iter().enumerate() {
+                        if j != i {
+                            peer.receive(DOC_B, m.clone()).unwrap();
+                        }
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    fn random_op(rng: &mut StdRng, doc: &CharDocument, round: u64) -> Op<Char> {
+        let len = doc.len();
+        if len == 0 || rng.gen_bool(0.6) {
+            Op::ins(rng.gen_range(1..=len + 1), (b'a' + (round % 26) as u8) as char)
+        } else {
+            let p = rng.gen_range(1..=len);
+            Op::Del { pos: p, elem: *doc.get(p).unwrap() }
+        }
+    }
+
+    /// One session: every participant is a two-document `Engine` (doc A
+    /// chaotic, doc B clean) unless `with_doc_a` is false (the baseline
+    /// hosts doc B alone). Returns doc B's per-round digest history
+    /// `[round][participant]` plus the fault counters.
+    fn session(seed: u64, with_doc_a: bool) -> (Vec<[u64; PARTICIPANTS]>, u64, u64) {
+        let d0 = CharDocument::from_str("two tenants, one process");
+        let policy = Policy::permissive([0, 1, 2]);
+        let engines: Vec<Engine<Char>> = (0..PARTICIPANTS as u32)
+            .map(|u| if u == 0 { Engine::new_admin(0) } else { Engine::new_user(u, 0) })
+            .collect();
+        for e in &engines {
+            if with_doc_a {
+                e.create_document(DOC_A, d0.clone(), policy.clone()).unwrap();
+            }
+            e.create_document(DOC_B, d0.clone(), policy.clone()).unwrap();
+        }
+
+        // Independent RNG streams: doc A's chaos and workload never
+        // advance doc B's generator, so the baseline sees the exact
+        // same B schedule.
+        let mut rng_a = StdRng::seed_from_u64(seed ^ 0xAAAA);
+        let mut rng_b = StdRng::seed_from_u64(seed ^ 0xBBBB);
+        let mut mail = ChaosMail::new(seed);
+        let mut history = Vec::new();
+
+        for round in 0..ROUNDS {
+            for (i, e) in engines.iter().enumerate() {
+                if with_doc_a {
+                    let doc = e.document(DOC_A).unwrap();
+                    let msg = e.generate(DOC_A, random_op(&mut rng_a, &doc, round)).unwrap();
+                    for to in 0..PARTICIPANTS {
+                        if to != i {
+                            mail.post(round, i, to, msg.clone());
+                        }
+                    }
+                }
+                let doc = e.document(DOC_B).unwrap();
+                let msg = e.generate(DOC_B, random_op(&mut rng_b, &doc, round)).unwrap();
+                deliver_b(&engines, i, &msg);
+            }
+            if with_doc_a {
+                for (to, msg) in mail.due(round) {
+                    engines[to].receive(DOC_A, msg).unwrap();
+                }
+                for (i, e) in engines.iter().enumerate() {
+                    for m in e.drain_outbox(DOC_A) {
+                        for to in 0..PARTICIPANTS {
+                            if to != i {
+                                mail.post(round, i, to, m.clone());
+                            }
+                        }
+                    }
+                }
+            }
+            history.push([
+                engines[0].replica_digest(DOC_B).unwrap(),
+                engines[1].replica_digest(DOC_B).unwrap(),
+                engines[2].replica_digest(DOC_B).unwrap(),
+            ]);
+        }
+
+        // Heal and flush doc A: keep the clock ticking until the mail
+        // queue and every outbox are empty.
+        if with_doc_a {
+            let mut now = ROUNDS;
+            loop {
+                let mut moved = false;
+                for (to, msg) in mail.due(now) {
+                    moved = true;
+                    engines[to].receive(DOC_A, msg).unwrap();
+                }
+                for (i, e) in engines.iter().enumerate() {
+                    for m in e.drain_outbox(DOC_A) {
+                        moved = true;
+                        for to in 0..PARTICIPANTS {
+                            if to != i {
+                                mail.post(now, i, to, m.clone());
+                            }
+                        }
+                    }
+                }
+                if !moved && mail.inflight.is_empty() {
+                    break;
+                }
+                now += 1;
+                assert!(now < 10_000, "doc A never drained; replay with seed {seed:#x}");
+            }
+            // The tortured document itself converged once healed.
+            let a0 = engines[0].replica_digest(DOC_A).unwrap();
+            for (i, e) in engines.iter().enumerate() {
+                assert_eq!(e.replica_digest(DOC_A), Some(a0), "doc A diverged at participant {i}");
+                assert_eq!(e.with(DOC_A, |s| s.queued()), Some(0), "doc A parked requests at {i}");
+            }
+        }
+        (history, mail.dropped, mail.partitioned)
+    }
+
+    /// The satellite gate: doc A absorbs 20% drops plus a partition
+    /// window while doc B — in the same three engines — must evolve
+    /// *identically* to a baseline run where doc A does not exist:
+    /// same per-participant digest at every round, same
+    /// rounds-to-converge.
+    #[test]
+    fn faults_on_one_document_leave_the_sibling_untouched() {
+        let seed = 0x1501_A7ED_5EED;
+        println!("shard isolation seed: {seed:#x}");
+        let (chaotic, dropped, partitioned) = session(seed, true);
+        let (baseline, base_dropped, _) = session(seed, false);
+
+        assert!(dropped > 0, "the fault plan dropped doc A legs");
+        assert!(partitioned > 0, "the partition window cut doc A legs");
+        assert_eq!(base_dropped, 0, "the baseline posts no chaotic mail");
+
+        assert_eq!(chaotic.len(), baseline.len());
+        for (round, (c, b)) in chaotic.iter().zip(&baseline).enumerate() {
+            assert_eq!(
+                c, b,
+                "doc B digests diverged from the A-free baseline at round {round}; \
+                 replay with seed {seed:#x}"
+            );
+        }
+        let converge_round = |h: &[[u64; PARTICIPANTS]]| {
+            h.iter().position(|d| d[0] == d[1] && d[1] == d[2]).expect("doc B converged")
+        };
+        assert_eq!(
+            converge_round(&chaotic),
+            converge_round(&baseline),
+            "doc A's faults changed doc B's rounds-to-converge"
+        );
+    }
+}
