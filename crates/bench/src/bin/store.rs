@@ -1,0 +1,307 @@
+//! Durable-store gate: WAL append cost across the three fsync policies,
+//! and cold-start recovery of a 100 000-op journal racing the full
+//! snapshot transfer a store-less deployment would need instead.
+//!
+//! Two measurements, one gate:
+//!
+//! * **append** — ns per journaled record through [`DocStore::append`]
+//!   under `EveryRecord`, `EveryN(64)` and `EveryMs(5)`. Appends are
+//!   write-through under every policy (the record reaches the kernel
+//!   before the call returns); the policy only moves the `fsync`, so
+//!   the spread across the three rows is the measured price of the
+//!   power-failure window.
+//! * **recovery** — a journaled admin engine executes 100 000 bounded
+//!   edits (auto-snapshots every 5 000 records), the process "dies",
+//!   and a cold [`EngineStore`] open + `recover_doc` rebuilds the
+//!   replica from the newest snapshot plus a replay of the log suffix.
+//!   The same final state is then pushed through
+//!   [`dce_net::snapshot::transfer`] — the full encode + decode a
+//!   re-joining replica pays when there is no local store — and the
+//!   gate asserts local recovery beats the transfer re-run. A second,
+//!   ungated row deletes the newest snapshot first, forcing the
+//!   worst-case recovery — a full 5 000-record interval replayed
+//!   through the OT path — and is recorded for the recovery-time
+//!   table, not the gate: it is the price of crashing one record
+//!   before a snapshot lands, bounded by the snapshot cadence and
+//!   independent of total log length.
+//!
+//! Run with `cargo run --release -p dce-bench --bin store`; writes
+//! `results/BENCH_store.json` at the repository root. Pass
+//! `--log-records N` to shrink the journal (CI runs a reduced log;
+//! use a multiple of 5 000 so the journal ends on a snapshot
+//! boundary, as a stability-horizon server's does).
+
+use dce_core::{DocumentId, Engine, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_obs::ObsHandle;
+use dce_policy::Policy;
+use dce_store::{DocStore, EngineStore, FsyncPolicy, Record, Recovery, StoreConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The benched document.
+const DOC: DocumentId = DocumentId(3);
+/// Records between automatic snapshots in the recovery workload.
+const SNAPSHOT_EVERY: u64 = 5_000;
+/// The document stays within this many characters, so neither append
+/// nor replay cost drifts with log depth.
+const DOC_CAP: usize = 96;
+
+/// Deterministic xorshift; no clocks, no global RNG.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn genesis() -> Site<Char> {
+    Site::new_admin(0, CharDocument::from_str("store bench seed"), Policy::permissive([0, 1]))
+}
+
+/// ns per append of a representative remote-coop record under `policy`.
+fn bench_append(dir: &Path, policy: FsyncPolicy, iters: u32) -> f64 {
+    let cfg = StoreConfig {
+        fsync: policy,
+        snapshot_every: u64::MAX,
+        auto_snapshot: false,
+        retain_snapshots: 2,
+    };
+    let (mut store, _recovery) =
+        DocStore::<Char>::open(dir, DOC, 0, 0, cfg, ObsHandle::default(), genesis)
+            .expect("fresh append scratch dir");
+    // The record a session server journals on every delivered edit: one
+    // member's insert, write-ahead of application.
+    let mut producer = Site::new_user(
+        1,
+        0,
+        CharDocument::from_str("store bench seed"),
+        Policy::permissive([0, 1]),
+    );
+    let msg = Message::Coop(producer.generate(Op::ins(1, 'x')).expect("permissive policy"));
+    let rec = Record::Remote(msg);
+    for _ in 0..32 {
+        store.append(&rec.borrow()).expect("warmup append");
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        store.append(&rec.borrow()).expect("append");
+    }
+    let ns = start.elapsed().as_nanos() as f64 / f64::from(iters);
+    store.sync().expect("final sync");
+    ns
+}
+
+/// The next bounded edit: inserts while short, deletes while long, a
+/// coin toss in between — the op stream a single admin writer journals.
+fn bounded_edit(rng: &mut Rng, mirror: &mut Vec<char>) -> Op<Char> {
+    let len = mirror.len();
+    if len < 8 || (len < DOC_CAP && rng.next() & 1 == 0) {
+        let pos = rng.below(len as u64 + 1) as usize + 1;
+        let c = char::from(b'a' + rng.below(26) as u8);
+        mirror.insert(pos - 1, c);
+        Op::ins(pos, c)
+    } else {
+        let pos = rng.below(len as u64) as usize + 1;
+        let c = mirror.remove(pos - 1);
+        Op::del(pos, c)
+    }
+}
+
+/// Builds the journal: a store-backed admin engine executing
+/// `log_records` edits, snapshotting on its own cadence, then dropped
+/// cold. Returns the final replica digest.
+fn build_journal(dir: &Path, log_records: u64) -> u64 {
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::EveryN(1024),
+        snapshot_every: SNAPSHOT_EVERY,
+        auto_snapshot: true,
+        retain_snapshots: 2,
+    };
+    let store =
+        Arc::new(EngineStore::<Char>::open(dir, 0, 0, cfg, ObsHandle::default()).expect("open"));
+    let recovery = store.recover_doc(DOC, genesis).expect("fresh journal dir");
+    assert!(recovery.fresh, "journal scratch dir was not empty");
+    let engine = Engine::new_admin(0).with_store(store);
+    engine.adopt_site(DOC, recovery.site).expect("adopt fresh site");
+    let mut rng = Rng(0x5eed_5707);
+    let mut mirror: Vec<char> = "store bench seed".chars().collect();
+    for _ in 0..log_records {
+        let op = bounded_edit(&mut rng, &mut mirror);
+        engine.generate(DOC, op).expect("admin edit under a permissive policy");
+    }
+    engine.with(DOC, |site| site.state_digest()).expect("hosted document")
+}
+
+/// One cold-start recovery (store open + site rebuild), timed.
+fn time_recovery(dir: &Path, cfg: StoreConfig) -> (f64, Recovery<Char>) {
+    let start = Instant::now();
+    let store =
+        Arc::new(EngineStore::<Char>::open(dir, 0, 0, cfg, ObsHandle::default()).expect("open"));
+    let recovery = store.recover_doc(DOC, genesis).expect("recover");
+    (start.elapsed().as_secs_f64() * 1e3, recovery)
+}
+
+fn main() {
+    let mut log_records = 100_000u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--log-records" => {
+                log_records = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--log-records takes a positive integer");
+            }
+            other => {
+                eprintln!("unknown flag {other}; usage: store [--log-records N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let scratch = std::env::temp_dir().join(format!("dce-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    // -- append ns/op across the fsync spectrum -------------------------
+    let policies: [(&str, FsyncPolicy, u32); 3] = [
+        ("every_record", FsyncPolicy::EveryRecord, 600),
+        ("every_n_64", FsyncPolicy::EveryN(64), 20_000),
+        ("every_ms_5", FsyncPolicy::EveryMs(5), 20_000),
+    ];
+    let mut append_rows = Vec::new();
+    for (i, &(name, policy, iters)) in policies.iter().enumerate() {
+        let dir = scratch.join(format!("append-{i}"));
+        let ns = bench_append(&dir, policy, iters);
+        println!("append {name:>12}: {ns:>10.0} ns/op  ({iters} ops)");
+        append_rows.push((name, iters, ns));
+    }
+
+    // -- cold-start recovery vs snapshot-transfer re-run ----------------
+    let journal_dir = scratch.join("journal");
+    let build_start = Instant::now();
+    let built_digest = build_journal(&journal_dir, log_records);
+    eprintln!("journal built in {:.1} ms", build_start.elapsed().as_secs_f64() * 1e3);
+
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::EveryN(1024),
+        snapshot_every: SNAPSHOT_EVERY,
+        auto_snapshot: true,
+        retain_snapshots: 2,
+    };
+    let mut recovery_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..3 {
+        let (ms, recovery) = time_recovery(&journal_dir, cfg);
+        eprintln!("recovery pass: {ms:.1} ms");
+        recovery_ms = recovery_ms.min(ms);
+        last = Some(recovery);
+    }
+    let recovery = last.expect("three recovery passes ran");
+    assert_eq!(recovery.records_total, log_records, "the journal holds every edit");
+    assert_eq!(
+        recovery.site.state_digest(),
+        built_digest,
+        "cold-start recovery must land on the pre-kill replica state"
+    );
+    let snapshot_used = recovery.snapshot_used.expect("the workload crossed snapshot boundaries");
+    let replayed = recovery.replayed.len() as u64;
+    assert_eq!(
+        snapshot_used, log_records,
+        "the workload length must be a multiple of the snapshot cadence \
+         so the journal ends on a boundary"
+    );
+
+    // The alternative a store-less deployment pays: fetch the full
+    // state from a surviving donor — encode + decode of the complete
+    // replica, in-process (no network latency charged).
+    let mut transfer_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let rebuilt = dce_net::snapshot::transfer(&recovery.site, 0, 0).expect("snapshot transfer");
+        transfer_ms = transfer_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(rebuilt.state_digest(), built_digest, "transfer reproduces the state");
+    }
+
+    let speedup = transfer_ms / recovery_ms;
+    let beats = recovery_ms < transfer_ms;
+    println!(
+        "recovery: {log_records} records, snapshot at {snapshot_used} + {replayed} replayed \
+         -> {recovery_ms:.1} ms  (snapshot transfer: {transfer_ms:.1} ms, {speedup:.1}x)"
+    );
+
+    // Worst case, ungated: the crash landed one record before the next
+    // snapshot, so the newest snapshot is gone and recovery replays a
+    // full interval through the OT path. Bounded by the cadence, not
+    // the log length — the number the cadence itself is tuned against.
+    let newest_snap = journal_dir.join(format!("doc-{}/snap-{snapshot_used}.snap", DOC.0));
+    std::fs::remove_file(&newest_snap).expect("drop the newest snapshot");
+    let (mid_ms, mid) = time_recovery(&journal_dir, cfg);
+    assert_eq!(
+        mid.site.state_digest(),
+        built_digest,
+        "mid-interval recovery must land on the same replica state"
+    );
+    let mid_used = mid.snapshot_used.expect("the previous snapshot survives");
+    let mid_replayed = mid.replayed.len() as u64;
+    println!(
+        "mid-interval recovery: snapshot at {mid_used} + {mid_replayed} replayed \
+         -> {mid_ms:.1} ms"
+    );
+
+    let mut json = String::from("{\n  \"append\": [\n");
+    for (i, (name, iters, ns)) in append_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"policy\": \"{name}\", \"ops\": {iters}, \"ns_per_op\": {ns:.0} }}{}\n",
+            if i + 1 == append_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"recovery\": {{\n    \"log_records\": {log_records},\n    \
+         \"snapshot_every\": {SNAPSHOT_EVERY},\n    \"snapshot_used\": {snapshot_used},\n    \
+         \"replayed\": {replayed},\n    \"torn_bytes\": {},\n    \
+         \"recovery_ms\": {recovery_ms:.2},\n    \"snapshot_transfer_ms\": {transfer_ms:.2},\n    \
+         \"speedup\": {speedup:.2},\n    \"recovery_beats_transfer\": {beats}\n  }},\n  \
+         \"recovery_mid_interval\": {{\n    \"snapshot_used\": {mid_used},\n    \
+         \"replayed\": {mid_replayed},\n    \"recovery_ms\": {mid_ms:.2}\n  }}\n}}\n",
+        recovery.torn_bytes
+    ));
+    print!("{json}");
+
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    out.push("BENCH_store.json");
+    std::fs::write(&out, &json).expect("write BENCH_store.json");
+    eprintln!("wrote {}", out.display());
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    // The margin is structural only at scale: recovery skips the donor's
+    // encode pass, whose cost grows with the log while recovery's fixed
+    // costs (file reads, fsyncs, sealed-segment frame walk) do not. At
+    // toy log sizes both sides sit within timer noise of each other, so
+    // reduced CI runs exercise the path without gating on it.
+    if log_records >= 50_000 {
+        assert!(
+            beats,
+            "cold-start recovery ({recovery_ms:.1} ms) must beat a full snapshot \
+             transfer re-run ({transfer_ms:.1} ms)"
+        );
+    } else {
+        eprintln!("log below 50k records: recovery-vs-transfer gate not enforced");
+    }
+}

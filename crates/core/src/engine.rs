@@ -25,7 +25,7 @@
 //! cross-shard chaos test in `tests/chaos.rs`).
 
 use crate::error::CoreError;
-use crate::request::Message;
+use crate::request::{CoopRequest, Message};
 use crate::shard::DocumentId;
 use crate::site::Site;
 use dce_document::{Document, Element, Op};
@@ -33,6 +33,45 @@ use dce_obs::ObsHandle;
 use dce_policy::{Action, AdminOp, AdminRequest, Decision, Policy, PolicyCell, UserId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
+
+/// Journal hooks a durable store implements to ride along the engine's
+/// protocol operations (`dce-store` is the one real implementation; the
+/// trait lives here so `dce-core` stays free of I/O). The contract is
+/// write-ahead for receptions and write-behind for local generations:
+///
+/// * [`ShardStore::journal_remote`] runs *before* the message is applied,
+///   so a crash mid-apply replays it (application is deterministic —
+///   including its errors — so replay converges on the same state);
+/// * [`ShardStore::journal_local_coop`] / [`journal_local_admin`]
+///   (`journal_local_admin`: [`ShardStore::journal_local_admin`]) run
+///   *after* a successful generation, recording the visible-coordinate
+///   input plus the identity the generation produced, so recovery can
+///   re-execute it and assert the replay did not diverge;
+/// * [`ShardStore::journal_compact`] records that the stability-horizon
+///   compactor ran, so replay prunes at the same point;
+/// * [`ShardStore::snapshot`] is the compaction opportunity: the store
+///   may persist a full snapshot if the site is quiescent (no queued
+///   messages, empty outbox) and enough records accumulated; `force`
+///   marks the explicit [`Engine::auto_compact`] horizon, where servers
+///   gate snapshots on group-wide delivery stability.
+///
+/// Every hook takes `&self`: the engine invokes them under the shard
+/// lock, so a store needs interior mutability but no cross-document
+/// coordination.
+pub trait ShardStore<E: Element>: Send + Sync {
+    /// Journals a remote message about to be applied to `doc`'s site.
+    fn journal_remote(&self, doc: DocumentId, msg: &Message<E>);
+    /// Journals a successful local cooperative generation: the
+    /// visible-coordinate `op` that was executed and the broadcast
+    /// request it produced.
+    fn journal_local_coop(&self, doc: DocumentId, op: &Op<E>, q: &CoopRequest<E>);
+    /// Journals a successful local administrative generation.
+    fn journal_local_admin(&self, doc: DocumentId, r: &AdminRequest);
+    /// Journals that [`Site::auto_compact`] ran on `doc`.
+    fn journal_compact(&self, doc: DocumentId);
+    /// Offers the store a chance to persist a snapshot of `doc`'s site.
+    fn snapshot(&self, doc: DocumentId, site: &Site<E>, force: bool);
+}
 
 /// One document's slice of the process: the paper's per-document state
 /// (`Site`) plus the lock-free-read policy snapshot.
@@ -50,6 +89,9 @@ pub struct Engine<E: Element> {
     admin_id: UserId,
     route: RwLock<Arc<RouteMap<E>>>,
     obs: ObsHandle,
+    /// Durable journal hooks (none by default — engines are in-memory
+    /// unless [`Engine::with_store`] attaches a store).
+    store: Option<Arc<dyn ShardStore<E>>>,
 }
 
 impl<E: Element> Engine<E> {
@@ -69,6 +111,7 @@ impl<E: Element> Engine<E> {
             admin_id,
             route: RwLock::new(Arc::new(HashMap::new())),
             obs: ObsHandle::default(),
+            store: None,
         }
     }
 
@@ -76,6 +119,17 @@ impl<E: Element> Engine<E> {
     /// afterwards records under its own document scope.
     pub fn with_observability(mut self, obs: ObsHandle) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a durable store: every subsequent
+    /// [`Engine::generate`] / [`Engine::admin_generate`] /
+    /// [`Engine::receive`] / [`Engine::auto_compact`] is journaled
+    /// through the [`ShardStore`] hooks. Callers that reach a site
+    /// directly through [`Engine::with`] bypass journaling — the escape
+    /// hatch is for reads and diagnostics, not protocol mutations.
+    pub fn with_store(mut self, store: Arc<dyn ShardStore<E>>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -218,19 +272,67 @@ impl<E: Element> Engine<E> {
         Some(shard.policy.check(self.user, action))
     }
 
-    /// Generates a cooperative operation in `doc`.
+    /// Generates a cooperative operation in `doc`, journaling it (input
+    /// op + produced identity) when a store is attached.
     pub fn generate(&self, doc: DocumentId, op: Op<E>) -> Result<Message<E>, CoreError> {
-        self.with(doc, |site| site.generate(op).map(Message::Coop)).ok_or_else(|| unknown(doc))?
+        self.with(doc, |site| {
+            let input = self.store.as_ref().map(|_| op.clone());
+            let q = site.generate(op)?;
+            if let Some(store) = &self.store {
+                store.journal_local_coop(doc, &input.expect("cloned with store"), &q);
+                store.snapshot(doc, site, false);
+            }
+            Ok(Message::Coop(q))
+        })
+        .ok_or_else(|| unknown(doc))?
     }
 
-    /// Issues an administrative operation in `doc` (administrator only).
+    /// Issues an administrative operation in `doc` (administrator only),
+    /// journaling it when a store is attached.
     pub fn admin_generate(&self, doc: DocumentId, op: AdminOp) -> Result<AdminRequest, CoreError> {
-        self.with(doc, |site| site.admin_generate(op)).ok_or_else(|| unknown(doc))?
+        self.with(doc, |site| {
+            let r = site.admin_generate(op)?;
+            if let Some(store) = &self.store {
+                store.journal_local_admin(doc, &r);
+                store.snapshot(doc, site, false);
+            }
+            Ok(r)
+        })
+        .ok_or_else(|| unknown(doc))?
     }
 
-    /// Delivers a remote message to `doc`'s shard.
+    /// Delivers a remote message to `doc`'s shard. With a store attached
+    /// the message is journaled *before* application (write-ahead): a
+    /// crash mid-apply replays it, and application — errors included —
+    /// is deterministic.
     pub fn receive(&self, doc: DocumentId, msg: Message<E>) -> Result<(), CoreError> {
-        self.with(doc, |site| site.receive(msg)).ok_or_else(|| unknown(doc))?
+        self.with(doc, |site| {
+            if let Some(store) = &self.store {
+                store.journal_remote(doc, &msg);
+            }
+            let out = site.receive(msg);
+            if let Some(store) = &self.store {
+                store.snapshot(doc, site, false);
+            }
+            out
+        })
+        .ok_or_else(|| unknown(doc))?
+    }
+
+    /// Runs the stability-horizon compactor on `doc`'s site, journaling
+    /// the compaction point and offering the store a forced snapshot
+    /// opportunity (the `auto_compact` horizon of the durability design:
+    /// everything below it is settled group-wide). Returns the number of
+    /// log entries reclaimed, `None` when `doc` is not hosted.
+    pub fn auto_compact(&self, doc: DocumentId) -> Option<usize> {
+        self.with(doc, |site| {
+            let reclaimed = site.auto_compact();
+            if let Some(store) = &self.store {
+                store.journal_compact(doc);
+                store.snapshot(doc, site, true);
+            }
+            reclaimed
+        })
     }
 
     /// Drains `doc`'s outbox (empty when the document is not hosted).

@@ -260,6 +260,33 @@ impl<E: Element> Site<E> {
         self.sched.len()
     }
 
+    /// Number of un-drained outbox messages. A site is *quiescent* — and
+    /// therefore snapshottable without losing in-flight obligations —
+    /// only when both this and [`Site::queued`] are zero.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Restores the transient-but-behavioral state a wire snapshot
+    /// deliberately omits: heartbeat-derived peer clocks and the
+    /// diagnostics vectors. All of these feed [`Site::digest_into`], so a
+    /// durable store that wants a recovered site to be *digest-identical*
+    /// to the never-crashed one must persist and restore them alongside
+    /// the replicated state (`dce-store` snapshots carry them as a
+    /// supplement next to the `dce-net` snapshot body).
+    pub fn restore_transients(
+        &mut self,
+        peer_clocks: HashMap<UserId, Clock>,
+        denials: Vec<RequestId>,
+        undone: Vec<RequestId>,
+        rejected_proposals: Vec<AdminProposal>,
+    ) {
+        self.peer_clocks = peer_clocks;
+        self.denials = denials;
+        self.undone = undone;
+        self.rejected_proposals = rejected_proposals;
+    }
+
     /// Captures the replicated state for transfer to a joining site:
     /// `(buffer cells, log, clock, pruned-inert set, pruned count, policy,
     /// admin log, flags, tentative generation versions)`. Queues, outbox

@@ -114,6 +114,14 @@ pub struct LoadgenConfig {
     pub timeout_s: u64,
     /// Where flight dumps land on divergence.
     pub results_dir: PathBuf,
+    /// Survive server restarts: on a dropped connection, re-dial,
+    /// re-`Hello` and restart every stream in a new epoch instead of
+    /// failing the run. Pairs with a `--data-dir` server.
+    pub reconnect: bool,
+    /// When set, (re)connections dial the address currently in the cell
+    /// rather than `addr` — the restart harness points clients at a
+    /// server rebound on a fresh port.
+    pub addr_cell: Option<Arc<Mutex<String>>>,
 }
 
 impl Default for LoadgenConfig {
@@ -132,7 +140,17 @@ impl Default for LoadgenConfig {
             rto_ms: 100,
             timeout_s: 120,
             results_dir: PathBuf::from("results"),
+            reconnect: false,
+            addr_cell: None,
         }
+    }
+}
+
+/// The address a (re)connection should dial right now.
+fn addr_of(cfg: &LoadgenConfig) -> String {
+    match &cfg.addr_cell {
+        Some(cell) => cell.lock().expect("addr cell").clone(),
+        None => cfg.addr.clone(),
     }
 }
 
@@ -328,13 +346,67 @@ struct Client {
     start: Arc<Barrier>,
 }
 
+/// Re-dials the server (which may have restarted on a new address),
+/// re-`Hello`s, and restarts every stream in a new epoch so unacked and
+/// unsent traffic carries over. Retries until connected, the run stops,
+/// or the client's overall timeout elapses.
+fn reconnect_client(
+    c: &Client,
+    conn: &mut FrameConn,
+    endpoints: &mut HashMap<DocumentId, Endpoint<Char>>,
+    now_ms: u64,
+) -> Result<(), String> {
+    let deadline = Instant::now() + Duration::from_secs(c.cfg.timeout_s);
+    loop {
+        if c.stop.load(Ordering::Relaxed) {
+            return Err("run stopped while reconnecting".into());
+        }
+        if Instant::now() >= deadline {
+            return Err("reconnect timed out".into());
+        }
+        let Ok(mut fresh) = FrameConn::connect(&addr_of(&c.cfg), Duration::from_secs(2)) else {
+            continue;
+        };
+        let hello = fresh.round_trip(
+            &Frame::Hello { session: c.cfg.session, user: c.user },
+            Duration::from_secs(2),
+            |f| matches!(f, Frame::Welcome { .. }).then_some(()),
+        );
+        if hello.is_err() {
+            continue;
+        }
+        for endpoint in endpoints.values_mut() {
+            endpoint.restart_stream_to(0, now_ms);
+        }
+        *conn = fresh;
+        return Ok(());
+    }
+}
+
 fn client_main(c: Client) -> Result<ClientOut, String> {
-    let mut conn = FrameConn::connect(&c.cfg.addr, Duration::from_secs(10))?;
-    conn.round_trip(
-        &Frame::Hello { session: c.cfg.session, user: c.user },
-        Duration::from_secs(10),
-        |f| matches!(f, Frame::Welcome { .. }).then_some(()),
-    )?;
+    // Under `reconnect` the server may die while this client is still
+    // mid-Hello (the kill/restart test stops the first incarnation
+    // ~100 ms in): keep re-dialing until welcomed instead of failing.
+    let hello_deadline = Instant::now() + Duration::from_secs(c.cfg.timeout_s);
+    let mut conn = loop {
+        let welcomed =
+            FrameConn::connect(&addr_of(&c.cfg), Duration::from_secs(10)).and_then(|mut conn| {
+                conn.round_trip(
+                    &Frame::Hello { session: c.cfg.session, user: c.user },
+                    Duration::from_secs(10),
+                    |f| matches!(f, Frame::Welcome { .. }).then_some(()),
+                )
+                .map(|()| conn)
+            });
+        match welcomed {
+            Ok(conn) => break conn,
+            Err(e) if c.cfg.reconnect && Instant::now() < hello_deadline => {
+                eprintln!("dce-loadgen: user {}: initial hello failed ({e}), retrying", c.user);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    };
 
     let docs = u64::from(c.cfg.docs.max(1));
     let engine: Engine<Char> = Engine::new_user(c.user, 0).with_observability(c.obs.clone());
@@ -386,8 +458,21 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
             worked = true;
         }
 
-        if !conn.read_frames(&mut frames)? {
-            return Err("server closed the connection mid-run".into());
+        let alive = match conn.read_frames(&mut frames) {
+            Ok(alive) => alive,
+            Err(e) if c.cfg.reconnect => {
+                eprintln!("dce-loadgen: user {}: connection lost ({e}), reconnecting", c.user);
+                false
+            }
+            Err(e) => return Err(e),
+        };
+        if !alive {
+            if !c.cfg.reconnect {
+                return Err("server closed the connection mid-run".into());
+            }
+            frames.clear();
+            reconnect_client(&c, &mut conn, &mut endpoints, now_ms)?;
+            continue;
         }
         for frame in frames.drain(..) {
             worked = true;
@@ -449,7 +534,14 @@ fn client_main(c: Client) -> Result<ClientOut, String> {
                 }
             }
         }
-        conn.flush()?;
+        if let Err(e) = conn.flush() {
+            if !c.cfg.reconnect {
+                return Err(e);
+            }
+            eprintln!("dce-loadgen: user {}: flush failed ({e}), reconnecting", c.user);
+            reconnect_client(&c, &mut conn, &mut endpoints, now_ms)?;
+            continue;
+        }
 
         let done_sending = out.coop_sent + out.proposals_sent + out.denied_local >= c.quota;
         let unacked = endpoints.values().any(Endpoint::has_unacked);
@@ -637,7 +729,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
 
     let started = Instant::now();
     let deadline = started + Duration::from_secs(cfg.timeout_s);
-    let mut control = FrameConn::connect(&cfg.addr, Duration::from_secs(10))
+    let mut control = FrameConn::connect(&addr_of(cfg), Duration::from_secs(10))
         .map_err(|e| format!("control connection: {e}"))?;
     let docs = cfg.docs.max(1);
     let mut stable_polls = 0u32;
@@ -680,6 +772,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
             );
             match reply {
                 Ok(r) => server.push(r),
+                Err(_) if cfg.reconnect => {
+                    // The server may be mid-restart: re-dial the control
+                    // connection (possibly at a new address) and let the
+                    // outer loop poll again.
+                    if let Ok(fresh) = FrameConn::connect(&addr_of(cfg), Duration::from_secs(2)) {
+                        control = fresh;
+                    }
+                    break;
+                }
                 Err(e) => {
                     stop.store(true, Ordering::Relaxed);
                     for h in handles {
@@ -688,6 +789,13 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
                     return Err(format!("digest poll ({want_doc}): {e}"));
                 }
             }
+        }
+        if server.len() != docs as usize {
+            stable_polls = 0;
+            if Instant::now() >= deadline {
+                break false;
+            }
+            continue;
         }
         let server_idle = server.iter().all(|&(_, idle)| idle);
         let agree = server_idle

@@ -17,6 +17,15 @@ fn boot_server_docs(
     doc: &str,
     docs: u32,
 ) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    boot_server_durable(users, doc, docs, None)
+}
+
+fn boot_server_durable(
+    users: u32,
+    doc: &str,
+    docs: u32,
+    data_dir: Option<std::path::PathBuf>,
+) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
     let mut server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         users,
@@ -24,6 +33,7 @@ fn boot_server_docs(
         doc: doc.into(),
         rto_ms: 60,
         journal: 1 << 14,
+        data_dir,
     })
     .expect("bind loopback");
     let addr = server.local_addr().expect("bound").to_string();
@@ -160,4 +170,77 @@ fn a_session_survives_a_disconnect_and_rejoin() {
     shutdown.store(true, Ordering::Relaxed);
     server.join().expect("server thread");
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn a_restarted_durable_server_reconverges_to_the_control_run_digests() {
+    // A single writer makes the workload a pure function of the seed:
+    // the op stream never depends on message interleavings, so a run
+    // that survives a server kill + restart must land on *exactly* the
+    // per-document digests of a never-killed control run. The mix holds
+    // no proposals — proposals are not relayed, so their sequencing is
+    // the only interleaving-dependent piece of a single-writer run.
+    let doc = "kill me and I rise from the journal";
+    let stamp = std::process::id();
+    let scratch = std::env::temp_dir().join(format!("dce-loadgen-restart-{stamp}"));
+    let data_dir = std::env::temp_dir().join(format!("dce-server-data-{stamp}"));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let workload = |addr: String| LoadgenConfig {
+        addr,
+        clients: 1,
+        docs: 3,
+        ops: 150,
+        mix: Mix { ins: 55, del: 25, up: 20, admin: 0 },
+        restrictive_pct: 0,
+        think_ms: 2,
+        seed: 4242,
+        doc: doc.into(),
+        rto_ms: 60,
+        timeout_s: 60,
+        results_dir: scratch.clone(),
+        ..LoadgenConfig::default()
+    };
+
+    // Control: a plain in-memory server, never killed.
+    let control_digests = {
+        let (addr, shutdown, server) = boot_server_docs(1, doc, 3);
+        let report = run(&workload(addr)).expect("control run completes");
+        shutdown.store(true, Ordering::Relaxed);
+        server.join().expect("server thread");
+        assert!(report.converged, "control run diverged");
+        report.doc_digests
+    };
+
+    // Durable run: kill the server mid-traffic, restart it from the
+    // same data_dir on a fresh port, and point the clients at it.
+    let (addr, shutdown, server) = boot_server_durable(1, doc, 3, Some(data_dir.clone()));
+    let addr_cell = Arc::new(std::sync::Mutex::new(addr));
+    let cfg = LoadgenConfig {
+        reconnect: true,
+        addr_cell: Some(Arc::clone(&addr_cell)),
+        ..workload(String::new())
+    };
+    let loadgen = std::thread::spawn(move || run(&cfg));
+
+    // Let some traffic land on disk, then kill the first incarnation.
+    std::thread::sleep(std::time::Duration::from_millis(120));
+    shutdown.store(true, Ordering::Relaxed);
+    server.join().expect("first incarnation");
+
+    // Restart from the journal alone and publish the new address.
+    let (addr2, shutdown2, server2) = boot_server_durable(1, doc, 3, Some(data_dir.clone()));
+    *addr_cell.lock().expect("addr cell") = addr2;
+
+    let report =
+        loadgen.join().expect("loadgen thread").expect("killed-and-restarted run completes");
+    shutdown2.store(true, Ordering::Relaxed);
+    server2.join().expect("second incarnation");
+
+    assert!(report.converged, "clients never reconverged after the restart");
+    assert_eq!(
+        report.doc_digests, control_digests,
+        "a recovered server must reproduce the control run's per-document digests"
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+    let _ = std::fs::remove_dir_all(&data_dir);
 }

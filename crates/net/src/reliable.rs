@@ -149,12 +149,31 @@ pub struct Endpoint<E> {
     cfg: ReliableConfig,
     tx: HashMap<usize, TxStream<E>>,
     rx: HashMap<usize, RxStream<E>>,
+    /// Minimum epoch for every outgoing stream, raised by
+    /// [`Endpoint::set_epoch_floor`] when this endpoint is a *restarted
+    /// incarnation* of a site (a server recovered from disk): its stream
+    /// epochs must outrank anything the dead incarnation put on the wire,
+    /// or surviving receivers would discard the new streams as stale.
+    epoch_floor: u64,
 }
 
 impl<E: Element> Endpoint<E> {
     /// A fresh endpoint for site index `site`.
     pub fn new(site: usize, cfg: ReliableConfig) -> Self {
-        Endpoint { site, cfg, tx: HashMap::new(), rx: HashMap::new() }
+        Endpoint { site, cfg, tx: HashMap::new(), rx: HashMap::new(), epoch_floor: 0 }
+    }
+
+    /// Raises the epoch of every outgoing stream — existing and future —
+    /// to at least `floor`. A process recovering a session from disk does
+    /// not know which epochs its previous incarnation reached, only an
+    /// upper bound derived from a persisted incarnation counter; flooring
+    /// above that bound makes the recovered streams outrank any pre-crash
+    /// packet or ack still buffered at (or in flight toward) a survivor.
+    pub fn set_epoch_floor(&mut self, floor: u64) {
+        self.epoch_floor = self.epoch_floor.max(floor);
+        for stream in self.tx.values_mut() {
+            stream.epoch = stream.epoch.max(self.epoch_floor);
+        }
     }
 
     /// The site index this endpoint belongs to.
@@ -169,7 +188,9 @@ impl<E: Element> Endpoint<E> {
     pub fn send(&mut self, dest: usize, msg: Arc<Message<E>>, now: u64) -> Packet<E> {
         let (ack_epoch, ack) = self.ack_for(dest);
         let rto = self.cfg.initial_rto_ms;
+        let floor = self.epoch_floor;
         let stream = self.tx.entry(dest).or_insert_with(|| TxStream::new(rto));
+        stream.epoch = stream.epoch.max(floor);
         stream.next_seq += 1;
         stream.unacked.push((stream.next_seq, Arc::clone(&msg)));
         if !stream.paused && stream.deadline.is_none() {
@@ -353,8 +374,9 @@ impl<E: Element> Endpoint<E> {
             }
         }
         let rto = self.cfg.initial_rto_ms;
+        let floor = self.epoch_floor;
         let stream = self.tx.entry(peer).or_insert_with(|| TxStream::new(rto));
-        stream.epoch += 1;
+        stream.epoch = stream.epoch.max(floor) + 1;
         stream.unacked = refill.into_iter().enumerate().map(|(i, m)| ((i + 1) as u64, m)).collect();
         stream.next_seq = stream.unacked.len() as u64;
         stream.rto = self.cfg.initial_rto_ms;
@@ -380,7 +402,7 @@ impl<E: Element> Endpoint<E> {
         let discarded = self.rx.values().map(|s| s.held.len() as u64).sum();
         self.rx.clear();
         for stream in self.tx.values_mut() {
-            stream.epoch += 1;
+            stream.epoch = stream.epoch.max(self.epoch_floor) + 1;
             stream.next_seq = 0;
             stream.unacked.clear();
             stream.rto = self.cfg.initial_rto_ms;
@@ -624,6 +646,37 @@ mod tests {
             .map(|(_, p)| p.seq)
             .collect();
         assert_eq!(to_4, vec![1, 2, 3], "union = m1 + m2 + shared, shared deduped");
+    }
+
+    #[test]
+    fn epoch_floor_outranks_a_dead_incarnation() {
+        // Incarnation 1 of the server talked to the client at epoch 0.
+        let mut old = ep(0);
+        let mut client = ep(1);
+        let p = old.send(1, hb(1), 0);
+        client.on_data(0, p.epoch, p.seq, p.msg);
+        assert_eq!(client.ack_for(0), (0, 1));
+        // Incarnation 2 recovers from disk knowing only its incarnation
+        // number; flooring lifts new *and* restarted streams above
+        // anything incarnation 1 could have used.
+        let mut fresh = ep(0);
+        fresh.set_epoch_floor(1 << 32);
+        let p = fresh.send(1, hb(2), 0);
+        assert_eq!(p.epoch, 1 << 32);
+        let out = client.on_data(0, p.epoch, p.seq, p.msg);
+        assert_eq!(out.deliverable.len(), 1, "floored epoch resets the survivor's rx");
+        // A stale ack from the dead incarnation's epoch is void.
+        fresh.on_ack(1, 0, 5, 10);
+        assert!(fresh.has_unacked());
+        // Restarting a floored stream stays above the floor; flooring an
+        // endpoint with live streams lifts them in place.
+        fresh.restart_stream_to(1, 20);
+        assert!(fresh.due_retransmissions(20).iter().all(|(_, p)| p.epoch == (1 << 32) + 1));
+        let mut lifted = ep(0);
+        lifted.send(1, hb(1), 0);
+        lifted.set_epoch_floor(7);
+        let p = lifted.send(1, hb(2), 0);
+        assert_eq!(p.epoch, 7);
     }
 
     #[test]

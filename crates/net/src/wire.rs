@@ -488,36 +488,47 @@ pub fn decode_message<E: WireElement>(mut buf: Bytes) -> Result<Message<E>> {
     }
 }
 
-// ---- snapshot support (crate-internal re-exports of the primitives) ----
+// ---- codec primitives shared with `snapshot` and `dce-store` ----
+//
+// The persistence crate reuses these exact encoders for its WAL record
+// payloads and snapshot supplements, so durable bytes and wire bytes
+// stay one format. They are public API of the codec, documented as such.
 
-pub(crate) fn get_u8_pub(buf: &mut Bytes) -> Result<u8> {
+/// Reads one byte with the codec's truncation discipline.
+pub fn get_u8_pub(buf: &mut Bytes) -> Result<u8> {
     get_u8(buf)
 }
 
-pub(crate) fn get_u32_pub(buf: &mut Bytes) -> Result<u32> {
+/// Reads a little-endian `u32` with the codec's truncation discipline.
+pub fn get_u32_pub(buf: &mut Bytes) -> Result<u32> {
     get_u32(buf)
 }
 
-pub(crate) fn get_u64_pub(buf: &mut Bytes) -> Result<u64> {
+/// Reads a little-endian `u64` with the codec's truncation discipline.
+pub fn get_u64_pub(buf: &mut Bytes) -> Result<u64> {
     get_u64(buf)
 }
 
-pub(crate) fn encode_id(id: RequestId, out: &mut BytesMut) {
+/// Encodes a request identity (`site`, `seq`).
+pub fn encode_id(id: RequestId, out: &mut BytesMut) {
     encode_request_id(id, out)
 }
 
-pub(crate) fn decode_id(buf: &mut Bytes) -> Result<RequestId> {
+/// Decodes a request identity written by [`encode_id`].
+pub fn decode_id(buf: &mut Bytes) -> Result<RequestId> {
     decode_request_id(buf)
 }
 
-pub(crate) fn encode_id_list(ids: &[RequestId], out: &mut BytesMut) {
+/// Encodes a length-prefixed list of request identities.
+pub fn encode_id_list(ids: &[RequestId], out: &mut BytesMut) {
     out.put_u32_le(ids.len() as u32);
     for id in ids {
         encode_request_id(*id, out);
     }
 }
 
-pub(crate) fn decode_id_list(buf: &mut Bytes) -> Result<Vec<RequestId>> {
+/// Decodes a list written by [`encode_id_list`].
+pub fn decode_id_list(buf: &mut Bytes) -> Result<Vec<RequestId>> {
     let n = get_u32(buf)? as usize;
     let mut out = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -526,20 +537,36 @@ pub(crate) fn decode_id_list(buf: &mut Bytes) -> Result<Vec<RequestId>> {
     Ok(out)
 }
 
-pub(crate) fn encode_clock_pub(clock: &Clock, out: &mut BytesMut) {
+/// Encodes a causal clock as `(site, count)` pairs.
+pub fn encode_clock_pub(clock: &Clock, out: &mut BytesMut) {
     encode_clock(clock, out)
 }
 
-pub(crate) fn decode_clock_pub(buf: &mut Bytes) -> Result<Clock> {
+/// Decodes a clock written by [`encode_clock_pub`].
+pub fn decode_clock_pub(buf: &mut Bytes) -> Result<Clock> {
     decode_clock(buf)
 }
 
-pub(crate) fn encode_admin_op_pub(op: &AdminOp, out: &mut BytesMut) {
+/// Encodes one administrative operation.
+pub fn encode_admin_op_pub(op: &AdminOp, out: &mut BytesMut) {
     encode_admin_op(op, out)
 }
 
-pub(crate) fn decode_admin_op_pub(buf: &mut Bytes) -> Result<AdminOp> {
+/// Decodes an operation written by [`encode_admin_op_pub`].
+pub fn decode_admin_op_pub(buf: &mut Bytes) -> Result<AdminOp> {
     decode_admin_op(buf)
+}
+
+/// Encodes one cooperative operation in visible coordinates (the form
+/// [`dce_ot::engine::Engine::generate`] accepts — what a durable journal
+/// must record to re-execute a local generation).
+pub fn encode_op_pub<E: WireElement>(op: &Op<E>, out: &mut BytesMut) {
+    encode_op(op, out)
+}
+
+/// Decodes an operation written by [`encode_op_pub`].
+pub fn decode_op_pub<E: WireElement>(buf: &mut Bytes) -> Result<Op<E>> {
+    decode_op(buf)
 }
 
 pub(crate) fn encode_log_entry<E: WireElement>(e: &LogEntry<E>, out: &mut BytesMut) {

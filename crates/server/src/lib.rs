@@ -28,18 +28,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use dce_core::{DocumentId, Engine, Message};
+use dce_core::{DocumentId, Engine, Message, Site};
 use dce_document::{Char, CharDocument};
 use dce_net::frame::{encode_frame, Frame, FrameDecoder};
 use dce_net::reliable::{Endpoint, ReliableConfig};
 use dce_obs::ObsHandle;
 use dce_policy::Policy;
+use dce_store::{EngineStore, FsyncPolicy, StoreConfig};
 use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Forced-snapshot cadence: every this many delivered messages per
+/// document the server compacts and (at quiescence) snapshots, bounding
+/// the log suffix a restart must replay.
+const SNAPSHOT_INTERVAL: u64 = 256;
 
 /// Tuning knobs for a server process.
 #[derive(Debug, Clone)]
@@ -58,6 +65,10 @@ pub struct ServerConfig {
     pub rto_ms: u64,
     /// Observability journal capacity (ring entries); 0 disables.
     pub journal: usize,
+    /// Durable storage root. When set, every session journals its
+    /// traffic to `<data_dir>/session-<id>/` through `dce-store` and a
+    /// restarted server rebuilds its sessions from disk at bind time.
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +80,7 @@ impl Default for ServerConfig {
             doc: "the quick brown fox".into(),
             rto_ms: 100,
             journal: 1 << 16,
+            data_dir: None,
         }
     }
 }
@@ -125,6 +137,9 @@ struct Session {
     seen: HashSet<u32>,
     /// Messages delivered to each document's administrator replica.
     delivered: HashMap<DocumentId, u64>,
+    /// The session's durable store, when the server runs with a
+    /// `data_dir`. The engine journals through it on every delivery.
+    store: Option<Arc<EngineStore<Char>>>,
 }
 
 impl Session {
@@ -147,6 +162,9 @@ pub struct Server {
 
 impl Server {
     /// Binds the listen socket (non-blocking) and prepares the reactor.
+    /// With a `data_dir`, every session found on disk is rebuilt *now* —
+    /// before any client can connect — so a killed server restarts from
+    /// local storage alone.
     pub fn bind(cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
@@ -157,13 +175,142 @@ impl Server {
         } else {
             ObsHandle::disabled()
         };
-        Ok(Server {
+        let mut server = Server {
             cfg,
             listener,
             conns: Vec::new(),
             sessions: HashMap::new(),
             origin: Instant::now(),
             obs,
+        };
+        if let Some(root) = server.cfg.data_dir.clone() {
+            std::fs::create_dir_all(&root)?;
+            let mut sids: Vec<u32> = std::fs::read_dir(&root)?
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    e.file_name()
+                        .to_str()
+                        .and_then(|n| n.strip_prefix("session-"))
+                        .and_then(|n| n.parse().ok())
+                })
+                .collect();
+            sids.sort_unstable();
+            for sid in sids {
+                let sess = server.new_session(sid, 0)?;
+                server.sessions.insert(sid, sess);
+            }
+        }
+        Ok(server)
+    }
+
+    /// Builds session `sid`: a fresh engine when the server is
+    /// memory-only, or — with a `data_dir` — one recovered from (and
+    /// journaling to) `<data_dir>/session-<sid>/`.
+    fn new_session(&self, sid: u32, now: u64) -> io::Result<Session> {
+        let users = self.cfg.users;
+        let docs = u64::from(self.cfg.docs.max(1));
+        let rto = self.cfg.rto_ms;
+        let mut endpoints: HashMap<DocumentId, Endpoint<Char>> = (0..docs)
+            .map(|d| {
+                (
+                    DocumentId::new(d),
+                    Endpoint::new(0, ReliableConfig { initial_rto_ms: rto, max_rto_ms: rto * 16 }),
+                )
+            })
+            .collect();
+        let Some(root) = &self.cfg.data_dir else {
+            let admin = Engine::new_admin(0).with_observability(self.obs.clone());
+            admin
+                .create_documents((0..docs).map(|d| {
+                    (
+                        DocumentId::new(d),
+                        CharDocument::from_str(&self.cfg.doc),
+                        initial_policy(users),
+                    )
+                }))
+                .expect("fresh engine hosts no documents yet");
+            return Ok(Session {
+                admin,
+                endpoints,
+                conn_of: HashMap::new(),
+                seen: HashSet::new(),
+                delivered: HashMap::new(),
+                store: None,
+            });
+        };
+
+        let oops = io::Error::other;
+        let store_cfg = StoreConfig {
+            fsync: FsyncPolicy::EveryN(32),
+            snapshot_every: u64::MAX,
+            // Snapshots are forced at the SNAPSHOT_INTERVAL cadence in
+            // `deliver`, gated on the whole session being acked — a
+            // snapshot must never cover a record some member still needs.
+            auto_snapshot: false,
+            retain_snapshots: 2,
+        };
+        let dir = root.join(format!("session-{sid}"));
+        let store: Arc<EngineStore<Char>> =
+            Arc::new(EngineStore::open(&dir, 0, 0, store_cfg, self.obs.clone())?);
+        // Streams of this incarnation must outrank anything a dead
+        // incarnation put on the wire.
+        let floor = store.bump_incarnation()? << 32;
+        for endpoint in endpoints.values_mut() {
+            endpoint.set_epoch_floor(floor);
+        }
+        let admin =
+            Engine::new_admin(0).with_observability(self.obs.clone()).with_store(store.clone());
+        let mut recovered = false;
+        let mut delivered = HashMap::new();
+        for d in 0..docs {
+            let doc = DocumentId::new(d);
+            let rec = store
+                .recover_doc(doc, || {
+                    Site::new_admin(0, CharDocument::from_str(&self.cfg.doc), initial_policy(users))
+                })
+                .map_err(|e| oops(format!("session {sid}: recover {doc}: {e}")))?;
+            recovered |= !rec.fresh;
+            delivered.insert(doc, rec.records_total);
+            admin
+                .adopt_site(doc, rec.site)
+                .map_err(|e| oops(format!("session {sid}: adopt {doc}: {e}")))?;
+            // Re-enqueue the replayed suffix on (paused) member streams:
+            // the dead incarnation may have relayed these without the
+            // members ever acking them. Member replicas dedup whatever
+            // they did receive.
+            let endpoint = endpoints.get_mut(&doc).expect("endpoint per doc");
+            for rr in rec.replayed {
+                if let Some(msg) = rr.msg {
+                    if !matches!(msg, Message::Proposal(_)) {
+                        let msg = Arc::new(msg);
+                        for u in 1..=users {
+                            if u != rr.origin {
+                                endpoint.send(u as usize, Arc::clone(&msg), now);
+                                endpoint.pause_stream_to(u as usize);
+                            }
+                        }
+                    }
+                }
+                for reaction in rr.reactions {
+                    let reaction = Arc::new(reaction);
+                    for u in 1..=users {
+                        endpoint.send(u as usize, Arc::clone(&reaction), now);
+                        endpoint.pause_stream_to(u as usize);
+                    }
+                }
+            }
+        }
+        // A recovered session already has members mid-history: treat all
+        // of them as seen so the buffered suffix reaches them when they
+        // re-`Hello` (and new traffic keeps accumulating meanwhile).
+        let seen = if recovered { (1..=users).collect() } else { HashSet::new() };
+        Ok(Session {
+            admin,
+            endpoints,
+            conn_of: HashMap::new(),
+            seen,
+            delivered,
+            store: Some(store),
         })
     }
 
@@ -333,43 +480,22 @@ impl Server {
                     self.close_conn(ci, "hello for an out-of-range user");
                     return;
                 }
-                let (users, docs, doc, rto, obs) = (
-                    self.cfg.users,
-                    self.cfg.docs.max(1),
-                    self.cfg.doc.clone(),
-                    self.cfg.rto_ms,
-                    self.obs.clone(),
-                );
-                let sess = self.sessions.entry(session).or_insert_with(|| {
-                    let admin = Engine::new_admin(0).with_observability(obs);
-                    admin
-                        .create_documents((0..u64::from(docs)).map(|d| {
-                            (
-                                DocumentId::new(d),
-                                CharDocument::from_str(&doc),
-                                initial_policy(users),
-                            )
-                        }))
-                        .expect("fresh engine hosts no documents yet");
-                    let endpoints = (0..u64::from(docs))
-                        .map(|d| {
-                            (
-                                DocumentId::new(d),
-                                Endpoint::new(
-                                    0,
-                                    ReliableConfig { initial_rto_ms: rto, max_rto_ms: rto * 16 },
-                                ),
-                            )
-                        })
-                        .collect();
-                    Session {
-                        admin,
-                        endpoints,
-                        conn_of: HashMap::new(),
-                        seen: HashSet::new(),
-                        delivered: HashMap::new(),
+                if !self.sessions.contains_key(&session) {
+                    match self.new_session(session, now) {
+                        Ok(sess) => {
+                            self.sessions.insert(session, sess);
+                        }
+                        Err(e) => {
+                            let reason = format!("session {session}: store open failed: {e}");
+                            eprintln!("dce-server: {reason}");
+                            self.obs.failure(&reason);
+                            self.close_conn(ci, "session store failure");
+                            return;
+                        }
                     }
-                });
+                }
+                let users = self.cfg.users;
+                let sess = self.sessions.get_mut(&session).expect("just ensured");
                 let rejoin = !sess.seen.insert(user);
                 let old = sess.conn_of.insert(user, ci);
                 if rejoin {
@@ -515,6 +641,16 @@ impl Server {
             for &u in &members {
                 Self::send_to(sess, &mut self.conns, doc, u, Arc::clone(&reaction), now);
             }
+        }
+        // Bound what a restart must replay: at the forced cadence,
+        // compact and snapshot the document — but only when every member
+        // has acked everything, because a snapshot must never swallow a
+        // record some member still needs redelivered.
+        if sess.store.is_some()
+            && sess.delivered.get(&doc).is_some_and(|n| n % SNAPSHOT_INTERVAL == 0)
+            && !sess.has_unacked()
+        {
+            sess.admin.auto_compact(doc);
         }
     }
 

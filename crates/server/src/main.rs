@@ -17,7 +17,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: dce-server [--addr HOST:PORT] [--clients N] [--docs N] [--doc TEXT] \
-         [--rto-ms MS] [--journal N] [--flight-seed N]"
+         [--rto-ms MS] [--journal N] [--flight-seed N] [--data-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -35,6 +35,7 @@ fn main() {
             "--doc" => cfg.doc = val(),
             "--rto-ms" => cfg.rto_ms = val().parse().unwrap_or_else(|_| usage()),
             "--journal" => cfg.journal = val().parse().unwrap_or_else(|_| usage()),
+            "--data-dir" => cfg.data_dir = Some(val().into()),
             "--flight-seed" => flight_seed = Some(val().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),

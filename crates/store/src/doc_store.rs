@@ -1,0 +1,523 @@
+//! One document's durable store: an active WAL segment, rotated at each
+//! snapshot, plus the recovery path that rebuilds the site from disk.
+//!
+//! On-disk layout of a document directory:
+//!
+//! ```text
+//! doc-<id>/
+//!   wal-<base>.log      -- segments; <base> = global index of record 0
+//!   snap-<covered>.snap -- snapshots; <covered> = records captured
+//! ```
+//!
+//! Invariants the recovery path checks (and the corruption suite
+//! attacks): segment bases are contiguous (`base + records == next
+//! base`), the file name matches the sealed header, a snapshot's horizon
+//! lies inside the journal's coverage, and only the *final* segment may
+//! end mid-record (a torn write, truncated away on resume).
+
+use crate::snap::{decode_store_snapshot, encode_store_snapshot};
+use crate::wal::{scan_segment, FsyncPolicy, Record, RecordRef, ScanOutcome, SegmentHeader, Wal};
+use crate::StoreError;
+use dce_core::shard::DocumentId;
+use dce_core::{Message, Site};
+use dce_document::Element;
+use dce_net::wire::WireElement;
+use dce_obs::ObsHandle;
+use dce_policy::UserId;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Durability tuning for a store.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// When appends reach stable storage (appends always reach the
+    /// kernel; see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+    /// Journal records between automatic snapshot attempts.
+    pub snapshot_every: u64,
+    /// Whether the store may snapshot on its own at `snapshot_every`
+    /// boundaries. Servers set this false and force snapshots only at
+    /// delivery-stable points ([`DocStore::maybe_snapshot`] with
+    /// `force`).
+    pub auto_snapshot: bool,
+    /// Snapshots kept on disk (older ones — and the segments only they
+    /// need — are deleted).
+    pub retain_snapshots: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::EveryN(64),
+            snapshot_every: 4096,
+            auto_snapshot: true,
+            retain_snapshots: 2,
+        }
+    }
+}
+
+/// One journal record re-applied during recovery, with everything a
+/// server needs to re-drive its delivery duties: the message the record
+/// re-established and the reactions (validations, heartbeats) the
+/// re-application pushed to the outbox — reactions that may never have
+/// left the process before the crash.
+#[derive(Debug, Clone)]
+pub struct ReplayedRecord<E> {
+    /// The broadcastable message this record re-established (`None` for
+    /// compaction points).
+    pub msg: Option<Message<E>>,
+    /// Who originated it (remote records: the sender; local records:
+    /// this site).
+    pub origin: UserId,
+    /// Outbox messages the re-application produced.
+    pub reactions: Vec<Message<E>>,
+}
+
+/// The result of opening a document store: the rebuilt site plus the
+/// replay facts.
+#[derive(Debug)]
+pub struct Recovery<E: Element> {
+    /// The recovered replica.
+    pub site: Site<E>,
+    /// Every record re-applied on top of the snapshot, in journal order.
+    pub replayed: Vec<ReplayedRecord<E>>,
+    /// The `covered` horizon of the snapshot recovery started from
+    /// (`None` = genesis).
+    pub snapshot_used: Option<u64>,
+    /// Snapshots that failed to decode and were skipped over.
+    pub snapshots_skipped: u64,
+    /// Total records in the journal after recovery.
+    pub records_total: u64,
+    /// Torn-tail bytes truncated from the final segment.
+    pub torn_bytes: u64,
+    /// True when the directory held no prior state (fresh genesis).
+    pub fresh: bool,
+}
+
+/// The durable store for a single document.
+#[derive(Debug)]
+pub struct DocStore<E> {
+    dir: PathBuf,
+    doc: DocumentId,
+    user: UserId,
+    admin: UserId,
+    cfg: StoreConfig,
+    wal: Wal,
+    records: u64,
+    covered: u64,
+    obs: ObsHandle,
+    _elem: PhantomData<fn() -> E>,
+}
+
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Files named `<prefix><number><suffix>` in `dir`, ascending by number.
+fn list_numbered(dir: &Path, prefix: &str, suffix: &str) -> std::io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_prefix(prefix).and_then(|s| s.strip_suffix(suffix)) else {
+            continue;
+        };
+        let Ok(n) = stem.parse::<u64>() else { continue };
+        out.push((n, entry.path()));
+    }
+    out.sort_by_key(|(n, _)| *n);
+    Ok(out)
+}
+
+fn wal_path(dir: &Path, base: u64) -> PathBuf {
+    dir.join(format!("wal-{base}.log"))
+}
+
+fn snap_path(dir: &Path, covered: u64) -> PathBuf {
+    dir.join(format!("snap-{covered}.snap"))
+}
+
+impl<E: Element + WireElement> DocStore<E> {
+    /// Opens (or creates) the store for `doc` in `dir`, recovering the
+    /// site from disk. `genesis` builds the initial replica when the
+    /// directory holds no prior state.
+    #[allow(clippy::too_many_arguments)]
+    pub fn open(
+        dir: &Path,
+        doc: DocumentId,
+        user: UserId,
+        admin: UserId,
+        cfg: StoreConfig,
+        obs: ObsHandle,
+        genesis: impl FnOnce() -> Site<E>,
+    ) -> Result<(DocStore<E>, Recovery<E>), StoreError> {
+        fs::create_dir_all(dir)?;
+        let wals = list_numbered(dir, "wal-", ".log")?;
+        let snaps = list_numbered(dir, "snap-", ".snap")?;
+
+        if wals.is_empty() && snaps.is_empty() {
+            let header = SegmentHeader { doc, user, admin, base: 0 };
+            let wal = Wal::create(&wal_path(dir, 0), header, cfg.fsync)?;
+            sync_dir(dir)?;
+            let store = DocStore {
+                dir: dir.to_path_buf(),
+                doc,
+                user,
+                admin,
+                cfg,
+                wal,
+                records: 0,
+                covered: 0,
+                obs,
+                _elem: PhantomData,
+            };
+            let recovery = Recovery {
+                site: genesis().with_document(doc),
+                replayed: Vec::new(),
+                snapshot_used: None,
+                snapshots_skipped: 0,
+                records_total: 0,
+                torn_bytes: 0,
+                fresh: true,
+            };
+            return Ok((store, recovery));
+        }
+
+        // Newest decodable snapshot wins; damaged ones are skipped (the
+        // journal reaches further back than any one snapshot).
+        let mut snapshots_skipped = 0u64;
+        let mut start: Option<(Site<E>, u64)> = None;
+        for (covered, path) in snaps.iter().rev() {
+            match fs::read(path)
+                .map_err(StoreError::from)
+                .and_then(|bytes| decode_store_snapshot::<E>(&bytes, path))
+            {
+                Ok((site, c)) => {
+                    debug_assert_eq!(c, *covered, "snapshot horizon matches its file name");
+                    start = Some((site, c));
+                    break;
+                }
+                Err(e) => {
+                    snapshots_skipped += 1;
+                    obs.failure(&format!("store: skipping snapshot: {e}"));
+                }
+            }
+        }
+        let snapshot_used = start.as_ref().map(|(_, c)| *c);
+        let (mut site, covered) = match start {
+            Some(s) => s,
+            None => {
+                if !wals.iter().any(|(base, _)| *base == 0) {
+                    return Err(StoreError::Unrecoverable {
+                        dir: dir.to_path_buf(),
+                        detail: format!(
+                            "no decodable snapshot ({snapshots_skipped} damaged) and the journal \
+                             does not reach back to genesis"
+                        ),
+                    });
+                }
+                (genesis().with_document(doc), 0)
+            }
+        };
+
+        // Scan every segment, verifying contiguity, and replay the
+        // suffix past the snapshot horizon.
+        let mut replayed = Vec::new();
+        let mut next_base = wals.first().map(|(b, _)| *b).unwrap_or(0);
+        if covered < next_base {
+            return Err(StoreError::Unrecoverable {
+                dir: dir.to_path_buf(),
+                detail: format!(
+                    "journal gap: snapshot covers {covered} records but the oldest segment \
+                     starts at {next_base}"
+                ),
+            });
+        }
+        let mut resume: Option<(PathBuf, SegmentHeader, u64, u64)> = None;
+        let mut torn_header: Option<u64> = None;
+        let mut torn_bytes = 0u64;
+        let last_idx = wals.len().saturating_sub(1);
+        for (i, (name_base, path)) in wals.iter().enumerate() {
+            let last = i == last_idx;
+            // Records the snapshot already covers are frame-validated
+            // but not decoded: recovery cost scales with the suffix,
+            // not with retained history.
+            let skip = covered.saturating_sub(*name_base);
+            match scan_segment::<E>(path, last, skip)? {
+                ScanOutcome::TornHeader => {
+                    // Rotation crashed before the new header was
+                    // durable: the file holds nothing. Recreate it.
+                    torn_bytes += fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                    torn_header = Some(*name_base);
+                }
+                ScanOutcome::Segment(seg) => {
+                    if seg.header.base != *name_base || seg.header.doc != doc {
+                        return Err(StoreError::Corrupt {
+                            file: path.clone(),
+                            index: seg.header.base,
+                            offset: 0,
+                            detail: format!(
+                                "segment header (doc {}, base {}) does not match its file name \
+                                 or document (doc {}, base {name_base})",
+                                seg.header.doc.0, seg.header.base, doc.0
+                            ),
+                        });
+                    }
+                    if seg.header.base != next_base {
+                        return Err(StoreError::Unrecoverable {
+                            dir: dir.to_path_buf(),
+                            detail: format!(
+                                "journal gap: expected a segment starting at {next_base}, \
+                                 found {}",
+                                seg.header.base
+                            ),
+                        });
+                    }
+                    for (j, rec) in seg.records.iter().enumerate() {
+                        let idx = seg.header.base + seg.skipped + j as u64;
+                        replayed.push(replay_one(&mut site, rec.clone(), path, idx)?);
+                    }
+                    next_base = seg.header.base + seg.total();
+                    torn_bytes += seg.torn_bytes;
+                    resume = Some((path.clone(), seg.header, seg.valid_len, seg.total()));
+                }
+            }
+        }
+        let records_total = next_base;
+        if covered > records_total {
+            return Err(StoreError::Unrecoverable {
+                dir: dir.to_path_buf(),
+                detail: format!(
+                    "journal ends at record {records_total}, before the snapshot horizon \
+                     {covered}"
+                ),
+            });
+        }
+
+        let wal = match torn_header {
+            Some(name_base) => {
+                // The torn file may be misnamed relative to the real
+                // record count; recreate it at the true resume point.
+                fs::remove_file(wal_path(dir, name_base))?;
+                let header = SegmentHeader { doc, user, admin, base: records_total };
+                let wal = Wal::create(&wal_path(dir, records_total), header, cfg.fsync)?;
+                sync_dir(dir)?;
+                wal
+            }
+            None => match resume {
+                Some((path, header, valid_len, seg_records)) => {
+                    Wal::resume(&path, header, valid_len, seg_records, cfg.fsync)?
+                }
+                None => {
+                    return Err(StoreError::Unrecoverable {
+                        dir: dir.to_path_buf(),
+                        detail: "no journal segment to resume appending to".into(),
+                    });
+                }
+            },
+        };
+
+        obs.add_counter("store.replayed", replayed.len() as u64);
+        if torn_bytes > 0 {
+            obs.add_counter("store.torn_bytes", torn_bytes);
+        }
+        let store = DocStore {
+            dir: dir.to_path_buf(),
+            doc,
+            user,
+            admin,
+            cfg,
+            wal,
+            records: records_total,
+            covered,
+            obs,
+            _elem: PhantomData,
+        };
+        let recovery = Recovery {
+            site,
+            replayed,
+            snapshot_used,
+            snapshots_skipped,
+            records_total,
+            torn_bytes,
+            fresh: false,
+        };
+        Ok((store, recovery))
+    }
+
+    /// Appends one record to the active segment (write-through).
+    pub fn append(&mut self, rec: &RecordRef<'_, E>) -> Result<(), StoreError> {
+        let t = Instant::now();
+        let out = self.wal.append(rec)?;
+        self.records += 1;
+        self.obs.observe_hist("store.append_ns", t.elapsed().as_nanos() as u64);
+        self.obs.add_counter("store.appended", 1);
+        if out.synced {
+            self.obs.add_counter("store.synced", 1);
+            self.obs.observe_hist("store.fsync_batch", out.batch as u64);
+        }
+        Ok(())
+    }
+
+    /// Forces everything journaled so far onto stable storage.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.wal.sync()?;
+        Ok(())
+    }
+
+    /// Takes a snapshot if one is due and the site is quiescent (empty
+    /// queues and outbox — the snapshot does not capture them). `force`
+    /// waives the `snapshot_every` threshold and the `auto_snapshot`
+    /// gate, not the quiescence requirement. Returns whether a snapshot
+    /// was written.
+    pub fn maybe_snapshot(&mut self, site: &Site<E>, force: bool) -> Result<bool, StoreError> {
+        if self.records <= self.covered {
+            return Ok(false);
+        }
+        if !force
+            && (!self.cfg.auto_snapshot || self.records - self.covered < self.cfg.snapshot_every)
+        {
+            return Ok(false);
+        }
+        if site.queued() != 0 || site.outbox_len() != 0 {
+            return Ok(false);
+        }
+        let covered = self.records;
+        let bytes = encode_store_snapshot(site, self.admin, covered);
+        let tmp = self.dir.join(format!("snap-{covered}.snap.tmp"));
+        {
+            let mut f = OpenOptions::new().create(true).truncate(true).write(true).open(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, snap_path(&self.dir, covered))?;
+        // Seal the old segment and open the next one at the new horizon.
+        self.wal.sync()?;
+        let header =
+            SegmentHeader { doc: self.doc, user: self.user, admin: self.admin, base: covered };
+        self.wal = Wal::create(&wal_path(&self.dir, covered), header, self.cfg.fsync)?;
+        sync_dir(&self.dir)?;
+        self.covered = covered;
+        self.obs.add_counter("store.snapshot_written", 1);
+        self.obs.set_gauge("store.covered", covered);
+        self.retire()?;
+        Ok(true)
+    }
+
+    /// Deletes snapshots beyond the retention count and the segments
+    /// only they could need.
+    fn retire(&self) -> Result<(), StoreError> {
+        let snaps = list_numbered(&self.dir, "snap-", ".snap")?;
+        let retain = self.cfg.retain_snapshots.max(1);
+        if snaps.len() <= retain {
+            return Ok(());
+        }
+        let keep_from = snaps.len() - retain;
+        for (_, path) in &snaps[..keep_from] {
+            fs::remove_file(path)?;
+        }
+        // The oldest retained snapshot bounds how far back replay may
+        // reach; segments whose successor starts at or below it are
+        // unreachable.
+        let floor = snaps[keep_from].0;
+        let wals = list_numbered(&self.dir, "wal-", ".log")?;
+        for pair in wals.windows(2) {
+            let (_, ref path) = pair[0];
+            let (next_base, _) = pair[1];
+            if next_base <= floor {
+                fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Total journal records (across all segments, including compacted
+    /// history).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Records covered by the latest snapshot.
+    pub fn covered(&self) -> u64 {
+        self.covered
+    }
+
+    /// The active segment (tests use its `len`/`synced_len` to simulate
+    /// power failures by truncating unsynced bytes).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// The document directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+fn replay_one<E: Element + WireElement>(
+    site: &mut Site<E>,
+    rec: Record<E>,
+    file: &Path,
+    idx: u64,
+) -> Result<ReplayedRecord<E>, StoreError> {
+    let diverged = |detail: String| StoreError::ReplayDivergence {
+        file: file.to_path_buf(),
+        index: idx,
+        detail,
+    };
+    let out = match rec {
+        Record::Remote(msg) => {
+            let origin = match &msg {
+                Message::Coop(q) => q.user(),
+                Message::Admin(r) => r.admin,
+                Message::Proposal(p) => p.from,
+                Message::Heartbeat { from, .. } => *from,
+            };
+            // Reception is deterministic, errors included: whatever this
+            // delivery did before the crash, it does again now.
+            let _ = site.receive(msg.clone());
+            ReplayedRecord { msg: Some(msg), origin, reactions: site.drain_outbox() }
+        }
+        Record::LocalCoop { op, id, v } => {
+            let q = site
+                .generate(op)
+                .map_err(|e| diverged(format!("journaled generation now fails: {e}")))?;
+            if q.ot.id != id || q.v != v {
+                return Err(diverged(format!(
+                    "journaled generation produced ({:?}, v{}) but replay produced ({:?}, v{})",
+                    id, v, q.ot.id, q.v
+                )));
+            }
+            ReplayedRecord {
+                origin: site.user(),
+                msg: Some(Message::Coop(q)),
+                reactions: site.drain_outbox(),
+            }
+        }
+        Record::LocalAdmin { op, version } => {
+            let r = site
+                .admin_generate(op)
+                .map_err(|e| diverged(format!("journaled admin generation now fails: {e}")))?;
+            if r.version != version {
+                return Err(diverged(format!(
+                    "journaled admin generation produced v{version} but replay produced v{}",
+                    r.version
+                )));
+            }
+            ReplayedRecord {
+                origin: site.user(),
+                msg: Some(Message::Admin(r)),
+                reactions: site.drain_outbox(),
+            }
+        }
+        Record::Compact => {
+            site.auto_compact();
+            ReplayedRecord { msg: None, origin: site.user(), reactions: Vec::new() }
+        }
+    };
+    Ok(out)
+}

@@ -1,0 +1,251 @@
+//! The multi-document store: one [`DocStore`] per hosted document under
+//! a common directory, adapted to the [`dce_core::ShardStore`] journal
+//! hooks so a `dce_core::Engine::with_store(..)` persists transparently.
+//!
+//! Directory layout:
+//!
+//! ```text
+//! <dir>/
+//!   incarnation          -- restart counter (drives stream epoch floors)
+//!   doc-<id>/            -- one DocStore per document
+//! ```
+//!
+//! The hooks run under the engine's shard lock and return `()`; an I/O
+//! failure inside a hook therefore cannot propagate to the caller. It is
+//! reported loudly instead — `obs.failure` (tripping any armed flight
+//! recorder) plus stderr — never swallowed.
+
+use crate::doc_store::{DocStore, Recovery, StoreConfig};
+use crate::wal::RecordRef;
+use crate::StoreError;
+use dce_core::shard::DocumentId;
+use dce_core::{CoopRequest, Message, ShardStore, Site};
+use dce_document::{Element, Op};
+use dce_net::wire::WireElement;
+use dce_obs::ObsHandle;
+use dce_policy::{AdminRequest, UserId};
+use std::collections::HashMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// A directory of per-document stores for one participant's engine.
+pub struct EngineStore<E> {
+    dir: PathBuf,
+    user: UserId,
+    admin: UserId,
+    cfg: StoreConfig,
+    obs: ObsHandle,
+    docs: RwLock<HashMap<DocumentId, Arc<Mutex<DocStore<E>>>>>,
+}
+
+fn doc_dir(dir: &Path, doc: DocumentId) -> PathBuf {
+    dir.join(format!("doc-{}", doc.0))
+}
+
+impl<E: Element + WireElement> EngineStore<E> {
+    /// Opens (creating if absent) the store directory for `user` in
+    /// `admin`'s group.
+    pub fn open(
+        dir: &Path,
+        user: UserId,
+        admin: UserId,
+        cfg: StoreConfig,
+        obs: ObsHandle,
+    ) -> std::io::Result<EngineStore<E>> {
+        fs::create_dir_all(dir)?;
+        Ok(EngineStore {
+            dir: dir.to_path_buf(),
+            user,
+            admin,
+            cfg,
+            obs,
+            docs: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Documents with state on disk (whether or not currently open).
+    pub fn docs_on_disk(&self) -> std::io::Result<Vec<DocumentId>> {
+        let mut out = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if !entry.file_type()?.is_dir() {
+                continue;
+            }
+            let name = entry.file_name();
+            let Some(id) =
+                name.to_str().and_then(|n| n.strip_prefix("doc-")).and_then(|n| n.parse().ok())
+            else {
+                continue;
+            };
+            out.push(DocumentId(id));
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Bumps and persists the restart counter, returning the new value.
+    /// A recovering server shifts this into its reliable-stream epoch
+    /// floor so every stream of the new incarnation outranks every
+    /// stream of any dead one.
+    pub fn bump_incarnation(&self) -> std::io::Result<u64> {
+        let path = self.dir.join("incarnation");
+        let prior =
+            fs::read_to_string(&path).ok().and_then(|s| s.trim().parse::<u64>().ok()).unwrap_or(0);
+        let next = prior + 1;
+        let tmp = self.dir.join("incarnation.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(next.to_string().as_bytes())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        fs::File::open(&self.dir)?.sync_all()?;
+        Ok(next)
+    }
+
+    /// Opens `doc`'s store, recovering its site from disk (`genesis`
+    /// builds the initial replica for a fresh document). The store is
+    /// registered so the journal hooks reach it afterwards.
+    pub fn recover_doc(
+        &self,
+        doc: DocumentId,
+        genesis: impl FnOnce() -> Site<E>,
+    ) -> Result<Recovery<E>, StoreError> {
+        let (store, recovery) = DocStore::open(
+            &doc_dir(&self.dir, doc),
+            doc,
+            self.user,
+            self.admin,
+            self.cfg,
+            self.obs.for_doc(doc.0),
+            genesis,
+        )?;
+        self.docs.write().expect("store registry").insert(doc, Arc::new(Mutex::new(store)));
+        Ok(recovery)
+    }
+
+    /// Forces every open document's journal onto stable storage.
+    pub fn sync_all(&self) -> Result<(), StoreError> {
+        let stores: Vec<_> = self.docs.read().expect("store registry").values().cloned().collect();
+        for store in stores {
+            store.lock().expect("doc store").sync()?;
+        }
+        Ok(())
+    }
+
+    /// Runs `f` against `doc`'s open store, reporting (not propagating)
+    /// failures — the journal hooks have no error channel.
+    fn with_doc(
+        &self,
+        doc: DocumentId,
+        f: impl FnOnce(&mut DocStore<E>) -> Result<(), StoreError>,
+    ) {
+        let store = self.docs.read().expect("store registry").get(&doc).cloned();
+        match store {
+            Some(store) => {
+                let mut store = store.lock().expect("doc store");
+                if let Err(e) = f(&mut store) {
+                    self.obs.failure(&format!("store: journal failure on doc {}: {e}", doc.0));
+                    eprintln!("store: journal failure on doc {}: {e}", doc.0);
+                }
+            }
+            None => {
+                self.obs.failure(&format!("store: journal hook for unopened doc {}", doc.0));
+                self.obs.add_counter("store.unopened_doc", 1);
+            }
+        }
+    }
+}
+
+impl<E: Element + WireElement> ShardStore<E> for EngineStore<E> {
+    fn journal_remote(&self, doc: DocumentId, msg: &Message<E>) {
+        self.with_doc(doc, |s| s.append(&RecordRef::Remote(msg)));
+    }
+
+    fn journal_local_coop(&self, doc: DocumentId, op: &Op<E>, q: &CoopRequest<E>) {
+        self.with_doc(doc, |s| s.append(&RecordRef::LocalCoop { op, id: q.ot.id, v: q.v }));
+    }
+
+    fn journal_local_admin(&self, doc: DocumentId, r: &AdminRequest) {
+        self.with_doc(doc, |s| s.append(&RecordRef::LocalAdmin { op: &r.op, version: r.version }));
+    }
+
+    fn journal_compact(&self, doc: DocumentId) {
+        self.with_doc(doc, |s| s.append(&RecordRef::Compact));
+    }
+
+    fn snapshot(&self, doc: DocumentId, site: &Site<E>, force: bool) {
+        self.with_doc(doc, |s| s.maybe_snapshot(site, force).map(|_| ()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_core::Engine;
+    use dce_document::{Char, CharDocument};
+    use dce_policy::Policy;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dce-store-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn an_engine_journals_and_recovers_through_the_store() {
+        let dir = tmp("engine");
+        let doc = DocumentId(3);
+        let genesis =
+            || Site::new_admin(0, CharDocument::from_str("seed"), Policy::permissive([0, 1]));
+
+        let digest_before;
+        {
+            let store: Arc<EngineStore<Char>> = Arc::new(
+                EngineStore::open(&dir, 0, 0, StoreConfig::default(), ObsHandle::default())
+                    .unwrap(),
+            );
+            let recovery = store.recover_doc(doc, genesis).unwrap();
+            assert!(recovery.fresh);
+            let engine = Engine::new_admin(0).with_store(store);
+            engine.adopt_site(doc, recovery.site).unwrap();
+            engine.generate(doc, Op::ins(1, 'x')).unwrap();
+            engine.admin_generate(doc, dce_policy::AdminOp::AddUser(9)).unwrap();
+            engine.generate(doc, Op::del(2, 's')).unwrap();
+            digest_before = engine.with(doc, |site| site.state_digest()).unwrap();
+        }
+
+        // "Crash" (drop everything) and recover from disk alone.
+        let store: Arc<EngineStore<Char>> = Arc::new(
+            EngineStore::open(&dir, 0, 0, StoreConfig::default(), ObsHandle::default()).unwrap(),
+        );
+        assert_eq!(store.docs_on_disk().unwrap(), vec![doc]);
+        let recovery = store.recover_doc(doc, genesis).unwrap();
+        assert!(!recovery.fresh);
+        assert_eq!(recovery.records_total, 3);
+        assert_eq!(recovery.replayed.len(), 3);
+        assert_eq!(recovery.site.state_digest(), digest_before);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_incarnation_counter_survives_reopen() {
+        let dir = tmp("incarnation");
+        let store: EngineStore<Char> =
+            EngineStore::open(&dir, 0, 0, StoreConfig::default(), ObsHandle::default()).unwrap();
+        assert_eq!(store.bump_incarnation().unwrap(), 1);
+        assert_eq!(store.bump_incarnation().unwrap(), 2);
+        drop(store);
+        let store: EngineStore<Char> =
+            EngineStore::open(&dir, 0, 0, StoreConfig::default(), ObsHandle::default()).unwrap();
+        assert_eq!(store.bump_incarnation().unwrap(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,178 @@
+//! # dce-store — write-ahead journal + snapshot store with crash recovery
+//!
+//! The paper's prototype keeps every replica in memory; a deployment
+//! that hosts sessions on a server must survive the server dying. This
+//! crate is the durability layer: an **append-only write-ahead log**
+//! (WAL) of protocol records per document, periodically compacted into
+//! full-replica **snapshots**, and a **recovery** path that rebuilds a
+//! [`dce_core::Site`] from the latest decodable snapshot plus a replay
+//! of the log suffix.
+//!
+//! The design keys off two facts about the protocol core:
+//!
+//! 1. **Reception is deterministic** — `Site::receive` is a pure
+//!    function of (site state, message), *including its errors* and the
+//!    validation requests an administrator pushes to its outbox. So
+//!    journaling a remote message *before* applying it (write-ahead)
+//!    makes a crash mid-apply harmless: replay re-applies it and
+//!    reproduces the exact same state and reactions.
+//! 2. **Local generation is deterministic given its input** — but its
+//!    identity (`RequestId`, policy version) is only known *after* the
+//!    call. So local generations are journaled *after* success
+//!    (write-behind), recording the visible-coordinate input operation
+//!    plus the identity it produced; recovery re-executes the
+//!    generation and asserts the replay produced the same identity
+//!    ([`StoreError::ReplayDivergence`] otherwise).
+//!
+//! Appends are **write-through**: every record reaches the kernel via
+//! `write_all` before the append returns, so a killed *process* (SIGKILL,
+//! panic) loses nothing. The configurable [`FsyncPolicy`] only widens or
+//! narrows the *power-failure* window, trading append latency for
+//! machine-crash durability.
+//!
+//! Corruption handling is two-sided and never silent
+//! (`tests/corruption.rs` pins every mode):
+//!
+//! * a record body *shorter than its declared length at the tail of the
+//!   final segment* is a **torn write** — the longest valid prefix is
+//!   recovered and the tail truncated away;
+//! * anything else — CRC mismatch, oversize length, undecodable body,
+//!   truncation in a non-final segment — is **corruption**, reported as
+//!   a located [`StoreError::Corrupt`] naming file, record index and
+//!   byte offset.
+//!
+//! [`EngineStore`] adapts a directory of per-document stores to the
+//! [`dce_core::ShardStore`] journal hooks, so a
+//! `dce_core::Engine::with_store(..)` journals transparently; the
+//! `dce-server --data-dir` flag builds exactly that.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod doc_store;
+pub mod engine_store;
+pub mod snap;
+pub mod wal;
+
+pub use crc::crc32;
+pub use doc_store::{DocStore, Recovery, ReplayedRecord, StoreConfig};
+pub use engine_store::EngineStore;
+pub use snap::{decode_store_snapshot, encode_store_snapshot};
+pub use wal::{
+    decode_segment_header, encode_record, encode_segment_header, scan_segment, FsyncPolicy, Record,
+    RecordDecoder, RecordRef, ScanOutcome, ScannedSegment, SegmentHeader, Wal, MAX_RECORD_LEN,
+    SEGMENT_HEADER_LEN, WAL_VERSION,
+};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Everything that can go wrong in the store. Corruption variants carry
+/// the location (file, record index, byte offset) so an operator can
+/// find — and a test can assert on — exactly where the damage is.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O failure.
+    Io(std::io::Error),
+    /// A low-level codec failure (bad magic, version, tag, truncated
+    /// field) outside any file context; scanners wrap this into
+    /// [`StoreError::Corrupt`] with the location.
+    Codec(String),
+    /// A record header declared a length above [`MAX_RECORD_LEN`].
+    Oversize {
+        /// The declared body length.
+        len: u32,
+    },
+    /// A record body failed its CRC check.
+    BadCrc {
+        /// CRC stored in the record header.
+        expected: u32,
+        /// CRC computed over the body as read.
+        found: u32,
+    },
+    /// A WAL segment is damaged at a specific record.
+    Corrupt {
+        /// The damaged segment file.
+        file: PathBuf,
+        /// Global record index (segment base + offset in segment).
+        index: u64,
+        /// Byte offset of the damaged record's frame inside the file.
+        offset: u64,
+        /// What exactly failed to decode.
+        detail: String,
+    },
+    /// A snapshot file is damaged.
+    CorruptSnapshot {
+        /// The damaged snapshot file.
+        file: PathBuf,
+        /// What exactly failed to decode.
+        detail: String,
+    },
+    /// Replaying a journaled local generation did not reproduce the
+    /// identity recorded at generation time — the journal and the code
+    /// disagree, and continuing would silently fork the replica.
+    ReplayDivergence {
+        /// The segment file holding the divergent record.
+        file: PathBuf,
+        /// Global record index of the divergent record.
+        index: u64,
+        /// What diverged.
+        detail: String,
+    },
+    /// No consistent (snapshot, log suffix) pair exists on disk: every
+    /// snapshot is undecodable and the journal does not reach back to
+    /// genesis, or the journal has a gap.
+    Unrecoverable {
+        /// The document store directory.
+        dir: PathBuf,
+        /// Why recovery is impossible.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Codec(d) => write!(f, "codec error: {d}"),
+            StoreError::Oversize { len } => {
+                write!(f, "record length {len} exceeds the {MAX_RECORD_LEN}-byte cap")
+            }
+            StoreError::BadCrc { expected, found } => {
+                write!(
+                    f,
+                    "record crc mismatch: header says {expected:#010x}, body is {found:#010x}"
+                )
+            }
+            StoreError::Corrupt { file, index, offset, detail } => write!(
+                f,
+                "corrupt record #{index} at byte {offset} of {}: {detail}",
+                file.display()
+            ),
+            StoreError::CorruptSnapshot { file, detail } => {
+                write!(f, "corrupt snapshot {}: {detail}", file.display())
+            }
+            StoreError::ReplayDivergence { file, index, detail } => {
+                write!(f, "replay divergence at record #{index} of {}: {detail}", file.display())
+            }
+            StoreError::Unrecoverable { dir, detail } => {
+                write!(f, "unrecoverable document store {}: {detail}", dir.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<dce_net::WireError> for StoreError {
+    fn from(e: dce_net::WireError) -> Self {
+        StoreError::Codec(e.to_string())
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared workload machinery for the store's integration suites: a
+//! seeded two-site script (admin mirror + one user) whose every step
+//! maps to exactly one journal record, recorded concretely so it can be
+//! re-applied to a journaled engine byte-for-byte.
+#![allow(dead_code)]
+
+use dce_core::shard::DocumentId;
+use dce_core::{AdminProposal, Engine, Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_obs::ObsHandle;
+use dce_policy::{AdminOp, Policy};
+use dce_store::{EngineStore, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The document every suite hosts (deliberately not `ROOT`: recovery
+/// must preserve the engine-assigned id or digests diverge).
+pub const DOC: DocumentId = DocumentId(7);
+
+/// The initial replica for a fresh or genesis-fallback recovery.
+pub fn genesis() -> Site<Char> {
+    Site::new_admin(0, CharDocument::from_str("durable"), Policy::permissive([0, 1]))
+}
+
+/// A unique, pre-cleaned scratch directory per call.
+pub fn case_dir() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("dce-store-it-{}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One step of the workload; each applies as exactly one journal record.
+#[derive(Debug, Clone)]
+pub enum StepInput {
+    Remote(Message<Char>),
+    LocalCoop(Op<Char>),
+    LocalAdmin(AdminOp),
+    Compact,
+}
+
+fn random_coop(rng: &mut StdRng, site: &Site<Char>) -> Op<Char> {
+    let chars: Vec<char> = site.document().to_string().chars().collect();
+    let len = chars.len();
+    let roll = rng.gen_range(0..3u32);
+    let letter = char::from(b'a' + rng.gen_range(0..26u32) as u8);
+    if len == 0 || roll == 0 {
+        Op::ins(rng.gen_range(1..=len + 1), letter)
+    } else if roll == 1 {
+        let pos = rng.gen_range(1..=len);
+        Op::del(pos, chars[pos - 1])
+    } else {
+        let pos = rng.gen_range(1..=len);
+        Op::up(pos, chars[pos - 1], letter.to_ascii_uppercase())
+    }
+}
+
+/// Drives an unjournaled mirror through `steps` seeded steps, returning
+/// the concrete script and the mirror digest after each step
+/// (`digests[j]` = state after `j` steps; `digests[0]` = genesis).
+/// `allow_compact` gates `Site::auto_compact` steps — suites that need a
+/// single uncompacted segment turn it off.
+pub fn build_script(seed: u64, steps: usize, allow_compact: bool) -> (Vec<StepInput>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mirror = genesis().with_document(DOC);
+    let mut u1 =
+        Site::new_user(1, 0, CharDocument::from_str("durable"), Policy::permissive([0, 1]));
+    let mut next_user = 10u32;
+    let mut delegated = false;
+    let mut digests = vec![mirror.state_digest()];
+    let mut script = Vec::with_capacity(steps);
+    let roll_max = if allow_compact { 10u32 } else { 9 };
+    for _ in 0..steps {
+        let input = match rng.gen_range(0..roll_max) {
+            // The admin edits locally (and broadcasts, so the user's
+            // causal context keeps up).
+            0..=2 => {
+                let op = random_coop(&mut rng, &mirror);
+                let q = mirror.generate(op.clone()).expect("permissive policy");
+                let _ = u1.receive(Message::Coop(q));
+                StepInput::LocalCoop(op)
+            }
+            // A user's edit arrives (the admin validates it).
+            3..=5 => {
+                let op = random_coop(&mut rng, &u1);
+                let q = u1.generate(op).expect("permissive policy");
+                let msg = Message::Coop(q);
+                let _ = mirror.receive(msg.clone());
+                StepInput::Remote(msg)
+            }
+            // A gossip heartbeat (drives the stability horizon).
+            6 => {
+                let msg = u1.make_heartbeat();
+                let _ = mirror.receive(msg.clone());
+                StepInput::Remote(msg)
+            }
+            // The admin mutates the policy.
+            7 => {
+                let op = if !delegated {
+                    delegated = true;
+                    AdminOp::Delegate(1)
+                } else {
+                    next_user += 1;
+                    AdminOp::AddUser(next_user)
+                };
+                let r = mirror.admin_generate(op.clone()).expect("admin");
+                let _ = u1.receive(Message::Admin(r));
+                StepInput::LocalAdmin(op)
+            }
+            // The user proposes an administrative operation (accepted
+            // once delegated, recorded as rejected before — both
+            // deterministic, and the rejected path is worth journaling).
+            8 => {
+                next_user += 1;
+                let msg =
+                    Message::Proposal(AdminProposal { from: 1, op: AdminOp::AddUser(next_user) });
+                let _ = mirror.receive(msg.clone());
+                StepInput::Remote(msg)
+            }
+            // The stability-horizon compactor runs.
+            _ => {
+                mirror.auto_compact();
+                StepInput::Compact
+            }
+        };
+        // Validations the admin emitted flow back to the user, keeping
+        // its causal context fresh (and its future inputs realistic).
+        for m in mirror.drain_outbox() {
+            let _ = u1.receive(m);
+        }
+        digests.push(mirror.state_digest());
+        script.push(input);
+    }
+    (script, digests)
+}
+
+/// Re-applies one recorded step to a journaled engine, mirroring the
+/// mirror's drain discipline.
+pub fn apply_step(engine: &Engine<Char>, input: &StepInput) {
+    match input {
+        StepInput::LocalCoop(op) => {
+            engine.generate(DOC, op.clone()).expect("script ops are valid");
+        }
+        StepInput::LocalAdmin(op) => {
+            engine.admin_generate(DOC, op.clone()).expect("script ops are valid");
+        }
+        StepInput::Remote(msg) => {
+            let _ = engine.receive(DOC, msg.clone());
+        }
+        StepInput::Compact => {
+            engine.auto_compact(DOC);
+        }
+    }
+    engine.drain_outbox(DOC);
+}
+
+pub fn open_store(dir: &Path, cfg: StoreConfig) -> Arc<EngineStore<Char>> {
+    Arc::new(EngineStore::open(dir, 0, 0, cfg, ObsHandle::default()).expect("open store dir"))
+}
+
+/// Runs `script` through a fresh journaled engine rooted at `dir`,
+/// then drops everything with no shutdown (a process kill).
+pub fn run_and_kill(dir: &Path, cfg: StoreConfig, script: &[StepInput]) {
+    let store = open_store(dir, cfg);
+    let rec = store.recover_doc(DOC, genesis).expect("fresh store");
+    assert!(rec.fresh, "run_and_kill expects an empty directory");
+    let engine = Engine::new_admin(0).with_store(store);
+    engine.adopt_site(DOC, rec.site).expect("adopt");
+    for input in script {
+        apply_step(&engine, input);
+    }
+}
+
+/// The newest (actively appended) segment of the document's store.
+pub fn active_wal(dir: &Path) -> PathBuf {
+    let doc_dir = dir.join(format!("doc-{}", DOC.0));
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(&doc_dir).expect("doc dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if let Some(base) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            if best.as_ref().map(|(b, _)| base > *b).unwrap_or(true) {
+                best = Some((base, path));
+            }
+        }
+    }
+    best.expect("an active segment always exists").1
+}
+
+/// The document's snapshot files, oldest first.
+pub fn snapshots(dir: &Path) -> Vec<PathBuf> {
+    let doc_dir = dir.join(format!("doc-{}", DOC.0));
+    let mut out: Vec<(u64, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(&doc_dir).expect("doc dir") {
+        let path = entry.expect("entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if let Some(covered) = name
+            .strip_prefix("snap-")
+            .and_then(|s| s.strip_suffix(".snap"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((covered, path));
+        }
+    }
+    out.sort();
+    out.into_iter().map(|(_, p)| p).collect()
+}

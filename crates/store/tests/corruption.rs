@@ -1,0 +1,337 @@
+//! Torn-write and corruption recovery: every damage mode either
+//! recovers the longest valid prefix or fails loudly with a *located*
+//! error — never silently-wrong state.
+//!
+//! The rig drives a journaled engine through a deterministic script
+//! (fsync every record, no snapshots unless the scenario wants them),
+//! then damages the on-disk files byte-by-byte and recovers. Because
+//! the differential oracle records the mirror digest after every step,
+//! each scenario can assert not just "recovery succeeded" but "recovery
+//! landed on exactly the state the surviving prefix encodes".
+
+mod common;
+
+use common::{
+    active_wal, build_script, case_dir, genesis, open_store, run_and_kill, snapshots, DOC,
+};
+use dce_document::Char;
+use dce_store::{FsyncPolicy, RecordDecoder, StoreConfig, StoreError, SEGMENT_HEADER_LEN};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const SEED: u64 = 0xBAD_C0DE;
+const STEPS: usize = 12;
+
+fn plain_cfg() -> StoreConfig {
+    StoreConfig {
+        fsync: FsyncPolicy::EveryRecord,
+        snapshot_every: u64::MAX,
+        auto_snapshot: false,
+        retain_snapshots: 8,
+    }
+}
+
+fn snapshotting_cfg() -> StoreConfig {
+    StoreConfig {
+        fsync: FsyncPolicy::EveryRecord,
+        snapshot_every: 4,
+        auto_snapshot: true,
+        retain_snapshots: 8,
+    }
+}
+
+/// Builds the single-segment rig: 12 journaled records in `wal-0.log`,
+/// no snapshots. Returns the per-step mirror digests.
+fn plain_rig(dir: &Path) -> Vec<u64> {
+    let (script, digests) = build_script(SEED, STEPS, false);
+    run_and_kill(dir, plain_cfg(), &script);
+    digests
+}
+
+fn doc_dir(root: &Path) -> PathBuf {
+    root.join(format!("doc-{}", DOC.0))
+}
+
+/// Copies the rig into a fresh scratch directory (recovery mutates the
+/// files it scans, so every damage experiment needs its own copy).
+fn copy_rig(src: &Path) -> PathBuf {
+    let dst = case_dir();
+    fs::create_dir_all(doc_dir(&dst)).expect("mkdir");
+    for entry in fs::read_dir(doc_dir(src)).expect("rig dir") {
+        let entry = entry.expect("entry");
+        fs::copy(entry.path(), doc_dir(&dst).join(entry.file_name())).expect("copy");
+    }
+    dst
+}
+
+/// The absolute file span (start, end) of every record frame in a
+/// segment, computed with the store's own decoder.
+fn frame_spans(wal: &Path) -> Vec<(usize, usize)> {
+    let bytes = fs::read(wal).expect("read wal");
+    let mut dec = RecordDecoder::new();
+    dec.extend(&bytes[SEGMENT_HEADER_LEN..]);
+    let mut spans = Vec::new();
+    let mut prev = 0usize;
+    while dec.next::<Char>().expect("pristine wal decodes").is_some() {
+        let now = dec.consumed() as usize;
+        spans.push((SEGMENT_HEADER_LEN + prev, SEGMENT_HEADER_LEN + now));
+        prev = now;
+    }
+    spans
+}
+
+fn flip_byte(path: &Path, offset: usize, mask: u8) {
+    let mut bytes = fs::read(path).expect("read");
+    bytes[offset] ^= mask;
+    fs::write(path, bytes).expect("write");
+}
+
+#[test]
+fn truncation_anywhere_in_the_final_record_recovers_the_prefix() {
+    let rig = case_dir();
+    let digests = plain_rig(&rig);
+    let spans = frame_spans(&active_wal(&rig));
+    assert_eq!(spans.len(), STEPS);
+    let (last_start, last_end) = *spans.last().unwrap();
+
+    // Cut the file at EVERY byte offset inside the final record's frame:
+    // from "the record is entirely gone" to "one byte short".
+    for cut in last_start..last_end {
+        let dir = copy_rig(&rig);
+        let wal = active_wal(&dir);
+        let f = fs::OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(cut as u64).unwrap();
+        drop(f);
+
+        let store = open_store(&dir, plain_cfg());
+        let rec = store
+            .recover_doc(DOC, genesis)
+            .unwrap_or_else(|e| panic!("cut at {cut} must recover, got {e}"));
+        assert_eq!(rec.records_total, (STEPS - 1) as u64, "cut at {cut}");
+        assert_eq!(rec.torn_bytes, (cut - last_start) as u64, "cut at {cut}");
+        assert_eq!(rec.site.state_digest(), digests[STEPS - 1], "cut at {cut}");
+        // The torn tail was truncated away: the segment ends exactly at
+        // the last intact record, ready for clean appends.
+        assert_eq!(fs::metadata(&wal).unwrap().len(), last_start as u64);
+        fs::remove_dir_all(&dir).ok();
+    }
+    fs::remove_dir_all(&rig).ok();
+}
+
+#[test]
+fn a_flipped_body_byte_is_a_corrupt_error_locating_the_record() {
+    let rig = case_dir();
+    plain_rig(&rig);
+    let spans = frame_spans(&active_wal(&rig));
+    let k = STEPS / 2;
+    let (start, end) = spans[k];
+    assert!(end - start > 10, "record bodies are non-trivial");
+
+    let dir = copy_rig(&rig);
+    let wal = active_wal(&dir);
+    // Offset +8 skips the length and CRC words: this damages the body,
+    // so the CRC must catch it.
+    flip_byte(&wal, start + 8 + 2, 0x40);
+    let store = open_store(&dir, plain_cfg());
+    match store.recover_doc(DOC, genesis) {
+        Err(StoreError::Corrupt { file, index, offset, .. }) => {
+            assert_eq!(file, wal);
+            assert_eq!(index, k as u64, "error must name the damaged record");
+            assert_eq!(offset, start as u64, "error must name the frame offset");
+        }
+        other => panic!("expected a located Corrupt error, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+    fs::remove_dir_all(&rig).ok();
+}
+
+#[test]
+fn a_flipped_length_field_never_yields_wrong_state() {
+    let rig = case_dir();
+    let digests = plain_rig(&rig);
+    let spans = frame_spans(&active_wal(&rig));
+    let k = STEPS / 2;
+    let (start, _) = spans[k];
+
+    // High byte of the little-endian length: the declared size rockets
+    // past MAX_RECORD_LEN, which must surface as a located error.
+    {
+        let dir = copy_rig(&rig);
+        let wal = active_wal(&dir);
+        flip_byte(&wal, start + 3, 0xFF);
+        let store = open_store(&dir, plain_cfg());
+        match store.recover_doc(DOC, genesis) {
+            Err(StoreError::Corrupt { file, index, .. }) => {
+                assert_eq!(file, wal);
+                assert_eq!(index, k as u64);
+            }
+            other => panic!("expected a located Corrupt error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    // Low byte of the length: the frame misparses by one byte. Whatever
+    // the decoder concludes — located corruption, or a shorter torn
+    // prefix — the recovered state must be an exact prefix state.
+    {
+        let dir = copy_rig(&rig);
+        let wal = active_wal(&dir);
+        flip_byte(&wal, start, 0x01);
+        let store = open_store(&dir, plain_cfg());
+        match store.recover_doc(DOC, genesis) {
+            Err(StoreError::Corrupt { index, .. }) => assert!(index >= k as u64),
+            Ok(rec) => {
+                let j = rec.records_total as usize;
+                assert!(j <= k, "damaged record {k} cannot survive, got {j}");
+                assert_eq!(rec.site.state_digest(), digests[j]);
+            }
+            other => panic!("unexpected failure mode: {other:?}"),
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+    fs::remove_dir_all(&rig).ok();
+}
+
+/// Builds the snapshotting rig and returns (digests, snapshot paths).
+/// The seed is pinned so the workload reaches quiescence often enough
+/// to write at least two snapshots.
+fn snapshot_rig(dir: &Path) -> (Vec<u64>, Vec<PathBuf>) {
+    let (script, digests) = build_script(SEED, 24, true);
+    run_and_kill(dir, snapshotting_cfg(), &script);
+    let snaps = snapshots(dir);
+    assert!(
+        snaps.len() >= 2,
+        "the pinned seed must yield at least two snapshots, got {}",
+        snaps.len()
+    );
+    (digests, snaps)
+}
+
+fn covered_of(snap: &Path) -> u64 {
+    snap.file_name()
+        .and_then(|n| n.to_str())
+        .and_then(|n| n.strip_prefix("snap-"))
+        .and_then(|n| n.strip_suffix(".snap"))
+        .and_then(|n| n.parse().ok())
+        .expect("snapshot file name")
+}
+
+#[test]
+fn a_corrupt_newest_snapshot_falls_back_to_the_previous_one() {
+    let dir = case_dir();
+    let (digests, snaps) = snapshot_rig(&dir);
+    let newest = snaps.last().unwrap();
+    let older_covered = covered_of(&snaps[snaps.len() - 2]);
+    let len = fs::metadata(newest).unwrap().len() as usize;
+    flip_byte(newest, len / 2, 0x20);
+
+    let store = open_store(&dir, snapshotting_cfg());
+    let rec = store.recover_doc(DOC, genesis).expect("fallback recovery");
+    assert_eq!(rec.snapshot_used, Some(older_covered));
+    assert_eq!(rec.snapshots_skipped, 1);
+    assert_eq!(rec.site.state_digest(), *digests.last().unwrap());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_snapshots_corrupt_falls_back_to_a_full_log_replay() {
+    let dir = case_dir();
+    let (digests, snaps) = snapshot_rig(&dir);
+    for snap in &snaps {
+        let len = fs::metadata(snap).unwrap().len() as usize;
+        flip_byte(snap, len / 2, 0x20);
+    }
+
+    let store = open_store(&dir, snapshotting_cfg());
+    let rec = store.recover_doc(DOC, genesis).expect("genesis fallback");
+    assert_eq!(rec.snapshot_used, None);
+    assert_eq!(rec.snapshots_skipped, snaps.len() as u64);
+    assert_eq!(rec.records_total, 24);
+    assert_eq!(rec.site.state_digest(), *digests.last().unwrap());
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_snapshots_with_no_genesis_segment_fail_loudly() {
+    let dir = case_dir();
+    let (_, snaps) = snapshot_rig(&dir);
+    for snap in &snaps {
+        let len = fs::metadata(snap).unwrap().len() as usize;
+        flip_byte(snap, len / 2, 0x20);
+    }
+    fs::remove_file(doc_dir(&dir).join("wal-0.log")).expect("remove genesis segment");
+
+    let store = open_store(&dir, snapshotting_cfg());
+    match store.recover_doc(DOC, genesis) {
+        Err(StoreError::Unrecoverable { dir: d, detail }) => {
+            assert_eq!(d, doc_dir(&dir));
+            assert!(!detail.is_empty());
+        }
+        other => panic!("expected Unrecoverable, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_torn_segment_header_is_recreated_at_the_resume_point() {
+    let dir = case_dir();
+    let (digests, snaps) = snapshot_rig(&dir);
+    // Tear the active (post-rotation) segment down into its 30-byte
+    // header: even the header did not fully reach disk. Everything the
+    // torn segment held is gone; recovery must resume from the newest
+    // snapshot's horizon exactly.
+    let newest_covered = covered_of(snaps.last().unwrap());
+    let wal = active_wal(&dir);
+    let f = fs::OpenOptions::new().write(true).open(&wal).unwrap();
+    f.set_len(10).unwrap();
+    drop(f);
+
+    let store = open_store(&dir, snapshotting_cfg());
+    let rec = store.recover_doc(DOC, genesis).expect("torn-header recovery");
+    let j = rec.records_total as usize;
+    assert_eq!(j as u64, newest_covered, "resume point is the snapshot horizon");
+    assert_eq!(rec.snapshot_used, Some(newest_covered));
+    assert_eq!(rec.site.state_digest(), digests[j]);
+    // The segment was recreated with a full header, ready for appends.
+    assert!(fs::metadata(&wal).unwrap().len() >= SEGMENT_HEADER_LEN as u64);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_inside_a_sealed_segment_is_corruption_not_a_torn_tail() {
+    // A tear is only legitimate in the *last* segment: earlier segments
+    // were sealed with an fsync, so a short read there is real damage.
+    let dir = case_dir();
+    let (_, _snaps) = snapshot_rig(&dir);
+    let doc = doc_dir(&dir);
+    let mut wals: Vec<PathBuf> = fs::read_dir(&doc)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .map(|n| n.starts_with("wal-") && n.ends_with(".log"))
+                .unwrap_or(false)
+        })
+        .collect();
+    wals.sort();
+    assert!(wals.len() >= 2, "rotation must have produced sealed segments");
+    // Corrupt every snapshot too, so recovery is forced to walk through
+    // the sealed segment instead of skipping it from a later snapshot.
+    for snap in snapshots(&dir) {
+        let len = fs::metadata(&snap).unwrap().len() as usize;
+        flip_byte(&snap, len / 2, 0x20);
+    }
+    let sealed = &wals[0];
+    let len = fs::metadata(sealed).unwrap().len();
+    let f = fs::OpenOptions::new().write(true).open(sealed).unwrap();
+    f.set_len(len - 2).unwrap();
+    drop(f);
+
+    let store = open_store(&dir, snapshotting_cfg());
+    match store.recover_doc(DOC, genesis) {
+        Err(StoreError::Corrupt { file, .. }) => assert_eq!(&file, sealed),
+        other => panic!("expected Corrupt naming the sealed segment, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}
