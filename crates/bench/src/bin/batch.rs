@@ -1,0 +1,135 @@
+//! Batched vs per-request drain on a parked causal chain, as JSON.
+//!
+//! The workload is the shape the `BatchPartition` cache exists for: a
+//! consumer site holds `L` locally-generated entries, then a producer's
+//! causally-chained run of `K` remote requests arrives. Request `i`'s
+//! context is request `i-1`'s context plus request `i-1` itself, and all
+//! `K` are concurrent with the consumer's `L` local entries, so:
+//!
+//! * **per_request** — the chain is delivered in causal order, one
+//!   drain per arrival. Each integration rebuilds the canonical-log
+//!   partition from scratch: request `i` moves its `i-1` chain
+//!   ancestors left past the `L` concurrent entries, `O(K^2 * L)`
+//!   transpositions across the run;
+//! * **batched** — the chain is delivered in *reverse*, so requests
+//!   `K..2` park and request `1` wakes the whole run in a single drain.
+//!   The partition built for the first request is advanced across the
+//!   rest ([`BatchPartition::absorb`]), `O(K * L)` total.
+//!
+//! Both paths must land on the same replica — the digest is asserted
+//! before any number is reported (the differential oracle for the cache
+//! lives in `dce-core/tests/batch_differential.rs`; this bin sizes the
+//! win the oracle licenses).
+//!
+//! Run with `cargo run --release -p dce-bench --bin batch`; writes
+//! `results/BENCH_batch.json` at the repository root.
+
+use dce_core::{Message, Site};
+use dce_document::{Char, CharDocument, Op};
+use dce_policy::Policy;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Mean ns per call of `f`, with a warmup pass.
+fn time_ns<F: FnMut() -> u64>(iters: u32, mut f: F) -> (f64, u64) {
+    let mut sink = 0u64;
+    for _ in 0..iters.min(4) {
+        sink = sink.wrapping_add(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    (start.elapsed().as_nanos() as f64 / f64::from(iters), sink)
+}
+
+/// A consumer with `local` concurrent entries and the producer's
+/// `chain`-long causal run, in generation order.
+fn workload(local: usize, chain: usize) -> (Site<Char>, Vec<Message<Char>>) {
+    let d0 = CharDocument::from_str("base");
+    let policy = Policy::permissive([0, 1, 2]);
+    let mut producer: Site<Char> = Site::new_user(1, 0, d0.clone(), policy.clone());
+    let msgs: Vec<Message<Char>> = (0..chain)
+        .map(|i| Message::Coop(producer.generate(Op::ins(i + 1, 'x')).unwrap()))
+        .collect();
+    let mut consumer: Site<Char> = Site::new_user(2, 0, d0, policy);
+    for _ in 0..local {
+        consumer.generate(Op::ins(1, 'y')).unwrap();
+        consumer.drain_outbox();
+    }
+    (consumer, msgs)
+}
+
+/// (per_request_ns, batched_ns) for one (L, K) point, digest-checked.
+fn bench_point(local: usize, chain: usize) -> (f64, f64) {
+    let (consumer, msgs) = workload(local, chain);
+    let expect_len = consumer.document().len() + chain;
+
+    // Digest parity first: the two delivery orders are observably
+    // indistinguishable, so the timings below compare like with like.
+    let digest_of = |order: &[Message<Char>]| {
+        let mut site = consumer.clone();
+        for m in order {
+            site.receive(m.clone()).unwrap();
+        }
+        assert_eq!(site.queued(), 0);
+        assert_eq!(site.document().len(), expect_len);
+        site.replica_digest()
+    };
+    let reversed: Vec<Message<Char>> = msgs.iter().rev().cloned().collect();
+    assert_eq!(digest_of(&msgs), digest_of(&reversed), "delivery orders diverged");
+
+    let (per_request_ns, a) = time_ns(12, || {
+        let mut site = consumer.clone();
+        for m in &msgs {
+            site.receive(m.clone()).unwrap();
+        }
+        assert_eq!(site.queued(), 0);
+        chain as u64
+    });
+    let (batched_ns, b) = time_ns(40, || {
+        let mut site = consumer.clone();
+        for m in &reversed {
+            site.receive(m.clone()).unwrap();
+        }
+        assert_eq!(site.queued(), 0);
+        chain as u64
+    });
+    std::hint::black_box((a, b));
+    (per_request_ns, batched_ns)
+}
+
+fn main() {
+    let local = 512usize;
+    let mut rows = String::new();
+    let mut headline = 0.0f64;
+    for (i, chain) in [16usize, 64, 256].into_iter().enumerate() {
+        let (per_request_ns, batched_ns) = bench_point(local, chain);
+        let speedup = per_request_ns / batched_ns;
+        if chain == 64 {
+            headline = speedup;
+        }
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\n      \"chain\": {chain},\n      \"per_request_ns_per_replay\": {per_request_ns:.0},\n      \"batched_ns_per_replay\": {batched_ns:.0},\n      \"speedup\": {speedup:.1}\n    }}"
+        ));
+        eprintln!("L={local} K={chain}: per_request {per_request_ns:.0} ns, batched {batched_ns:.0} ns, {speedup:.1}x");
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": {{\n    \"concurrent_local_entries\": {local},\n    \"note\": \"causally chained remote run, delivered in causal order (one drain per request) vs reversed (parked, one batched drain)\"\n  }},\n  \"points\": [\n{rows}\n  ],\n  \"speedup_at_64\": {headline:.1}\n}}\n"
+    );
+    print!("{json}");
+
+    let mut out = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    out.pop();
+    out.pop();
+    out.push("results");
+    std::fs::create_dir_all(&out).expect("create results dir");
+    out.push("BENCH_batch.json");
+    std::fs::write(&out, json).expect("write BENCH_batch.json");
+    eprintln!("wrote {}", out.display());
+    assert!(headline >= 5.0, "batched drain under 5x at K=64: {headline:.1}");
+}

@@ -78,6 +78,13 @@ pub trait ShardStore<E: Element>: Send + Sync {
 struct Shard<E: Element> {
     site: Mutex<Site<E>>,
     policy: PolicyCell,
+    /// Combined (canonical + admin) log length at which the always-on
+    /// compactor fires next. Only read/written under the site lock; the
+    /// atomic is for `Sync`, not for lock-free access. Trigger state is
+    /// deliberately *not* part of replica state: every compaction that
+    /// actually runs is journaled, so recovery replays the decisions, not
+    /// the heuristic that made them.
+    compact_at: std::sync::atomic::AtomicUsize,
 }
 
 type RouteMap<E> = HashMap<DocumentId, Arc<Shard<E>>>;
@@ -92,6 +99,9 @@ pub struct Engine<E: Element> {
     /// Durable journal hooks (none by default — engines are in-memory
     /// unless [`Engine::with_store`] attaches a store).
     store: Option<Arc<dyn ShardStore<E>>>,
+    /// Log-size watermark of the always-on compactor (`None` = explicit
+    /// [`Engine::auto_compact`] calls only). See [`Engine::with_compaction`].
+    compact_watermark: Option<usize>,
 }
 
 impl<E: Element> Engine<E> {
@@ -112,7 +122,28 @@ impl<E: Element> Engine<E> {
             route: RwLock::new(Arc::new(HashMap::new())),
             obs: ObsHandle::default(),
             store: None,
+            compact_watermark: None,
         }
+    }
+
+    /// Turns on the always-on stability-horizon compactor. After any
+    /// protocol mutation (generate / admin_generate / receive) that
+    /// leaves a shard's canonical-log-plus-admin-log length at or above
+    /// the current trigger point, the engine runs [`Site::auto_compact`]
+    /// under the same shard lock — provided a horizon is computable at
+    /// all ([`Site::horizon_ready`]) — journaling the compaction point
+    /// and forcing a snapshot opportunity when a store is attached.
+    ///
+    /// The trigger starts at `watermark` and, after every attempt, moves
+    /// to the post-compaction length plus `watermark`: when the horizon
+    /// advances normally the logs oscillate around `watermark` entries,
+    /// and when a silent member pins the horizon the logs grow as they
+    /// must, but each further attempt (and WAL `Compact` record) costs
+    /// `watermark` new entries — the compactor can never dominate the
+    /// journal it is trying to bound.
+    pub fn with_compaction(mut self, watermark: usize) -> Self {
+        self.compact_watermark = Some(watermark.max(1));
+        self
     }
 
     /// Attaches a process-wide observability handle; each shard created
@@ -197,7 +228,9 @@ impl<E: Element> Engine<E> {
         site.set_document(doc);
         site.set_observability(self.obs.for_doc(doc.as_u64()));
         let policy = PolicyCell::from_shared(site.policy_snapshot());
-        Arc::new(Shard { site: Mutex::new(site), policy })
+        let compact_at =
+            std::sync::atomic::AtomicUsize::new(self.compact_watermark.unwrap_or(usize::MAX));
+        Arc::new(Shard { site: Mutex::new(site), policy, compact_at })
     }
 
     /// Drops a document shard; returns whether it existed.
@@ -248,14 +281,44 @@ impl<E: Element> Engine<E> {
     /// refreshes the shard's policy snapshot if the mutation swapped it.
     /// `None` when the document is not hosted.
     pub fn with<R>(&self, doc: DocumentId, f: impl FnOnce(&mut Site<E>) -> R) -> Option<R> {
+        self.with_shard(doc, |_, site| f(site))
+    }
+
+    fn with_shard<R>(
+        &self,
+        doc: DocumentId,
+        f: impl FnOnce(&Shard<E>, &mut Site<E>) -> R,
+    ) -> Option<R> {
         let shard = self.shard(doc)?;
         let mut site = shard.site.lock().expect("shard poisoned");
-        let out = f(&mut site);
+        let out = f(&shard, &mut site);
         let now = site.policy_snapshot();
         if !Arc::ptr_eq(&now, &shard.policy.load()) {
             shard.policy.store(now);
         }
         Some(out)
+    }
+
+    /// The always-on compactor's trigger check: runs after every protocol
+    /// mutation when [`Engine::with_compaction`] armed it. Fires only when
+    /// the combined log length crossed the shard's trigger point *and* a
+    /// stability horizon is computable — [`Site::auto_compact`] without
+    /// one is a pure no-op that would still cost a WAL record.
+    fn maybe_compact(&self, doc: DocumentId, shard: &Shard<E>, site: &mut Site<E>) {
+        use std::sync::atomic::Ordering;
+        let Some(wm) = self.compact_watermark else { return };
+        let combined = site.engine().log().len() + site.admin_log().len();
+        if combined < shard.compact_at.load(Ordering::Relaxed) || !site.horizon_ready() {
+            return;
+        }
+        site.auto_compact();
+        let after = site.engine().log().len() + site.admin_log().len();
+        shard.compact_at.store(after + wm, Ordering::Relaxed);
+        self.obs.add_counter("engine.auto_compactions", 1);
+        if let Some(store) = &self.store {
+            store.journal_compact(doc);
+            store.snapshot(doc, site, true);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -275,11 +338,14 @@ impl<E: Element> Engine<E> {
     /// Generates a cooperative operation in `doc`, journaling it (input
     /// op + produced identity) when a store is attached.
     pub fn generate(&self, doc: DocumentId, op: Op<E>) -> Result<Message<E>, CoreError> {
-        self.with(doc, |site| {
+        self.with_shard(doc, |shard, site| {
             let input = self.store.as_ref().map(|_| op.clone());
             let q = site.generate(op)?;
             if let Some(store) = &self.store {
                 store.journal_local_coop(doc, &input.expect("cloned with store"), &q);
+            }
+            self.maybe_compact(doc, shard, site);
+            if let Some(store) = &self.store {
                 store.snapshot(doc, site, false);
             }
             Ok(Message::Coop(q))
@@ -290,10 +356,13 @@ impl<E: Element> Engine<E> {
     /// Issues an administrative operation in `doc` (administrator only),
     /// journaling it when a store is attached.
     pub fn admin_generate(&self, doc: DocumentId, op: AdminOp) -> Result<AdminRequest, CoreError> {
-        self.with(doc, |site| {
+        self.with_shard(doc, |shard, site| {
             let r = site.admin_generate(op)?;
             if let Some(store) = &self.store {
                 store.journal_local_admin(doc, &r);
+            }
+            self.maybe_compact(doc, shard, site);
+            if let Some(store) = &self.store {
                 store.snapshot(doc, site, false);
             }
             Ok(r)
@@ -306,11 +375,12 @@ impl<E: Element> Engine<E> {
     /// crash mid-apply replays it, and application — errors included —
     /// is deterministic.
     pub fn receive(&self, doc: DocumentId, msg: Message<E>) -> Result<(), CoreError> {
-        self.with(doc, |site| {
+        self.with_shard(doc, |shard, site| {
             if let Some(store) = &self.store {
                 store.journal_remote(doc, &msg);
             }
             let out = site.receive(msg);
+            self.maybe_compact(doc, shard, site);
             if let Some(store) = &self.store {
                 store.snapshot(doc, site, false);
             }
@@ -477,6 +547,42 @@ mod tests {
         assert_eq!(adm.replica_digest(doc(2)).unwrap(), before_adm);
         assert_eq!(usr.replica_digest(doc(2)).unwrap(), before_usr);
         assert_eq!(adm.document(doc(2)).unwrap().to_string(), "ab");
+    }
+
+    /// The always-on compactor keeps both logs bounded near the watermark
+    /// across a long session, without perturbing convergence.
+    #[test]
+    fn watermark_compaction_keeps_logs_bounded() {
+        const WM: usize = 8;
+        let adm = Engine::new_admin(0).with_compaction(WM);
+        let usr = Engine::new_user(1, 0).with_compaction(WM);
+        let d0 = CharDocument::from_str("ab");
+        let policy = Policy::permissive([0, 1]);
+        adm.create_document(doc(1), d0.clone(), policy.clone()).unwrap();
+        usr.create_document(doc(1), d0, policy).unwrap();
+
+        let mut peak = 0usize;
+        for round in 0..200 {
+            let m = usr.generate(doc(1), Op::ins(1, (b'a' + (round % 26) as u8) as char)).unwrap();
+            adm.receive(doc(1), m).unwrap();
+            settle(&adm, &usr);
+            // Heartbeats advance the horizon; the watermark does the rest.
+            let hu = usr.with(doc(1), |s| s.make_heartbeat()).unwrap();
+            let ha = adm.with(doc(1), |s| s.make_heartbeat()).unwrap();
+            adm.receive(doc(1), hu).unwrap();
+            usr.receive(doc(1), ha).unwrap();
+            for e in [&adm, &usr] {
+                let len = e.with(doc(1), |s| s.engine().log().len() + s.admin_log().len()).unwrap();
+                peak = peak.max(len);
+            }
+        }
+        // Combined length never exceeds one watermark past the trigger
+        // point (the trigger is `post-compaction length + WM`, and the
+        // post-compaction residue under prompt heartbeats is small).
+        assert!(peak <= 3 * WM, "logs not bounded: peak combined length {peak}");
+        assert!(peak >= WM, "compactor fired before the watermark: peak {peak}");
+        assert_eq!(adm.replica_digest(doc(1)), usr.replica_digest(doc(1)));
+        assert_eq!(adm.document(doc(1)).unwrap(), usr.document(doc(1)).unwrap());
     }
 
     #[test]

@@ -83,10 +83,22 @@ impl From<u64> for DocumentId {
 /// that question needs `q.v` long after the request itself was integrated.
 /// The version entry is dropped the moment a request settles `Valid` or
 /// `Invalid`.
+///
+/// Left alone the table grows one entry per request for the life of the
+/// session — the one per-request structure log compaction would otherwise
+/// leave unbounded. [`FlagTable::prune_settled`] drops an entry once its
+/// request is settled *and* stable group-wide (its log form was just
+/// compacted away), folding the entry's hash into an order-independent
+/// XOR accumulator. Digests are computed over that accumulator plus the
+/// live settled entries, so replicas that prune at different moments —
+/// or never prune at all — still digest-converge, the same behavioral
+/// trick [`dce_policy::AdminLog`] uses for non-restrictive entries.
 #[derive(Debug, Clone, Default)]
 pub struct FlagTable {
     flags: HashMap<RequestId, Flag>,
     tentative_v: HashMap<RequestId, PolicyVersion>,
+    /// XOR of [`FlagTable::entry_hash`] over every pruned settled entry.
+    pruned_fold: u64,
 }
 
 impl FlagTable {
@@ -99,11 +111,68 @@ impl FlagTable {
     pub fn from_parts(
         flags: Vec<(RequestId, Flag)>,
         tentative_v: Vec<(RequestId, PolicyVersion)>,
+        pruned_fold: u64,
     ) -> Self {
         FlagTable {
             flags: flags.into_iter().collect(),
             tentative_v: tentative_v.into_iter().collect(),
+            pruned_fold,
         }
+    }
+
+    /// Replica-stable hash of one settled entry (both sides of the fold:
+    /// accumulation on prune, enumeration on digest).
+    fn entry_hash(id: RequestId, flag: Flag) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        id.hash(&mut h);
+        flag.hash(&mut h);
+        h.finish()
+    }
+
+    /// Drops the entry of `id` if it is settled, folding its hash into
+    /// the pruned accumulator; tentative (or unknown) entries are left in
+    /// place. Returns whether an entry was dropped.
+    ///
+    /// Only safe for requests that are stable group-wide: every replica
+    /// has integrated them (so duplicates are deduplicated before they
+    /// could re-insert the id) and their flags can never transition again.
+    pub fn prune_settled(&mut self, id: RequestId) -> bool {
+        match self.flags.get(&id) {
+            Some(&f) if f != Flag::Tentative => {
+                self.flags.remove(&id);
+                self.tentative_v.remove(&id);
+                self.pruned_fold ^= Self::entry_hash(id, f);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The pruned-entry accumulator (persisted by snapshots so a restored
+    /// replica digests identically to its donor).
+    pub fn pruned_fold(&self) -> u64 {
+        self.pruned_fold
+    }
+
+    /// Order-independent fold over *all* settled entries this table has
+    /// ever recorded — pruned or still present. Equal across replicas
+    /// whenever their settled-flag histories are, regardless of who
+    /// compacted when.
+    pub fn settled_fold(&self) -> u64 {
+        self.flags
+            .iter()
+            .filter(|(_, f)| **f != Flag::Tentative)
+            .fold(self.pruned_fold, |acc, (id, f)| acc ^ Self::entry_hash(*id, *f))
+    }
+
+    /// The still-tentative request ids, sorted (tentative entries are
+    /// never pruned, so these are content-hashed directly).
+    pub fn tentative_flags_sorted(&self) -> Vec<RequestId> {
+        let mut v: Vec<_> =
+            self.flags.iter().filter(|(_, f)| **f == Flag::Tentative).map(|(id, _)| *id).collect();
+        v.sort_unstable();
+        v
     }
 
     /// Flag of `id`, if known.
@@ -170,11 +239,23 @@ impl FlagTable {
         self.flags.is_empty()
     }
 
-    /// Feeds the table into `h` in a replica-stable order.
+    /// Feeds the table into `h` in a replica-stable, pruning-invariant
+    /// form: the settled fold (covering pruned and live settled entries
+    /// alike), then the sorted tentative ids, then their generation
+    /// versions.
     pub fn digest_into<H: std::hash::Hasher>(&self, h: &mut H) {
         use std::hash::Hash;
-        self.flags_sorted().hash(h);
+        self.settled_fold().hash(h);
+        self.tentative_flags_sorted().hash(h);
         self.tentative_sorted().hash(h);
+    }
+
+    /// The table's behavioral digest (see [`FlagTable::digest_into`]).
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.digest_into(&mut h);
+        h.finish()
     }
 }
 
@@ -228,8 +309,40 @@ mod tests {
         let mut t = FlagTable::new();
         t.mark_tentative(id(1, 1), 2);
         t.set_flag(id(2, 3), Flag::Invalid);
-        let u = FlagTable::from_parts(t.flags_sorted(), t.tentative_sorted());
+        t.set_flag(id(2, 4), Flag::Valid);
+        assert!(t.prune_settled(id(2, 4)));
+        let u = FlagTable::from_parts(t.flags_sorted(), t.tentative_sorted(), t.pruned_fold());
         assert_eq!(u.flags_sorted(), t.flags_sorted());
         assert_eq!(u.tentative_sorted(), t.tentative_sorted());
+        assert_eq!(u.digest(), t.digest());
+    }
+
+    #[test]
+    fn pruning_preserves_the_digest() {
+        let mut full = FlagTable::new();
+        full.set_flag(id(1, 1), Flag::Valid);
+        full.set_flag(id(2, 1), Flag::Invalid);
+        full.mark_tentative(id(1, 2), 3);
+        let mut pruned = full.clone();
+        assert!(pruned.prune_settled(id(1, 1)));
+        assert!(pruned.prune_settled(id(2, 1)));
+        assert_eq!(pruned.len(), 1, "only the tentative entry survives");
+        // A replica that pruned and one that never did stay comparable.
+        assert_eq!(pruned.digest(), full.digest());
+        assert_eq!(pruned.settled_fold(), full.settled_fold());
+        // Pruning order does not matter either.
+        let mut other = full.clone();
+        assert!(other.prune_settled(id(2, 1)));
+        assert_eq!(other.digest(), full.digest());
+    }
+
+    #[test]
+    fn tentative_entries_refuse_to_prune() {
+        let mut t = FlagTable::new();
+        t.mark_tentative(id(1, 1), 2);
+        assert!(!t.prune_settled(id(1, 1)), "tentative entries can still transition");
+        assert!(!t.prune_settled(id(9, 9)), "unknown ids are a no-op");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.pruned_fold(), 0);
     }
 }

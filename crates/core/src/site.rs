@@ -6,7 +6,7 @@ use crate::scheduler::{Pending, Scheduler, Slot};
 use crate::shard::{DocumentId, FlagTable};
 use dce_document::{Document, Element, Op};
 use dce_obs::{DeferReason, EventKind, ObsHandle, ReqId};
-use dce_ot::engine::{Engine, Integration};
+use dce_ot::engine::{BatchPartition, Engine, Integration};
 use dce_ot::ids::Clock;
 use dce_ot::{Buffer, Cell, Log, RequestId};
 use dce_policy::{Action, AdminLog, AdminOp, AdminRequest, Policy, PolicyVersion, UserId};
@@ -289,8 +289,9 @@ impl<E: Element> Site<E> {
 
     /// Captures the replicated state for transfer to a joining site:
     /// `(buffer cells, log, clock, pruned-inert set, pruned count, policy,
-    /// admin log, flags, tentative generation versions)`. Queues, outbox
-    /// and local diagnostics are deliberately not part of a snapshot.
+    /// admin log, flags, tentative generation versions, pruned-flag
+    /// fold)`. Queues, outbox and local diagnostics are deliberately not
+    /// part of a snapshot.
     #[allow(clippy::type_complexity)]
     pub fn snapshot_parts(
         &self,
@@ -304,6 +305,7 @@ impl<E: Element> Site<E> {
         AdminLog,
         Vec<(RequestId, Flag)>,
         Vec<(RequestId, PolicyVersion)>,
+        u64,
     ) {
         (
             self.engine.buffer().cells().to_vec(),
@@ -315,6 +317,7 @@ impl<E: Element> Site<E> {
             self.admin_log.clone(),
             self.flags.flags_sorted(),
             self.flags.tentative_sorted(),
+            self.flags.pruned_fold(),
         )
     }
 
@@ -333,6 +336,7 @@ impl<E: Element> Site<E> {
         admin_log: AdminLog,
         flags: Vec<(RequestId, Flag)>,
         tentative_v: Vec<(RequestId, PolicyVersion)>,
+        flags_pruned_fold: u64,
     ) -> Self {
         Site {
             user,
@@ -348,7 +352,7 @@ impl<E: Element> Site<E> {
             ),
             policy: Arc::new(policy),
             admin_log,
-            flags: FlagTable::from_parts(flags, tentative_v),
+            flags: FlagTable::from_parts(flags, tentative_v, flags_pruned_fold),
             sched: Scheduler::new(),
             outbox: Vec::new(),
             denials: Vec::new(),
@@ -448,8 +452,10 @@ impl<E: Element> Site<E> {
     }
 
     /// Digest of the *replicated* state only: document content, policy,
-    /// policy version, administrative log and the (sorted) request flag
-    /// table. Unlike [`Site::state_digest`] it excludes everything that
+    /// policy version, administrative log and the behavioral flag-table
+    /// digest (settled-entry fold plus tentative entries, so replicas
+    /// that pruned stable flags at different moments still agree).
+    /// Unlike [`Site::state_digest`] it excludes everything that
     /// legitimately differs between replicas — identity, outbox, defer
     /// queue, diagnostics, peer clocks, OT log order — so two *different
     /// sites* of one converged session produce the *same* value. This is
@@ -482,8 +488,7 @@ impl<E: Element> Site<E> {
             h.finish()
         }
         let doc = self.engine.document();
-        let flags = self.flags.flags_sorted();
-        [part(doc.as_slice()), part(&*self.policy), part(&self.admin_log), part(&flags)]
+        [part(doc.as_slice()), part(&*self.policy), part(&self.admin_log), self.flags.digest()]
     }
 
     /// Drops the first `n` entries of the cooperative log (used by
@@ -578,6 +583,18 @@ impl<E: Element> Site<E> {
         &self.peer_clocks
     }
 
+    /// `true` once a stability horizon is computable at all: a heartbeat
+    /// clock is on file for every *other* member of the policy's user set.
+    /// The always-on compactor gates on this before journaling a
+    /// compaction attempt — [`Site::auto_compact`] without a horizon is a
+    /// no-op that would still cost a WAL record per trigger.
+    pub fn horizon_ready(&self) -> bool {
+        self.policy
+            .users()
+            .iter()
+            .all(|user| *user == self.user || self.peer_clocks.contains_key(user))
+    }
+
     /// Compacts the settled log prefix using the heartbeat-derived
     /// stability horizon: an entry may be dropped only once every *other*
     /// member of the subject set `S` has acknowledged it (and it is no
@@ -590,6 +607,14 @@ impl<E: Element> Site<E> {
     /// below the stability horizon can never change flag again, so keeping
     /// them only grows memory over a long session. Callers wanting the
     /// full record should [`Site::drain_denials`] (etc.) before compacting.
+    ///
+    /// The admin log is compacted too: non-restrictive entries (every
+    /// `Validate`, grants, membership additions) are never consulted by
+    /// `Check_Remote` at any remote context version, so
+    /// [`AdminLog::compact_non_restrictive`] bounds the retained log by
+    /// `restrictive_count() + 1`. Admin-log equality and hashing are
+    /// behavioral (last version + restrictive entries), so replicas that
+    /// prune at different times still digest-converge.
     pub fn auto_compact(&mut self) -> usize {
         let mut clocks: Vec<Clock> = vec![self.engine.clock().clone()];
         for user in self.policy.users() {
@@ -603,19 +628,62 @@ impl<E: Element> Site<E> {
             }
         }
         let horizon = crate::gc::stability_horizon(clocks.iter());
+        self.admin_log.compact_non_restrictive();
         self.denials.retain(|id| !horizon.contains(*id));
         self.undone.retain(|id| !horizon.contains(*id));
         // Refused proposals never entered the causal order at all; once the
         // group has a horizon they are settled history.
         self.rejected_proposals.clear();
+        // The form-dropping prunes below (log prefix, flag rows, chain
+        // links) additionally require that this site has *delivered*
+        // everything any heartbeat announced — every peer clock pointwise
+        // within our own. A heartbeat can outrun the traffic it vouches
+        // for: a peer may announce ops we have not yet received, and an
+        // op generated before that peer's heartbeat can be concurrent
+        // with entries below the horizon — integrating it still needs
+        // their forms for transformation (and their chain links for the
+        // update tournament). Once every announced op has landed, any
+        // request still in flight was generated after its site's
+        // heartbeat, so its context covers the whole horizon and the
+        // pruned forms can never be consulted again.
+        let clock = self.engine.clock();
+        let delivered_all_announced =
+            self.peer_clocks.values().all(|c| c.iter().all(|(site, n)| clock.get(site) >= n));
+        if !delivered_all_announced {
+            self.obs.set_gauge("site.log_len", self.engine.log().len() as u64);
+            self.obs.set_gauge("site.admin_log_len", self.admin_log.len() as u64);
+            return 0;
+        }
+        let stable = crate::gc::settled_prefix(self, &horizon);
         if self.obs.enabled() {
             // The span-closing edge: these log entries are about to be
             // reclaimed, so the requests are stable group-wide.
-            for id in crate::gc::settled_prefix(self, &horizon) {
-                self.emit(EventKind::ReqStable { id: obs_id(id) });
+            for id in &stable {
+                self.emit(EventKind::ReqStable { id: obs_id(*id) });
             }
         }
-        crate::gc::compact(self, &horizon)
+        let reclaimed = stable.len();
+        self.prune_log_prefix(reclaimed);
+        // The reclaimed entries' flags are settled and stable group-wide:
+        // no transition, duplicate or retroactive check can touch them
+        // again, so the flag table sheds them too (folding their hashes
+        // into its pruned accumulator keeps digests comparable with
+        // replicas that compacted at other moments, or never). Without
+        // this the flag table is the one structure that still grows with
+        // session length rather than with the live log.
+        for id in stable {
+            self.flags.prune_settled(id);
+        }
+        // Provenance chains are the other per-update structure; the
+        // delivered-everything gate above is exactly the caller guarantee
+        // `dce_ot::Engine::prune_chains` requires for its collapse.
+        self.engine.prune_chains(&horizon);
+        // Compaction is exactly when the log-length gauges move most;
+        // left to the next drain they would overstate until new traffic
+        // arrives (which, at quiescence, never comes).
+        self.obs.set_gauge("site.log_len", self.engine.log().len() as u64);
+        self.obs.set_gauge("site.admin_log_len", self.admin_log.len() as u64);
+        reclaimed
     }
 
     /// Proposes an administrative operation as a *delegate*: checked
@@ -721,11 +789,21 @@ impl<E: Element> Site<E> {
             self.obs.observe_hist("site.drain_ns", start.elapsed().as_nanos() as u64);
             self.obs.set_gauge("site.queue_depth_ready", self.sched.ready_len() as u64);
             self.obs.set_gauge("site.queue_depth_parked", self.sched.parked_len() as u64);
+            self.obs.set_gauge("site.log_len", self.engine.log().len() as u64);
+            self.obs.set_gauge("site.admin_log_len", self.admin_log.len() as u64);
         }
         result
     }
 
     fn drain_inner(&mut self) -> Result<(), CoreError> {
+        // One batch-partition cache for the whole ready run: a causally
+        // chained run of K requests drains as K loop iterations (each
+        // integration wakes exactly its successor), and the cache turns the
+        // K independent `ComputeFF` partitions into one partition advanced
+        // K times. It lives only within this call — any path that rewrites
+        // log forms behind the OT engine's back (retroactive undo inside
+        // `process_admin`) resets it below.
+        let mut cache: Option<BatchPartition<E>> = None;
         loop {
             // Version parking is keyed on the *local* counter, which can
             // also advance outside reception (local `admin_generate`), so
@@ -739,6 +817,10 @@ impl<E: Element> Site<E> {
                 // parked request since classification.
                 if r.version == self.policy.version() + 1 {
                     self.process_admin(r)?;
+                    // Retroactive enforcement may have rewritten log forms
+                    // (undo flips entries inert in place): the cached
+                    // partition no longer mirrors the log.
+                    cache = None;
                 }
                 progressed = true;
             }
@@ -746,7 +828,7 @@ impl<E: Element> Site<E> {
             if let Some(q) = self.sched.pop_ready_coop() {
                 if !self.engine.has_seen(q.ot.id) {
                     let id = q.ot.id;
-                    self.process_coop(q)?;
+                    self.process_coop(q, &mut cache)?;
                     self.wake_clock_reached(id);
                 }
                 progressed = true;
@@ -859,7 +941,11 @@ impl<E: Element> Site<E> {
     // Algorithm 3: reception of a cooperative request.
     // ------------------------------------------------------------------
 
-    fn process_coop(&mut self, q: CoopRequest<E>) -> Result<(), CoreError> {
+    fn process_coop(
+        &mut self,
+        q: CoopRequest<E>,
+        cache: &mut Option<BatchPartition<E>>,
+    ) -> Result<(), CoreError> {
         let id = q.ot.id;
         let action = Action::for_op(&q.ot.top.op);
 
@@ -874,15 +960,19 @@ impl<E: Element> Site<E> {
         };
 
         if denied {
-            self.engine.integrate_inert(&q.ot).map_err(|e| CoreError::Protocol(e.to_string()))?;
+            self.engine
+                .integrate_inert_batched(&q.ot, cache)
+                .map_err(|e| CoreError::Protocol(e.to_string()))?;
             self.flags.settle(id, Flag::Invalid);
             self.denials.push(id);
             self.emit(EventKind::ReqDenied { id: obs_id(id) });
             return Ok(());
         }
 
-        let outcome =
-            self.engine.integrate(&q.ot).map_err(|e| CoreError::Protocol(e.to_string()))?;
+        let outcome = self
+            .engine
+            .integrate_batched(&q.ot, cache)
+            .map_err(|e| CoreError::Protocol(e.to_string()))?;
 
         match outcome {
             Integration::Inert => {

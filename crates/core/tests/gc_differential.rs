@@ -72,6 +72,9 @@ enum Action {
     Ins(usize, char),
     /// User site deletes at a derived position (skipped when empty).
     Del(usize),
+    /// User site rewrites a cell (grows its provenance chain — the
+    /// structure chain collapse must preserve the value of).
+    Up(usize, char),
     /// The administrator toggles user 1's right `r` (the Fig. 2/3 shape).
     Auth(u8, bool),
 }
@@ -81,6 +84,7 @@ fn arb_action() -> impl Strategy<Value = Action> {
         ((0usize..16), prop_oneof![Just('x'), Just('y'), Just('z')])
             .prop_map(|(i, c)| Action::Ins(i, c)),
         (0usize..16).prop_map(Action::Del),
+        ((0usize..16), prop_oneof![Just('U'), Just('V')]).prop_map(|(i, c)| Action::Up(i, c)),
         ((0u8..4), any::<bool>()).prop_map(|(r, p)| Action::Auth(r, p)),
     ]
 }
@@ -96,7 +100,7 @@ proptest! {
 
     #[test]
     fn auto_compacted_site_matches_uncompacted_clone(
-        script in proptest::collection::vec((0usize..3, arb_action()), 1..20),
+        script in proptest::collection::vec((0usize..3, arb_action(), any::<bool>()), 1..20),
         replay_seed in any::<u64>(),
     ) {
         let d0 = CharDocument::from_str("base");
@@ -142,8 +146,15 @@ proptest! {
             };
         }
 
-        for (who, action) in script {
-            settle!();
+        for (who, action, do_settle) in script {
+            // Settling is part of the generated script: unsettled actions
+            // produce genuinely concurrent requests, the case where a
+            // pruned log entry's form might still be needed to transform
+            // an in-flight op (the compactor must hold back until it has
+            // delivered everything any heartbeat announced).
+            if do_settle {
+                settle!();
+            }
             match action {
                 Action::Ins(seed, c) => {
                     let len = sites[who].document().len();
@@ -163,6 +174,17 @@ proptest! {
                         bcast!(who, Message::Coop(q));
                     }
                 }
+                Action::Up(seed, c) => {
+                    let text = sites[who].document().to_string();
+                    if text.is_empty() {
+                        continue;
+                    }
+                    let pos = 1 + seed % text.chars().count();
+                    let cur = text.chars().nth(pos - 1).unwrap();
+                    if let Ok(q) = sites[who].generate(Op::up(pos, cur, c)) {
+                        bcast!(who, Message::Coop(q));
+                    }
+                }
                 Action::Auth(right_tag, plus) => {
                     let auth = Authorization::new(
                         Subject::User(1),
@@ -174,6 +196,13 @@ proptest! {
                         bcast!(0, Message::Admin(r));
                     }
                 }
+            }
+            // Mid-session heartbeats ride the same shuffled pool, so the
+            // observers see partial-clock announcements interleaved with
+            // (and sometimes ahead of) the traffic they vouch for.
+            for (i, site) in sites.iter().enumerate() {
+                let hb = site.make_heartbeat();
+                bcast!(i, hb);
             }
         }
         settle!();
@@ -213,7 +242,14 @@ proptest! {
             );
         }
 
-        // End state: everything compaction promises to preserve.
+        // End state: everything compaction promises to preserve. The
+        // replica digest is behavioral over flags (settled fold) and the
+        // admin log, so it must survive any pruning schedule.
+        prop_assert_eq!(
+            compacted.replica_digest(), plain.replica_digest(),
+            "replica digests diverged: {:?} vs {:?}",
+            compacted.replica_digest_parts(), plain.replica_digest_parts()
+        );
         prop_assert_eq!(compacted.version(), plain.version());
         prop_assert_eq!(compacted.policy(), plain.policy());
         prop_assert_eq!(compacted.admin_log(), plain.admin_log());

@@ -114,6 +114,13 @@ pub struct LoadgenConfig {
     pub timeout_s: u64,
     /// Where flight dumps land on divergence.
     pub results_dir: PathBuf,
+    /// How many of the highest-numbered users join as *idle* members:
+    /// they `Hello`, receive and acknowledge every relayed message, and
+    /// are held to the same convergence check — but never generate an
+    /// op. Exercises the server's synthesized-heartbeat path: an idle
+    /// member speaks no heartbeats of its own, which would otherwise pin
+    /// the stability horizon (and the logs) forever.
+    pub idle_clients: u32,
     /// Survive server restarts: on a dropped connection, re-dial,
     /// re-`Hello` and restart every stream in a new epoch instead of
     /// failing the run. Pairs with a `--data-dir` server.
@@ -140,6 +147,7 @@ impl Default for LoadgenConfig {
             rto_ms: 100,
             timeout_s: 120,
             results_dir: PathBuf::from("results"),
+            idle_clients: 0,
             reconnect: false,
             addr_cell: None,
         }
@@ -700,8 +708,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
     let start = Arc::new(Barrier::new(cfg.clients as usize));
     let mut shareds = Vec::new();
     let mut handles = Vec::new();
-    let per_client = cfg.ops / u64::from(cfg.clients.max(1));
-    let remainder = cfg.ops % u64::from(cfg.clients.max(1));
+    // The op quota is split over the *active* clients; the last
+    // `idle_clients` users join, ack and converge but never send.
+    let active = u64::from(cfg.clients.saturating_sub(cfg.idle_clients).max(1));
+    let per_client = cfg.ops / active;
+    let remainder = cfg.ops % active;
     for user in 1..=cfg.clients {
         let shared = Arc::new(ClientShared {
             progress: Mutex::new(Progress::default()),
@@ -710,7 +721,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
         shareds.push(Arc::clone(&shared));
         let client = Client {
             user,
-            quota: per_client + u64::from(u64::from(user) <= remainder),
+            quota: if u64::from(user) > active {
+                0
+            } else {
+                per_client + u64::from(u64::from(user) <= remainder)
+            },
             cfg: cfg.clone(),
             obs: obs.clone(),
             shared,

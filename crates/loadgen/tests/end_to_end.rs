@@ -26,6 +26,16 @@ fn boot_server_durable(
     docs: u32,
     data_dir: Option<std::path::PathBuf>,
 ) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let (addr, shutdown, handle, _) = boot_server_obs(users, doc, docs, data_dir);
+    (addr, shutdown, handle)
+}
+
+fn boot_server_obs(
+    users: u32,
+    doc: &str,
+    docs: u32,
+    data_dir: Option<std::path::PathBuf>,
+) -> (String, Arc<AtomicBool>, std::thread::JoinHandle<()>, dce_obs::ObsHandle) {
     let mut server = Server::bind(ServerConfig {
         addr: "127.0.0.1:0".into(),
         users,
@@ -37,12 +47,13 @@ fn boot_server_durable(
     })
     .expect("bind loopback");
     let addr = server.local_addr().expect("bound").to_string();
+    let obs = server.obs().clone();
     let shutdown = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&shutdown);
     let handle = std::thread::spawn(move || {
         server.run(flag).expect("reactor runs");
     });
-    (addr, shutdown, handle)
+    (addr, shutdown, handle, obs)
 }
 
 #[test]
@@ -134,6 +145,70 @@ fn three_clients_converge_across_five_documents_on_one_connection() {
         "open loop issues exactly the configured number of ops"
     );
     assert_eq!(report.resolved_valid + report.resolved_invalid, report.coop_sent);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn an_idle_member_does_not_pin_the_logs() {
+    // Two sessions on one server; the second has an *idle* member that
+    // `Hello`s and acknowledges every relayed message but never edits.
+    // An idle member speaks no heartbeats of its own, which used to pin
+    // the stability horizon at zero — the administrator's canonical log
+    // then grew by one entry per delivered op, forever. The server now
+    // synthesizes heartbeats for fully-acked members and compacts past
+    // a watermark, so the log stays bounded no matter how quiet a
+    // member is.
+    let doc = "idle hands";
+    let (addr, shutdown, server, obs) = boot_server_obs(3, doc, 1, None);
+    let scratch = std::env::temp_dir().join(format!("dce-loadgen-idle-{}", std::process::id()));
+    let base = LoadgenConfig {
+        addr,
+        clients: 3,
+        ops: 600,
+        mix: Mix { ins: 60, del: 25, up: 15, admin: 0 },
+        restrictive_pct: 0,
+        think_ms: 0,
+        seed: 21,
+        doc: doc.into(),
+        rto_ms: 60,
+        timeout_s: 120,
+        results_dir: scratch.clone(),
+        ..LoadgenConfig::default()
+    };
+    // Session 1: everyone active — a short warm-up wave sharing the
+    // server with the session under test.
+    let first = run(&LoadgenConfig { ops: 120, ..base.clone() }).expect("active session");
+    assert!(first.converged, "all-active warm-up session diverged");
+    // Session 2: one idle member and enough traffic for the combined
+    // log to cross the server's compaction watermark (192) repeatedly.
+    let report = run(&LoadgenConfig { session: 2, idle_clients: 1, seed: 22, ..base })
+        .expect("idle-member session");
+    shutdown.store(true, Ordering::Relaxed);
+    server.join().expect("server thread");
+
+    assert!(report.converged, "idle-member session diverged");
+    assert_eq!(
+        report.coop_sent + report.denied_local,
+        600,
+        "the two active clients issued the whole quota"
+    );
+    // The server's admin replica publishes its log lengths as gauges on
+    // every drain; the final values reflect the session under test (it
+    // ran last). Without horizon advancement the canonical log would
+    // hold one entry per delivered coop (~600): bounded means a final
+    // length at most the watermark plus a delivery's worth of slack.
+    let snap = obs.snapshot();
+    let log_len = snap.gauges.get("site.log_len").copied().unwrap_or(u64::MAX);
+    let admin_len = snap.gauges.get("site.admin_log_len").copied().unwrap_or(u64::MAX);
+    assert!(
+        log_len + admin_len < 300,
+        "idle member pinned the horizon: canonical log {log_len} + admin log {admin_len} \
+         entries survive a 600-op session with a compaction watermark of 192"
+    );
+    assert!(
+        snap.counters.get("server.compactions").copied().unwrap_or(0) >= 1,
+        "the horizon pass never compacted anything"
+    );
     let _ = std::fs::remove_dir_all(&scratch);
 }
 

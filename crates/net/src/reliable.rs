@@ -283,6 +283,13 @@ impl<E: Element> Endpoint<E> {
         self.tx.values().any(|s| !s.unacked.is_empty())
     }
 
+    /// `true` while the stream toward `peer` holds unacknowledged data.
+    /// A `false` is proof of reception: everything ever sent to `peer`
+    /// on this endpoint has been cumulatively acknowledged.
+    pub fn has_unacked_to(&self, peer: usize) -> bool {
+        self.tx.get(&peer).is_some_and(|s| !s.unacked.is_empty())
+    }
+
     /// The earliest pending retransmission deadline across all streams.
     pub fn next_deadline(&self) -> Option<u64> {
         self.tx.values().filter_map(|s| s.deadline).min()

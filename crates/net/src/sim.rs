@@ -171,6 +171,14 @@ pub struct SimNet<E: Element> {
     /// One flag per `fault_plan.partitions` entry: a `PartitionHealed`
     /// event has been emitted for that window.
     healed: Vec<bool>,
+    /// Always-on compactor watermark (`None` = explicit
+    /// [`SimNet::auto_compact_all`] calls only); mirrors the engine's
+    /// log-size trigger so chaos suites can run with compaction armed.
+    compact_watermark: Option<usize>,
+    /// Per-site combined log length at which the compactor fires next.
+    compact_at: Vec<usize>,
+    /// Total log entries reclaimed by the always-on compactor.
+    compactions_reclaimed: usize,
 }
 
 impl<E: Element> SimNet<E> {
@@ -210,7 +218,41 @@ impl<E: Element> SimNet<E> {
             obs: ObsHandle::default(),
             ledger: NetLedger::with_sites(n),
             healed: Vec::new(),
+            compact_watermark: None,
+            compact_at: vec![usize::MAX; n],
+            compactions_reclaimed: 0,
         }
+    }
+
+    /// Arms the always-on stability-horizon compactor: after every
+    /// delivery that leaves a site's combined canonical-plus-admin log
+    /// length at or above its trigger point, the site `auto_compact`s
+    /// (provided a horizon is computable), and the trigger moves to the
+    /// post-compaction length plus `watermark` — the same policy as
+    /// `dce_core::Engine::with_compaction`, so chaos suites exercise the
+    /// compactor the deployed engine runs.
+    pub fn enable_compaction(&mut self, watermark: usize) {
+        let wm = watermark.max(1);
+        self.compact_watermark = Some(wm);
+        self.compact_at = vec![wm; self.sites.len()];
+    }
+
+    /// Log entries reclaimed by the always-on compactor so far.
+    pub fn compactions_reclaimed(&self) -> usize {
+        self.compactions_reclaimed
+    }
+
+    /// The watermark trigger check, run after a delivery to `dest`.
+    fn maybe_compact(&mut self, dest: usize) {
+        let Some(wm) = self.compact_watermark else { return };
+        let site = &mut self.sites[dest];
+        let combined = site.engine().log().len() + site.admin_log().len();
+        if combined < self.compact_at[dest] || !site.horizon_ready() {
+            return;
+        }
+        self.compactions_reclaimed += site.auto_compact();
+        let after = site.engine().log().len() + site.admin_log().len();
+        self.compact_at[dest] = after + wm;
     }
 
     /// Shares `obs` with the network and every site: sites emit protocol
@@ -514,6 +556,7 @@ impl<E: Element> SimNet<E> {
         self.sites.push(site);
         self.active.push(true);
         self.retry_pending.push(false);
+        self.compact_at.push(self.compact_watermark.unwrap_or(usize::MAX));
         self.ledger.grow();
         let idx = self.sites.len() - 1;
         let cfg = self.reliable_cfg;
@@ -599,6 +642,7 @@ impl<E: Element> SimNet<E> {
         for out in self.sites[dest].drain_outbox() {
             self.broadcast(dest, out);
         }
+        self.maybe_compact(dest);
     }
 
     /// Delivers the next scheduled event. Returns `false` when the
@@ -914,6 +958,9 @@ impl<E: Element + crate::wire::WireElement + Send + 'static> SimNet<E> {
         self.sites[idx] = site;
         self.sites[idx].set_observability(self.obs.clone());
         self.active[idx] = true;
+        if let Some(wm) = self.compact_watermark {
+            self.compact_at[idx] = wm;
+        }
         self.obs.emit(idx as u32, 0, EventKind::SiteRejoined { site: idx as u32 });
 
         let mut ghost_backlog = Vec::new();

@@ -19,14 +19,27 @@ use dce_policy::{AdminLog, UserId};
 use std::collections::HashSet;
 
 const MAGIC: u8 = 0xD5; // distinct from message frames
-const VERSION: u8 = 3; // v3: names the document; v2 decodes as the root doc
+                        // v4: appends the pruned-flag fold; v3 names the document; v2 decodes as
+                        // the root doc. Older versions decode with a fold of 0 (correct for any
+                        // snapshot taken before flag pruning existed).
+const VERSION: u8 = 4;
 
 type Result<T> = std::result::Result<T, WireError>;
 
 /// Encodes a full snapshot of `site`'s replicated state.
 pub fn encode_snapshot<E: Element + WireElement>(site: &Site<E>) -> Bytes {
-    let (cells, log, clock, pruned_inert, pruned_count, policy, admin_log, flags, tentative_v) =
-        site.snapshot_parts();
+    let (
+        cells,
+        log,
+        clock,
+        pruned_inert,
+        pruned_count,
+        policy,
+        admin_log,
+        flags,
+        tentative_v,
+        flags_pruned_fold,
+    ) = site.snapshot_parts();
 
     let mut out = BytesMut::with_capacity(1024);
     out.put_u8(MAGIC);
@@ -100,6 +113,10 @@ pub fn encode_snapshot<E: Element + WireElement>(site: &Site<E>) -> Bytes {
         out.put_u64_le(*v);
     }
 
+    // Pruned-flag fold: the XOR accumulator of settled flags compaction
+    // already dropped, so the restored replica digests like the donor.
+    out.put_u64_le(flags_pruned_fold);
+
     out.freeze()
 }
 
@@ -114,7 +131,7 @@ pub fn decode_snapshot<E: Element + WireElement>(
         return Err(WireError::BadHeader);
     }
     let version = buf.get_u8();
-    if version != 2 && version != VERSION {
+    if !(2..=VERSION).contains(&version) {
         return Err(WireError::BadHeader);
     }
     if buf.remaining() < 4 {
@@ -191,6 +208,8 @@ pub fn decode_snapshot<E: Element + WireElement>(
         tentative_v.push((id, v));
     }
 
+    let flags_pruned_fold = if version >= 4 { wire::get_u64_pub(&mut buf)? } else { 0 };
+
     Ok(Site::from_snapshot_parts(
         new_user,
         admin_id,
@@ -203,6 +222,7 @@ pub fn decode_snapshot<E: Element + WireElement>(
         admin_log,
         flags,
         tentative_v,
+        flags_pruned_fold,
     )
     .with_document(doc))
 }

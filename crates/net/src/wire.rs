@@ -89,7 +89,8 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
     need(buf, 4)?;
     let len = buf.get_u32_le() as usize;
     need(buf, len)?;
-    let raw = buf.copy_to_bytes(len);
+    // split_to is a view — the only copy is the String's own allocation.
+    let raw = buf.split_to(len);
     String::from_utf8(raw.to_vec()).map_err(|_| WireError::BadUtf8)
 }
 

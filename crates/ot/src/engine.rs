@@ -45,6 +45,60 @@ pub enum Integration<E> {
     Inert,
 }
 
+/// A reusable partition of the canonical log, keyed by the generation
+/// context it was built for. When a causally-chained run of K remote
+/// requests drains in one pass (request `i+1`'s context = request `i`'s
+/// context plus request `i` itself), the partition built for the first
+/// request can be *advanced* instead of rebuilt: after each integration
+/// the just-appended log form is transposed left past the concurrent
+/// suffix ([`BatchPartition::absorb`]), which costs one transposition per
+/// suffix entry instead of a full `O(|H|)` working-copy rebuild plus one
+/// transposition per (context, concurrent) inversion. The batched drain
+/// in `dce-core::Site` threads one of these through its ready loop.
+///
+/// Correctness rests on the same exactness property `partition_context`
+/// uses: transpositions are effect-preserving, so the concurrent-suffix
+/// forms depend only on *which* entries precede them, not on the order
+/// those entries were moved in. The per-request path (`integrate` with no
+/// cache) is the differential oracle.
+#[derive(Debug, Clone)]
+pub struct BatchPartition<E> {
+    /// The context this partition is valid for: reuse requires the next
+    /// request's context to equal it exactly.
+    ctx: Clock,
+    /// Entries before this index are in `ctx`; entries after are
+    /// concurrent with it.
+    prefix_len: usize,
+    /// The log's forms, reordered so the context entries form a prefix.
+    working: Vec<TOp<E>>,
+}
+
+impl<E: Element> BatchPartition<E> {
+    /// Advances the partition past the just-integrated request `id`, whose
+    /// stored log form is `form`: bubbles the form left over the concurrent
+    /// suffix so the cache describes the partition for a successor whose
+    /// context additionally contains `id`. Returns the number of
+    /// transpositions spent, or `None` if one failed — the caller must then
+    /// discard the cache and fall back to a full rebuild.
+    fn absorb(&mut self, mut form: TOp<E>, id: RequestId) -> Option<u64> {
+        let mut moves = 0u64;
+        for j in (self.prefix_len..self.working.len()).rev() {
+            match crate::transpose::transpose(&self.working[j], &form) {
+                Ok((moved, stayed)) => {
+                    self.working[j] = stayed;
+                    form = moved;
+                    moves += 1;
+                }
+                Err(_) => return None,
+            }
+        }
+        self.working.insert(self.prefix_len, form);
+        self.prefix_len += 1;
+        self.ctx.set(id.site, id.seq);
+        Some(moves)
+    }
+}
+
 /// Work counters for one engine: how many primitive transformation steps
 /// the algorithms have executed. The evaluation harness reports these
 /// alongside wall-clock times, making the complexity claims of §5.2
@@ -168,6 +222,88 @@ impl<E: Element> Engine<E> {
             }
             self.pruned_count += 1;
         }
+    }
+
+    /// Prunes cell provenance chains of links that are stable group-wide.
+    /// Returns the number of links dropped.
+    ///
+    /// Without this, a cell's chain grows one link per update *and* each
+    /// link's `saw` set lists its predecessors, so an update-heavy session
+    /// costs memory quadratic in its own length. Two prunes apply:
+    ///
+    /// * dead links (inert in the log, or compacted away as inert) below
+    ///   `horizon` are dropped unconditionally — the tournament filters
+    ///   them out at every replica and, settled, they can never revive;
+    /// * the live links below `horizon` collapse to their tournament
+    ///   winner — whose `saw` set is cleared (a stable link's generation
+    ///   context is itself stable, so the set can only name other dropped
+    ///   links) — provided **every live link above the horizon
+    ///   `saw`-dominates every live link below it**.
+    ///
+    /// Soundness of the collapse. The below-horizon live set is complete
+    /// and identical at every replica (below the horizon means delivered
+    /// and settled group-wide), so every replica that collapses elects
+    /// the same winner. A dropped loser can then never decide a future
+    /// tournament anywhere, because every other candidate it could ever
+    /// battle beats it by `saw`-dominance, and a dominated link never
+    /// displaces the running best in the scan — so removing it cannot
+    /// flip the outcome (the site-id tie-break among *concurrent* links
+    /// is not transitive, which is exactly why dominance is required):
+    ///
+    /// * links already above the horizon are checked directly, pairwise;
+    /// * future arrivals dominate by the caller's guarantee (see
+    ///   [`dce_core`]'s `auto_compact`: it only passes a horizon derived
+    ///   from heartbeat clocks this engine's own clock contains, so any
+    ///   request not yet delivered was generated after its site's
+    ///   heartbeat and its context covers the horizon);
+    /// * a below-horizon link never sees an above-horizon one (any clock
+    ///   covering the later-delivered link covers its whole context), so
+    ///   the winner's cleared `saw` set is never consulted against
+    ///   survivors.
+    pub fn prune_chains(&mut self, horizon: &Clock) -> usize {
+        let mut dropped = 0usize;
+        let Engine { buf, log, pruned_inert, .. } = self;
+        let is_live = |id: RequestId| match log.get(id) {
+            Some(e) => !e.inert,
+            None => !pruned_inert.contains(&id),
+        };
+        for pos in 1..=buf.len() {
+            let keep = {
+                let cell = buf.cell(pos).expect("position in range");
+                if !cell.chain.iter().any(|l| horizon.contains(l.id)) {
+                    continue;
+                }
+                let live: Vec<&crate::buffer::ChainLink<E>> =
+                    cell.chain.iter().filter(|l| is_live(l.id)).collect();
+                let (below, above): (
+                    Vec<&crate::buffer::ChainLink<E>>,
+                    Vec<&crate::buffer::ChainLink<E>>,
+                ) = live.into_iter().partition(|l| horizon.contains(l.id));
+                if above.iter().any(|a| below.iter().any(|b| !a.saw.contains(&b.id))) {
+                    // A live above-horizon link concurrent with a stable
+                    // one: the tie-break between them is still in play,
+                    // so only the dead stable links go.
+                    None
+                } else {
+                    Some(Self::tournament(below).map(|l| l.id))
+                }
+            };
+            let cell = buf.cell_mut(pos).expect("position in range");
+            let before = cell.chain.len();
+            match keep {
+                None => cell.chain.retain(|l| !horizon.contains(l.id) || is_live(l.id)),
+                Some(winner) => {
+                    cell.chain.retain(|l| !horizon.contains(l.id) || Some(l.id) == winner);
+                    if let Some(w) = winner {
+                        for l in cell.chain.iter_mut().filter(|l| l.id == w) {
+                            l.saw.clear();
+                        }
+                    }
+                }
+            }
+            dropped += before - cell.chain.len();
+        }
+        dropped
     }
 
     /// This engine's site identity.
@@ -311,7 +447,7 @@ impl<E: Element> Engine<E> {
         &mut self,
         req: &BroadcastRequest<E>,
     ) -> Result<Integration<E>, IntegrateError> {
-        self.integrate_with(req, true)
+        self.integrate_with(req, true, &mut None)
     }
 
     /// Integrates a remote request while suppressing its document effect —
@@ -319,13 +455,37 @@ impl<E: Element> Engine<E> {
     /// paper's Fig. 5 walkthrough. Later requests transform against it as a
     /// no-op but its identity stays resolvable.
     pub fn integrate_inert(&mut self, req: &BroadcastRequest<E>) -> Result<(), IntegrateError> {
-        self.integrate_with(req, false).map(|_| ())
+        self.integrate_with(req, false, &mut None).map(|_| ())
+    }
+
+    /// [`Engine::integrate`] with a reusable [`BatchPartition`] threaded
+    /// through: a matching cache skips the `O(|H|)` partition rebuild, and
+    /// after integration the cache is advanced to cover the next request of
+    /// a causally-chained run. The caller owns invalidation — the cache is
+    /// only sound while no *other* path mutates the log (undo, compaction,
+    /// local generation reset it to `None`).
+    pub fn integrate_batched(
+        &mut self,
+        req: &BroadcastRequest<E>,
+        cache: &mut Option<BatchPartition<E>>,
+    ) -> Result<Integration<E>, IntegrateError> {
+        self.integrate_with(req, true, cache)
+    }
+
+    /// [`Engine::integrate_inert`] with a reusable [`BatchPartition`].
+    pub fn integrate_inert_batched(
+        &mut self,
+        req: &BroadcastRequest<E>,
+        cache: &mut Option<BatchPartition<E>>,
+    ) -> Result<(), IntegrateError> {
+        self.integrate_with(req, false, cache).map(|_| ())
     }
 
     fn integrate_with(
         &mut self,
         req: &BroadcastRequest<E>,
         effective: bool,
+        cache: &mut Option<BatchPartition<E>>,
     ) -> Result<Integration<E>, IntegrateError> {
         if self.clock.contains(req.id) {
             return Err(IntegrateError::Duplicate(req.id));
@@ -371,23 +531,32 @@ impl<E: Element> Engine<E> {
         // Integration proper (the paper's ComputeFF step): reorder a working
         // copy of the log so the entries of `req`'s generation context form
         // a prefix (exact, transposition-based), then fold the request
-        // forward through the concurrent suffix with `IT`.
-        let (prefix_len, working, moves) = if req.ctx.dominates(&self.clock) {
-            // Fast path: the request causally follows everything integrated
-            // here, so no log entry is concurrent with it — the partition
-            // is the identity (zero transpositions) and the concurrent
-            // suffix is empty. Skipping the O(|H|) working-copy build makes
-            // sequential integration (chains, catch-up replays) O(1) in the
-            // log instead of quadratic over a session.
-            (0, Vec::new(), 0)
-        } else {
-            self.partition_context(&req.ctx)
-        };
-        self.metrics.partition_transposes += moves;
+        // forward through the concurrent suffix with `IT`. A cache built
+        // for exactly this context (the previous request of a chained run)
+        // replaces the rebuild entirely.
+        if !cache.as_ref().is_some_and(|c| c.ctx == req.ctx) {
+            *cache = if req.ctx.dominates(&self.clock) {
+                // Fast path: the request causally follows everything
+                // integrated here, so no log entry is concurrent with it —
+                // the partition is the identity (zero transpositions) and
+                // the concurrent suffix is empty. Skipping the O(|H|)
+                // working-copy build makes sequential integration (chains,
+                // catch-up replays) O(1) in the log instead of quadratic
+                // over a session. No cache is kept: with an empty suffix
+                // there is nothing to amortize.
+                None
+            } else {
+                let (prefix_len, working, moves) = self.partition_context(&req.ctx);
+                self.metrics.partition_transposes += moves;
+                Some(BatchPartition { ctx: req.ctx.clone(), prefix_len, working })
+            };
+        }
         let mut top = req.top.clone();
-        for w in &working[prefix_len..] {
-            top = include(&top, w);
-            self.metrics.includes += 1;
+        if let Some(c) = cache.as_ref() {
+            for w in &c.working[c.prefix_len..] {
+                top = include(&top, w);
+                self.metrics.includes += 1;
+            }
         }
         self.metrics.integrated += 1;
 
@@ -411,13 +580,14 @@ impl<E: Element> Engine<E> {
             let swaps = self.log.push_canonical(LogEntry {
                 id: req.id,
                 dep: req.dep,
-                top: stored_top,
+                top: stored_top.clone(),
                 base: req.top.op.clone(),
                 inert: true,
                 ctx: req.ctx.clone(),
             });
             self.metrics.canonize_transposes += swaps;
             self.clock.set(req.id.site, req.id.seq);
+            self.advance_cache(cache, stored_top, req.id);
             return Ok(Integration::Inert);
         }
 
@@ -455,7 +625,25 @@ impl<E: Element> Engine<E> {
         });
         self.metrics.canonize_transposes += swaps;
         self.clock.set(req.id.site, req.id.seq);
+        self.advance_cache(cache, top.clone(), req.id);
         Ok(Integration::Executed(top.op))
+    }
+
+    /// Advances `cache` past a just-appended log form, discarding it if a
+    /// transposition fails (the per-request rebuild then takes over — the
+    /// cache is an accelerator, never load-bearing for correctness).
+    fn advance_cache(
+        &mut self,
+        cache: &mut Option<BatchPartition<E>>,
+        stored_form: TOp<E>,
+        id: RequestId,
+    ) {
+        if let Some(c) = cache.as_mut() {
+            match c.absorb(stored_form, id) {
+                Some(moves) => self.metrics.partition_transposes += moves,
+                None => *cache = None,
+            }
+        }
     }
 
     /// Retroactively undoes the request `id` (and, transitively, every live
@@ -527,7 +715,7 @@ impl<E: Element> Engine<E> {
     /// back to the cell's original element when no live update remains.
     fn chain_winner_value(&self, pos: dce_document::Position, exclude: Option<RequestId>) -> E {
         let cell = self.buf.cell(pos).expect("chained cell exists");
-        let mut candidates: Vec<&crate::buffer::ChainLink<E>> = cell
+        let candidates: Vec<&crate::buffer::ChainLink<E>> = cell
             .chain
             .iter()
             .filter(|l| Some(l.id) != exclude)
@@ -540,6 +728,17 @@ impl<E: Element> Engine<E> {
                 None => !self.pruned_inert.contains(&l.id),
             })
             .collect();
+        Self::tournament(candidates)
+            .map(|l| l.value.clone())
+            .unwrap_or_else(|| cell.original.clone())
+    }
+
+    /// The deterministic update tournament over a set of chain links:
+    /// causal visibility first (`saw`), site id among concurrent maxima,
+    /// scanned in sorted id order so every site elects the same winner.
+    fn tournament(
+        mut candidates: Vec<&crate::buffer::ChainLink<E>>,
+    ) -> Option<&crate::buffer::ChainLink<E>> {
         candidates.sort_by_key(|l| l.id);
         let mut best: Option<&crate::buffer::ChainLink<E>> = None;
         for l in candidates {
@@ -558,7 +757,7 @@ impl<E: Element> Engine<E> {
                 }
             });
         }
-        best.map(|l| l.value.clone()).unwrap_or_else(|| cell.original.clone())
+        best
     }
 
     /// `true` if `entry`'s dependency chain passes through `target`.
@@ -893,5 +1092,91 @@ mod tests {
         assert_eq!(q_up2.dep, Some(q_up1.id));
         let chain = s1.log().chain_of(q_up2.dep).unwrap();
         assert_eq!(chain, vec![q_ins.id, q_up1.id]);
+    }
+
+    #[test]
+    fn chain_collapse_bounds_update_provenance() {
+        let mut s1 = Engine::new(1, doc("abc"));
+        let mut s2 = Engine::new(2, doc("abc"));
+        // A long ping-pong of updates to one cell: the chain (and each
+        // link's saw set) grows with every write.
+        for i in 0..8u8 {
+            let (from, to) = if i % 2 == 0 { (&mut s1, &mut s2) } else { (&mut s2, &mut s1) };
+            let cur = from.document().get(2).copied().unwrap();
+            let q = from.generate(Op::up(2, cur, (b'a' + i) as char)).unwrap();
+            to.integrate(&q).unwrap();
+        }
+        let chain_len = |e: &Engine<Char>| e.buffer().cell(2).unwrap().chain.len();
+        let saw_total = |e: &Engine<Char>| {
+            e.buffer().cell(2).unwrap().chain.iter().map(|l| l.saw.len()).sum::<usize>()
+        };
+        assert_eq!(chain_len(&s1), 8);
+        assert!(saw_total(&s1) > 8, "saw sets accumulate predecessors");
+
+        // Everything is delivered everywhere: the full clock is a valid
+        // horizon, and the whole chain collapses to its winner.
+        let horizon = s1.clock().clone();
+        let plain = s1.clone();
+        let dropped = s1.prune_chains(&horizon);
+        assert_eq!(dropped, 7);
+        assert_eq!(chain_len(&s1), 1);
+        assert_eq!(saw_total(&s1), 0, "the kept winner's saw set is cleared");
+        assert_eq!(s1.document(), plain.document());
+
+        // The collapsed and uncollapsed replicas keep resolving update
+        // conflicts identically: a fresh concurrent pair lands on both...
+        let qa = s1.generate(Op::up(2, s1.document().get(2).copied().unwrap(), 'X')).unwrap();
+        let mut plain2 = plain.clone();
+        plain2.integrate(&qa).unwrap();
+        assert_eq!(s1.document(), plain2.document());
+        // ...and undoing it falls back to the collapsed winner's value.
+        s1.undo(qa.id).unwrap();
+        plain2.undo(qa.id).unwrap();
+        assert_eq!(s1.document(), plain2.document());
+        assert_eq!(s1.document().to_string(), plain.document().to_string());
+    }
+
+    #[test]
+    fn a_concurrent_link_above_the_horizon_blocks_the_collapse() {
+        let mut s1 = Engine::new(1, doc("abc"));
+        let mut s2 = Engine::new(2, doc("abc"));
+        let q1 = s1.generate(Op::up(2, 'b', 'p')).unwrap();
+        let horizon = s1.clock().clone();
+        // s2 writes *concurrently* (it never saw q1): the site-id
+        // tie-break between the two links is still in play, so the
+        // stable link must survive.
+        let q2 = s2.generate(Op::up(2, 'b', 'q')).unwrap();
+        s1.integrate(&q2).unwrap();
+        s2.integrate(&q1).unwrap();
+        assert_eq!(s1.prune_chains(&horizon), 0, "a concurrent live link blocks the collapse");
+        assert_eq!(s1.buffer().cell(2).unwrap().chain.len(), 2);
+    }
+
+    #[test]
+    fn a_dominating_link_above_the_horizon_permits_a_partial_collapse() {
+        let mut s1 = Engine::new(1, doc("abc"));
+        let mut s2 = Engine::new(2, doc("abc"));
+        // Four settled ping-pong updates...
+        for i in 0..4u8 {
+            let (from, to) = if i % 2 == 0 { (&mut s1, &mut s2) } else { (&mut s2, &mut s1) };
+            let cur = from.document().get(2).copied().unwrap();
+            let q = from.generate(Op::up(2, cur, (b'a' + i) as char)).unwrap();
+            to.integrate(&q).unwrap();
+        }
+        let horizon = s1.clock().clone();
+        // ...then one more write that saw all of them: it dominates every
+        // stable link, so the stable run collapses to its winner even
+        // though the chain itself is still hot.
+        let q5 = s2.generate(Op::up(2, 'd', 'z')).unwrap();
+        s1.integrate(&q5).unwrap();
+        let mut plain = s1.clone();
+        assert_eq!(s1.prune_chains(&horizon), 3, "four stable links collapse to one");
+        assert_eq!(s1.buffer().cell(2).unwrap().chain.len(), 2);
+        assert_eq!(s1.document(), plain.document());
+        // Undoing the hot link falls back to the collapsed winner's value
+        // on both the pruned and the unpruned replica.
+        s1.undo(q5.id).unwrap();
+        plain.undo(q5.id).unwrap();
+        assert_eq!(s1.document(), plain.document());
     }
 }

@@ -198,15 +198,41 @@ impl fmt::Display for AdminRequest {
 /// in our model to store administrative operations in a log at every site
 /// in order to validate the remote cooperative requests at appropriate
 /// context".
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AdminLog {
     entries: Vec<AdminRequest>,
     /// Positions of the *restrictive* entries, in version order — the only
     /// entries `Check_Remote` can ever return, so its suffix walk skips
     /// everything else. Derived deterministically from `entries` (push
-    /// maintains it, `from_entries` rebuilds it), so the derived
-    /// `PartialEq` stays consistent across replicas.
+    /// maintains it, `from_entries` rebuilds it).
     restrictive: Vec<usize>,
+}
+
+/// Equality and hashing are *behavioral*, not structural: two logs are
+/// equal when they agree on the last applied version and on every
+/// retained restrictive entry. Administrative requests are totally
+/// ordered by the single administrator, so within a session the version
+/// number alone identifies the full pushed history; non-restrictive
+/// entries (the overwhelming majority: every `Validate`) are never read
+/// back by the protocol after application and may legitimately be
+/// dropped by [`AdminLog::compact_non_restrictive`] at different times
+/// on different replicas. Pruning skew must not read as divergence.
+impl PartialEq for AdminLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.last_version() == other.last_version()
+            && self.restrictive_entries().eq(other.restrictive_entries())
+    }
+}
+
+impl Eq for AdminLog {}
+
+impl std::hash::Hash for AdminLog {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.last_version().hash(state);
+        for r in self.restrictive_entries() {
+            r.hash(state);
+        }
+    }
 }
 
 impl AdminLog {
@@ -215,8 +241,10 @@ impl AdminLog {
         AdminLog::default()
     }
 
-    /// Structural digest of the log (companion to [`Policy::digest`]):
-    /// the dedupe key used by state-space exploration layers.
+    /// Behavioral digest of the log (companion to [`Policy::digest`]):
+    /// the dedupe key used by state-space exploration layers. Covers the
+    /// last version and the restrictive entries — see the `Hash` impl for
+    /// why pruning skew must not perturb it.
     ///
     /// [`Policy::digest`]: crate::Policy::digest
     pub fn digest(&self) -> u64 {
@@ -271,25 +299,64 @@ impl AdminLog {
         self.entries.push(r);
     }
 
-    /// Rebuilds a log from entries (snapshot restore). Panics on
-    /// non-contiguous versions, like [`AdminLog::push`].
+    /// Rebuilds a log from entries (snapshot restore). Versions must be
+    /// strictly ascending; gaps are legal — a snapshot taken after
+    /// [`AdminLog::compact_non_restrictive`] ran omits the pruned
+    /// entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the versions are not strictly ascending.
     pub fn from_entries(entries: Vec<AdminRequest>) -> Self {
         let mut log = AdminLog::new();
         for r in entries {
-            log.push(r);
+            assert!(
+                r.version > log.last_version(),
+                "administrative log entries must be version-ordered"
+            );
+            if r.is_restrictive() {
+                log.restrictive.push(log.entries.len());
+            }
+            log.entries.push(r);
         }
         log
     }
 
-    /// The requests with version strictly greater than `v` — the
+    /// The retained requests with version strictly greater than `v` — the
     /// administrative operations *concurrent* to a cooperative request
-    /// generated at policy version `v`. Versions are contiguous from 1
-    /// (`entries[i].version == i + 1`, enforced by [`AdminLog::push`]), so
-    /// the suffix is a direct slice lookup, not a search.
+    /// generated at policy version `v`. Versions ascend strictly (but may
+    /// gap after compaction), so the suffix start is a binary search.
     pub fn since(&self, v: PolicyVersion) -> &[AdminRequest] {
-        let start = usize::try_from(v).unwrap_or(usize::MAX).min(self.entries.len());
-        debug_assert!(self.entries.get(start).is_none_or(|r| r.version == v + 1));
+        let start = self.entries.partition_point(|r| r.version <= v);
         &self.entries[start..]
+    }
+
+    /// The retained restrictive entries, in version order.
+    fn restrictive_entries(&self) -> impl Iterator<Item = &AdminRequest> {
+        self.restrictive.iter().map(|&i| &self.entries[i])
+    }
+
+    /// Drops every non-restrictive entry except the newest one, returning
+    /// the number dropped. This is the admin-log half of log compaction:
+    /// [`AdminLog::check_remote`] — the only protocol reader of the log —
+    /// walks restrictive entries exclusively, at *any* remote context
+    /// version, so a non-restrictive entry is never consulted again once
+    /// applied to the policy. The newest entry survives unconditionally
+    /// so [`AdminLog::last_version`] (and with it the [`AdminLog::push`]
+    /// contiguity check) is unaffected by pruning. The retained length is
+    /// therefore bounded by `restrictive_count() + 1` regardless of how
+    /// many validations the session has issued.
+    pub fn compact_non_restrictive(&mut self) -> usize {
+        let before = self.entries.len();
+        let last = self.last_version();
+        self.entries.retain(|r| r.is_restrictive() || r.version == last);
+        self.restrictive = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.is_restrictive().then_some(i))
+            .collect();
+        before - self.entries.len()
     }
 
     /// The paper's `Check_Remote(q, L)`: a remote cooperative request
@@ -408,6 +475,66 @@ mod tests {
     fn log_rejects_version_gap() {
         let mut log = AdminLog::new();
         log.push(AdminRequest { admin: 0, version: 2, op: AdminOp::AddUser(1) });
+    }
+
+    /// A log of n entries with r restrictive ones compacts down to r + 1
+    /// and keeps answering `since`/`check_remote`/`push` correctly.
+    #[test]
+    fn compaction_keeps_restrictive_entries_and_the_newest() {
+        let mut log = AdminLog::new();
+        log.push(AdminRequest { admin: 0, version: 1, op: AdminOp::AddUser(1) });
+        log.push(AdminRequest { admin: 0, version: 2, op: revoke_insert(1) });
+        for v in 3..=9 {
+            log.push(AdminRequest {
+                admin: 0,
+                version: v,
+                op: AdminOp::Validate { site: 1, seq: v },
+            });
+        }
+        let full = log.clone();
+        let dropped = log.compact_non_restrictive();
+        assert_eq!(dropped, 7); // v1 and v3..=8 go; v2 (restrictive) and v9 (newest) stay
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.last_version(), 9);
+        assert_eq!(log.restrictive_count(), 1);
+
+        // Pruning skew is not divergence: behavioral eq/hash ignore it.
+        assert_eq!(log, full);
+        assert_eq!(log.digest(), full.digest());
+
+        // check_remote still sees the concurrent revocation at any v.
+        let policy = Policy::permissive([1, 2]);
+        let ins = Action::new(Right::Insert, Some(2));
+        assert!(log.check_remote(1, &ins, 0, &policy).is_some());
+        assert!(log.check_remote(1, &ins, 2, &policy).is_none());
+
+        // since() slices by version even across the gap.
+        assert_eq!(log.since(0).len(), 2);
+        assert_eq!(log.since(2).len(), 1);
+        assert_eq!(log.since(9).len(), 0);
+
+        // push continues from the surviving last_version.
+        log.push(AdminRequest { admin: 0, version: 10, op: AdminOp::AddUser(7) });
+        assert_eq!(log.last_version(), 10);
+
+        // A gapped log survives the snapshot round-trip.
+        let rebuilt = AdminLog::from_entries(log.iter().cloned().collect());
+        assert_eq!(rebuilt, log);
+        assert_eq!(rebuilt.last_version(), 10);
+        assert_eq!(rebuilt.restrictive_count(), 1);
+
+        // An idempotent second pass drops the now-stale v9 Validate only.
+        assert_eq!(log.compact_non_restrictive(), 1);
+        assert_eq!(log.compact_non_restrictive(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "version-ordered")]
+    fn from_entries_rejects_disorder() {
+        AdminLog::from_entries(vec![
+            AdminRequest { admin: 0, version: 2, op: AdminOp::AddUser(1) },
+            AdminRequest { admin: 0, version: 1, op: AdminOp::AddUser(2) },
+        ]);
     }
 
     #[test]

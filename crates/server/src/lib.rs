@@ -43,10 +43,22 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Forced-snapshot cadence: every this many delivered messages per
-/// document the server compacts and (at quiescence) snapshots, bounding
-/// the log suffix a restart must replay.
-const SNAPSHOT_INTERVAL: u64 = 256;
+/// Log-length watermark: when a document's canonical log plus admin log
+/// reach this many entries, the server compacts (and, at quiescence,
+/// snapshots), bounding both resident memory and the log suffix a
+/// restart must replay.
+const COMPACT_WATERMARK: usize = 192;
+
+/// Cadence of the horizon pass (reactor-clock milliseconds): past the
+/// watermark, the server manufactures heartbeats for members whose
+/// streams hold nothing unacknowledged, then compacts. An idle member
+/// never speaks — not even heartbeats — which would pin the stability
+/// horizon at zero forever; its cumulative acks are proof of reception,
+/// so the server advances the horizon on its behalf. Driven from the
+/// timer path rather than per delivery: streams are rarely fully acked
+/// in the middle of a burst, and at quiescence there are no deliveries
+/// left to piggyback on.
+const HORIZON_PASS_MS: u64 = 25;
 
 /// Tuning knobs for a server process.
 #[derive(Debug, Clone)]
@@ -158,6 +170,9 @@ pub struct Server {
     sessions: HashMap<u32, Session>,
     origin: Instant,
     obs: ObsHandle,
+    /// Reactor time of the last horizon pass (heartbeat synthesis +
+    /// watermark compaction), rate-limiting it to `HORIZON_PASS_MS`.
+    last_horizon: u64,
 }
 
 impl Server {
@@ -182,6 +197,7 @@ impl Server {
             sessions: HashMap::new(),
             origin: Instant::now(),
             obs,
+            last_horizon: 0,
         };
         if let Some(root) = server.cfg.data_dir.clone() {
             std::fs::create_dir_all(&root)?;
@@ -243,7 +259,7 @@ impl Server {
         let store_cfg = StoreConfig {
             fsync: FsyncPolicy::EveryN(32),
             snapshot_every: u64::MAX,
-            // Snapshots are forced at the SNAPSHOT_INTERVAL cadence in
+            // Snapshots are forced by the watermark compaction in
             // `deliver`, gated on the whole session being acked — a
             // snapshot must never cover a record some member still needs.
             auto_snapshot: false,
@@ -423,6 +439,10 @@ impl Server {
                     }
                 }
             }
+        }
+        if now >= self.last_horizon.saturating_add(HORIZON_PASS_MS) {
+            self.last_horizon = now;
+            self.advance_horizons();
         }
 
         for conn in self.conns.iter_mut().flatten() {
@@ -642,15 +662,57 @@ impl Server {
                 Self::send_to(sess, &mut self.conns, doc, u, Arc::clone(&reaction), now);
             }
         }
-        // Bound what a restart must replay: at the forced cadence,
-        // compact and snapshot the document — but only when every member
-        // has acked everything, because a snapshot must never swallow a
-        // record some member still needs redelivered.
-        if sess.store.is_some()
-            && sess.delivered.get(&doc).is_some_and(|n| n % SNAPSHOT_INTERVAL == 0)
-            && !sess.has_unacked()
-        {
-            sess.admin.auto_compact(doc);
+    }
+
+    /// The horizon pass: for every session document whose combined logs
+    /// crossed the watermark, synthesize heartbeats for fully-acked
+    /// members, then compact. When a member's stream holds nothing
+    /// unacknowledged, everything the administrator ever processed was
+    /// relayed to and received by it, so the member's replica clock
+    /// dominates the administrator's — sending the administrator's clock
+    /// on the member's behalf understates what it knows, and the
+    /// stability horizon is a pointwise minimum, so understating is
+    /// safe. Journaling the heartbeats through `receive` keeps replay
+    /// deterministic. With a store attached, compaction forces a
+    /// snapshot, so it additionally waits for every member to ack
+    /// everything — a snapshot must never swallow a record some member
+    /// still needs redelivered. (Memory-only sessions skip that wait:
+    /// retransmission buffers hold their own copies, so compacting the
+    /// replica's logs cannot lose in-flight traffic.)
+    fn advance_horizons(&mut self) {
+        for (&sid, sess) in self.sessions.iter_mut() {
+            let docs: Vec<DocumentId> = sess.endpoints.keys().copied().collect();
+            for doc in docs {
+                let logs = sess
+                    .admin
+                    .with(doc, |s| s.engine().log().len() + s.admin_log().len())
+                    .unwrap_or(0);
+                if logs < COMPACT_WATERMARK {
+                    continue;
+                }
+                let Some(clock) = sess.admin.with(doc, |s| s.engine().clock().clone()) else {
+                    continue;
+                };
+                for &u in &sess.seen {
+                    let acked =
+                        sess.endpoints.get(&doc).is_some_and(|e| !e.has_unacked_to(u as usize));
+                    if !acked {
+                        continue;
+                    }
+                    let hb = Message::Heartbeat { from: u, clock: clock.clone() };
+                    if let Err(e) = sess.admin.receive(doc, hb) {
+                        let reason =
+                            format!("session {sid}: {doc}: synthesized heartbeat rejected: {e}");
+                        eprintln!("dce-server: {reason}");
+                        self.obs.failure(&reason);
+                    }
+                }
+                if (sess.store.is_none() || !sess.has_unacked())
+                    && sess.admin.auto_compact(doc).unwrap_or(0) > 0
+                {
+                    self.obs.add_counter("server.compactions", 1);
+                }
+            }
         }
     }
 

@@ -23,8 +23,10 @@
 
 mod common;
 
-use common::{active_wal, apply_step, build_script, case_dir, genesis, open_store, DOC};
-use dce_core::Engine;
+use common::{active_wal, apply_step, build_script, case_dir, genesis, open_store, StepInput, DOC};
+use dce_core::{Engine, Message, Site};
+use dce_document::{CharDocument, Op};
+use dce_policy::Policy;
 use dce_store::{FsyncPolicy, StoreConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -151,5 +153,67 @@ fn a_mid_batch_process_kill_loses_nothing_but_a_power_cut_loses_the_tail() {
     assert_eq!(rec.records_total, 20);
     assert!(rec.torn_bytes > 0);
     assert_eq!(rec.site.state_digest(), digests[20]);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The kill lands *mid-compaction*: the stability-horizon compactor's
+/// WAL `Compact` record made it to disk, but the forced snapshot it
+/// should have produced did not. Recovery must replay the bare journal
+/// — re-running the compaction deterministically at the same point —
+/// and land on the compacted mirror state.
+#[test]
+fn a_kill_between_the_compact_record_and_its_snapshot_recovers_compacted() {
+    // A hand-built script whose last step is the compaction: edits, the
+    // user's heartbeat (which makes the horizon computable), Compact.
+    let mut mirror = genesis().with_document(DOC);
+    let mut u1 =
+        Site::new_user(1, 0, CharDocument::from_str("durable"), Policy::permissive([0, 1]));
+    let mut script = Vec::new();
+    for (i, c) in "compact".chars().enumerate() {
+        let op = Op::ins(1 + i, c);
+        let q = mirror.generate(op.clone()).expect("permissive policy");
+        let _ = u1.receive(Message::Coop(q));
+        script.push(StepInput::LocalCoop(op));
+        for m in mirror.drain_outbox() {
+            let _ = u1.receive(m);
+        }
+    }
+    let hb = u1.make_heartbeat();
+    let _ = mirror.receive(hb.clone());
+    script.push(StepInput::Remote(hb));
+    mirror.auto_compact();
+    script.push(StepInput::Compact);
+    assert!(mirror.engine().pruned_count() > 0, "the script's compaction reclaims entries");
+    let final_digest = mirror.state_digest();
+
+    // Only the compaction's *forced* snapshot can ever be written here.
+    let cfg = StoreConfig {
+        fsync: FsyncPolicy::EveryRecord,
+        snapshot_every: u64::MAX,
+        auto_snapshot: false,
+        retain_snapshots: 2,
+    };
+    let dir = case_dir();
+    common::run_and_kill(&dir, cfg, &script);
+
+    // In the run above the snapshot did hit the disk; the crash being
+    // modeled is the one landing between the WAL append and that write,
+    // so erase it: `Compact` record present, snapshot absent.
+    let snaps = common::snapshots(&dir);
+    assert!(!snaps.is_empty(), "compaction forces a snapshot");
+    for snap in snaps {
+        std::fs::remove_file(snap).expect("remove snapshot");
+    }
+
+    let store = open_store(&dir, cfg);
+    let rec = store.recover_doc(DOC, genesis).expect("recovery");
+    assert!(rec.snapshot_used.is_none(), "recovery had only the bare journal");
+    assert_eq!(rec.records_total as usize, script.len(), "every record survived the kill");
+    assert_eq!(
+        rec.site.state_digest(),
+        final_digest,
+        "replaying the Compact record reproduces the compacted state"
+    );
+    assert!(rec.site.engine().pruned_count() > 0, "the replayed compaction pruned again");
     std::fs::remove_dir_all(&dir).ok();
 }

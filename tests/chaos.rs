@@ -16,8 +16,11 @@ use rand::{Rng, SeedableRng};
 const N_SITES: u32 = 5;
 const CRASHED: usize = 3;
 
-/// One full chaos session: returns (final document, coop ops submitted).
-fn chaos_session(seed: u64) -> (String, usize) {
+/// One full chaos session: returns (final document, coop ops submitted,
+/// site 0's replica digest, log entries reclaimed by the compactor).
+/// `compaction` arms the always-on stability-horizon compactor with the
+/// given watermark; `None` is the control run.
+fn chaos_session(seed: u64, compaction: Option<usize>) -> (String, usize, u64, usize) {
     let users: Vec<u32> = (0..N_SITES).collect();
     let mut sim: SimNet<Char> = SimNet::group(
         N_SITES,
@@ -34,6 +37,9 @@ fn chaos_session(seed: u64) -> (String, usize) {
             .with_partition([4], 2_000, 7_000),
     );
     sim.enable_reliability();
+    if let Some(wm) = compaction {
+        sim.enable_compaction(wm);
+    }
     let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
 
     let mut coop_ops = 0usize;
@@ -123,14 +129,19 @@ fn chaos_session(seed: u64) -> (String, usize) {
             assert_eq!(sim.site(site).queued(), 0, "site {site} still holds parked requests");
         }
     }
-    (sim.site(0).document().to_string(), coop_ops)
+    (
+        sim.site(0).document().to_string(),
+        coop_ops,
+        sim.site(0).replica_digest(),
+        sim.compactions_reclaimed(),
+    )
 }
 
 #[test]
 fn chaos_session_converges() {
     let seed = 0x0D0C_5EED;
     println!("chaos session seed: {seed:#x}");
-    let (doc, coop_ops) = chaos_session(seed);
+    let (doc, coop_ops, _, _) = chaos_session(seed, None);
     assert!(coop_ops >= 200, "only {coop_ops} cooperative ops were submitted");
     assert!(!doc.is_empty());
 }
@@ -139,7 +150,25 @@ fn chaos_session_converges() {
 fn chaos_session_is_replayable_from_its_seed() {
     let seed = 0xBEE5;
     println!("chaos session seed: {seed:#x}");
-    assert_eq!(chaos_session(seed), chaos_session(seed));
+    assert_eq!(chaos_session(seed, None), chaos_session(seed, None));
+}
+
+/// The always-on compactor under full chaos: the same seeded session
+/// runs once with the watermark compactor armed and once without, and
+/// everything observable — the final document, the submitted-op count,
+/// and the behavioral replica digest — must be identical. Compaction
+/// may only reclaim memory, never change a replica's story.
+#[test]
+fn chaos_session_with_always_on_compaction_matches_the_control() {
+    let seed = 0x0D0C_5EED;
+    println!("chaos compaction seed: {seed:#x}");
+    let (doc_on, ops_on, digest_on, reclaimed) = chaos_session(seed, Some(24));
+    let (doc_off, ops_off, digest_off, none) = chaos_session(seed, None);
+    assert!(reclaimed > 0, "the compactor never fired under chaos");
+    assert_eq!(none, 0, "the control run must not compact");
+    assert_eq!(doc_on, doc_off, "compaction changed the document");
+    assert_eq!(ops_on, ops_off, "compaction perturbed the workload");
+    assert_eq!(digest_on, digest_off, "compaction changed the replica digest");
 }
 
 /// A chaos run with the journal recording: after quiescence the *trace*

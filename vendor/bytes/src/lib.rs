@@ -84,6 +84,17 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Splits off and returns the first `at` bytes as a view sharing the
+    /// same storage, advancing `self` past them (upstream
+    /// `Bytes::split_to`). The zero-copy alternative to
+    /// [`Buf::copy_to_bytes`].
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes { data: self.data.clone(), start: self.start, end: self.start + at };
+        self.start += at;
+        head
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -247,5 +258,22 @@ mod tests {
         let c = s.clone();
         assert_eq!(c, s);
         assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn split_to_advances_and_shares_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&*head, &[1, 2]);
+        assert_eq!(&*b, &[3, 4, 5]);
+        assert_eq!(b.split_to(0).len(), 0);
+        assert_eq!(&*b.split_to(3), &[3, 4, 5]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_rejects_overrun() {
+        Bytes::from(vec![1]).split_to(2);
     }
 }
