@@ -306,15 +306,21 @@ impl<E: Element> Engine<E> {
     /// one is a pure no-op that would still cost a WAL record.
     fn maybe_compact(&self, doc: DocumentId, shard: &Shard<E>, site: &mut Site<E>) {
         use std::sync::atomic::Ordering;
+        use std::time::Instant;
         let Some(wm) = self.compact_watermark else { return };
         let combined = site.engine().log().len() + site.admin_log().len();
         if combined < shard.compact_at.load(Ordering::Relaxed) || !site.horizon_ready() {
             return;
         }
+        let t = Instant::now();
         site.auto_compact();
         let after = site.engine().log().len() + site.admin_log().len();
         shard.compact_at.store(after + wm, Ordering::Relaxed);
-        self.obs.add_counter("engine.auto_compactions", 1);
+        let obs = self.obs.for_doc(doc.0);
+        obs.add_counter("engine.auto_compactions", 1);
+        obs.observe_hist("engine.compact_ns", t.elapsed().as_nanos() as u64);
+        obs.observe_hist("engine.compact_log_before", combined as u64);
+        obs.observe_hist("engine.compact_log_after", after as u64);
         if let Some(store) = &self.store {
             store.journal_compact(doc);
             store.snapshot(doc, site, true);
@@ -395,8 +401,18 @@ impl<E: Element> Engine<E> {
     /// everything below it is settled group-wide). Returns the number of
     /// log entries reclaimed, `None` when `doc` is not hosted.
     pub fn auto_compact(&self, doc: DocumentId) -> Option<usize> {
+        use std::time::Instant;
         self.with(doc, |site| {
+            let before = site.engine().log().len() + site.admin_log().len();
+            let t = Instant::now();
             let reclaimed = site.auto_compact();
+            if reclaimed > 0 {
+                let after = site.engine().log().len() + site.admin_log().len();
+                let obs = self.obs.for_doc(doc.0);
+                obs.observe_hist("engine.compact_ns", t.elapsed().as_nanos() as u64);
+                obs.observe_hist("engine.compact_log_before", before as u64);
+                obs.observe_hist("engine.compact_log_after", after as u64);
+            }
             if let Some(store) = &self.store {
                 store.journal_compact(doc);
                 store.snapshot(doc, site, true);

@@ -129,6 +129,10 @@ pub struct LoadgenConfig {
     /// rather than `addr` — the restart harness points clients at a
     /// server rebound on a fresh port.
     pub addr_cell: Option<Arc<Mutex<String>>>,
+    /// Scrape the server's metrics frame every this many milliseconds
+    /// while the run is in flight, folding the sampled timeline into the
+    /// report (and `BENCH_server.json`). 0 disables the scraper.
+    pub scrape_ms: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -150,6 +154,7 @@ impl Default for LoadgenConfig {
             idle_clients: 0,
             reconnect: false,
             addr_cell: None,
+            scrape_ms: 0,
         }
     }
 }
@@ -173,6 +178,42 @@ pub struct LatencyReport {
     pub p99: f64,
     /// Worst observed.
     pub max: f64,
+}
+
+/// One sample of the server's telemetry, taken mid-run by the
+/// `scrape_ms` scraper. Counter-valued fields are cumulative since
+/// server start; consecutive points diff into rates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScrapePoint {
+    /// Server uptime at the scrape (ms, from the report's timestamp).
+    pub at_ms: u64,
+    /// Messages the administrator replicas have processed.
+    pub delivered: u64,
+    /// WAL records appended (0 on a memory-only server).
+    pub appended: u64,
+    /// 99th-percentile WAL fsync latency so far (ns).
+    pub fsync_p99_ns: u64,
+    /// Timer-driven retransmissions pushed to members.
+    pub retransmits: u64,
+    /// Watermark compactions fired.
+    pub compactions: u64,
+    /// Bytes queued on client sockets, not yet written.
+    pub backlog_bytes: u64,
+}
+
+impl ScrapePoint {
+    fn from_report(report: &dce_obs::MetricsReport) -> ScrapePoint {
+        let counter = |n: &str| report.counters.get(n).copied().unwrap_or(0);
+        ScrapePoint {
+            at_ms: report.at_ns / 1_000_000,
+            delivered: counter("server.delivered"),
+            appended: counter("store.appended"),
+            fsync_p99_ns: report.histograms.get("store.fsync_ns").map(|h| h.p99).unwrap_or(0),
+            retransmits: counter("server.retransmits"),
+            compactions: counter("server.compactions"),
+            backlog_bytes: report.gauges.get("server.backlog_bytes").copied().unwrap_or(0),
+        }
+    }
 }
 
 /// What one run produced.
@@ -213,6 +254,8 @@ pub struct RunReport {
     pub request_spans: usize,
     /// `true` when the merged happens-before trace is acyclic.
     pub trace_acyclic: bool,
+    /// Mid-run server telemetry samples (empty unless `scrape_ms` > 0).
+    pub telemetry: Vec<ScrapePoint>,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -746,6 +789,47 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
     let deadline = started + Duration::from_secs(cfg.timeout_s);
     let mut control = FrameConn::connect(&addr_of(cfg), Duration::from_secs(10))
         .map_err(|e| format!("control connection: {e}"))?;
+
+    // The telemetry scraper: its own connection, sampling the server's
+    // metrics frame on a fixed cadence while the run is in flight. Every
+    // error path below sets `stop`, which is also the scraper's exit.
+    let telemetry: Arc<Mutex<Vec<ScrapePoint>>> = Arc::new(Mutex::new(Vec::new()));
+    let scraper = (cfg.scrape_ms > 0).then(|| {
+        let points = Arc::clone(&telemetry);
+        let stop = Arc::clone(&stop);
+        let cfg = cfg.clone();
+        std::thread::spawn(move || {
+            let every = Duration::from_millis(cfg.scrape_ms.max(10));
+            let Ok(mut conn) = FrameConn::connect(&addr_of(&cfg), Duration::from_secs(10)) else {
+                return;
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let reply = conn.round_trip(
+                    &Frame::MetricsRequest { session: cfg.session },
+                    Duration::from_secs(2),
+                    |f| match f {
+                        Frame::MetricsReport { report, .. } => {
+                            Some(ScrapePoint::from_report(report))
+                        }
+                        _ => None,
+                    },
+                );
+                match reply {
+                    Ok(p) => points.lock().expect("telemetry lock").push(p),
+                    Err(_) => {
+                        // Server mid-restart or briefly stalled: re-dial
+                        // and keep sampling.
+                        if let Ok(fresh) =
+                            FrameConn::connect(&addr_of(&cfg), Duration::from_secs(2))
+                        {
+                            conn = fresh;
+                        }
+                    }
+                }
+                std::thread::sleep(every);
+            }
+        })
+    });
     let docs = cfg.docs.max(1);
     let mut stable_polls = 0u32;
     let mut agreed_digests: Vec<u64> = Vec::new();
@@ -854,6 +938,9 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
             Err(_) => return Err("client thread panicked".into()),
         }
     }
+    if let Some(h) = scraper {
+        let _ = h.join();
+    }
     if !converged {
         report_flag_divergence(&outs);
     }
@@ -884,6 +971,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<RunReport, String> {
         events_overflowed: obs.overflowed(),
         request_spans: 0,
         trace_acyclic: true,
+        telemetry: std::mem::take(&mut *telemetry.lock().expect("telemetry lock")),
     };
     for out in outs {
         report.coop_sent += out.coop_sent;
@@ -952,6 +1040,27 @@ pub fn write_bench_json(path: &Path, cfg: &LoadgenConfig, report: &RunReport) ->
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
+    let telemetry = report
+        .telemetry
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{ \"at_ms\": {}, \"delivered\": {}, \"appended\": {}, \
+                 \"fsync_p99_ns\": {}, \"retransmits\": {}, \"compactions\": {}, \
+                 \"backlog_bytes\": {} }}",
+                p.at_ms,
+                p.delivered,
+                p.appended,
+                p.fsync_p99_ns,
+                p.retransmits,
+                p.compactions,
+                p.backlog_bytes,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let telemetry =
+        if telemetry.is_empty() { "[]".to_string() } else { format!("[\n{telemetry}\n  ]") };
     let body = format!(
         "{{\n  \"bench\": \"server\",\n  \"addr\": \"{addr}\",\n  \"clients\": {clients},\n  \
          \"docs\": {docs},\n  \
@@ -965,7 +1074,8 @@ pub fn write_bench_json(path: &Path, cfg: &LoadgenConfig, report: &RunReport) ->
          \"max\": {max:.3}\n  }},\n  \"converged\": {conv},\n  \
          \"replica_digest\": {digest},\n  \"events_recorded\": {events},\n  \
          \"events_overflowed\": {overflow},\n  \"request_spans\": {spans},\n  \
-         \"trace_acyclic\": {acyclic}\n}}\n",
+         \"trace_acyclic\": {acyclic},\n  \"scrape_ms\": {scrape},\n  \
+         \"telemetry\": {telemetry}\n}}\n",
         addr = cfg.addr,
         clients = report.clients,
         docs = report.docs,
@@ -994,6 +1104,7 @@ pub fn write_bench_json(path: &Path, cfg: &LoadgenConfig, report: &RunReport) ->
         overflow = report.events_overflowed,
         spans = report.request_spans,
         acyclic = report.trace_acyclic,
+        scrape = cfg.scrape_ms,
     );
     std::fs::write(path, body)
 }

@@ -16,7 +16,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: dce-loadgen [--addr HOST:PORT] [--session N] [--clients N] [--docs N] [--ops N]\n\
          \x20                  [--mix I:D:U:A] [--restrictive-pct N] [--think-ms MS]\n\
-         \x20                  [--seed N] [--doc TEXT] [--rto-ms MS] [--timeout-s S] [--out PATH]"
+         \x20                  [--seed N] [--doc TEXT] [--rto-ms MS] [--timeout-s S] [--out PATH]\n\
+         \x20                  [--scrape-ms MS]"
     );
     std::process::exit(2);
 }
@@ -52,6 +53,7 @@ fn main() {
             "--rto-ms" => cfg.rto_ms = val().parse().unwrap_or_else(|_| usage()),
             "--timeout-s" => cfg.timeout_s = val().parse().unwrap_or_else(|_| usage()),
             "--out" => out = PathBuf::from(val()),
+            "--scrape-ms" => cfg.scrape_ms = val().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }

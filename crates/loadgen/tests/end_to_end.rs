@@ -44,6 +44,7 @@ fn boot_server_obs(
         rto_ms: 60,
         journal: 1 << 14,
         data_dir,
+        status_addr: None,
     })
     .expect("bind loopback");
     let addr = server.local_addr().expect("bound").to_string();
@@ -316,6 +317,92 @@ fn a_restarted_durable_server_reconverges_to_the_control_run_digests() {
         report.doc_digests, control_digests,
         "a recovered server must reproduce the control run's per-document digests"
     );
+    let _ = std::fs::remove_dir_all(&scratch);
+    let _ = std::fs::remove_dir_all(&data_dir);
+}
+
+#[test]
+fn a_scraped_run_folds_a_balanced_telemetry_timeline_into_the_report() {
+    // The operational telemetry plane end to end: a durable server with
+    // a status port, a loadgen scraper sampling its metrics frame
+    // mid-run, and the plain-text dump answering without a Hello.
+    let doc = "watch me while I work";
+    let stamp = std::process::id();
+    let scratch = std::env::temp_dir().join(format!("dce-loadgen-scrape-{stamp}"));
+    let data_dir = std::env::temp_dir().join(format!("dce-server-scrape-{stamp}"));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let mut server = Server::bind(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        users: 3,
+        docs: 2,
+        doc: doc.into(),
+        rto_ms: 60,
+        journal: 1 << 14,
+        data_dir: Some(data_dir.clone()),
+        status_addr: Some("127.0.0.1:0".into()),
+    })
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound").to_string();
+    let status = server.status_local_addr().expect("status bound").to_string();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let handle = std::thread::spawn(move || server.run(flag).expect("reactor runs"));
+
+    let cfg = LoadgenConfig {
+        addr,
+        clients: 3,
+        docs: 2,
+        ops: 300,
+        mix: Mix { ins: 50, del: 25, up: 15, admin: 10 },
+        restrictive_pct: 25,
+        think_ms: 1,
+        seed: 77,
+        doc: doc.into(),
+        rto_ms: 60,
+        timeout_s: 60,
+        results_dir: scratch.clone(),
+        scrape_ms: 25,
+        ..LoadgenConfig::default()
+    };
+    let report = run(&cfg).expect("scraped run completes");
+    assert!(report.converged, "replica digests disagreed at quiescence");
+
+    // The status port answers any connection with an HTTP/1.0 JSON
+    // dump (headers so curl accepts it, body for everyone else).
+    let raw = {
+        use std::io::Read;
+        let mut s = std::net::TcpStream::connect(&status).expect("status connect");
+        s.set_read_timeout(Some(std::time::Duration::from_secs(5))).expect("timeout");
+        let mut body = String::new();
+        s.read_to_string(&mut body).expect("status dump");
+        body
+    };
+    shutdown.store(true, Ordering::Relaxed);
+    handle.join().expect("server thread");
+
+    assert!(raw.starts_with("HTTP/1.0 200 OK\r\n"), "status dump is HTTP: {raw:?}");
+    let dump = raw.split_once("\r\n\r\n").expect("header/body split").1;
+    assert!(dump.trim_start().starts_with('{'), "status dump body is JSON: {dump:?}");
+    assert!(dump.contains("store.appended"), "status dump carries store counters");
+    assert!(dump.contains("server.delivered"), "status dump carries server counters");
+
+    // The scraped timeline: non-empty, monotone, and its ledger
+    // balances — everything delivered was journaled first.
+    assert!(report.telemetry.len() >= 2, "scraper sampled the run: {:?}", report.telemetry);
+    for pair in report.telemetry.windows(2) {
+        assert!(pair[0].at_ms <= pair[1].at_ms, "scrape timestamps are monotone");
+        assert!(pair[0].delivered <= pair[1].delivered, "delivered only grows");
+        assert!(pair[0].appended <= pair[1].appended, "appended only grows");
+    }
+    let last = report.telemetry.last().expect("non-empty");
+    assert!(last.delivered > 0, "the run's traffic shows up in the scrape");
+    assert!(
+        last.appended >= last.delivered,
+        "a durable server journals everything it delivers ({} appended < {} delivered)",
+        last.appended,
+        last.delivered
+    );
+    assert!(last.fsync_p99_ns > 0, "fsync latency histogram is non-empty");
     let _ = std::fs::remove_dir_all(&scratch);
     let _ = std::fs::remove_dir_all(&data_dir);
 }

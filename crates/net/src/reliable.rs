@@ -290,6 +290,12 @@ impl<E: Element> Endpoint<E> {
         self.tx.get(&peer).is_some_and(|s| !s.unacked.is_empty())
     }
 
+    /// Total unacknowledged messages outstanding across all streams — the
+    /// endpoint's send-side backlog, cheap enough to gauge every pass.
+    pub fn unacked_depth(&self) -> usize {
+        self.tx.values().map(|s| s.unacked.len()).sum()
+    }
+
     /// The earliest pending retransmission deadline across all streams.
     pub fn next_deadline(&self) -> Option<u64> {
         self.tx.values().filter_map(|s| s.deadline).min()

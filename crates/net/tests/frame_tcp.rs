@@ -14,9 +14,11 @@ use dce_core::{AdminProposal, DocumentId, Message, Site};
 use dce_document::{Char, CharDocument, Op};
 use dce_net::wire::WireError;
 use dce_net::{encode_frame, Frame, FrameDecoder, MAX_DOC_ID, MAX_FRAME_LEN};
+use dce_obs::{HistogramSnapshot, MetricsReport, HIST_BUCKETS};
 use dce_ot::ids::Clock;
 use dce_policy::{AdminOp, AdminRequest, Authorization, DocObject, Policy, Right, Sign, Subject};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, OnceLock};
@@ -119,6 +121,8 @@ fn frame_for(kind: u8, a: u32, b: u64) -> Frame<Char> {
             delivered: b,
         },
         7 => Frame::Bye { user: a % 5 },
+        22 => Frame::MetricsRequest { session: a },
+        23 => Frame::MetricsReport { session: a, report: Arc::new(report_for(a, b)) },
         k => Frame::Data {
             doc,
             src: a % 5,
@@ -129,6 +133,60 @@ fn frame_for(kind: u8, a: u32, b: u64) -> Frame<Char> {
             msg: Arc::clone(&pool[(k as usize + a as usize) % pool.len()]),
         },
     }
+}
+
+/// A deterministic small metrics report derived from `(a, b)`, with
+/// per-document series and a histogram built through `from_buckets` so
+/// quantiles are layout-consistent and the round trip compares equal.
+fn report_for(a: u32, b: u64) -> MetricsReport {
+    let mut counters = BTreeMap::new();
+    counters.insert("server.delivered".to_string(), b + 1);
+    counters.insert(format!("server.delivered.doc{a}"), b);
+    let mut gauges = BTreeMap::new();
+    gauges.insert(format!("site.queue_depth_ready.doc{a}"), b % 17);
+    let lo = (b % 900) as u16;
+    let buckets = vec![(lo, 1 + b % 5), (lo + 7, 2)];
+    let count = buckets.iter().map(|&(_, c)| c).sum();
+    let mut histograms = BTreeMap::new();
+    histograms
+        .insert("store.fsync_ns".to_string(), HistogramSnapshot::from_buckets(count, b, buckets));
+    MetricsReport { at_ns: b, counters, gauges, histograms }
+}
+
+/// An arbitrary metric name, including characters JSON must escape.
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec("[abcxyz._\"\\ ]", 1..16).prop_map(|parts| parts.concat())
+}
+
+/// An arbitrary histogram snapshot: sparse in-layout buckets, rebuilt
+/// through `from_buckets` exactly like the decoder does.
+fn arb_hist() -> impl Strategy<Value = HistogramSnapshot> {
+    (proptest::collection::vec((0u16..HIST_BUCKETS as u16, 1u64..1_000_000), 0..10), any::<u64>())
+        .prop_map(|(raw, sum)| {
+            let mut merged: BTreeMap<u16, u64> = BTreeMap::new();
+            for (i, c) in raw {
+                *merged.entry(i).or_insert(0) += c;
+            }
+            let buckets: Vec<(u16, u64)> = merged.into_iter().collect();
+            let count = buckets.iter().map(|&(_, c)| c).sum();
+            HistogramSnapshot::from_buckets(count, sum, buckets)
+        })
+}
+
+/// An arbitrary full registry snapshot.
+fn arb_report() -> impl Strategy<Value = MetricsReport> {
+    (
+        any::<u64>(),
+        proptest::collection::vec((arb_name(), any::<u64>()), 0..8),
+        proptest::collection::vec((arb_name(), any::<u64>()), 0..8),
+        proptest::collection::vec((arb_name(), arb_hist()), 0..6),
+    )
+        .prop_map(|(at_ns, counters, gauges, histograms)| MetricsReport {
+            at_ns,
+            counters: counters.into_iter().collect(),
+            gauges: gauges.into_iter().collect(),
+            histograms: histograms.into_iter().collect(),
+        })
 }
 
 /// Writes `bytes` to a fresh echo connection in `chunk`-sized pieces,
@@ -212,6 +270,78 @@ proptest! {
         prop_assert_eq!(out[0].as_ref().expect("decodes"), &good);
         prop_assert_eq!(leftover, keep);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn metrics_frames_survive_tcp_in_any_chunking(
+        reports in proptest::collection::vec(arb_report(), 1..4),
+        session in 0u32..9,
+        chunk in 1usize..23,
+    ) {
+        // Scrape traffic interleaved with ordinary session frames through
+        // one decoder, in arbitrary read chunkings.
+        let mut frames: Vec<Frame<Char>> = vec![Frame::MetricsRequest { session }];
+        for r in reports {
+            frames.push(Frame::MetricsReport { session, report: Arc::new(r) });
+        }
+        frames.push(frame_for(9, session + 1, 3));
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            bytes.extend_from_slice(&encode_frame(frame));
+        }
+        let (out, leftover) = round_trip_bytes(&bytes, chunk);
+        prop_assert_eq!(out.len(), frames.len());
+        for (got, want) in out.iter().zip(frames.iter()) {
+            prop_assert_eq!(got.as_ref().expect("decodes"), want);
+        }
+        prop_assert_eq!(leftover, 0, "no stray bytes after the last frame");
+    }
+
+    #[test]
+    fn a_truncated_metrics_report_is_rejected_over_tcp(
+        a in 1u32..9,
+        b in 1u64..1000,
+        cut in 1usize..9,
+    ) {
+        // A report whose length prefix agrees with its (cut) body but
+        // whose content stops mid-field: Truncated, never a bogus frame.
+        let full = encode_frame(&Frame::<Char>::MetricsReport {
+            session: a,
+            report: Arc::new(report_for(a, b)),
+        });
+        let keep = full.len() - cut;
+        let mut bytes = full[..keep].to_vec();
+        bytes[..4].copy_from_slice(&((keep - 4) as u32).to_le_bytes());
+        let (out, _) = round_trip_bytes(&bytes, 6);
+        prop_assert_eq!(out.len(), 1);
+        prop_assert!(out[0].is_err(), "cut report must not decode: {:?}", out[0]);
+    }
+}
+
+#[test]
+fn a_metrics_report_with_out_of_layout_buckets_is_rejected_over_tcp() {
+    // Hand-assembled report: one histogram with a bucket index beyond
+    // HIST_BUCKETS. The decoder must refuse it before trusting the index.
+    let mut body = vec![16u8]; // TAG_METRICS_REPORT
+    body.extend_from_slice(&1u32.to_le_bytes()); // session
+    body.extend_from_slice(&0u64.to_le_bytes()); // at_ns
+    body.extend_from_slice(&0u32.to_le_bytes()); // no counters
+    body.extend_from_slice(&0u32.to_le_bytes()); // no gauges
+    body.extend_from_slice(&1u32.to_le_bytes()); // one histogram
+    body.extend_from_slice(&1u16.to_le_bytes()); // name len
+    body.push(b'h');
+    body.extend_from_slice(&1u64.to_le_bytes()); // count
+    body.extend_from_slice(&1u64.to_le_bytes()); // sum
+    body.extend_from_slice(&1u32.to_le_bytes()); // one bucket
+    body.extend_from_slice(&(HIST_BUCKETS as u16).to_le_bytes()); // first bad index
+    body.extend_from_slice(&1u64.to_le_bytes());
+    let mut bytes = (body.len() as u32).to_le_bytes().to_vec();
+    bytes.extend_from_slice(&body);
+    let (out, _) = round_trip_bytes(&bytes, 4);
+    assert_eq!(out, vec![Err(WireError::BadHeader)]);
 }
 
 #[test]

@@ -266,18 +266,26 @@ impl ObsHandle {
         }
     }
 
-    /// Snapshots the metrics registry, folding in the journal's overflow
-    /// accounting (`journal.overflowed` total plus a per-kind
-    /// `journal.overflow.<kind>` breakdown) when anything was evicted.
-    /// Empty report when disabled.
+    /// Snapshots the metrics registry, stamping [`MetricsReport::at_ns`]
+    /// with monotonic nanoseconds since the handle's creation (so two
+    /// scrapes diff into rates) and folding in the journal's overflow
+    /// accounting when anything was evicted: `journal.overflowed` total,
+    /// a per-kind `journal.overflow.<kind>` rollup, and — for events lost
+    /// from a tagged document — a per-document
+    /// `journal.overflow.<kind>.docN` series, so one hot document can't
+    /// mask another's dropped history. Empty report when disabled.
     pub fn snapshot(&self) -> MetricsReport {
         let Some(obs) = &self.inner else { return MetricsReport::default() };
         let mut report = obs.metrics.snapshot();
+        report.at_ns = obs.origin.elapsed().as_nanos() as u64;
         let evicted = obs.recorder.overflowed();
         if evicted > 0 {
             report.counters.insert("journal.overflowed".to_string(), evicted);
-            for (kind, n) in obs.recorder.overflow_breakdown() {
-                report.counters.insert(format!("journal.overflow.{kind}"), n);
+            for (kind, doc, n) in obs.recorder.overflow_breakdown() {
+                *report.counters.entry(format!("journal.overflow.{kind}")).or_insert(0) += n;
+                if doc != 0 {
+                    report.counters.insert(format!("journal.overflow.{kind}.doc{doc}"), n);
+                }
             }
         }
         report
@@ -426,5 +434,35 @@ mod tests {
         let clean = ObsHandle::recording(64);
         clean.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, 1) });
         assert!(!clean.snapshot().counters.contains_key("journal.overflowed"));
+    }
+
+    #[test]
+    fn snapshot_labels_overflow_by_document() {
+        let h = ObsHandle::recording(2);
+        let d7 = h.for_doc(7);
+        let d9 = h.for_doc(9);
+        // Fill the ring from doc 7, then lap it from doc 9: the evicted
+        // events all belonged to doc 7 and must be attributed to it.
+        for n in 1..=2 {
+            d7.emit(1, 0, EventKind::ReqGenerated { id: ReqId::new(1, n) });
+        }
+        for n in 3..=4 {
+            d9.emit(2, 0, EventKind::ReqGenerated { id: ReqId::new(2, n) });
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counters["journal.overflowed"], 2);
+        assert_eq!(snap.counters["journal.overflow.req_generated"], 2);
+        assert_eq!(snap.counters["journal.overflow.req_generated.doc7"], 2);
+        assert!(!snap.counters.contains_key("journal.overflow.req_generated.doc9"));
+    }
+
+    #[test]
+    fn snapshot_timestamps_are_monotone() {
+        let h = ObsHandle::recording(8);
+        let a = h.snapshot();
+        let b = h.snapshot();
+        assert!(b.at_ns >= a.at_ns);
+        // The stamp makes consecutive scrapes diffable into an interval.
+        assert_eq!(b.delta(&a).at_ns, b.at_ns - a.at_ns);
     }
 }

@@ -46,7 +46,9 @@ pub mod timeline;
 pub use codec::{decode_event, decode_journal, encode_event, encode_journal, CodecError};
 pub use event::{DeferReason, DocId, Event, EventKind, ReqId, SiteId};
 pub use handle::{FailureHook, ObsHandle};
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsReport};
+pub use metrics::{
+    json_escape, Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsReport, HIST_BUCKETS,
+};
 pub use oracle::{summarize, TraceSummary, TraceViolation};
 pub use record::{NoopRecorder, Recorder, RingRecorder};
 pub use timeline::timeline_for;

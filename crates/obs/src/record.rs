@@ -20,10 +20,12 @@ pub trait Recorder: Send + Sync + Debug {
     fn events(&self) -> Vec<Event>;
     /// How many events were evicted because the journal was full.
     fn overflowed(&self) -> u64;
-    /// Evicted-event counts broken down by [`crate::EventKind::name`], so
-    /// a flight-recorder dump can state exactly what kind of history was
-    /// lost. Sinks that never evict report nothing.
-    fn overflow_breakdown(&self) -> Vec<(&'static str, u64)> {
+    /// Evicted-event counts as `(kind name, document id, count)`, broken
+    /// down by [`crate::EventKind::name`] *and* the evicted event's
+    /// document, so a flight-recorder dump can state exactly what kind of
+    /// history was lost — and one hot document's churn can't mask
+    /// another's dropped events. Sinks that never evict report nothing.
+    fn overflow_breakdown(&self) -> Vec<(&'static str, u64, u64)> {
         Vec::new()
     }
 }
@@ -55,10 +57,10 @@ impl Recorder for NoopRecorder {
 pub struct RingRecorder {
     slots: Vec<Mutex<Option<Event>>>,
     head: AtomicU64,
-    /// Displaced-event counts by kind name. Touched only when a write
-    /// actually evicts (the ring has lapped), so the common non-overflow
-    /// path never takes this lock.
-    evicted: Mutex<BTreeMap<&'static str, u64>>,
+    /// Displaced-event counts by `(kind name, document id)`. Touched only
+    /// when a write actually evicts (the ring has lapped), so the common
+    /// non-overflow path never takes this lock.
+    evicted: Mutex<BTreeMap<(&'static str, u64), u64>>,
 }
 
 impl RingRecorder {
@@ -94,7 +96,7 @@ impl Recorder for RingRecorder {
                 .evicted
                 .lock()
                 .expect("eviction map poisoned")
-                .entry(old.kind.name())
+                .entry((old.kind.name(), old.doc))
                 .or_insert(0) += 1;
         }
     }
@@ -117,8 +119,13 @@ impl Recorder for RingRecorder {
         self.head.load(Ordering::Acquire).saturating_sub(self.slots.len() as u64)
     }
 
-    fn overflow_breakdown(&self) -> Vec<(&'static str, u64)> {
-        self.evicted.lock().expect("eviction map poisoned").iter().map(|(&k, &n)| (k, n)).collect()
+    fn overflow_breakdown(&self) -> Vec<(&'static str, u64, u64)> {
+        self.evicted
+            .lock()
+            .expect("eviction map poisoned")
+            .iter()
+            .map(|(&(kind, doc), &n)| (kind, doc, n))
+            .collect()
     }
 }
 
@@ -179,7 +186,28 @@ mod tests {
         ring.record(ev(3));
         ring.record(ev(4));
         assert_eq!(ring.overflowed(), 2);
-        assert_eq!(ring.overflow_breakdown(), vec![("req_executed", 1), ("req_generated", 1)]);
+        assert_eq!(
+            ring.overflow_breakdown(),
+            vec![("req_executed", 0, 1), ("req_generated", 0, 1)]
+        );
+    }
+
+    #[test]
+    fn overflow_breakdown_labels_documents() {
+        // Two documents sharing one ring: evictions are attributed to the
+        // document whose history was lost, not pooled.
+        let ring = RingRecorder::new(2);
+        let on_doc = |doc: u64, n: u64| Event { doc, ..ev(n) };
+        ring.record(on_doc(7, 1)); // evicted
+        ring.record(on_doc(9, 2)); // evicted
+        ring.record(on_doc(9, 3)); // evicted
+        ring.record(on_doc(7, 4));
+        ring.record(on_doc(7, 5));
+        assert_eq!(ring.overflowed(), 3);
+        assert_eq!(
+            ring.overflow_breakdown(),
+            vec![("req_generated", 7, 1), ("req_generated", 9, 2)]
+        );
     }
 
     #[test]

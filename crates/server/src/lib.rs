@@ -81,6 +81,11 @@ pub struct ServerConfig {
     /// traffic to `<data_dir>/session-<id>/` through `dce-store` and a
     /// restarted server rebuilds its sessions from disk at bind time.
     pub data_dir: Option<PathBuf>,
+    /// Plain-text status listener, e.g. `127.0.0.1:7471` (`:0` picks a
+    /// free port). Every accepted connection receives one JSON dump of
+    /// the whole metrics registry and is closed — curl-able without
+    /// speaking the frame protocol.
+    pub status_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +98,7 @@ impl Default for ServerConfig {
             rto_ms: 100,
             journal: 1 << 16,
             data_dir: None,
+            status_addr: None,
         }
     }
 }
@@ -166,6 +172,7 @@ impl Session {
 pub struct Server {
     cfg: ServerConfig,
     listener: TcpListener,
+    status_listener: Option<TcpListener>,
     conns: Vec<Option<Conn>>,
     sessions: HashMap<u32, Session>,
     origin: Instant,
@@ -190,9 +197,18 @@ impl Server {
         } else {
             ObsHandle::disabled()
         };
+        let status_listener = match &cfg.status_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
         let mut server = Server {
             cfg,
             listener,
+            status_listener,
             conns: Vec::new(),
             sessions: HashMap::new(),
             origin: Instant::now(),
@@ -335,6 +351,11 @@ impl Server {
         self.listener.local_addr()
     }
 
+    /// The bound status-dump address, when `status_addr` was configured.
+    pub fn status_local_addr(&self) -> Option<SocketAddr> {
+        self.status_listener.as_ref().and_then(|l| l.local_addr().ok())
+    }
+
     /// The server's observability handle (journal + metrics). Arm a
     /// flight recorder on it to capture protocol failures.
     pub fn obs(&self) -> &ObsHandle {
@@ -363,6 +384,22 @@ impl Server {
     /// any work happened.
     pub fn poll(&mut self) -> io::Result<bool> {
         let mut worked = false;
+        // Phase residency: where a reactor pass spends its time. Timed
+        // only when observability is on, so the disabled path does not
+        // pay four clock reads per pass.
+        let mut phase = self.obs.enabled().then(Instant::now);
+        if let Some(listener) = &self.status_listener {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        worked = true;
+                        self.serve_status(stream);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
         loop {
             match self.listener.accept() {
                 Ok((stream, _)) => {
@@ -379,6 +416,7 @@ impl Server {
                 Err(e) => return Err(e),
             }
         }
+        self.observe_phase(&mut phase, "server.accept_ns");
 
         let now = self.now_ms();
         let mut buf = [0u8; 64 * 1024];
@@ -422,6 +460,7 @@ impl Server {
                 worked = true;
             }
         }
+        self.observe_phase(&mut phase, "server.read_ns");
 
         // Retransmission timers, driven by wall-clock time — one pass
         // per document stream.
@@ -432,11 +471,16 @@ impl Server {
                 if !matches!(endpoint.next_deadline(), Some(d) if d <= now) {
                     continue;
                 }
+                let mut retransmits = 0u64;
                 for (peer, pkt) in endpoint.due_retransmissions(now) {
                     if let Some(&ci) = sess.conn_of.get(&(peer as u32)) {
                         push_out(&mut self.conns, ci, &encode_frame(&Frame::from_packet(doc, pkt)));
+                        retransmits += 1;
                         worked = true;
                     }
+                }
+                if retransmits > 0 {
+                    self.obs.for_doc(doc.0).add_counter("server.retransmits", retransmits);
                 }
             }
         }
@@ -444,6 +488,7 @@ impl Server {
             self.last_horizon = now;
             self.advance_horizons();
         }
+        self.observe_phase(&mut phase, "server.timer_ns");
 
         for conn in self.conns.iter_mut().flatten() {
             while !conn.out.is_empty() {
@@ -483,7 +528,51 @@ impl Server {
             self.conns[ci] = None;
             worked = true;
         }
+        if self.obs.enabled() {
+            let mut backlog = 0u64;
+            for conn in self.conns.iter().flatten() {
+                backlog += conn.out.len() as u64;
+                if let Some((sid, user)) = conn.identity {
+                    self.obs.set_gauge(
+                        &format!("server.backlog_bytes.s{sid}u{user}"),
+                        conn.out.len() as u64,
+                    );
+                }
+            }
+            self.obs.set_gauge("server.backlog_bytes", backlog);
+            self.obs.set_gauge("server.connections", self.conns.iter().flatten().count() as u64);
+            self.obs.set_gauge("server.sessions", self.sessions.len() as u64);
+        }
+        self.observe_phase(&mut phase, "server.write_ns");
         Ok(worked)
+    }
+
+    /// Closes out one poll phase on the residency histograms and starts
+    /// the next. A no-op (no clock read) when observability is off.
+    fn observe_phase(&self, phase: &mut Option<Instant>, name: &str) {
+        if let Some(t) = phase {
+            self.obs.observe_hist(name, t.elapsed().as_nanos() as u64);
+            *phase = Some(Instant::now());
+        }
+    }
+
+    /// Answers one status-port connection: a single JSON dump of the
+    /// whole metrics registry behind a minimal HTTP/1.0 header (so
+    /// `curl` accepts it), then close. The request bytes are never
+    /// read — whatever the client sent, the answer is the dump.
+    fn serve_status(&self, stream: TcpStream) {
+        let mut stream = stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(std::time::Duration::from_secs(2)));
+        let body = self.obs.snapshot().to_json();
+        let header = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n",
+            body.len() + 1
+        );
+        let _ = stream.write_all(header.as_bytes());
+        let _ = stream.write_all(body.as_bytes());
+        let _ = stream.write_all(b"\n");
     }
 
     fn close_conn(&mut self, ci: usize, why: &str) {
@@ -612,10 +701,20 @@ impl Server {
                 };
                 push_out(&mut self.conns, ci, &encode_frame(&reply));
             }
+            Frame::MetricsRequest { session } => {
+                // Answered without a Hello, like digest and status
+                // probes: monitors should not need an editor identity.
+                let reply =
+                    Frame::<Char>::MetricsReport { session, report: Arc::new(self.obs.snapshot()) };
+                push_out(&mut self.conns, ci, &encode_frame(&reply));
+            }
             Frame::Bye { .. } => {
                 self.close_conn(ci, "bye");
             }
-            Frame::Welcome { .. } | Frame::DigestReply { .. } | Frame::StatusReply { .. } => {
+            Frame::Welcome { .. }
+            | Frame::DigestReply { .. }
+            | Frame::StatusReply { .. }
+            | Frame::MetricsReport { .. } => {
                 self.close_conn(ci, "client sent a server-only frame");
             }
         }
@@ -646,6 +745,7 @@ impl Server {
             return;
         }
         *sess.delivered.entry(doc).or_insert(0) += 1;
+        self.obs.for_doc(doc.0).add_counter("server.delivered", 1);
         let members: Vec<u32> = {
             let mut m: Vec<u32> = sess.seen.iter().copied().collect();
             m.sort_unstable();
@@ -687,6 +787,13 @@ impl Server {
                     .admin
                     .with(doc, |s| s.engine().log().len() + s.admin_log().len())
                     .unwrap_or(0);
+                if self.obs.enabled() {
+                    let obs = self.obs.for_doc(doc.0);
+                    obs.set_gauge("server.log_len", logs as u64);
+                    if let Some(e) = sess.endpoints.get(&doc) {
+                        obs.set_gauge("server.unacked_depth", e.unacked_depth() as u64);
+                    }
+                }
                 if logs < COMPACT_WATERMARK {
                     continue;
                 }
@@ -710,7 +817,7 @@ impl Server {
                 if (sess.store.is_none() || !sess.has_unacked())
                     && sess.admin.auto_compact(doc).unwrap_or(0) > 0
                 {
-                    self.obs.add_counter("server.compactions", 1);
+                    self.obs.for_doc(doc.0).add_counter("server.compactions", 1);
                 }
             }
         }

@@ -17,7 +17,8 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage: dce-server [--addr HOST:PORT] [--clients N] [--docs N] [--doc TEXT] \
-         [--rto-ms MS] [--journal N] [--flight-seed N] [--data-dir PATH]"
+         [--rto-ms MS] [--journal N] [--flight-seed N] [--data-dir PATH] \
+         [--status-port PORT]"
     );
     std::process::exit(2);
 }
@@ -36,6 +37,10 @@ fn main() {
             "--rto-ms" => cfg.rto_ms = val().parse().unwrap_or_else(|_| usage()),
             "--journal" => cfg.journal = val().parse().unwrap_or_else(|_| usage()),
             "--data-dir" => cfg.data_dir = Some(val().into()),
+            "--status-port" => {
+                let port: u16 = val().parse().unwrap_or_else(|_| usage());
+                cfg.status_addr = Some(format!("127.0.0.1:{port}"));
+            }
             "--flight-seed" => flight_seed = Some(val().parse().unwrap_or_else(|_| usage())),
             "--help" | "-h" => usage(),
             _ => usage(),
@@ -56,6 +61,9 @@ fn main() {
     match server.local_addr() {
         Ok(addr) => println!("listening on {addr}"),
         Err(e) => eprintln!("dce-server: local_addr: {e}"),
+    }
+    if let Some(addr) = server.status_local_addr() {
+        println!("status on {addr}");
     }
     let shutdown = Arc::new(AtomicBool::new(false));
     if let Err(e) = server.run(shutdown) {

@@ -184,6 +184,7 @@ impl<E: Element + WireElement> DocStore<E> {
                 torn_bytes: 0,
                 fresh: true,
             };
+            store.observe_wal_gauges();
             return Ok((store, recovery));
         }
 
@@ -191,6 +192,7 @@ impl<E: Element + WireElement> DocStore<E> {
         // journal reaches further back than any one snapshot).
         let mut snapshots_skipped = 0u64;
         let mut start: Option<(Site<E>, u64)> = None;
+        let t_snap = Instant::now();
         for (covered, path) in snaps.iter().rev() {
             match fs::read(path)
                 .map_err(StoreError::from)
@@ -207,6 +209,7 @@ impl<E: Element + WireElement> DocStore<E> {
                 }
             }
         }
+        let recover_snapshot_ns = t_snap.elapsed().as_nanos() as u64;
         let snapshot_used = start.as_ref().map(|(_, c)| *c);
         let (mut site, covered) = match start {
             Some(s) => s,
@@ -226,6 +229,7 @@ impl<E: Element + WireElement> DocStore<E> {
 
         // Scan every segment, verifying contiguity, and replay the
         // suffix past the snapshot horizon.
+        let t_replay = Instant::now();
         let mut replayed = Vec::new();
         let mut next_base = wals.first().map(|(b, _)| *b).unwrap_or(0);
         if covered < next_base {
@@ -287,6 +291,7 @@ impl<E: Element + WireElement> DocStore<E> {
                 }
             }
         }
+        let recover_replay_ns = t_replay.elapsed().as_nanos() as u64;
         let records_total = next_base;
         if covered > records_total {
             return Err(StoreError::Unrecoverable {
@@ -322,6 +327,8 @@ impl<E: Element + WireElement> DocStore<E> {
         };
 
         obs.add_counter("store.replayed", replayed.len() as u64);
+        obs.observe_hist("store.recover_snapshot_ns", recover_snapshot_ns);
+        obs.observe_hist("store.recover_replay_ns", recover_replay_ns);
         if torn_bytes > 0 {
             obs.add_counter("store.torn_bytes", torn_bytes);
         }
@@ -346,6 +353,7 @@ impl<E: Element + WireElement> DocStore<E> {
             torn_bytes,
             fresh: false,
         };
+        store.observe_wal_gauges();
         Ok((store, recovery))
     }
 
@@ -359,7 +367,9 @@ impl<E: Element + WireElement> DocStore<E> {
         if out.synced {
             self.obs.add_counter("store.synced", 1);
             self.obs.observe_hist("store.fsync_batch", out.batch as u64);
+            self.obs.observe_hist("store.fsync_ns", out.sync_ns);
         }
+        self.obs.set_gauge("store.wal_active_bytes", self.wal.len());
         Ok(())
     }
 
@@ -387,6 +397,7 @@ impl<E: Element + WireElement> DocStore<E> {
             return Ok(false);
         }
         let covered = self.records;
+        let t = Instant::now();
         let bytes = encode_store_snapshot(site, self.admin, covered);
         let tmp = self.dir.join(format!("snap-{covered}.snap.tmp"));
         {
@@ -402,10 +413,27 @@ impl<E: Element + WireElement> DocStore<E> {
         self.wal = Wal::create(&wal_path(&self.dir, covered), header, self.cfg.fsync)?;
         sync_dir(&self.dir)?;
         self.covered = covered;
+        self.obs.observe_hist("store.snapshot_ns", t.elapsed().as_nanos() as u64);
         self.obs.add_counter("store.snapshot_written", 1);
         self.obs.set_gauge("store.covered", covered);
         self.retire()?;
+        self.observe_wal_gauges();
         Ok(true)
+    }
+
+    /// Publishes segment-count and on-disk-bytes gauges for this
+    /// document's journal directory. Best-effort: an I/O error just
+    /// leaves the previous value standing.
+    fn observe_wal_gauges(&self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        if let Ok(wals) = list_numbered(&self.dir, "wal-", ".log") {
+            self.obs.set_gauge("store.wal_segments", wals.len() as u64);
+            let bytes: u64 =
+                wals.iter().filter_map(|(_, p)| fs::metadata(p).ok()).map(|m| m.len()).sum();
+            self.obs.set_gauge("store.wal_bytes", bytes);
+        }
     }
 
     /// Deletes snapshots beyond the retention count and the segments

@@ -348,6 +348,8 @@ pub struct Append {
     pub synced: bool,
     /// Records flushed by that fsync (0 when `synced` is false).
     pub batch: u32,
+    /// Wall time the fsync took (0 when `synced` is false).
+    pub sync_ns: u64,
 }
 
 /// An open, appendable WAL segment file.
@@ -427,11 +429,14 @@ impl Wal {
             FsyncPolicy::EveryMs(ms) => self.last_sync.elapsed() >= Duration::from_millis(ms),
         };
         let mut batch = 0;
+        let mut sync_ns = 0;
         if due {
             batch = self.pending;
+            let started = Instant::now();
             self.sync()?;
+            sync_ns = started.elapsed().as_nanos() as u64;
         }
-        Ok(Append { bytes: frame.len() as u64, synced: due, batch })
+        Ok(Append { bytes: frame.len() as u64, synced: due, batch, sync_ns })
     }
 
     /// Forces an fsync of everything appended so far.

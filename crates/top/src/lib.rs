@@ -1,0 +1,271 @@
+//! # dce-top — live per-document telemetry for a running `dce-server`
+//!
+//! The server exports its whole `dce-obs` metrics registry over the
+//! frame protocol ([`dce_net::frame::Frame::MetricsRequest`] /
+//! `MetricsReport`). This crate is the consumer side: it scrapes a
+//! report, groups the per-document series (`<name>.doc<N>`) back into
+//! rows, and renders the operational table the `dce-top` bin shows —
+//! queue depth, log length, retransmits, fsync p99, compactions.
+//!
+//! Two scrapes can be diffed ([`dce_obs::MetricsReport::delta`]) into
+//! interval-exact rates; [`doc_rows`] does that when handed the
+//! previous report, which is how `--watch` turns cumulative counters
+//! into per-second columns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dce_document::Char;
+use dce_net::frame::{encode_frame, Frame, FrameDecoder};
+use dce_obs::MetricsReport;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Connects to `addr`, sends one `MetricsRequest` and waits (bounded by
+/// `timeout`) for the server's `MetricsReport`.
+pub fn scrape(addr: &str, timeout: Duration) -> Result<MetricsReport, String> {
+    let deadline = Instant::now() + timeout;
+    let mut stream = loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => break s,
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(format!("connect {addr}: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(Duration::from_millis(200))).map_err(|e| e.to_string())?;
+    stream
+        .write_all(&encode_frame(&Frame::<Char>::MetricsRequest { session: 0 }))
+        .map_err(|e| format!("send scrape: {e}"))?;
+    let mut decoder = FrameDecoder::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        loop {
+            match decoder.next::<Char>() {
+                Ok(Some(Frame::MetricsReport { report, .. })) => {
+                    return Ok(report.as_ref().clone())
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => return Err(format!("bad frame from server: {e}")),
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err("scrape timed out".into());
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return Err("server closed the connection".into()),
+            Ok(n) => decoder.extend(&buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// One row of the per-document table. Counter-valued fields are
+/// cumulative on a one-shot scrape and interval deltas when [`doc_rows`]
+/// was handed a previous report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DocRow {
+    /// Document id (0 is the untagged default document).
+    pub doc: u64,
+    /// Messages the administrator replica has processed.
+    pub delivered: u64,
+    /// Causally-ready receive queue depth at the administrator.
+    pub queue_depth: u64,
+    /// Combined canonical + administrative log length.
+    pub log_len: u64,
+    /// Session-layer packets buffered awaiting acks.
+    pub unacked: u64,
+    /// Timer-driven retransmissions pushed to members.
+    pub retransmits: u64,
+    /// 99th-percentile WAL fsync latency, nanoseconds (0 without a
+    /// durable store).
+    pub fsync_p99_ns: u64,
+    /// Watermark compactions fired.
+    pub compactions: u64,
+}
+
+/// The per-document series name for `doc` — document 0 publishes under
+/// the untagged rollup name, every other document under `.doc<N>`
+/// (mirrors `ObsHandle::for_doc`).
+fn scoped(name: &str, doc: u64) -> String {
+    if doc == 0 {
+        name.to_string()
+    } else {
+        format!("{name}.doc{doc}")
+    }
+}
+
+/// Document ids present in `report`, parsed back out of `.doc<N>` name
+/// suffixes. Document 0 is always listed: its series are the untagged
+/// ones.
+pub fn doc_ids(report: &MetricsReport) -> Vec<u64> {
+    let mut ids = vec![0];
+    let names = report.counters.keys().chain(report.gauges.keys()).chain(report.histograms.keys());
+    for name in names {
+        if let Some((_, suffix)) = name.rsplit_once(".doc") {
+            if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                if let Ok(doc) = suffix.parse::<u64>() {
+                    if !ids.contains(&doc) {
+                        ids.push(doc);
+                    }
+                }
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// Builds the per-document rows from a scrape. With `prev`, counters and
+/// histograms are diffed first so the rows describe only the interval
+/// between the two scrapes (gauges always show the latest value).
+pub fn doc_rows(report: &MetricsReport, prev: Option<&MetricsReport>) -> Vec<DocRow> {
+    let interval;
+    let report = match prev {
+        Some(p) => {
+            interval = report.delta(p);
+            &interval
+        }
+        None => report,
+    };
+    let counter = |name: &str, doc: u64| report.counters.get(&scoped(name, doc)).copied();
+    let gauge = |name: &str, doc: u64| report.gauges.get(&scoped(name, doc)).copied();
+    let hist_p99 = |name: &str, doc: u64| report.histograms.get(&scoped(name, doc)).map(|h| h.p99);
+    doc_ids(report)
+        .into_iter()
+        .map(|doc| DocRow {
+            doc,
+            delivered: counter("server.delivered", doc).unwrap_or(0),
+            queue_depth: gauge("site.queue_depth_ready", doc).unwrap_or(0),
+            log_len: gauge("server.log_len", doc).unwrap_or(0),
+            unacked: gauge("server.unacked_depth", doc).unwrap_or(0),
+            retransmits: counter("server.retransmits", doc).unwrap_or(0),
+            fsync_p99_ns: hist_p99("store.fsync_ns", doc).unwrap_or(0),
+            compactions: counter("server.compactions", doc)
+                .or_else(|| counter("engine.auto_compactions", doc))
+                .unwrap_or(0),
+        })
+        .collect()
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1_000.0)
+}
+
+/// Renders the operational table: a header line of process-wide totals,
+/// then one row per document. `interval` labels the counter columns —
+/// `None` means cumulative (one-shot scrape), `Some` means per-interval
+/// deltas from `--watch`.
+pub fn render_table(report: &MetricsReport, rows: &[DocRow], interval: Option<Duration>) -> String {
+    let mut out = String::new();
+    let g = |name: &str| report.gauges.get(name).copied().unwrap_or(0);
+    out.push_str(&format!(
+        "uptime {:.1}s  sessions {}  conns {}  backlog {}B  overflowed {}\n",
+        report.at_ns as f64 / 1e9,
+        g("server.sessions"),
+        g("server.connections"),
+        g("server.backlog_bytes"),
+        report.counters.get("journal.overflowed").copied().unwrap_or(0),
+    ));
+    match interval {
+        Some(d) => out.push_str(&format!("counters: deltas over {:.1}s\n", d.as_secs_f64())),
+        None => out.push_str("counters: cumulative since server start\n"),
+    }
+    out.push_str(&format!(
+        "{:>5} {:>10} {:>7} {:>7} {:>8} {:>8} {:>12} {:>8}\n",
+        "DOC", "DELIVERED", "QDEPTH", "LOG", "UNACKED", "RETRANS", "FSYNC-P99us", "COMPACT"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5} {:>10} {:>7} {:>7} {:>8} {:>8} {:>12} {:>8}\n",
+            r.doc,
+            r.delivered,
+            r.queue_depth,
+            r.log_len,
+            r.unacked,
+            r.retransmits,
+            fmt_us(r.fsync_p99_ns),
+            r.compactions,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dce_obs::HistogramSnapshot;
+
+    fn sample() -> MetricsReport {
+        let mut r = MetricsReport { at_ns: 2_000_000_000, ..Default::default() };
+        r.counters.insert("server.delivered".into(), 100);
+        r.counters.insert("server.delivered.doc7".into(), 40);
+        r.counters.insert("server.retransmits.doc7".into(), 3);
+        r.counters.insert("server.compactions.doc7".into(), 2);
+        r.gauges.insert("server.log_len.doc7".into(), 55);
+        r.gauges.insert("server.unacked_depth.doc7".into(), 4);
+        r.gauges.insert("site.queue_depth_ready.doc7".into(), 6);
+        r.gauges.insert("server.sessions".into(), 1);
+        let h = HistogramSnapshot::from_buckets(3, 3_000, vec![(200, 3)]);
+        r.histograms.insert("store.fsync_ns.doc7".into(), h);
+        r
+    }
+
+    #[test]
+    fn doc_ids_parses_suffixes_and_always_lists_doc_zero() {
+        assert_eq!(doc_ids(&sample()), vec![0, 7]);
+        // A non-numeric suffix is not a document tag.
+        let mut r = sample();
+        r.counters.insert("thing.docx".into(), 1);
+        assert_eq!(doc_ids(&r), vec![0, 7]);
+    }
+
+    #[test]
+    fn rows_pick_up_scoped_series() {
+        let rows = doc_rows(&sample(), None);
+        assert_eq!(rows.len(), 2);
+        let d7 = &rows[1];
+        assert_eq!(d7.doc, 7);
+        assert_eq!(d7.delivered, 40);
+        assert_eq!(d7.queue_depth, 6);
+        assert_eq!(d7.log_len, 55);
+        assert_eq!(d7.unacked, 4);
+        assert_eq!(d7.retransmits, 3);
+        assert_eq!(d7.compactions, 2);
+        assert!(d7.fsync_p99_ns > 0);
+        // Document 0 holds the untagged rollup series.
+        assert_eq!(rows[0].delivered, 100);
+    }
+
+    #[test]
+    fn rows_against_a_previous_scrape_are_interval_deltas() {
+        let earlier = sample();
+        let mut later = sample();
+        later.at_ns = 4_000_000_000;
+        later.counters.insert("server.delivered.doc7".into(), 90);
+        let rows = doc_rows(&later, Some(&earlier));
+        let d7 = rows.iter().find(|r| r.doc == 7).expect("doc 7 row");
+        assert_eq!(d7.delivered, 50);
+        // Gauges stay absolute.
+        assert_eq!(d7.log_len, 55);
+    }
+
+    #[test]
+    fn table_renders_one_line_per_document() {
+        let report = sample();
+        let rows = doc_rows(&report, None);
+        let table = render_table(&report, &rows, None);
+        assert!(table.contains("DELIVERED"));
+        assert!(table.contains("cumulative"));
+        assert_eq!(table.lines().count(), 3 + rows.len());
+    }
+}

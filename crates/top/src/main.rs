@@ -1,0 +1,95 @@
+//! `dce-top` — watch a running `dce-server`'s per-document telemetry.
+//!
+//! ```text
+//! dce-top --addr 127.0.0.1:7461 --watch            # live table, 1s refresh
+//! dce-top --addr 127.0.0.1:7461 --json             # one JSON snapshot to stdout
+//! dce-top --addr 127.0.0.1:7461 --json --out f.json
+//! ```
+//!
+//! Scrapes the server's metrics frame (`MetricsRequest`/`MetricsReport`)
+//! — no editor identity needed. In `--watch` mode counter columns are
+//! per-interval deltas; one-shot mode shows cumulative totals.
+
+use dce_top::{doc_rows, render_table, scrape};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dce-top [--addr HOST:PORT] [--json] [--out FILE] [--watch] \
+         [--interval-ms MS] [--timeout-s S]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7461".to_string();
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut watch = false;
+    let mut interval_ms: u64 = 1000;
+    let mut timeout_s: u64 = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => addr = val(),
+            "--json" => json = true,
+            "--out" => out = Some(val()),
+            "--watch" => watch = true,
+            "--interval-ms" => interval_ms = val().parse().unwrap_or_else(|_| usage()),
+            "--timeout-s" => timeout_s = val().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    let timeout = Duration::from_secs(timeout_s.max(1));
+
+    if json {
+        let report = scrape(&addr, timeout).unwrap_or_else(|e| fail(&e));
+        let body = report.to_json();
+        match out {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, format!("{body}\n")) {
+                    fail(&format!("write {path}: {e}"));
+                }
+                eprintln!("dce-top: wrote {path}");
+            }
+            None => println!("{body}"),
+        }
+        return;
+    }
+
+    if !watch {
+        let report = scrape(&addr, timeout).unwrap_or_else(|e| fail(&e));
+        print!("{}", render_table(&report, &doc_rows(&report, None), None));
+        return;
+    }
+
+    // --watch: poll forever, diffing consecutive scrapes so counter
+    // columns show what happened in the last interval only.
+    let interval = Duration::from_millis(interval_ms.max(100));
+    let mut prev = None;
+    loop {
+        match scrape(&addr, timeout) {
+            Ok(report) => {
+                let rows = doc_rows(&report, prev.as_ref());
+                let span = prev.as_ref().map(|p: &dce_obs::MetricsReport| {
+                    Duration::from_nanos(report.at_ns.saturating_sub(p.at_ns))
+                });
+                // Clear + home, like top(1); falls out harmlessly when
+                // stdout is a pipe.
+                print!("\x1b[2J\x1b[H{}", render_table(&report, &rows, span));
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+                prev = Some(report);
+            }
+            Err(e) => eprintln!("dce-top: scrape failed: {e}"),
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dce-top: {msg}");
+    std::process::exit(1);
+}
